@@ -1,0 +1,400 @@
+(* The benchmark harness: regenerates every table/figure of the paper's
+   evaluation (full-size, printed as series + ASCII boxplots), then runs
+   one Bechamel micro-benchmark per experiment kind plus core-algorithm
+   benchmarks.
+
+   Sections:
+     FIG2            withdrawal convergence vs SDN fraction, 16-AS clique
+     ANNOUNCE        announcement convergence vs SDN fraction (§4)
+     FAILOVER        fail-over convergence vs SDN fraction (§4)
+     ABLATION-DELAY  controller delayed-recomputation interval (A1)
+     SUBCLUSTER      disjoint sub-cluster resilience (A2)
+     ABLATION-MRAI   MRAI sensitivity (A3)
+     ABLATION-WRATE  withdrawal pacing: RFC vs Quagga (A4)
+     CHURN           collector update counts vs SDN fraction
+     MICRO           Bechamel micro-benchmarks
+
+   `dune exec bench/main.exe -- --quick` runs a reduced sweep. *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let n = if quick then 8 else 16
+
+let runs = if quick then 3 else 10
+
+let config = Framework.Config.default
+
+let section name = Fmt.pr "@.===== %s =====@." name
+
+let print_series s =
+  Fmt.pr "%a@." Framework.Experiments.pp_series s;
+  Fmt.pr "%s@." (Framework.Visualize.series_to_ascii s);
+  (* machine-readable copy for external plotting *)
+  let dir = "bench_results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Fmt.str "%s.csv" s.Framework.Experiments.label) in
+  let oc = open_out path in
+  output_string oc (Framework.Experiments.series_to_csv s);
+  close_out oc
+
+let print_trend s =
+  let intercept, slope, r2 = Framework.Experiments.median_trend s in
+  Fmt.pr "linear fit of medians: y = %.2f + %.2f*x   r^2 = %.3f@." intercept slope r2
+
+let fig2 () =
+  section (Fmt.str "FIG2: withdrawal convergence, %d-AS clique, %d runs/point" n runs);
+  let s = Framework.Experiments.fig2_withdrawal ~n ~runs ~config () in
+  print_series s;
+  print_trend s;
+  s
+
+let announce () =
+  section "ANNOUNCE: announcement convergence (smaller reductions expected)";
+  let s = Framework.Experiments.announcement_sweep ~n ~runs ~config () in
+  print_series s;
+  s
+
+let failover () =
+  section "FAILOVER: stub primary-link failure, backup via 2-AS chain";
+  let s = Framework.Experiments.failover_sweep ~n ~runs ~config () in
+  print_series s;
+  Fmt.pr "data-plane restoration (the demo's end-to-end interruption):@.";
+  Fmt.pr "%8s %14s %14s@." "sdn" "mean-restore-s" "max-restore-s";
+  List.iter
+    (fun (p : Framework.Experiments.point) ->
+      let mean f = Engine.Stats.mean (List.map f p.Framework.Experiments.results) in
+      Fmt.pr "%8.0f %14.2f %14.2f@." p.Framework.Experiments.x
+        (mean (fun r -> r.Framework.Experiments.restore_mean))
+        (mean (fun r -> r.Framework.Experiments.restore_max)))
+    s.Framework.Experiments.points;
+  s
+
+let rounds () =
+  section "ROUNDS: MRAI exploration waves per withdrawal (the mechanism behind FIG2)";
+  Fmt.pr "%8s %8s %14s@." "sdn" "waves" "Tdown-s";
+  List.iter
+    (fun sdn ->
+      let spec = Topology.Artificial.clique n in
+      let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+      let spec = Topology.Spec.with_sdn spec members in
+      let exp = Framework.Experiment.create ~config ~seed:67 spec in
+      let origin = Topology.Artificial.asn 0 in
+      let prefix = Framework.Experiment.default_prefix exp origin in
+      ignore
+        (Framework.Experiment.measure exp ~prefix (fun () ->
+             ignore (Framework.Experiment.announce exp origin)));
+      let before_us = Engine.Time.to_us (Framework.Experiment.now exp) in
+      let m =
+        Framework.Experiment.measure exp ~prefix (fun () ->
+            ignore (Framework.Experiment.withdraw exp origin))
+      in
+      let entries =
+        Framework.Logparse.of_trace (Engine.Sim.trace (Framework.Experiment.sim exp))
+      in
+      let after_withdrawal =
+        List.filter (fun e -> e.Framework.Logparse.time_us >= before_us) entries
+      in
+      let waves =
+        Framework.Logparse.exploration_rounds ~round_gap_us:10_000_000 after_withdrawal prefix
+      in
+      Fmt.pr "%8d %8d %14.2f@." sdn waves (Framework.Experiment.convergence_seconds m))
+    (if quick then [ 0; 4 ] else [ 0; 4; 8; 12; 14 ])
+
+let ablation_delay () =
+  section "ABLATION-DELAY: controller recomputation delay at 50% deployment (x = ms)";
+  let s = Framework.Experiments.ablation_recompute_delay ~n ~runs ~config () in
+  print_series s
+
+let ablation_mrai () =
+  section "ABLATION-MRAI: MRAI sensitivity (x = MRAI seconds)";
+  let s0 = Framework.Experiments.ablation_mrai ~n ~runs ~config ~sdn:0 () in
+  print_series s0;
+  let s8 = Framework.Experiments.ablation_mrai ~n ~runs ~config ~sdn:(n / 2) () in
+  print_series s8
+
+let ablation_wrate () =
+  section "ABLATION-WRATE: withdrawal pacing (x=0 RFC-exempt, x=1 Quagga-paced)";
+  let s = Framework.Experiments.ablation_wrate ~n ~runs ~config ~sdn:0 () in
+  print_series s
+
+let scaling () =
+  section "SCALING: withdrawal convergence vs clique size (x = n, 50% centralized vs 0%)";
+  let s_half =
+    Framework.Experiments.scaling_sweep
+      ~sizes:(if quick then [ 6; 8; 10 ] else [ 8; 12; 16; 20; 24 ])
+      ~fraction:0.5 ~runs:(if quick then 2 else 5) ~config ()
+  in
+  print_series s_half;
+  let s_zero =
+    Framework.Experiments.scaling_sweep
+      ~sizes:(if quick then [ 6; 8; 10 ] else [ 8; 12; 16; 20; 24 ])
+      ~fraction:0.0 ~runs:(if quick then 2 else 5) ~config ()
+  in
+  print_series s_zero
+
+let ablation_speaker_mrai () =
+  section "ABLATION-SPEAKER-MRAI: pace the cluster speaker like a BGP router (50% SDN)";
+  Fmt.pr "%14s %12s@." "speaker-mrai" "Tdown-med-s";
+  List.iter
+    (fun (label, speaker_mrai) ->
+      let config = { config with Framework.Config.speaker_mrai } in
+      let results =
+        List.init
+          (if quick then 2 else 5)
+          (fun i ->
+            Framework.Experiments.clique_run ~n ~sdn:(n / 2)
+              ~event:Framework.Experiments.Withdrawal ~seed:(61 + (1000 * i)) ~config ())
+      in
+      let med =
+        Engine.Stats.median (List.map (fun r -> r.Framework.Experiments.seconds) results)
+      in
+      Fmt.pr "%14s %12.2f@." label med)
+    [ ("off (exabgp)", None); ("30s (quagga)", Some Bgp.Config.default) ]
+
+let ablation_damping () =
+  section "ABLATION-DAMPING: flap storm (4 withdraw/announce cycles, 45 s apart)";
+  Fmt.pr "%10s %16s %12s %14s %12s@." "damping" "collector-updates" "recovery-s"
+    "suppressions" "blackholed";
+  List.iter
+    (fun damping ->
+      let r = Framework.Experiments.flap_run ~n ~damping ~seed:31 ~config () in
+      Fmt.pr "%10b %16d %12.1f %14d %12d@." damping
+        r.Framework.Experiments.collector_updates_total
+        r.Framework.Experiments.recovery_seconds
+        r.Framework.Experiments.suppressions_total
+        r.Framework.Experiments.blackholed_after_storm)
+    [ false; true ]
+
+let placement () =
+  section "PLACEMENT: which ASes to centralize (Internet-like topology, withdrawal)";
+  List.iter
+    (fun placement ->
+      let s =
+        Framework.Experiments.placement_sweep
+          ~runs:(if quick then 2 else 5)
+          ~ks:(if quick then [ 0; 4; 8 ] else [ 0; 2; 4; 6; 8 ])
+          ~config ~placement ()
+      in
+      print_series s)
+    [ Framework.Experiments.Top_degree; Framework.Experiments.Random_choice;
+      Framework.Experiments.Stubs_first ]
+
+let churn_load () =
+  section "CHURN-LOAD: withdrawal convergence under background flapping (per-peer MRAI coupling)";
+  Fmt.pr "%8s %14s %14s@." "sdn" "quiet-Tdown-s" "churny-Tdown-s";
+  List.iter
+    (fun sdn ->
+      let quiet =
+        Framework.Experiments.clique_run ~n ~sdn ~event:Framework.Experiments.Withdrawal
+          ~seed:59 ~config ()
+      in
+      let churny =
+        Framework.Experiments.churn_run ~n ~sdn ~flap_period_s:20.0 ~seed:59 ~config ()
+      in
+      Fmt.pr "%8d %14.2f %14.2f@." sdn quiet.Framework.Experiments.seconds
+        churny.Framework.Experiments.seconds)
+    (if quick then [ 0; 4 ] else [ 0; 4; 8; 12 ])
+
+let table_size () =
+  section "TABLE-SIZE: withdrawal convergence vs background prefixes (negative control)";
+  Fmt.pr "%12s %12s %10s@." "background" "Tdown-s" "changes";
+  List.iter
+    (fun background ->
+      let r =
+        Framework.Experiments.table_size_run ~n ~sdn:0 ~background ~seed:47 ~config ()
+      in
+      Fmt.pr "%12d %12.2f %10d@." background r.Framework.Experiments.seconds
+        r.Framework.Experiments.changes)
+    (if quick then [ 0; 4 ] else [ 0; 5; 10; 15 ])
+
+let subcluster () =
+  section "SUBCLUSTER: disjoint sub-clusters bridged over the legacy world";
+  let r = Framework.Experiments.subcluster_resilience ~config () in
+  Fmt.pr "reachable before split:       %b@." r.Framework.Experiments.reachable_before;
+  Fmt.pr "reachable after bridge fail:  %b@." r.Framework.Experiments.reachable_after_split;
+  Fmt.pr "post-split path via legacy:   %b@." r.Framework.Experiments.used_legacy_bridge;
+  Fmt.pr "reachable after recovery:     %b@." r.Framework.Experiments.reachable_after_recovery
+
+let churn (fig2_series : Framework.Experiments.series) =
+  section "CHURN: BGP updates seen by the route collector per withdrawal run";
+  Fmt.pr "%8s %12s %12s@." "sdn" "mean-updates" "mean-changes";
+  List.iter
+    (fun (p : Framework.Experiments.point) ->
+      let mean f = Engine.Stats.mean (List.map f p.Framework.Experiments.results) in
+      Fmt.pr "%8.0f %12.1f %12.1f@." p.Framework.Experiments.x
+        (mean (fun r -> float_of_int r.Framework.Experiments.collector_updates))
+        (mean (fun r -> float_of_int r.Framework.Experiments.changes)))
+    fig2_series.Framework.Experiments.points
+
+(* --- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let micro () =
+  section "MICRO: Bechamel micro-benchmarks (OLS time per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let fast = Framework.Config.fast_test in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  (* One Test.make per experiment regenerator (scaled-down instances). *)
+  let t_fig2 =
+    Test.make ~name:"fig2_withdrawal_point"
+      (Staged.stage (fun () ->
+           Framework.Experiments.clique_run ~n:6 ~sdn:2
+             ~event:Framework.Experiments.Withdrawal ~seed:(fresh ()) ~config:fast ()))
+  in
+  let t_announce =
+    Test.make ~name:"announcement_point"
+      (Staged.stage (fun () ->
+           Framework.Experiments.clique_run ~n:6 ~sdn:2
+             ~event:Framework.Experiments.Announcement ~seed:(fresh ()) ~config:fast ()))
+  in
+  let t_failover =
+    Test.make ~name:"failover_point"
+      (Staged.stage (fun () ->
+           Framework.Experiments.failover_run ~n:5 ~sdn:2 ~seed:(fresh ()) ~config:fast ()))
+  in
+  let t_subcluster =
+    Test.make ~name:"subcluster_resilience"
+      (Staged.stage (fun () ->
+           Framework.Experiments.subcluster_resilience ~seed:(fresh ()) ~config:fast ()))
+  in
+  (* Core algorithm benchmarks. *)
+  let t_as_graph =
+    let members = Net.Asn.Set.of_list (List.init 8 (fun i -> Net.Asn.of_int (65010 + i))) in
+    let g = Net.Graph.create () in
+    Net.Asn.Set.iter (fun m -> Net.Graph.add_node g (Net.Asn.to_int m)) members;
+    List.iter (fun i -> Net.Graph.add_edge g (65010 + i) (65010 + i + 1)) (List.init 7 Fun.id);
+    let nh = Net.Ipv4.addr_of_octets 10 0 0 1 in
+    let routes =
+      List.init 16 (fun i ->
+          {
+            Cluster_ctl.As_graph.member = Net.Asn.of_int (65010 + (i mod 8));
+            neighbor = Net.Asn.of_int (65100 + i);
+            attrs =
+              Bgp.Attrs.make
+                ~as_path:(List.init ((i mod 4) + 1) (fun j -> Net.Asn.of_int (65100 + i + j)))
+                ~next_hop:nh ();
+            rel = Bgp.Policy.Unrestricted;
+          })
+    in
+    Test.make ~name:"as_graph_compute_8members"
+      (Staged.stage (fun () ->
+           Cluster_ctl.As_graph.compute ~members ~switch_graph:g ~routes
+             ~originators:Net.Asn.Set.empty ()))
+  in
+  let t_decision =
+    let nh = Net.Ipv4.addr_of_octets 10 0 0 1 in
+    let prefix = Option.get (Net.Ipv4.prefix_of_string "100.64.0.0/24") in
+    let routes =
+      List.init 16 (fun i ->
+          Bgp.Route.make ~prefix
+            ~attrs:
+              (Bgp.Attrs.make
+                 ~as_path:(List.init ((i mod 5) + 1) (fun j -> Net.Asn.of_int (65001 + i + j)))
+                 ~local_pref:(90 + (i mod 4 * 10))
+                 ~next_hop:nh ())
+            ~source:(Bgp.Route.Ebgp (Net.Asn.of_int (65001 + i)))
+            ~learned_at:Engine.Time.zero)
+    in
+    Test.make ~name:"decision_select_16routes"
+      (Staged.stage (fun () -> Bgp.Decision.select routes))
+  in
+  let t_fib =
+    let fib = Net.Fib.create () in
+    List.iteri
+      (fun i () ->
+        Net.Fib.insert fib (Net.Ipv4.prefix (Net.Ipv4.addr_of_octets 10 (i mod 256) 0 0) 16) i)
+      (List.init 256 (fun _ -> ()));
+    let probe = Net.Ipv4.addr_of_octets 10 127 3 4 in
+    Test.make ~name:"fib_lookup_256" (Staged.stage (fun () -> Net.Fib.lookup_value fib probe))
+  in
+  let t_dijkstra =
+    let g = Net.Graph.create () in
+    for i = 0 to 99 do
+      Net.Graph.add_node g i
+    done;
+    for i = 0 to 98 do
+      Net.Graph.add_edge g i (i + 1);
+      if i mod 7 = 0 && i + 9 < 100 then Net.Graph.add_edge g i (i + 9)
+    done;
+    Test.make ~name:"dijkstra_100nodes" (Staged.stage (fun () -> Net.Graph.dijkstra g 0))
+  in
+  let t_wire_encode, t_wire_decode =
+    let nh = Net.Ipv4.addr_of_octets 10 0 0 1 in
+    let attrs =
+      Bgp.Attrs.make
+        ~as_path:(List.init 5 (fun i -> Net.Asn.of_int (65001 + i)))
+        ~communities:(Bgp.Community.Set.singleton (Bgp.Community.make 65000 1))
+        ~med:10 ~next_hop:nh ()
+    in
+    let msg =
+      Bgp.Message.update
+        ~announced:
+          (List.init 8 (fun i ->
+               (Net.Ipv4.prefix (Net.Ipv4.addr_of_octets 100 64 i 0) 24, attrs)))
+        ~withdrawn:[ Net.Ipv4.prefix (Net.Ipv4.addr_of_octets 9 9 0 0) 16 ]
+        ()
+    in
+    let encoded = Bgp.Wire.encode_concat msg in
+    ( Test.make ~name:"wire_encode_update8" (Staged.stage (fun () -> Bgp.Wire.encode msg)),
+      Test.make ~name:"wire_decode_update8"
+        (Staged.stage (fun () -> Bgp.Wire.decode_all encoded)) )
+  in
+  let tests =
+    [ t_fig2; t_announce; t_failover; t_subcluster; t_as_graph; t_decision; t_fib; t_dijkstra;
+      t_wire_encode; t_wire_decode ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second (if quick then 0.25 else 0.5)) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:nan in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Fmt.pr "%-40s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) ->
+      let time =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.0f ns" ns
+      in
+      Fmt.pr "%-40s %14s %8.3f@." name time r2)
+    rows
+
+let () =
+  Fmt.pr "hybridsdn bench harness (n=%d, runs=%d%s)@." n runs (if quick then ", quick" else "");
+  let fig2_series = fig2 () in
+  rounds ();
+  ignore (announce ());
+  ignore (failover ());
+  ablation_delay ();
+  ablation_mrai ();
+  ablation_wrate ();
+  ablation_speaker_mrai ();
+  ablation_damping ();
+  scaling ();
+  placement ();
+  churn_load ();
+  table_size ();
+  subcluster ();
+  churn fig2_series;
+  micro ();
+  Fmt.pr "@.done.@."

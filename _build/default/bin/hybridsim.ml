@@ -1,0 +1,340 @@
+(* hybridsim — command-line front end to the hybrid BGP-SDN emulation
+   framework.
+
+     hybridsim fig2 -n 16 --runs 10        reproduce the paper's Fig. 2
+     hybridsim run --topo clique:16 --sdn 8 --event withdraw
+     hybridsim topo --kind ba:30:2 --dot topo.dot
+     hybridsim dot -n 8 --sdn 4            component diagram (Fig. 1)
+     hybridsim demo                         sub-cluster resilience demo *)
+
+open Cmdliner
+
+let ( let* ) r f = Result.bind r f
+
+(* --- Topology specification parsing: "clique:16", "er:20:0.2", ... ----- *)
+
+let parse_topo ~seed s =
+  let rng = Engine.Rng.create seed in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "clique"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Topology.Artificial.clique n)
+    | _ -> Error "clique:N with N >= 2")
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 3 -> Ok (Topology.Artificial.ring n)
+    | _ -> Error "ring:N with N >= 3")
+  | [ "line"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Topology.Artificial.line n)
+    | _ -> Error "line:N with N >= 2")
+  | [ "star"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Topology.Artificial.star n)
+    | _ -> Error "star:N with N >= 2")
+  | [ "er"; n; p ] -> (
+    match (int_of_string_opt n, float_of_string_opt p) with
+    | Some n, Some p when n >= 2 && p >= 0.0 && p <= 1.0 ->
+      Ok (Topology.Random_models.erdos_renyi rng ~n ~p)
+    | _ -> Error "er:N:P with N >= 2 and P in [0,1]")
+  | [ "ba"; n; m ] -> (
+    match (int_of_string_opt n, int_of_string_opt m) with
+    | Some n, Some m when n > m && m >= 1 -> Ok (Topology.Random_models.barabasi_albert rng ~n ~m)
+    | _ -> Error "ba:N:M with N > M >= 1")
+  | [ "waxman"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Topology.Random_models.waxman rng ~n)
+    | _ -> Error "waxman:N with N >= 2")
+  | [ "glp"; n; m ] -> (
+    match (int_of_string_opt n, int_of_string_opt m) with
+    | Some n, Some m when n > m && m >= 1 && n >= 3 ->
+      Ok (Topology.Random_models.glp rng ~n ~m)
+    | _ -> Error "glp:N:M with N > M >= 1, N >= 3")
+  | [ "caida" ] -> Ok (Topology.Caida.generate rng)
+  | [ "iplane" ] -> Ok (Topology.Iplane.generate rng)
+  | [ "caida-file"; path ] ->
+    Result.map_error
+      (fun e -> Fmt.str "%a" Topology.Caida.pp_parse_error e)
+      (Topology.Caida.parse_file path)
+  | [ "iplane-file"; path ] ->
+    Result.map_error
+      (fun e -> Fmt.str "%a" Topology.Iplane.pp_parse_error e)
+      (Topology.Iplane.parse_file path)
+  | _ ->
+    Error
+      "unknown topology; use clique:N, ring:N, line:N, star:N, er:N:P, ba:N:M, glp:N:M, \
+       waxman:N, caida, iplane, caida-file:PATH, iplane-file:PATH"
+
+let with_sdn_tail spec k =
+  if k = 0 then Ok spec
+  else if k > Topology.Spec.node_count spec then Error "--sdn exceeds topology size"
+  else begin
+    let asns = Topology.Spec.asns spec in
+    let n = List.length asns in
+    Ok (Topology.Spec.with_sdn spec (List.filteri (fun i _ -> i >= n - k) asns))
+  end
+
+(* --- Common options ------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let mrai_arg =
+  Arg.(
+    value
+    & opt int 30
+    & info [ "mrai" ] ~docv:"SECONDS" ~doc:"eBGP MinRouteAdvertisementInterval.")
+
+let config_of_mrai mrai =
+  Framework.Config.with_mrai Framework.Config.default (Engine.Time.sec mrai)
+
+(* --- fig2 ----------------------------------------------------------------- *)
+
+let fig2_cmd =
+  let run n runs seed mrai =
+    let config = config_of_mrai mrai in
+    let s = Framework.Experiments.fig2_withdrawal ~n ~runs ~seed ~config () in
+    Fmt.pr "%a@.@.%s@." Framework.Experiments.pp_series s
+      (Framework.Visualize.series_to_ascii s);
+    let intercept, slope, r2 = Framework.Experiments.median_trend s in
+    Fmt.pr "linear fit of medians: y = %.2f %+.2f*x  r^2=%.3f@." intercept slope r2
+  in
+  let n = Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc:"Clique size.") in
+  let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"R" ~doc:"Runs per point.") in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Reproduce Fig. 2: withdrawal convergence vs SDN fraction.")
+    Term.(const run $ n $ runs $ seed_arg $ mrai_arg)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run topo sdn event seed mrai =
+    let result =
+      let* spec = parse_topo ~seed topo in
+      let* spec = with_sdn_tail spec sdn in
+      let config = config_of_mrai mrai in
+      match String.lowercase_ascii event with
+      | "withdraw" | "announce" ->
+        let exp = Framework.Experiment.create ~config ~seed spec in
+        let origin = List.hd (Topology.Spec.asns spec) in
+        let measured =
+          if event = "announce" then Core.measure_announcement exp origin
+          else Core.measure_withdrawal exp origin
+        in
+        Fmt.pr "topology: %s (%d ASes, %d SDN)@." (Topology.Spec.title spec)
+          (Topology.Spec.node_count spec)
+          (List.length (Topology.Spec.sdn_asns spec));
+        Fmt.pr "event: %s at %a@." event Net.Asn.pp origin;
+        Fmt.pr "%a@." Framework.Convergence.pp_measurement measured;
+        Fmt.pr "convergence: %.2f s@." (Framework.Experiment.convergence_seconds measured);
+        Ok ()
+      | "failover" ->
+        let n = Topology.Spec.node_count spec in
+        let r = Framework.Experiments.failover_run ~n ~sdn ~seed ~config () in
+        Fmt.pr "failover on %d-clique + backup chain, %d SDN members@." n sdn;
+        Fmt.pr "control-plane convergence: %.2f s@." r.Framework.Experiments.seconds;
+        Fmt.pr "data-plane restoration: mean %.2f s, max %.2f s@."
+          r.Framework.Experiments.restore_mean r.Framework.Experiments.restore_max;
+        Ok ()
+      | e -> Error (Fmt.str "unknown event %S (withdraw|announce|failover)" e)
+    in
+    match result with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  let topo =
+    Arg.(value & opt string "clique:16" & info [ "topo" ] ~docv:"SPEC" ~doc:"Topology spec.")
+  in
+  let sdn = Arg.(value & opt int 0 & info [ "sdn" ] ~docv:"K" ~doc:"SDN member count.") in
+  let event =
+    Arg.(value & opt string "withdraw" & info [ "event" ] ~docv:"EVENT"
+           ~doc:"withdraw, announce or failover.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single convergence experiment.")
+    Term.(ret (const run $ topo $ sdn $ event $ seed_arg $ mrai_arg))
+
+(* --- topo ----------------------------------------------------------------- *)
+
+let topo_cmd =
+  let run kind seed dot_out caida_out =
+    match parse_topo ~seed kind with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      Fmt.pr "%s: %d ASes, %d links, connected=%b, valid=%b@." (Topology.Spec.title spec)
+        (Topology.Spec.node_count spec) (Topology.Spec.link_count spec)
+        (Topology.Spec.is_connected spec) (Topology.Spec.is_valid spec);
+      let degrees =
+        List.map (fun a -> List.length (Topology.Spec.neighbors spec a)) (Topology.Spec.asns spec)
+      in
+      let fdeg = List.map float_of_int degrees in
+      Fmt.pr "degree: min=%.0f median=%.0f max=%.0f@."
+        (List.fold_left Float.min infinity fdeg)
+        (Engine.Stats.median fdeg)
+        (List.fold_left Float.max 0.0 fdeg);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Framework.Visualize.spec_to_dot ~with_infrastructure:false spec);
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        dot_out;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Topology.Caida.render spec);
+          close_out oc;
+          Fmt.pr "wrote %s (CAIDA serial-1)@." path)
+        caida_out;
+      `Ok ()
+  in
+  let kind =
+    Arg.(value & opt string "caida" & info [ "kind" ] ~docv:"SPEC" ~doc:"Topology spec.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH" ~doc:"Write Graphviz dot.")
+  in
+  let caida_out =
+    Arg.(value & opt (some string) None
+         & info [ "export-caida" ] ~docv:"PATH" ~doc:"Write CAIDA serial-1 text.")
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate or load a topology and describe it.")
+    Term.(ret (const run $ kind $ seed_arg $ dot_out $ caida_out))
+
+(* --- dot ------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run n sdn =
+    match with_sdn_tail (Topology.Artificial.clique n) sdn with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      print_string (Framework.Visualize.spec_to_dot spec);
+      `Ok ()
+  in
+  let n = Arg.(value & opt int 8 & info [ "n"; "size" ] ~docv:"N" ~doc:"Clique size.") in
+  let sdn = Arg.(value & opt int 4 & info [ "sdn" ] ~docv:"K" ~doc:"SDN member count.") in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the experiment component diagram (Fig. 1 equivalent) as dot.")
+    Term.(ret (const run $ n $ sdn))
+
+(* --- scenario --------------------------------------------------------------- *)
+
+let scenario_cmd =
+  let run topo sdn file seed mrai dump timeline show_state =
+    let result =
+      let* spec = parse_topo ~seed topo in
+      let* spec = with_sdn_tail spec sdn in
+      let* scenario = Framework.Scenario.parse_file file in
+      let config = config_of_mrai mrai in
+      let exp = Framework.Experiment.create ~config ~seed spec in
+      Fmt.pr "topology %s (%d ASes, %d SDN); scenario %s (%d steps)@."
+        (Topology.Spec.title spec) (Topology.Spec.node_count spec)
+        (List.length (Topology.Spec.sdn_asns spec))
+        (Framework.Scenario.title scenario)
+        (List.length (Framework.Scenario.steps scenario));
+      let log = Framework.Scenario.run exp scenario in
+      List.iter
+        (fun (time, action) ->
+          Fmt.pr "  %a %a@." Engine.Time.pp time Framework.Scenario.pp_action action)
+        log;
+      let network = Framework.Experiment.network exp in
+      let collector = Framework.Network.collector network in
+      Fmt.pr "settled at %a; collector saw %d updates@." Engine.Time.pp
+        (Framework.Experiment.now exp)
+        (Bgp.Collector.event_count collector);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Bgp.Collector.dump collector);
+          close_out oc;
+          Fmt.pr "collector dump written to %s@." path)
+        dump;
+      if show_state then print_string (Framework.Looking_glass.network_state network);
+      (match timeline with
+      | Some prefix_str -> (
+        match Net.Ipv4.prefix_of_string prefix_str with
+        | None -> Fmt.pr "bad --timeline prefix %S@." prefix_str
+        | Some prefix ->
+          let entries =
+            Framework.Logparse.of_trace (Engine.Sim.trace (Framework.Experiment.sim exp))
+          in
+          print_string (Framework.Visualize.timeline entries prefix))
+      | None -> ());
+      Ok ()
+    in
+    match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
+  in
+  let topo =
+    Arg.(value & opt string "clique:8" & info [ "topo" ] ~docv:"SPEC" ~doc:"Topology spec.")
+  in
+  let sdn = Arg.(value & opt int 0 & info [ "sdn" ] ~docv:"K" ~doc:"SDN member count.") in
+  let file =
+    Arg.(required & opt (some file) None & info [ "file" ] ~docv:"PATH" ~doc:"Scenario file.")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump-collector" ] ~docv:"PATH" ~doc:"Write the collector's update dump.")
+  in
+  let timeline =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"PREFIX" ~doc:"Print the route-change timeline of a prefix.")
+  in
+  let show_state =
+    Arg.(value & flag & info [ "show-state" ] ~doc:"Dump the final looking-glass state.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Replay a timed scenario file against a topology.")
+    Term.(
+      ret (const run $ topo $ sdn $ file $ seed_arg $ mrai_arg $ dump $ timeline $ show_state))
+
+(* --- export-quagga ----------------------------------------------------------- *)
+
+let export_quagga_cmd =
+  let run topo seed dir =
+    match parse_topo ~seed topo with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      Framework.Quagga_conf.write_configs spec ~dir;
+      Fmt.pr "wrote %d bgpd configs to %s/@." (Topology.Spec.node_count spec) dir;
+      `Ok ()
+  in
+  let topo =
+    Arg.(value & opt string "clique:8" & info [ "topo" ] ~docv:"SPEC" ~doc:"Topology spec.")
+  in
+  let dir =
+    Arg.(value & opt string "quagga-configs" & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export-quagga"
+       ~doc:"Generate Quagga/FRR bgpd.conf files for a topology (real-testbed export).")
+    Term.(ret (const run $ topo $ seed_arg $ dir))
+
+(* --- demo ------------------------------------------------------------------ *)
+
+let demo_cmd =
+  let run seed =
+    let r = Framework.Experiments.subcluster_resilience ~seed () in
+    Fmt.pr "Disjoint sub-cluster demo: two SDN islands bridged by one intra-cluster link,@.";
+    Fmt.pr "with legacy ASes providing an alternative path between them.@.@.";
+    Fmt.pr "  connectivity before the split:     %b@." r.Framework.Experiments.reachable_before;
+    Fmt.pr "  intra-cluster bridge fails...@.";
+    Fmt.pr "  connectivity after the split:      %b@."
+      r.Framework.Experiments.reachable_after_split;
+    Fmt.pr "  traffic crossed the legacy world:  %b@."
+      r.Framework.Experiments.used_legacy_bridge;
+    Fmt.pr "  bridge recovers...@.";
+    Fmt.pr "  connectivity after recovery:       %b@."
+      r.Framework.Experiments.reachable_after_recovery
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the disjoint sub-cluster resilience demo.")
+    Term.(const run $ seed_arg)
+
+let () =
+  let doc = "hybrid BGP-SDN emulation framework" in
+  let info = Cmd.info "hybridsim" ~version:Core.version ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig2_cmd; run_cmd; topo_cmd; dot_cmd; scenario_cmd; export_quagga_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/dataset_workflow.ml: Core Engine Fmt Framework List Topology

@@ -1,0 +1,1 @@
+examples/flap_damping.ml: Bgp Engine Fmt Framework List Topology

@@ -1,0 +1,1 @@
+examples/flap_damping.mli:

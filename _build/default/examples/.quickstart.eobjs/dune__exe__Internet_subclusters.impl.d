@@ -1,0 +1,1 @@
+examples/internet_subclusters.ml: Cluster_ctl Engine Fmt Framework Int List Net Topology

@@ -1,0 +1,1 @@
+examples/video_failover.ml: Engine Fmt Framework List Topology

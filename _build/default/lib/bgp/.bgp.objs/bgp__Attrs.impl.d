@@ -1,0 +1,1 @@
+lib/bgp/attrs.ml: Community Fmt List Net

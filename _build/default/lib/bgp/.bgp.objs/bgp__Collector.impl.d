@@ -1,0 +1,1 @@
+lib/bgp/collector.ml: Attrs Buffer Engine Fmt Hashtbl List Message Net Option String

@@ -1,0 +1,1 @@
+lib/bgp/collector.mli: Attrs Engine Format Message Net

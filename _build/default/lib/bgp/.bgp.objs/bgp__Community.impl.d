@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Fmt Set String

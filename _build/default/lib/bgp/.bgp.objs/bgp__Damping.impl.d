@@ -1,0 +1,1 @@
+lib/bgp/damping.ml: Engine Float Fmt Hashtbl Net

@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Attrs Int List Net Route

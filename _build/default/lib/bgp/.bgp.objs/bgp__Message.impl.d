@@ -1,0 +1,1 @@
+lib/bgp/message.ml: Attrs Fmt List Net

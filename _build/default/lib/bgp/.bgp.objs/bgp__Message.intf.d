@@ -1,0 +1,1 @@
+lib/bgp/message.mli: Attrs Format Net

@@ -1,0 +1,1 @@
+lib/bgp/mrai.ml: Attrs Config Engine List Message Net

@@ -1,0 +1,1 @@
+lib/bgp/mrai.mli: Attrs Config Engine Message Net

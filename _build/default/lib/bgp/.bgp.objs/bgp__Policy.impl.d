@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Attrs Community Fmt Net

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Attrs List Net Option Route

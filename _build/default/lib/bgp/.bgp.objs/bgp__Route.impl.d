@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Attrs Engine Fmt Net

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Attrs Engine Format Net

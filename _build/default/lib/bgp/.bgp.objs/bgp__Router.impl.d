@@ -1,0 +1,1 @@
+lib/bgp/router.ml: Attrs Community Config Damping Decision Engine Fmt Hashtbl List Message Mrai Net Option Policy Rib Route

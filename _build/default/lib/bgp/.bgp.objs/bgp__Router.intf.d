@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Attrs Community Config Damping Engine Message Net Policy Route

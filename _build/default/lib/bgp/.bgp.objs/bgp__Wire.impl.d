@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: Attrs Buffer Bytes Char Community Fmt Int32 List Message Net Result

@@ -1,0 +1,63 @@
+(* BGP path attributes. *)
+
+type origin = Igp | Egp | Incomplete
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let origin_to_string = function Igp -> "i" | Egp -> "e" | Incomplete -> "?"
+
+type t = {
+  as_path : Net.Asn.t list; (* leftmost = most recent hop *)
+  next_hop : Net.Ipv4.addr;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : Community.Set.t;
+}
+
+let default_local_pref = 100
+
+let make ?(as_path = []) ?(local_pref = default_local_pref) ?(med = 0) ?(origin = Igp)
+    ?(communities = Community.Set.empty) ~next_hop () =
+  { as_path; next_hop; local_pref; med; origin; communities }
+
+let as_path t = t.as_path
+
+let path_length t = List.length t.as_path
+
+let path_contains t asn = List.exists (Net.Asn.equal asn) t.as_path
+
+let prepend t asn = { t with as_path = asn :: t.as_path }
+
+let origin_as t =
+  match List.rev t.as_path with [] -> None | last :: _ -> Some last
+
+let neighbor_as t = match t.as_path with [] -> None | first :: _ -> Some first
+
+let with_local_pref t lp = { t with local_pref = lp }
+
+let with_next_hop t nh = { t with next_hop = nh }
+
+let with_med t med = { t with med }
+
+let add_community t c = { t with communities = Community.Set.add c t.communities }
+
+let has_community t c = Community.Set.mem c t.communities
+
+(* Equality of everything a peer would see on the wire: used to suppress
+   duplicate advertisements in Adj-RIB-Out. *)
+let wire_equal a b =
+  List.length a.as_path = List.length b.as_path
+  && List.for_all2 Net.Asn.equal a.as_path b.as_path
+  && Net.Ipv4.equal_addr a.next_hop b.next_hop
+  && a.med = b.med
+  && a.origin = b.origin
+  && Community.Set.equal a.communities b.communities
+
+let pp_path ppf path =
+  if path = [] then Fmt.string ppf "(empty)"
+  else Fmt.(list ~sep:(any " ") Net.Asn.pp) ppf path
+
+let pp ppf t =
+  Fmt.pf ppf "path=[%a] nh=%a lp=%d med=%d origin=%s" pp_path t.as_path Net.Ipv4.pp_addr
+    t.next_hop t.local_pref t.med (origin_to_string t.origin)

@@ -1,0 +1,62 @@
+(** BGP path attributes. *)
+
+type origin = Igp | Egp | Incomplete
+
+val origin_rank : origin -> int
+(** Decision-process rank: IGP < EGP < Incomplete. *)
+
+val origin_to_string : origin -> string
+
+type t = {
+  as_path : Net.Asn.t list;  (** leftmost = most recently traversed AS *)
+  next_hop : Net.Ipv4.addr;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : Community.Set.t;
+}
+
+val default_local_pref : int
+
+val make :
+  ?as_path:Net.Asn.t list ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?origin:origin ->
+  ?communities:Community.Set.t ->
+  next_hop:Net.Ipv4.addr ->
+  unit ->
+  t
+
+val as_path : t -> Net.Asn.t list
+
+val path_length : t -> int
+
+val path_contains : t -> Net.Asn.t -> bool
+
+val prepend : t -> Net.Asn.t -> t
+(** Prepend an ASN (what an eBGP speaker does on export). *)
+
+val origin_as : t -> Net.Asn.t option
+(** Rightmost (originating) AS of the path. *)
+
+val neighbor_as : t -> Net.Asn.t option
+(** Leftmost AS of the path. *)
+
+val with_local_pref : t -> int -> t
+
+val with_next_hop : t -> Net.Ipv4.addr -> t
+
+val with_med : t -> int -> t
+
+val add_community : t -> Community.t -> t
+
+val has_community : t -> Community.t -> bool
+
+val wire_equal : t -> t -> bool
+(** Equality of the attributes a peer sees (local-pref excluded) — used to
+    suppress duplicate advertisements. *)
+
+val pp_path : Format.formatter -> Net.Asn.t list -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+(* The BGP route collector: every router peers with it, it accepts
+   everything and never advertises — its timestamped update stream is the
+   monitoring signal the framework's convergence detection consumes. *)
+
+type action = Announce of Attrs.t | Withdraw
+
+type event = { time : Engine.Time.t; peer : Net.Asn.t; prefix : Net.Ipv4.prefix; action : action }
+
+type t = {
+  sim : Engine.Sim.t;
+  asn : Net.Asn.t;
+  node_id : int;
+  router_id : Net.Ipv4.addr;
+  send_raw : dst:int -> Message.t -> bool;
+  peer_of_node : (int, Net.Asn.t) Hashtbl.t;
+  mutable events : event list; (* newest first *)
+  mutable event_count : int;
+}
+
+let create ~sim ~asn ~node_id ~router_id ~send =
+  {
+    sim;
+    asn;
+    node_id;
+    router_id;
+    send_raw = send;
+    peer_of_node = Hashtbl.create 16;
+    events = [];
+    event_count = 0;
+  }
+
+let asn t = t.asn
+
+let node_id t = t.node_id
+
+let add_peer t ~peer_asn ~peer_node = Hashtbl.replace t.peer_of_node peer_node peer_asn
+
+let record t ~peer ~prefix action =
+  t.events <- { time = Engine.Sim.now t.sim; peer; prefix; action } :: t.events;
+  t.event_count <- t.event_count + 1
+
+let handle_message t ~from msg =
+  match Hashtbl.find_opt t.peer_of_node from with
+  | None -> ()
+  | Some peer -> (
+    match msg with
+    | Message.Open _ ->
+      (* Auto-respond so routers' session FSM completes. *)
+      ignore (t.send_raw ~dst:from (Message.Open { asn = t.asn; router_id = t.router_id }))
+    | Message.Keepalive | Message.Notification _ -> ()
+    | Message.Update u ->
+      List.iter (fun prefix -> record t ~peer ~prefix Withdraw) u.Message.withdrawn;
+      List.iter (fun (prefix, attrs) -> record t ~peer ~prefix (Announce attrs))
+        u.Message.announced)
+
+let events t = List.rev t.events
+
+let event_count t = t.event_count
+
+let events_for t prefix =
+  List.filter (fun e -> Net.Ipv4.equal_prefix e.prefix prefix) (events t)
+
+let last_update_time t =
+  match t.events with [] -> None | e :: _ -> Some e.time
+
+let last_update_for t prefix =
+  let rec find = function
+    | [] -> None
+    | e :: rest -> if Net.Ipv4.equal_prefix e.prefix prefix then Some e.time else find rest
+  in
+  find t.events
+
+let updates_since t time =
+  List.length (List.filter (fun e -> Engine.Time.(e.time >= time)) (events t))
+
+let clear t =
+  t.events <- [];
+  t.event_count <- 0
+
+(* --- Dump format (MRT-inspired text) ----------------------------------
+
+     <time_us>|<peer_asn>|A|<prefix>|<asn asn ...>
+     <time_us>|<peer_asn>|W|<prefix>|
+
+   Written by experiments for offline analysis, parseable back into
+   events (with minimal attributes: the AS path only). *)
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let base =
+        Fmt.str "%d|%d" (Engine.Time.to_us e.time) (Net.Asn.to_int e.peer)
+      in
+      match e.action with
+      | Announce attrs ->
+        Buffer.add_string buf
+          (Fmt.str "%s|A|%s|%s\n" base
+             (Net.Ipv4.prefix_to_string e.prefix)
+             (String.concat " "
+                (List.map
+                   (fun a -> string_of_int (Net.Asn.to_int a))
+                   (Attrs.as_path attrs))))
+      | Withdraw ->
+        Buffer.add_string buf (Fmt.str "%s|W|%s|\n" base (Net.Ipv4.prefix_to_string e.prefix)))
+    (events t);
+  Buffer.contents buf
+
+let parse_dump_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let fail reason = Error (Fmt.str "line %d: %s" lineno reason) in
+    match String.split_on_char '|' line with
+    | [ time; peer; kind; prefix; path ] -> (
+      match
+        (int_of_string_opt time, Net.Asn.of_string peer, Net.Ipv4.prefix_of_string prefix)
+      with
+      | Some time_us, Some peer, Some prefix -> (
+        let time = Engine.Time.of_us time_us in
+        match kind with
+        | "W" -> Ok (Some { time; peer; prefix; action = Withdraw })
+        | "A" -> (
+          let hops = String.split_on_char ' ' path |> List.filter (fun s -> s <> "") in
+          let asns = List.filter_map Net.Asn.of_string hops in
+          if List.length asns <> List.length hops then fail "bad AS path"
+          else begin
+            let attrs =
+              Attrs.make ~as_path:asns ~next_hop:(Net.Ipv4.addr_of_octets 0 0 0 0) ()
+            in
+            Ok (Some { time; peer; prefix; action = Announce attrs })
+          end)
+        | k -> fail (Fmt.str "unknown record kind %S" k))
+      | _ -> fail "bad time, peer or prefix")
+    | _ -> fail "expected time|peer|kind|prefix|path"
+  end
+
+let parse_dump text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_dump_line lineno line with
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some e) -> go (lineno + 1) (e :: acc) rest
+      | Error e -> Error e)
+  in
+  go 1 [] lines
+
+(* Update counts per time bucket — the "updates over time" view used for
+   burst/churn plots. *)
+let rate_buckets ?(bucket = Engine.Time.sec 1) t =
+  let table : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let bucket_us = Engine.Time.to_us bucket in
+  if bucket_us <= 0 then invalid_arg "Collector.rate_buckets: bucket must be positive";
+  List.iter
+    (fun e ->
+      let b = Engine.Time.to_us e.time / bucket_us in
+      Hashtbl.replace table b (1 + Option.value (Hashtbl.find_opt table b) ~default:0))
+    (events t);
+  Hashtbl.fold (fun b count acc -> (Engine.Time.of_us (b * bucket_us), count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Engine.Time.compare a b)
+
+let pp_event ppf e =
+  match e.action with
+  | Announce attrs ->
+    Fmt.pf ppf "%a %a announce %a [%a]" Engine.Time.pp e.time Net.Asn.pp e.peer
+      Net.Ipv4.pp_prefix e.prefix Attrs.pp_path (Attrs.as_path attrs)
+  | Withdraw ->
+    Fmt.pf ppf "%a %a withdraw %a" Engine.Time.pp e.time Net.Asn.pp e.peer Net.Ipv4.pp_prefix
+      e.prefix

@@ -1,0 +1,52 @@
+(** The monitoring route collector: peers with every router, accepts all
+    updates, records them with timestamps, never advertises. *)
+
+type action = Announce of Attrs.t | Withdraw
+
+type event = { time : Engine.Time.t; peer : Net.Asn.t; prefix : Net.Ipv4.prefix; action : action }
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  asn:Net.Asn.t ->
+  node_id:int ->
+  router_id:Net.Ipv4.addr ->
+  send:(dst:int -> Message.t -> bool) ->
+  t
+
+val asn : t -> Net.Asn.t
+
+val node_id : t -> int
+
+val add_peer : t -> peer_asn:Net.Asn.t -> peer_node:int -> unit
+
+val handle_message : t -> from:int -> Message.t -> unit
+(** Responds to OPENs and records updates. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val event_count : t -> int
+
+val events_for : t -> Net.Ipv4.prefix -> event list
+
+val last_update_time : t -> Engine.Time.t option
+
+val last_update_for : t -> Net.Ipv4.prefix -> Engine.Time.t option
+
+val updates_since : t -> Engine.Time.t -> int
+
+val clear : t -> unit
+
+val dump : t -> string
+(** MRT-inspired text dump:
+    ["<time_us>|<peer>|A|<prefix>|<asn asn ...>"] / ["...|W|<prefix>|"]. *)
+
+val parse_dump : string -> (event list, string) result
+(** Parse a dump back into events (attributes carry the AS path only). *)
+
+val rate_buckets : ?bucket:Engine.Time.span -> t -> (Engine.Time.t * int) list
+(** Update counts per time bucket (default 1 s), sorted by time. *)
+
+val pp_event : Format.formatter -> event -> unit

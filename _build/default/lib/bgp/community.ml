@@ -1,0 +1,40 @@
+(* BGP community attribute values: (asn, tag) pairs plus the well-known
+   communities.  The framework's policy templates use communities to tag
+   route provenance (e.g. which relationship a route was learned over). *)
+
+type t = int * int
+
+let make asn tag =
+  if asn < 0 || asn > 0xFFFF || tag < 0 || tag > 0xFFFF then invalid_arg "Community.make";
+  (asn, tag)
+
+let asn (a, _) = a
+
+let tag (_, t) = t
+
+let compare = compare
+
+let equal a b = compare a b = 0
+
+(* Well-known communities (RFC 1997). *)
+let no_export = (0xFFFF, 0xFF01)
+
+let no_advertise = (0xFFFF, 0xFF02)
+
+let pp ppf (a, t) = Fmt.pf ppf "%d:%d" a t
+
+let to_string c = Fmt.str "%a" pp c
+
+let of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ a; t ] -> (
+    match (int_of_string_opt a, int_of_string_opt t) with
+    | Some a, Some t when a >= 0 && a <= 0xFFFF && t >= 0 && t <= 0xFFFF -> Some (a, t)
+    | _ -> None)
+  | _ -> None
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,26 @@
+(** BGP community attribute values. *)
+
+type t = int * int
+
+val make : int -> int -> t
+(** @raise Invalid_argument outside 16-bit halves. *)
+
+val asn : t -> int
+
+val tag : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val no_export : t
+
+val no_advertise : t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+module Set : Set.S with type elt = t

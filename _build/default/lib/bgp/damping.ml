@@ -1,0 +1,134 @@
+(* Route-flap damping (RFC 2439).
+
+   Each (peer, prefix) accumulates a penalty on flap events; the penalty
+   decays exponentially with a configured half-life.  When it crosses the
+   suppress threshold the route is excluded from the decision process
+   until it decays below the reuse threshold (capped by the maximum
+   suppression time).  Damping is the classic counterpart to the paper's
+   controller-side delayed recomputation: both rate-limit instability,
+   one distributed and per-peer, one centralized. *)
+
+type config = {
+  half_life : Engine.Time.span;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  max_suppress : Engine.Time.span;
+  withdrawal_penalty : float;
+  readvertisement_penalty : float;
+  attribute_change_penalty : float;
+}
+
+(* Cisco-style defaults. *)
+let default_config =
+  {
+    half_life = Engine.Time.sec (15 * 60);
+    suppress_threshold = 2000.0;
+    reuse_threshold = 750.0;
+    max_suppress = Engine.Time.sec (60 * 60);
+    withdrawal_penalty = 1000.0;
+    readvertisement_penalty = 1000.0;
+    attribute_change_penalty = 500.0;
+  }
+
+type event = Withdrawal | Readvertisement | Attribute_change
+
+type entry = {
+  mutable penalty : float; (* as of [stamped_at] *)
+  mutable stamped_at : Engine.Time.t;
+  mutable suppressed_since : Engine.Time.t option;
+}
+
+type t = {
+  config : config;
+  entries : (Net.Asn.t * Net.Ipv4.prefix, entry) Hashtbl.t;
+  mutable suppressions : int;
+  mutable reuses : int;
+}
+
+let create config = { config; entries = Hashtbl.create 32; suppressions = 0; reuses = 0 }
+
+let config t = t.config
+
+let suppressions t = t.suppressions
+
+let reuses t = t.reuses
+
+let key peer prefix = (peer, prefix)
+
+let decay config penalty ~from ~now =
+  let dt = Engine.Time.to_sec_f (Engine.Time.diff now from) in
+  let hl = Engine.Time.to_sec_f config.half_life in
+  if dt <= 0.0 || hl <= 0.0 then penalty else penalty *. (0.5 ** (dt /. hl))
+
+let current_penalty t ~peer ~prefix ~now =
+  match Hashtbl.find_opt t.entries (key peer prefix) with
+  | None -> 0.0
+  | Some e -> decay t.config e.penalty ~from:e.stamped_at ~now
+
+let penalty_of = function
+  | Withdrawal -> fun c -> c.withdrawal_penalty
+  | Readvertisement -> fun c -> c.readvertisement_penalty
+  | Attribute_change -> fun c -> c.attribute_change_penalty
+
+(* Time until a penalty decays to the reuse threshold. *)
+let span_to_reuse config penalty =
+  if penalty <= config.reuse_threshold then Engine.Time.span_zero
+  else begin
+    let hl = Engine.Time.to_sec_f config.half_life in
+    let seconds = hl *. (Float.log (penalty /. config.reuse_threshold) /. Float.log 2.0) in
+    Engine.Time.of_sec_f seconds
+  end
+
+(* Record a flap event.  Returns the (possibly new) suppression state and,
+   when suppressed, the absolute time at which the route becomes reusable
+   — the caller schedules a re-decision there. *)
+let record t ~peer ~prefix ~now event =
+  let e =
+    match Hashtbl.find_opt t.entries (key peer prefix) with
+    | Some e -> e
+    | None ->
+      let e = { penalty = 0.0; stamped_at = now; suppressed_since = None } in
+      Hashtbl.replace t.entries (key peer prefix) e;
+      e
+  in
+  let decayed = decay t.config e.penalty ~from:e.stamped_at ~now in
+  e.penalty <- decayed +. penalty_of event t.config;
+  e.stamped_at <- now;
+  if e.penalty >= t.config.suppress_threshold && e.suppressed_since = None then begin
+    e.suppressed_since <- Some now;
+    t.suppressions <- t.suppressions + 1
+  end;
+  match e.suppressed_since with
+  | None -> `Ok
+  | Some since ->
+    let natural = Engine.Time.add now (span_to_reuse t.config e.penalty) in
+    let cap = Engine.Time.add since t.config.max_suppress in
+    `Suppressed_until (Engine.Time.min natural cap)
+
+(* Is the route currently suppressed?  Transitions back to reusable as a
+   side effect once the penalty has decayed (or the cap has passed). *)
+let is_suppressed t ~peer ~prefix ~now =
+  match Hashtbl.find_opt t.entries (key peer prefix) with
+  | None -> false
+  | Some e -> (
+    match e.suppressed_since with
+    | None -> false
+    | Some since ->
+      let decayed = decay t.config e.penalty ~from:e.stamped_at ~now in
+      let capped =
+        Engine.Time.(Engine.Time.add since t.config.max_suppress <= now)
+      in
+      if decayed <= t.config.reuse_threshold || capped then begin
+        e.suppressed_since <- None;
+        e.penalty <- decayed;
+        e.stamped_at <- now;
+        t.reuses <- t.reuses + 1;
+        false
+      end
+      else true)
+
+let entry_count t = Hashtbl.length t.entries
+
+let pp_config ppf c =
+  Fmt.pf ppf "half-life=%a suppress=%.0f reuse=%.0f max=%a" Engine.Time.pp_span c.half_life
+    c.suppress_threshold c.reuse_threshold Engine.Time.pp_span c.max_suppress

@@ -1,0 +1,54 @@
+(** Route-flap damping (RFC 2439): per-(peer, prefix) penalties with
+    exponential decay, suppression above a threshold, reuse below. *)
+
+type config = {
+  half_life : Engine.Time.span;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  max_suppress : Engine.Time.span;
+  withdrawal_penalty : float;
+  readvertisement_penalty : float;
+  attribute_change_penalty : float;
+}
+
+val default_config : config
+(** Cisco-style: half-life 15 min, suppress 2000, reuse 750, cap 60 min;
+    penalties 1000/1000/500. *)
+
+type event = Withdrawal | Readvertisement | Attribute_change
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val record :
+  t ->
+  peer:Net.Asn.t ->
+  prefix:Net.Ipv4.prefix ->
+  now:Engine.Time.t ->
+  event ->
+  [ `Ok | `Suppressed_until of Engine.Time.t ]
+(** Accumulate a flap penalty.  When the route is (or becomes)
+    suppressed, returns the time it becomes reusable — schedule a
+    re-decision there. *)
+
+val is_suppressed : t -> peer:Net.Asn.t -> prefix:Net.Ipv4.prefix -> now:Engine.Time.t -> bool
+(** Current suppression state; transitions back to reusable as a side
+    effect once decayed below the reuse threshold or past the cap. *)
+
+val current_penalty : t -> peer:Net.Asn.t -> prefix:Net.Ipv4.prefix -> now:Engine.Time.t -> float
+
+val span_to_reuse : config -> float -> Engine.Time.span
+(** Decay time from a penalty down to the reuse threshold. *)
+
+val suppressions : t -> int
+(** Routes suppressed so far. *)
+
+val reuses : t -> int
+(** Suppressions lifted so far. *)
+
+val entry_count : t -> int
+
+val pp_config : Format.formatter -> config -> unit

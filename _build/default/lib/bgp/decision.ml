@@ -1,0 +1,74 @@
+(* The BGP decision process (RFC 4271 §9.1 order, restricted to the
+   attributes this single-router-per-AS emulation carries):
+
+   1. higher LOCAL_PREF
+   2. locally originated over learned
+   3. shorter AS_PATH
+   4. lower ORIGIN (IGP < EGP < Incomplete)
+   5. lower MED (compared across all candidates, i.e. always-compare-med,
+      which is well-defined in a deterministic emulation)
+   6. lower neighbor ASN (stands in for the lowest-router-id tiebreak)
+
+   The order is total and deterministic, so route selection — and hence the
+   whole emulation — is reproducible. *)
+
+let source_rank r = match Route.source r with Route.Local -> 0 | Route.Ebgp _ -> 1
+
+let neighbor_key r =
+  match Route.source r with
+  | Route.Local -> -1
+  | Route.Ebgp p -> Net.Asn.to_int p
+
+let compare (a : Route.t) (b : Route.t) =
+  let cmp =
+    [
+      (fun () -> Int.compare (Route.attrs b).Attrs.local_pref (Route.attrs a).Attrs.local_pref);
+      (fun () -> Int.compare (source_rank a) (source_rank b));
+      (fun () -> Int.compare (Attrs.path_length (Route.attrs a)) (Attrs.path_length (Route.attrs b)));
+      (fun () ->
+        Int.compare
+          (Attrs.origin_rank (Route.attrs a).Attrs.origin)
+          (Attrs.origin_rank (Route.attrs b).Attrs.origin));
+      (fun () -> Int.compare (Route.attrs a).Attrs.med (Route.attrs b).Attrs.med);
+      (fun () -> Int.compare (neighbor_key a) (neighbor_key b));
+    ]
+  in
+  let rec eval = function
+    | [] -> 0
+    | f :: rest ->
+      let c = f () in
+      if c <> 0 then c else eval rest
+  in
+  eval cmp
+
+let better a b = compare a b < 0
+
+let select = function
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best r -> if better r best then r else best) first rest)
+
+(* Explain the comparison for debugging/teaching: which step decided. *)
+let explain a b =
+  let steps =
+    [
+      ("local_pref", fun () ->
+        Int.compare (Route.attrs b).Attrs.local_pref (Route.attrs a).Attrs.local_pref);
+      ("local_origin", fun () -> Int.compare (source_rank a) (source_rank b));
+      ("as_path_length", fun () ->
+        Int.compare (Attrs.path_length (Route.attrs a)) (Attrs.path_length (Route.attrs b)));
+      ("origin", fun () ->
+        Int.compare
+          (Attrs.origin_rank (Route.attrs a).Attrs.origin)
+          (Attrs.origin_rank (Route.attrs b).Attrs.origin));
+      ("med", fun () -> Int.compare (Route.attrs a).Attrs.med (Route.attrs b).Attrs.med);
+      ("neighbor", fun () -> Int.compare (neighbor_key a) (neighbor_key b));
+    ]
+  in
+  let rec eval = function
+    | [] -> ("tie", 0)
+    | (name, f) :: rest ->
+      let c = f () in
+      if c <> 0 then (name, c) else eval rest
+  in
+  eval steps

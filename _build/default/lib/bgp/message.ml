@@ -1,0 +1,32 @@
+(* BGP wire messages (at semantic granularity, not byte format). *)
+
+type update = {
+  announced : (Net.Ipv4.prefix * Attrs.t) list;
+  withdrawn : Net.Ipv4.prefix list;
+}
+
+type t =
+  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr }
+  | Keepalive
+  | Update of update
+  | Notification of string
+
+let update ?(announced = []) ?(withdrawn = []) () = Update { announced; withdrawn }
+
+let empty_update = { announced = []; withdrawn = [] }
+
+let is_empty_update u = u.announced = [] && u.withdrawn = []
+
+let update_size u = List.length u.announced + List.length u.withdrawn
+
+let pp ppf = function
+  | Open { asn; router_id } ->
+    Fmt.pf ppf "OPEN %a rid=%a" Net.Asn.pp asn Net.Ipv4.pp_addr router_id
+  | Keepalive -> Fmt.string ppf "KEEPALIVE"
+  | Update { announced; withdrawn } ->
+    Fmt.pf ppf "UPDATE +[%a] -[%a]"
+      Fmt.(list ~sep:comma (fun ppf (p, a) -> Fmt.pf ppf "%a{%a}" Net.Ipv4.pp_prefix p Attrs.pp a))
+      announced
+      Fmt.(list ~sep:comma Net.Ipv4.pp_prefix)
+      withdrawn
+  | Notification reason -> Fmt.pf ppf "NOTIFICATION %s" reason

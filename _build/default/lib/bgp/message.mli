@@ -1,0 +1,22 @@
+(** BGP messages at semantic granularity. *)
+
+type update = {
+  announced : (Net.Ipv4.prefix * Attrs.t) list;
+  withdrawn : Net.Ipv4.prefix list;
+}
+
+type t =
+  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr }
+  | Keepalive
+  | Update of update
+  | Notification of string
+
+val update : ?announced:(Net.Ipv4.prefix * Attrs.t) list -> ?withdrawn:Net.Ipv4.prefix list -> unit -> t
+
+val empty_update : update
+
+val is_empty_update : update -> bool
+
+val update_size : update -> int
+
+val pp : Format.formatter -> t -> unit

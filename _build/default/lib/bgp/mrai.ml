@@ -1,0 +1,89 @@
+(* Per-peer outbound update scheduling under the
+   MinRouteAdvertisementInterval.
+
+   Semantics (matching Quagga's behaviour): the first advertisement after
+   an idle period goes out immediately and arms the timer; while the timer
+   runs, changes coalesce in a pending set (later changes for the same
+   prefix replace earlier ones — only the latest state is ever sent); on
+   expiry the pending set is flushed as one UPDATE and the timer re-arms
+   only if something was flushed.  Explicit withdrawals bypass the timer
+   unless [mrai_on_withdrawals] is set. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type pending = Announce of Attrs.t | Withdraw
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  config : Config.t;
+  send : Message.update -> unit;
+  timer : Engine.Timer.t;
+  mutable pending : pending Pm.t;
+  mutable flushes : int;
+}
+
+let rec flush t =
+  if not (Pm.is_empty t.pending) then begin
+    let announced, withdrawn =
+      Pm.fold
+        (fun prefix p (ann, wd) ->
+          match p with
+          | Announce attrs -> ((prefix, attrs) :: ann, wd)
+          | Withdraw -> (ann, prefix :: wd))
+        t.pending ([], [])
+    in
+    t.pending <- Pm.empty;
+    t.flushes <- t.flushes + 1;
+    t.send { Message.announced = List.rev announced; withdrawn = List.rev withdrawn };
+    arm t
+  end
+
+and arm t = Engine.Timer.start t.timer (Config.jittered_mrai t.config t.rng)
+
+let create sim ~rng ~config ~name ~send =
+  (* The timer callback needs the record and the record needs the timer;
+     tie the knot through a reference. *)
+  let self = ref None in
+  let callback () = match !self with Some t -> flush t | None -> () in
+  let t =
+    {
+      sim;
+      rng;
+      config;
+      send;
+      timer = Engine.Timer.create sim ~name ~callback;
+      pending = Pm.empty;
+      flushes = 0;
+    }
+  in
+  self := Some t;
+  t
+
+let pending_count t = Pm.cardinal t.pending
+
+let flushes t = t.flushes
+
+let is_throttled t = Engine.Timer.is_armed t.timer
+
+let enqueue_announce t prefix attrs =
+  t.pending <- Pm.add prefix (Announce attrs) t.pending;
+  if not (is_throttled t) then flush t
+
+let enqueue_withdraw t prefix =
+  if t.config.Config.mrai_on_withdrawals then begin
+    t.pending <- Pm.add prefix Withdraw t.pending;
+    if not (is_throttled t) then flush t
+  end
+  else begin
+    (* Withdrawals are exempt from MRAI: cancel any pending announcement
+       for the prefix and send the withdrawal immediately, leaving the
+       timer state untouched. *)
+    t.pending <- Pm.remove prefix t.pending;
+    t.send { Message.announced = []; withdrawn = [ prefix ] }
+  end
+
+(* Session reset: drop pending state and stop the timer. *)
+let reset t =
+  t.pending <- Pm.empty;
+  Engine.Timer.cancel t.timer

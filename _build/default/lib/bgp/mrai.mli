@@ -1,0 +1,31 @@
+(** Per-peer outbound update scheduling under the
+    MinRouteAdvertisementInterval: first change sends immediately and arms
+    the timer; further changes coalesce until expiry; explicit withdrawals
+    bypass the timer unless configured otherwise. *)
+
+type pending = Announce of Attrs.t | Withdraw
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  config:Config.t ->
+  name:string ->
+  send:(Message.update -> unit) ->
+  t
+
+val enqueue_announce : t -> Net.Ipv4.prefix -> Attrs.t -> unit
+
+val enqueue_withdraw : t -> Net.Ipv4.prefix -> unit
+
+val pending_count : t -> int
+
+val flushes : t -> int
+(** UPDATE messages emitted so far. *)
+
+val is_throttled : t -> bool
+(** True while the MRAI timer is running. *)
+
+val reset : t -> unit
+(** Drop pending changes and stop the timer (session reset). *)

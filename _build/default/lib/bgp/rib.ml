@@ -1,0 +1,99 @@
+(* Routing information bases.
+
+   Adj_in:  per (peer, prefix) routes as received (post-import-policy).
+   Loc:     the selected best route per prefix.
+   Adj_out: per (peer, prefix) attributes as advertised — consulted to
+            suppress duplicate announcements and to know what to withdraw. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+module Adj_in = struct
+  type t = { mutable by_peer : Route.t Pm.t Net.Asn.Map.t }
+
+  let create () = { by_peer = Net.Asn.Map.empty }
+
+  let set t ~peer (route : Route.t) =
+    let m = Option.value (Net.Asn.Map.find_opt peer t.by_peer) ~default:Pm.empty in
+    t.by_peer <- Net.Asn.Map.add peer (Pm.add (Route.prefix route) route m) t.by_peer
+
+  let remove t ~peer prefix =
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> ()
+    | Some m -> t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer
+
+  let find t ~peer prefix =
+    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pm.find_opt prefix)
+
+  (* All routes for a prefix across peers, in ascending peer order. *)
+  let candidates t prefix =
+    Net.Asn.Map.fold
+      (fun _ m acc -> match Pm.find_opt prefix m with Some r -> r :: acc | None -> acc)
+      t.by_peer []
+    |> List.rev
+
+  let prefixes_from t ~peer =
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> []
+    | Some m -> Pm.fold (fun p _ acc -> p :: acc) m [] |> List.rev
+
+  let drop_peer t ~peer =
+    let dropped = prefixes_from t ~peer in
+    t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
+    dropped
+
+  let all_prefixes t =
+    Net.Asn.Map.fold
+      (fun _ m acc -> Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) m acc)
+      t.by_peer Net.Ipv4.Prefix_set.empty
+    |> Net.Ipv4.Prefix_set.elements
+
+  let size t = Net.Asn.Map.fold (fun _ m acc -> acc + Pm.cardinal m) t.by_peer 0
+end
+
+module Loc = struct
+  type t = { mutable best : Route.t Pm.t }
+
+  let create () = { best = Pm.empty }
+
+  let find t prefix = Pm.find_opt prefix t.best
+
+  let set t (route : Route.t) = t.best <- Pm.add (Route.prefix route) route t.best
+
+  let remove t prefix = t.best <- Pm.remove prefix t.best
+
+  let entries t = Pm.bindings t.best
+
+  let prefixes t = List.map fst (entries t)
+
+  let size t = Pm.cardinal t.best
+end
+
+module Adj_out = struct
+  type t = { mutable by_peer : Attrs.t Pm.t Net.Asn.Map.t }
+
+  let create () = { by_peer = Net.Asn.Map.empty }
+
+  let set t ~peer prefix attrs =
+    let m = Option.value (Net.Asn.Map.find_opt peer t.by_peer) ~default:Pm.empty in
+    t.by_peer <- Net.Asn.Map.add peer (Pm.add prefix attrs m) t.by_peer
+
+  let remove t ~peer prefix =
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> ()
+    | Some m -> t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer
+
+  let find t ~peer prefix =
+    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pm.find_opt prefix)
+
+  let advertised t ~peer =
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> []
+    | Some m -> Pm.bindings m
+
+  let drop_peer t ~peer =
+    let dropped = List.map fst (advertised t ~peer) in
+    t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
+    dropped
+
+  let size t = Net.Asn.Map.fold (fun _ m acc -> acc + Pm.cardinal m) t.by_peer 0
+end

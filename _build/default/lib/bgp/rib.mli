@@ -1,0 +1,63 @@
+(** Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out. *)
+
+module Adj_in : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> peer:Net.Asn.t -> Route.t -> unit
+  (** Insert or implicitly replace the peer's route for its prefix. *)
+
+  val remove : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+  val find : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> Route.t option
+
+  val candidates : t -> Net.Ipv4.prefix -> Route.t list
+  (** All peers' routes for the prefix, ascending peer order. *)
+
+  val prefixes_from : t -> peer:Net.Asn.t -> Net.Ipv4.prefix list
+
+  val drop_peer : t -> peer:Net.Asn.t -> Net.Ipv4.prefix list
+  (** Remove everything from the peer (session down); returns the dropped
+      prefixes so the decision process can be rerun for them. *)
+
+  val all_prefixes : t -> Net.Ipv4.prefix list
+
+  val size : t -> int
+end
+
+module Loc : sig
+  type t
+
+  val create : unit -> t
+
+  val find : t -> Net.Ipv4.prefix -> Route.t option
+
+  val set : t -> Route.t -> unit
+
+  val remove : t -> Net.Ipv4.prefix -> unit
+
+  val entries : t -> (Net.Ipv4.prefix * Route.t) list
+
+  val prefixes : t -> Net.Ipv4.prefix list
+
+  val size : t -> int
+end
+
+module Adj_out : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> Attrs.t -> unit
+
+  val remove : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+  val find : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> Attrs.t option
+
+  val advertised : t -> peer:Net.Asn.t -> (Net.Ipv4.prefix * Attrs.t) list
+
+  val drop_peer : t -> peer:Net.Asn.t -> Net.Ipv4.prefix list
+
+  val size : t -> int
+end

@@ -1,0 +1,33 @@
+(* A route: a prefix with its path attributes and provenance. *)
+
+type source =
+  | Local (* originated by this router *)
+  | Ebgp of Net.Asn.t (* learned from this external peer *)
+
+type t = {
+  prefix : Net.Ipv4.prefix;
+  attrs : Attrs.t;
+  source : source;
+  learned_at : Engine.Time.t;
+}
+
+let make ~prefix ~attrs ~source ~learned_at = { prefix; attrs; source; learned_at }
+
+let prefix t = t.prefix
+
+let attrs t = t.attrs
+
+let source t = t.source
+
+let learned_at t = t.learned_at
+
+let is_local t = match t.source with Local -> true | Ebgp _ -> false
+
+let from_peer t = match t.source with Local -> None | Ebgp p -> Some p
+
+let pp_source ppf = function
+  | Local -> Fmt.string ppf "local"
+  | Ebgp p -> Fmt.pf ppf "ebgp:%a" Net.Asn.pp p
+
+let pp ppf t =
+  Fmt.pf ppf "%a %a via %a" Net.Ipv4.pp_prefix t.prefix Attrs.pp t.attrs pp_source t.source

@@ -1,0 +1,29 @@
+(** A route: prefix, path attributes, provenance. *)
+
+type source = Local | Ebgp of Net.Asn.t
+
+type t = {
+  prefix : Net.Ipv4.prefix;
+  attrs : Attrs.t;
+  source : source;
+  learned_at : Engine.Time.t;
+}
+
+val make :
+  prefix:Net.Ipv4.prefix -> attrs:Attrs.t -> source:source -> learned_at:Engine.Time.t -> t
+
+val prefix : t -> Net.Ipv4.prefix
+
+val attrs : t -> Attrs.t
+
+val source : t -> source
+
+val learned_at : t -> Engine.Time.t
+
+val is_local : t -> bool
+
+val from_peer : t -> Net.Asn.t option
+
+val pp_source : Format.formatter -> source -> unit
+
+val pp : Format.formatter -> t -> unit

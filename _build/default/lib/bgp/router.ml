@@ -1,0 +1,476 @@
+(* A BGP speaker emulating one AS's border router (the framework isolates
+   inter- from intra-domain routing by emulating each AS as one device).
+
+   Faithful protocol mechanics that matter for convergence dynamics:
+   - Adj-RIB-In / Loc-RIB / Adj-RIB-Out separation with implicit withdraw;
+   - the standard decision process (Decision.compare);
+   - per-peer MRAI with Quagga-style jitter — the pacing that produces the
+     classic path-exploration rounds on withdrawal;
+   - AS-path loop rejection on import and suppression on export;
+   - serialized update processing: a single-threaded bgpd works through
+     its input queue, so each update's processing delay pushes a
+     [busy_until] watermark and later updates queue behind it. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type stats = {
+  mutable msgs_in : int;
+  mutable msgs_out : int;
+  mutable prefixes_in : int;
+  mutable prefixes_out : int;
+  mutable decision_runs : int;
+  mutable best_changes : int;
+}
+
+type peer = {
+  peer_asn : Net.Asn.t;
+  peer_node : int;
+  policy : Policy.t;
+  mutable established : bool;
+  mutable open_sent : bool;
+  mrai : Mrai.t;
+  mutable keepalive : Engine.Timer.t option; (* periodic KEEPALIVE emission *)
+  mutable hold : Engine.Timer.t option; (* liveness: reset by any inbound message *)
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  asn : Net.Asn.t;
+  node_id : int;
+  router_id : Net.Ipv4.addr;
+  config : Config.t;
+  send_raw : dst:int -> Message.t -> bool;
+  mutable peers : peer Net.Asn.Map.t;
+  peer_of_node : (int, Net.Asn.t) Hashtbl.t;
+  adj_in : Rib.Adj_in.t;
+  loc : Rib.Loc.t;
+  adj_out : Rib.Adj_out.t;
+  mutable originated : Attrs.t Pm.t;
+  mutable busy_until : Engine.Time.t;
+  damping : Damping.t option;
+  stats : stats;
+  mutable on_best_change : (Net.Ipv4.prefix -> Route.t option -> unit) list;
+}
+
+let name t = Net.Asn.to_string t.asn
+
+let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp" fmt
+
+let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
+  {
+    damping = Option.map Damping.create damping;
+    sim;
+    rng = Engine.Rng.split (Engine.Sim.rng sim);
+    asn;
+    node_id;
+    router_id;
+    config;
+    send_raw = send;
+    peers = Net.Asn.Map.empty;
+    peer_of_node = Hashtbl.create 8;
+    adj_in = Rib.Adj_in.create ();
+    loc = Rib.Loc.create ();
+    adj_out = Rib.Adj_out.create ();
+    originated = Pm.empty;
+    busy_until = Engine.Time.zero;
+    stats =
+      {
+        msgs_in = 0;
+        msgs_out = 0;
+        prefixes_in = 0;
+        prefixes_out = 0;
+        decision_runs = 0;
+        best_changes = 0;
+      };
+    on_best_change = [];
+  }
+
+let asn t = t.asn
+
+let node_id t = t.node_id
+
+let router_id t = t.router_id
+
+let stats t = t.stats
+
+let subscribe_best_change t f = t.on_best_change <- t.on_best_change @ [ f ]
+
+let find_peer t peer_asn = Net.Asn.Map.find_opt peer_asn t.peers
+
+let peer_asns t = List.map fst (Net.Asn.Map.bindings t.peers)
+
+let peer_established t peer_asn =
+  match find_peer t peer_asn with Some p -> p.established | None -> false
+
+let send_message t peer msg =
+  let sent = t.send_raw ~dst:peer.peer_node msg in
+  if sent then begin
+    t.stats.msgs_out <- t.stats.msgs_out + 1;
+    match msg with
+    | Message.Update u -> t.stats.prefixes_out <- t.stats.prefixes_out + Message.update_size u
+    | Message.Open _ | Message.Keepalive | Message.Notification _ -> ()
+  end;
+  sent
+
+let add_peer t ~peer_asn ~peer_node ~policy =
+  if Net.Asn.Map.mem peer_asn t.peers then
+    invalid_arg (Fmt.str "Router.add_peer: duplicate %a" Net.Asn.pp peer_asn);
+  let send_update update =
+    (* Looked up at send time: the peer may have gone down since the
+       update was queued. *)
+    match Net.Asn.Map.find_opt peer_asn t.peers with
+    | Some p when p.established -> ignore (send_message t p (Message.Update update))
+    | Some _ | None -> ()
+  in
+  let mrai =
+    Mrai.create t.sim ~rng:(Engine.Rng.split t.rng) ~config:t.config
+      ~name:(Fmt.str "%a-mrai-%a" Net.Asn.pp t.asn Net.Asn.pp peer_asn)
+      ~send:send_update
+  in
+  let peer =
+    { peer_asn; peer_node; policy; established = false; open_sent = false; mrai;
+      keepalive = None; hold = None }
+  in
+  t.peers <- Net.Asn.Map.add peer_asn peer t.peers;
+  Hashtbl.replace t.peer_of_node peer_node peer_asn
+
+(* --- Decision process and export ------------------------------------- *)
+
+let local_route t prefix =
+  match Pm.find_opt prefix t.originated with
+  | None -> None
+  | Some attrs ->
+    Some (Route.make ~prefix ~attrs ~source:Route.Local ~learned_at:Engine.Time.zero)
+
+let candidates t prefix =
+  let learned = Rib.Adj_in.candidates t.adj_in prefix in
+  (* Damping excludes suppressed (peer, prefix) routes from selection;
+     they remain in Adj-RIB-In and return once their penalty decays. *)
+  let learned =
+    match t.damping with
+    | None -> learned
+    | Some damping ->
+      let now = Engine.Sim.now t.sim in
+      List.filter
+        (fun r ->
+          match Route.from_peer r with
+          | Some peer -> not (Damping.is_suppressed damping ~peer ~prefix ~now)
+          | None -> true)
+        learned
+  in
+  match local_route t prefix with Some r -> r :: learned | None -> learned
+
+let damping_state t = t.damping
+
+let best t prefix = Rib.Loc.find t.loc prefix
+
+let loc_entries t = Rib.Loc.entries t.loc
+
+let originated_prefixes t = List.map fst (Pm.bindings t.originated)
+
+let route_equal a b =
+  (match (Route.source a, Route.source b) with
+  | Route.Local, Route.Local -> true
+  | Route.Ebgp p, Route.Ebgp q -> Net.Asn.equal p q
+  | Route.Local, Route.Ebgp _ | Route.Ebgp _, Route.Local -> false)
+  && Attrs.wire_equal (Route.attrs a) (Route.attrs b)
+  && (Route.attrs a).Attrs.local_pref = (Route.attrs b).Attrs.local_pref
+
+let provenance t (route : Route.t) =
+  match Route.source route with
+  | Route.Local -> Policy.Originated
+  | Route.Ebgp q -> (
+    match find_peer t q with
+    | Some p -> Policy.From (Policy.relationship p.policy)
+    | None -> Policy.From Policy.Unrestricted)
+
+(* What (if anything) the current best route looks like when advertised to
+   [peer]. *)
+let desired_export t prefix best peer =
+  match best with
+  | None -> None
+  | Some route ->
+    if Route.from_peer route = Some peer.peer_asn then None
+    else if Attrs.path_contains (Route.attrs route) peer.peer_asn then None
+    else begin
+      let rec prepend_n n a = if n <= 0 then a else prepend_n (n - 1) (Attrs.prepend a t.asn) in
+      let attrs =
+        Route.attrs route
+        |> prepend_n (1 + Policy.export_prepend peer.policy)
+        |> (fun a -> Attrs.with_next_hop a t.router_id)
+        |> fun a -> Attrs.with_local_pref a Attrs.default_local_pref
+      in
+      Policy.export peer.policy ~provenance:(provenance t route) ~prefix attrs
+    end
+
+let export_to_peer t prefix best peer =
+  if peer.established then begin
+    let current = Rib.Adj_out.find t.adj_out ~peer:peer.peer_asn prefix in
+    match (desired_export t prefix best peer, current) with
+    | Some a, Some b when Attrs.wire_equal a b -> ()
+    | Some a, (Some _ | None) ->
+      Rib.Adj_out.set t.adj_out ~peer:peer.peer_asn prefix a;
+      Mrai.enqueue_announce peer.mrai prefix a
+    | None, Some _ ->
+      Rib.Adj_out.remove t.adj_out ~peer:peer.peer_asn prefix;
+      Mrai.enqueue_withdraw peer.mrai prefix
+    | None, None -> ()
+  end
+
+let export_all_peers t prefix best =
+  Net.Asn.Map.iter (fun _ peer -> export_to_peer t prefix best peer) t.peers
+
+let run_decision t prefix =
+  t.stats.decision_runs <- t.stats.decision_runs + 1;
+  let best = Decision.select (candidates t prefix) in
+  let old = Rib.Loc.find t.loc prefix in
+  let changed =
+    match (old, best) with
+    | None, None -> false
+    | Some a, Some b -> not (route_equal a b)
+    | None, Some _ | Some _, None -> true
+  in
+  if changed then begin
+    (match best with
+    | Some r ->
+      Rib.Loc.set t.loc r;
+      log t "bestpath %a -> [%a]" Net.Ipv4.pp_prefix prefix Attrs.pp_path
+        (Attrs.as_path (Route.attrs r))
+    | None ->
+      Rib.Loc.remove t.loc prefix;
+      log t "bestpath %a -> unreachable" Net.Ipv4.pp_prefix prefix);
+    t.stats.best_changes <- t.stats.best_changes + 1;
+    List.iter (fun f -> f prefix best) t.on_best_change;
+    export_all_peers t prefix best
+  end
+
+let run_decisions t prefixes =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.replace seen p ();
+        run_decision t p
+      end)
+    prefixes
+
+(* --- Origination ------------------------------------------------------ *)
+
+let originate ?(med = 0) ?(origin = Attrs.Igp) ?(communities = Community.Set.empty) t prefix =
+  let attrs =
+    Attrs.make ~as_path:[] ~med ~origin ~communities ~next_hop:t.router_id ()
+  in
+  t.originated <- Pm.add prefix attrs t.originated;
+  log t "originate %a" Net.Ipv4.pp_prefix prefix;
+  run_decision t prefix
+
+let withdraw_origin t prefix =
+  if Pm.mem prefix t.originated then begin
+    t.originated <- Pm.remove prefix t.originated;
+    log t "withdraw-origin %a" Net.Ipv4.pp_prefix prefix;
+    run_decision t prefix
+  end
+
+(* --- Sessions ---------------------------------------------------------- *)
+
+let sync_peer t peer =
+  List.iter (fun (prefix, route) -> export_to_peer t prefix (Some route) peer)
+    (Rib.Loc.entries t.loc)
+
+let stop_liveness peer =
+  Option.iter Engine.Timer.cancel peer.keepalive;
+  Option.iter Engine.Timer.cancel peer.hold
+
+let session_down t peer_asn =
+  match find_peer t peer_asn with
+  | None -> ()
+  | Some peer ->
+    if peer.established || peer.open_sent then begin
+      peer.established <- false;
+      peer.open_sent <- false;
+      Mrai.reset peer.mrai;
+      stop_liveness peer;
+      log t "session %a down" Net.Asn.pp peer_asn;
+      let dropped_in = Rib.Adj_in.drop_peer t.adj_in ~peer:peer_asn in
+      ignore (Rib.Adj_out.drop_peer t.adj_out ~peer:peer_asn);
+      run_decisions t dropped_in
+    end
+
+(* KEEPALIVE emission + hold-timer supervision (when configured). *)
+let start_liveness t peer =
+  match t.config.Config.keepalives with
+  | None -> ()
+  | Some { Config.interval; hold_time } ->
+    let keepalive =
+      match peer.keepalive with
+      | Some timer -> timer
+      | None ->
+        let timer_ref = ref None in
+        let emit () =
+          if peer.established then begin
+            ignore (send_message t peer Message.Keepalive);
+            Option.iter (fun timer -> Engine.Timer.start timer interval) !timer_ref
+          end
+        in
+        let timer =
+          Engine.Timer.create t.sim
+            ~name:(Fmt.str "%a-keepalive-%a" Net.Asn.pp t.asn Net.Asn.pp peer.peer_asn)
+            ~callback:emit
+        in
+        timer_ref := Some timer;
+        peer.keepalive <- Some timer;
+        timer
+    in
+    let hold =
+      match peer.hold with
+      | Some timer -> timer
+      | None ->
+        let timer =
+          Engine.Timer.create t.sim
+            ~name:(Fmt.str "%a-hold-%a" Net.Asn.pp t.asn Net.Asn.pp peer.peer_asn)
+            ~callback:(fun () ->
+              Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp"
+                ~level:Engine.Trace.Warn "hold timer expired for %a" Net.Asn.pp
+                peer.peer_asn;
+              ignore (send_message t peer (Message.Notification "hold timer expired"));
+              session_down t peer.peer_asn)
+        in
+        peer.hold <- Some timer;
+        timer
+    in
+    Engine.Timer.start keepalive interval;
+    Engine.Timer.start hold hold_time
+
+(* Any inbound traffic proves the peer alive. *)
+let touch_hold t peer =
+  match (t.config.Config.keepalives, peer.hold) with
+  | Some { Config.hold_time; _ }, Some hold when peer.established ->
+    Engine.Timer.start hold hold_time
+  | _, _ -> ()
+
+let establish t peer =
+  if not peer.established then begin
+    peer.established <- true;
+    log t "session %a established" Net.Asn.pp peer.peer_asn;
+    start_liveness t peer;
+    sync_peer t peer
+  end
+
+let open_session t peer_asn =
+  match find_peer t peer_asn with
+  | None -> invalid_arg (Fmt.str "Router.open_session: unknown peer %a" Net.Asn.pp peer_asn)
+  | Some peer ->
+    if not peer.open_sent then begin
+      peer.open_sent <- true;
+      ignore (send_message t peer (Message.Open { asn = t.asn; router_id = t.router_id }))
+    end
+
+let start t = List.iter (fun (_, p) -> open_session t p.peer_asn) (Net.Asn.Map.bindings t.peers)
+
+(* --- Inbound processing ------------------------------------------------ *)
+
+(* Flap bookkeeping: penalize the (peer, prefix) pair and, when it gets
+   suppressed, schedule a re-decision at its reuse time. *)
+let note_flap t peer_asn prefix event =
+  match t.damping with
+  | None -> ()
+  | Some damping -> (
+    let now = Engine.Sim.now t.sim in
+    match Damping.record damping ~peer:peer_asn ~prefix ~now event with
+    | `Ok -> ()
+    | `Suppressed_until reuse_at ->
+      log t "damping: %a from %a suppressed until %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp
+        peer_asn Engine.Time.pp reuse_at;
+      (* a hair past the reuse instant so the decayed penalty is safely
+         at-or-below the threshold despite floating-point rounding *)
+      let recheck = Engine.Time.add reuse_at (Engine.Time.ms 10) in
+      ignore (Engine.Sim.schedule_at t.sim recheck (fun () -> run_decision t prefix)))
+
+let process_update t peer_asn (u : Message.update) =
+  match find_peer t peer_asn with
+  | None -> ()
+  | Some peer when not peer.established -> () (* stale: session flapped *)
+  | Some peer ->
+    let affected = ref [] in
+    List.iter
+      (fun prefix ->
+        if Option.is_some (Rib.Adj_in.find t.adj_in ~peer:peer_asn prefix) then begin
+          Rib.Adj_in.remove t.adj_in ~peer:peer_asn prefix;
+          note_flap t peer_asn prefix Damping.Withdrawal;
+          affected := prefix :: !affected
+        end)
+      u.Message.withdrawn;
+    List.iter
+      (fun (prefix, attrs) ->
+        match Policy.import peer.policy ~me:t.asn ~prefix attrs with
+        | Some attrs ->
+          let previous = Rib.Adj_in.find t.adj_in ~peer:peer_asn prefix in
+          (match (previous, t.damping) with
+          | _, None -> ()
+          | Some old, Some _ ->
+            if not (Attrs.wire_equal (Route.attrs old) attrs) then
+              note_flap t peer_asn prefix Damping.Attribute_change
+          | None, Some damping ->
+            (* Re-advertisement after a withdrawal leaves a decaying
+               penalty behind; a first-ever announcement does not. *)
+            if
+              Damping.current_penalty damping ~peer:peer_asn ~prefix
+                ~now:(Engine.Sim.now t.sim)
+              > 0.0
+            then note_flap t peer_asn prefix Damping.Readvertisement);
+          let route =
+            Route.make ~prefix ~attrs ~source:(Route.Ebgp peer_asn)
+              ~learned_at:(Engine.Sim.now t.sim)
+          in
+          Rib.Adj_in.set t.adj_in ~peer:peer_asn route;
+          affected := prefix :: !affected
+        | None ->
+          (* Policy rejection implicitly withdraws any previous route. *)
+          if Option.is_some (Rib.Adj_in.find t.adj_in ~peer:peer_asn prefix) then begin
+            Rib.Adj_in.remove t.adj_in ~peer:peer_asn prefix;
+            affected := prefix :: !affected
+          end)
+      u.Message.announced;
+    run_decisions t (List.rev !affected)
+
+let handle_message t ~from msg =
+  match Hashtbl.find_opt t.peer_of_node from with
+  | None -> log t "message from unknown node %d dropped" from
+  | Some peer_asn -> (
+    Option.iter (fun peer -> touch_hold t peer) (find_peer t peer_asn);
+    match msg with
+    | Message.Open _ -> (
+      match find_peer t peer_asn with
+      | None -> ()
+      | Some peer ->
+        if not peer.open_sent then begin
+          peer.open_sent <- true;
+          ignore (send_message t peer (Message.Open { asn = t.asn; router_id = t.router_id }))
+        end;
+        establish t peer)
+    | Message.Keepalive -> ()
+    | Message.Notification reason ->
+      log t "notification from %a: %s" Net.Asn.pp peer_asn reason;
+      session_down t peer_asn
+    | Message.Update u ->
+      t.stats.msgs_in <- t.stats.msgs_in + 1;
+      t.stats.prefixes_in <- t.stats.prefixes_in + Message.update_size u;
+      (* Serialized processing behind a busy watermark: emulates a
+         single-threaded bgpd working through its input queue. *)
+      let now = Engine.Sim.now t.sim in
+      let start = Engine.Time.max now t.busy_until in
+      let finish = Engine.Time.add start (Config.processing_delay t.config t.rng) in
+      t.busy_until <- finish;
+      ignore
+        (Engine.Sim.schedule_at t.sim finish (fun () -> process_update t peer_asn u)))
+
+(* Test/diagnostic accessors. *)
+
+let adj_in_find t ~peer prefix = Rib.Adj_in.find t.adj_in ~peer prefix
+
+let adj_out_find t ~peer prefix = Rib.Adj_out.find t.adj_out ~peer prefix
+
+let adj_in_size t = Rib.Adj_in.size t.adj_in
+
+let loc_size t = Rib.Loc.size t.loc

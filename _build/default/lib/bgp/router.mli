@@ -1,0 +1,83 @@
+(** A BGP speaker emulating one AS's border router: RIBs, decision
+    process, relationship policies, per-peer MRAI, serialized update
+    processing. *)
+
+type stats = {
+  mutable msgs_in : int;
+  mutable msgs_out : int;
+  mutable prefixes_in : int;
+  mutable prefixes_out : int;
+  mutable decision_runs : int;
+  mutable best_changes : int;
+}
+
+type t
+
+val create :
+  ?damping:Damping.config ->
+  sim:Engine.Sim.t ->
+  asn:Net.Asn.t ->
+  node_id:int ->
+  router_id:Net.Ipv4.addr ->
+  config:Config.t ->
+  send:(dst:int -> Message.t -> bool) ->
+  unit ->
+  t
+(** [send] delivers a message to a fabric node (wired to Netsim by the
+    framework); [damping] enables RFC 2439 route-flap damping. *)
+
+val damping_state : t -> Damping.t option
+
+val name : t -> string
+
+val asn : t -> Net.Asn.t
+
+val node_id : t -> int
+
+val router_id : t -> Net.Ipv4.addr
+
+val stats : t -> stats
+
+val subscribe_best_change : t -> (Net.Ipv4.prefix -> Route.t option -> unit) -> unit
+(** Called whenever the Loc-RIB best route for a prefix changes (the
+    framework hooks the FIB here). *)
+
+val add_peer : t -> peer_asn:Net.Asn.t -> peer_node:int -> policy:Policy.t -> unit
+
+val peer_asns : t -> Net.Asn.t list
+
+val peer_established : t -> Net.Asn.t -> bool
+
+val open_session : t -> Net.Asn.t -> unit
+(** Send an OPEN toward the peer (idempotent). *)
+
+val start : t -> unit
+(** Open sessions to all configured peers. *)
+
+val session_down : t -> Net.Asn.t -> unit
+(** Tear down the session: flush RIBs learned from/advertised to the peer
+    and rerun the decision process. *)
+
+val handle_message : t -> from:int -> Message.t -> unit
+(** Fabric delivery entry point ([from] is the sender's node id). *)
+
+val originate :
+  ?med:int -> ?origin:Attrs.origin -> ?communities:Community.Set.t -> t -> Net.Ipv4.prefix -> unit
+
+val withdraw_origin : t -> Net.Ipv4.prefix -> unit
+
+val best : t -> Net.Ipv4.prefix -> Route.t option
+
+val candidates : t -> Net.Ipv4.prefix -> Route.t list
+
+val loc_entries : t -> (Net.Ipv4.prefix * Route.t) list
+
+val originated_prefixes : t -> Net.Ipv4.prefix list
+
+val adj_in_find : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> Route.t option
+
+val adj_out_find : t -> peer:Net.Asn.t -> Net.Ipv4.prefix -> Attrs.t option
+
+val adj_in_size : t -> int
+
+val loc_size : t -> int

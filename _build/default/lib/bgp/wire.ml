@@ -1,0 +1,472 @@
+(* RFC 4271 binary message encoding/decoding, with 4-octet AS numbers
+   carried natively in AS_PATH (RFC 6793 NEW-speaker behaviour) and the
+   4-octet-AS capability advertised in OPEN.
+
+   One wire UPDATE carries a single attribute set for all its NLRI, so a
+   semantic update whose announcements differ in attributes is split into
+   several wire messages ([encode] returns a list); [decode_all] of the
+   concatenation merges back to the same semantic content. *)
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_version of int
+  | Malformed of string
+
+let pp_error ppf = function
+  | Truncated -> Fmt.string ppf "truncated message"
+  | Bad_marker -> Fmt.string ppf "bad marker"
+  | Bad_length n -> Fmt.pf ppf "bad length %d" n
+  | Bad_type n -> Fmt.pf ppf "bad message type %d" n
+  | Bad_version n -> Fmt.pf ppf "bad BGP version %d" n
+  | Malformed what -> Fmt.pf ppf "malformed %s" what
+
+(* message types *)
+let t_open = 1
+
+let t_update = 2
+
+let t_notification = 3
+
+let t_keepalive = 4
+
+(* path attribute type codes *)
+let a_origin = 1
+
+let a_as_path = 2
+
+let a_next_hop = 3
+
+let a_med = 4
+
+let a_local_pref = 5
+
+let a_communities = 8
+
+let header_size = 19
+
+let max_message_size = 4096
+
+(* --- Byte-building helpers ---------------------------------------------- *)
+
+let u8 buf v = Buffer.add_uint8 buf (v land 0xFF)
+
+let u16 buf v = Buffer.add_uint16_be buf (v land 0xFFFF)
+
+let u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+
+let u32_of_addr buf addr = Buffer.add_int32_be buf (Net.Ipv4.addr_to_int32 addr)
+
+(* A prefix on the wire: 1 length byte + ceil(len/8) network octets. *)
+let add_prefix buf prefix =
+  let len = Net.Ipv4.prefix_len prefix in
+  u8 buf len;
+  let octet_count = (len + 7) / 8 in
+  let raw = Net.Ipv4.addr_to_int32 (Net.Ipv4.prefix_network prefix) in
+  for i = 0 to octet_count - 1 do
+    u8 buf (Int32.to_int (Int32.shift_right_logical raw (24 - (8 * i))) land 0xFF)
+  done
+
+let wrap ~msg_type body =
+  let total = header_size + Bytes.length body in
+  if total > max_message_size then invalid_arg "Wire: message exceeds 4096 bytes";
+  let buf = Buffer.create total in
+  for _ = 1 to 16 do
+    u8 buf 0xFF
+  done;
+  u16 buf total;
+  u8 buf msg_type;
+  Buffer.add_bytes buf body;
+  Buffer.to_bytes buf
+
+(* --- Encoding -------------------------------------------------------------- *)
+
+let encode_open ~asn ~router_id =
+  let buf = Buffer.create 32 in
+  u8 buf 4 (* version *);
+  let asn_int = Net.Asn.to_int asn in
+  (* 2-octet field carries AS_TRANS when the ASN does not fit *)
+  u16 buf (if asn_int > 0xFFFF then 23456 else asn_int);
+  u16 buf 180 (* hold time *);
+  u32_of_addr buf router_id;
+  (* optional parameter: capability 65 (4-octet AS) *)
+  let cap = Buffer.create 8 in
+  u8 cap 2 (* param type: capability *);
+  u8 cap 6 (* param length *);
+  u8 cap 65 (* capability code *);
+  u8 cap 4 (* capability length *);
+  u32 cap asn_int;
+  u8 buf (Buffer.length cap);
+  Buffer.add_buffer buf cap;
+  wrap ~msg_type:t_open (Buffer.to_bytes buf)
+
+let encode_attribute buf ~flags ~code body =
+  let len = Buffer.length body in
+  if len > 255 then begin
+    (* extended length (flag 0x10, 2-byte length) *)
+    u8 buf (flags lor 0x10);
+    u8 buf code;
+    u16 buf len
+  end
+  else begin
+    u8 buf flags;
+    u8 buf code;
+    u8 buf len
+  end;
+  Buffer.add_buffer buf body
+
+let encode_attrs (attrs : Attrs.t) =
+  let buf = Buffer.create 64 in
+  (* ORIGIN, well-known transitive *)
+  let body = Buffer.create 1 in
+  u8 body (Attrs.origin_rank attrs.Attrs.origin);
+  encode_attribute buf ~flags:0x40 ~code:a_origin body;
+  (* AS_PATH: AS_SEQUENCE segments of 4-octet ASNs (max 255 hops each) *)
+  let body = Buffer.create 16 in
+  let rec segments = function
+    | [] -> ()
+    | path ->
+      let n = min 255 (List.length path) in
+      u8 body 2 (* AS_SEQUENCE *);
+      u8 body n;
+      let rec emit i = function
+        | a :: rest when i < n ->
+          u32 body (Net.Asn.to_int a);
+          emit (i + 1) rest
+        | rest -> rest
+      in
+      segments (emit 0 path)
+  in
+  segments attrs.Attrs.as_path;
+  encode_attribute buf ~flags:0x40 ~code:a_as_path body;
+  (* NEXT_HOP *)
+  let body = Buffer.create 4 in
+  u32_of_addr body attrs.Attrs.next_hop;
+  encode_attribute buf ~flags:0x40 ~code:a_next_hop body;
+  (* MED, optional non-transitive *)
+  if attrs.Attrs.med <> 0 then begin
+    let body = Buffer.create 4 in
+    u32 body attrs.Attrs.med;
+    encode_attribute buf ~flags:0x80 ~code:a_med body
+  end;
+  (* LOCAL_PREF *)
+  let body = Buffer.create 4 in
+  u32 body attrs.Attrs.local_pref;
+  encode_attribute buf ~flags:0x40 ~code:a_local_pref body;
+  (* COMMUNITIES, optional transitive *)
+  if not (Community.Set.is_empty attrs.Attrs.communities) then begin
+    let body = Buffer.create 8 in
+    Community.Set.iter
+      (fun c ->
+        u16 body (Community.asn c);
+        u16 body (Community.tag c))
+      attrs.Attrs.communities;
+    encode_attribute buf ~flags:0xC0 ~code:a_communities body
+  end;
+  buf
+
+let encode_update_message ~withdrawn ~attrs ~nlri =
+  let buf = Buffer.create 64 in
+  let wd = Buffer.create 16 in
+  List.iter (add_prefix wd) withdrawn;
+  u16 buf (Buffer.length wd);
+  Buffer.add_buffer buf wd;
+  (match attrs with
+  | None -> u16 buf 0
+  | Some attrs ->
+    let ab = encode_attrs attrs in
+    u16 buf (Buffer.length ab);
+    Buffer.add_buffer buf ab);
+  List.iter (add_prefix buf) nlri;
+  wrap ~msg_type:t_update (Buffer.to_bytes buf)
+
+(* Group announcements by shared attributes (wire_equal + local_pref),
+   preserving first-appearance order. *)
+let group_by_attrs announced =
+  let groups : (Attrs.t * Net.Ipv4.prefix list ref) list ref = ref [] in
+  List.iter
+    (fun (prefix, attrs) ->
+      match
+        List.find_opt
+          (fun (a, _) ->
+            Attrs.wire_equal a attrs && a.Attrs.local_pref = attrs.Attrs.local_pref)
+          !groups
+      with
+      | Some (_, prefixes) -> prefixes := prefix :: !prefixes
+      | None -> groups := !groups @ [ (attrs, ref [ prefix ]) ])
+    announced;
+  List.map (fun (attrs, prefixes) -> (attrs, List.rev !prefixes)) !groups
+
+let encode = function
+  | Message.Open { asn; router_id } -> [ encode_open ~asn ~router_id ]
+  | Message.Keepalive -> [ wrap ~msg_type:t_keepalive Bytes.empty ]
+  | Message.Notification reason ->
+    let buf = Buffer.create 16 in
+    u8 buf 6 (* Cease *);
+    u8 buf 0;
+    Buffer.add_string buf reason;
+    [ wrap ~msg_type:t_notification (Buffer.to_bytes buf) ]
+  | Message.Update { announced; withdrawn } -> (
+    match group_by_attrs announced with
+    | [] -> [ encode_update_message ~withdrawn ~attrs:None ~nlri:[] ]
+    | (first_attrs, first_nlri) :: rest ->
+      (* withdrawals ride in the first message *)
+      encode_update_message ~withdrawn ~attrs:(Some first_attrs) ~nlri:first_nlri
+      :: List.map
+           (fun (attrs, nlri) ->
+             encode_update_message ~withdrawn:[] ~attrs:(Some attrs) ~nlri)
+           rest)
+
+(* --- Decoding -------------------------------------------------------------- *)
+
+type cursor = { data : bytes; mutable pos : int; limit : int }
+
+let remaining c = c.limit - c.pos
+
+let need c n = if remaining c < n then Error Truncated else Ok ()
+
+let ( let* ) = Result.bind
+
+let read_u8 c =
+  let* () = need c 1 in
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  Ok v
+
+let read_u16 c =
+  let* a = read_u8 c in
+  let* b = read_u8 c in
+  Ok ((a lsl 8) lor b)
+
+let read_u32 c =
+  let* a = read_u16 c in
+  let* b = read_u16 c in
+  Ok ((a lsl 16) lor b)
+
+let read_prefix c =
+  let* len = read_u8 c in
+  if len > 32 then Error (Malformed "prefix length")
+  else begin
+    let octets = (len + 7) / 8 in
+    let* () = need c octets in
+    let raw = ref 0l in
+    for i = 0 to octets - 1 do
+      raw :=
+        Int32.logor !raw
+          (Int32.shift_left (Int32.of_int (Char.code (Bytes.get c.data (c.pos + i)))) (24 - (8 * i)))
+    done;
+    c.pos <- c.pos + octets;
+    Ok (Net.Ipv4.prefix (Net.Ipv4.addr_of_int32 !raw) len)
+  end
+
+let read_prefixes c =
+  let rec go acc =
+    if remaining c = 0 then Ok (List.rev acc)
+    else
+      let* p = read_prefix c in
+      go (p :: acc)
+  in
+  go []
+
+let sub_cursor c len =
+  let* () = need c len in
+  let sub = { data = c.data; pos = c.pos; limit = c.pos + len } in
+  c.pos <- c.pos + len;
+  Ok sub
+
+let decode_open c =
+  let* version = read_u8 c in
+  if version <> 4 then Error (Bad_version version)
+  else
+    let* as2 = read_u16 c in
+    let* _hold = read_u16 c in
+    let* rid = read_u32 c in
+    let router_id = Net.Ipv4.addr_of_int32 (Int32.of_int rid) in
+    let* opt_len = read_u8 c in
+    let* params = sub_cursor c opt_len in
+    (* scan optional parameters for the 4-octet-AS capability *)
+    let rec scan asn4 =
+      if remaining params = 0 then Ok asn4
+      else
+        let* ptype = read_u8 params in
+        let* plen = read_u8 params in
+        let* body = sub_cursor params plen in
+        if ptype <> 2 then scan asn4
+        else begin
+          let rec caps asn4 =
+            if remaining body = 0 then Ok asn4
+            else
+              let* code = read_u8 body in
+              let* clen = read_u8 body in
+              let* cbody = sub_cursor body clen in
+              if code = 65 && clen = 4 then
+                let* v = read_u32 cbody in
+                caps (Some v)
+              else caps asn4
+          in
+          let* asn4 = caps asn4 in
+          scan asn4
+        end
+    in
+    let* asn4 = scan None in
+    let asn_int = match asn4 with Some v -> v | None -> as2 in
+    if asn_int <= 0 then Error (Malformed "ASN")
+    else Ok (Message.Open { asn = Net.Asn.of_int asn_int; router_id })
+
+let decode_attrs c =
+  let origin = ref Attrs.Igp in
+  let as_path = ref [] in
+  let next_hop = ref (Net.Ipv4.addr_of_octets 0 0 0 0) in
+  let med = ref 0 in
+  let local_pref = ref Attrs.default_local_pref in
+  let communities = ref Community.Set.empty in
+  let rec go () =
+    if remaining c = 0 then Ok ()
+    else
+      let* flags = read_u8 c in
+      let* code = read_u8 c in
+      let* len = if flags land 0x10 <> 0 then read_u16 c else read_u8 c in
+      let* body = sub_cursor c len in
+      let* () =
+        if code = a_origin then
+          let* v = read_u8 body in
+          match v with
+          | 0 ->
+            origin := Attrs.Igp;
+            Ok ()
+          | 1 ->
+            origin := Attrs.Egp;
+            Ok ()
+          | 2 ->
+            origin := Attrs.Incomplete;
+            Ok ()
+          | _ -> Error (Malformed "origin")
+        else if code = a_as_path then begin
+          let rec segments acc =
+            if remaining body = 0 then Ok acc
+            else
+              let* seg_type = read_u8 body in
+              let* count = read_u8 body in
+              if seg_type <> 2 then Error (Malformed "AS_PATH segment type")
+              else begin
+                let rec hops acc n =
+                  if n = 0 then Ok acc
+                  else
+                    let* v = read_u32 body in
+                    if v <= 0 then Error (Malformed "AS_PATH ASN")
+                    else hops (Net.Asn.of_int v :: acc) (n - 1)
+                in
+                let* hops_rev = hops [] count in
+                segments (acc @ List.rev hops_rev)
+              end
+          in
+          let* path = segments [] in
+          as_path := path;
+          Ok ()
+        end
+        else if code = a_next_hop then
+          let* v = read_u32 body in
+          next_hop := Net.Ipv4.addr_of_int32 (Int32.of_int v);
+          Ok ()
+        else if code = a_med then
+          let* v = read_u32 body in
+          med := v;
+          Ok ()
+        else if code = a_local_pref then
+          let* v = read_u32 body in
+          local_pref := v;
+          Ok ()
+        else if code = a_communities then begin
+          let rec comms () =
+            if remaining body = 0 then Ok ()
+            else
+              let* a = read_u16 body in
+              let* t = read_u16 body in
+              communities := Community.Set.add (Community.make a t) !communities;
+              comms ()
+          in
+          comms ()
+        end
+        else Ok () (* unknown attribute: skip *)
+      in
+      go ()
+  in
+  let* () = go () in
+  Ok
+    (Attrs.make ~as_path:!as_path ~local_pref:!local_pref ~med:!med ~origin:!origin
+       ~communities:!communities ~next_hop:!next_hop ())
+
+let decode_update c =
+  let* wd_len = read_u16 c in
+  let* wd_cursor = sub_cursor c wd_len in
+  let* withdrawn = read_prefixes wd_cursor in
+  let* attr_len = read_u16 c in
+  let* attr_cursor = sub_cursor c attr_len in
+  let* nlri = read_prefixes c in
+  if attr_len = 0 then
+    if nlri = [] then Ok (Message.Update { announced = []; withdrawn })
+    else Error (Malformed "NLRI without attributes")
+  else
+    let* attrs = decode_attrs attr_cursor in
+    Ok (Message.Update { announced = List.map (fun p -> (p, attrs)) nlri; withdrawn })
+
+let decode_notification c =
+  let* _code = read_u8 c in
+  let* _subcode = read_u8 c in
+  let reason = Bytes.sub_string c.data c.pos (remaining c) in
+  c.pos <- c.limit;
+  Ok (Message.Notification reason)
+
+(* Decode one message from the head of [data] at [pos]; returns the
+   message and the number of bytes consumed. *)
+let decode ?(pos = 0) data =
+  let total = Bytes.length data - pos in
+  if total < header_size then Error Truncated
+  else begin
+    let marker_ok = ref true in
+    for i = 0 to 15 do
+      if Bytes.get data (pos + i) <> '\xFF' then marker_ok := false
+    done;
+    if not !marker_ok then Error Bad_marker
+    else begin
+      let len = (Char.code (Bytes.get data (pos + 16)) lsl 8) lor Char.code (Bytes.get data (pos + 17)) in
+      if len < header_size || len > max_message_size then Error (Bad_length len)
+      else if total < len then Error Truncated
+      else begin
+        let msg_type = Char.code (Bytes.get data (pos + 18)) in
+        let c = { data; pos = pos + header_size; limit = pos + len } in
+        let* msg =
+          if msg_type = t_open then decode_open c
+          else if msg_type = t_update then decode_update c
+          else if msg_type = t_notification then decode_notification c
+          else if msg_type = t_keepalive then
+            if remaining c = 0 then Ok Message.Keepalive else Error (Bad_length len)
+          else Error (Bad_type msg_type)
+        in
+        Ok (msg, len)
+      end
+    end
+  end
+
+let decode_all data =
+  let rec go pos acc =
+    if pos = Bytes.length data then Ok (List.rev acc)
+    else
+      let* msg, consumed = decode ~pos data in
+      go (pos + consumed) (msg :: acc)
+  in
+  go 0 []
+
+let encode_concat msg =
+  let parts = encode msg in
+  let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 parts in
+  let out = Bytes.create total in
+  let pos = ref 0 in
+  List.iter
+    (fun b ->
+      Bytes.blit b 0 out !pos (Bytes.length b);
+      pos := !pos + Bytes.length b)
+    parts;
+  out

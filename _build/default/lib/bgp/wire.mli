@@ -1,0 +1,36 @@
+(** RFC 4271 binary message encoding/decoding (4-octet ASNs per RFC 6793,
+    with the 4-octet-AS capability in OPEN).
+
+    One wire UPDATE carries one attribute set, so semantic updates whose
+    announcements differ in attributes encode to several wire messages;
+    {!decode_all} of the concatenation recovers the same content. *)
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_version of int
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val header_size : int
+(** 19 bytes: 16-byte marker, 2-byte length, 1-byte type. *)
+
+val max_message_size : int
+(** 4096 (RFC 4271). *)
+
+val encode : Message.t -> bytes list
+(** The wire messages for a semantic message (UPDATEs split per shared
+    attribute set; withdrawals ride in the first).
+    @raise Invalid_argument if a message exceeds the 4096-byte limit. *)
+
+val encode_concat : Message.t -> bytes
+(** [encode] flattened into one byte stream. *)
+
+val decode : ?pos:int -> bytes -> (Message.t * int, error) result
+(** Decode one message from [pos]; returns it and the bytes consumed. *)
+
+val decode_all : bytes -> (Message.t list, error) result
+(** Decode a whole stream of back-to-back messages. *)

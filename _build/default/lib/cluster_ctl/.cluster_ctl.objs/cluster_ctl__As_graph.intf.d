@@ -1,0 +1,1 @@
+lib/cluster_ctl/as_graph.mli: Bgp Format Net

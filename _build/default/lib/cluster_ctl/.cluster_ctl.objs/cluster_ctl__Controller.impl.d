@@ -1,0 +1,1 @@
+lib/cluster_ctl/controller.ml: As_graph Bgp Engine Flow_compiler Fmt List Net Option Recompute Sdn Speaker

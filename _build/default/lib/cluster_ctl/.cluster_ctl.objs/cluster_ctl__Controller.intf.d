@@ -1,0 +1,1 @@
+lib/cluster_ctl/controller.mli: As_graph Bgp Engine Net Sdn Speaker

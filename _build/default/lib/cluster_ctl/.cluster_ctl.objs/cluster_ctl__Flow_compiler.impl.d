@@ -1,0 +1,1 @@
+lib/cluster_ctl/flow_compiler.ml: As_graph List Net Option Sdn

@@ -1,0 +1,1 @@
+lib/cluster_ctl/flow_compiler.mli: As_graph Net Sdn

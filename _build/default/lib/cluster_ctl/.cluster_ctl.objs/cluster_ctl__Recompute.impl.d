@@ -1,0 +1,1 @@
+lib/cluster_ctl/recompute.ml: Engine List Net

@@ -1,0 +1,1 @@
+lib/cluster_ctl/recompute.mli: Engine Net

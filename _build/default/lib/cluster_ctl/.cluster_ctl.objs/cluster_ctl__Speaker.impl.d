@@ -1,0 +1,1 @@
+lib/cluster_ctl/speaker.ml: Bgp Engine Fmt Hashtbl List Net Option

@@ -1,0 +1,1 @@
+lib/cluster_ctl/speaker.mli: Bgp Engine Net

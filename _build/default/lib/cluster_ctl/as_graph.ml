@@ -1,0 +1,234 @@
+(* The per-prefix AS topology graph and its route selection.
+
+   This is the paper's key algorithmic insight: the controller cannot
+   reuse BGP's AS-path loop avoidance because it makes one centralized
+   decision for many ASes.  Instead, for every destination prefix it
+   transforms the *switch graph* (physical intra-cluster topology) into an
+   *AS topology graph* and runs Dijkstra on it:
+
+   - member<->member intra-cluster links become weight-1 edges;
+   - an external route learned at member [m] from neighbor [n] whose
+     AS path contains no cluster member becomes an exit edge
+     m -> destination with weight |path|;
+   - an external route whose AS path re-enters the cluster is dangerous:
+     if the first cluster member [c] on the path belongs to m's *own*
+     sub-cluster the route is discarded (using it could form a forwarding
+     loop the AS-path cannot reveal, since the controller routes all of
+     the sub-cluster); if [c] belongs to a *different* sub-cluster it
+     becomes a legacy-bridge edge m -> c weighted by the legacy segment
+     length — this is what keeps disjoint sub-clusters mutually reachable
+     over the legacy world (design goal 3 of the paper);
+   - a member originating the prefix gets a weight-0 edge to the
+     destination.
+
+   Routes are then read off the Dijkstra successor tree, which is acyclic
+   by construction — the loop-freedom the transformation exists to
+   provide. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type exit_route = {
+  member : Net.Asn.t;
+  neighbor : Net.Asn.t;
+  attrs : Bgp.Attrs.t;
+  rel : Bgp.Policy.relationship; (* our relationship toward [neighbor] *)
+}
+
+type hop =
+  | Deliver_local
+  | Exit of { neighbor : Net.Asn.t }
+  | Intra of { next_member : Net.Asn.t }
+  | Bridge of { via_neighbor : Net.Asn.t; to_member : Net.Asn.t }
+
+type decision = {
+  member : Net.Asn.t;
+  hop : hop;
+  as_path : Net.Asn.t list; (* from this member to the origin, member excluded *)
+  distance : float;
+  provenance : Bgp.Policy.route_provenance;
+}
+
+(* Reserved Dijkstra node id for the virtual destination (ASNs are > 0). *)
+let dest_id = 0
+
+let subcluster_table members switch_graph =
+  let components = Net.Graph.components switch_graph in
+  let table = Hashtbl.create 16 in
+  List.iteri (fun i comp -> List.iter (fun v -> Hashtbl.replace table v i) comp) components;
+  (* Members isolated from the switch graph still form their own
+     sub-cluster. *)
+  let next = ref (List.length components) in
+  Net.Asn.Set.iter
+    (fun m ->
+      let id = Net.Asn.to_int m in
+      if not (Hashtbl.mem table id) then begin
+        Hashtbl.replace table id !next;
+        incr next
+      end)
+    members;
+  fun asn -> Hashtbl.find_opt table (Net.Asn.to_int asn)
+
+(* Split an AS path at its first cluster member: [`External] when it never
+   enters the cluster, [`Reenters (segment, c)] with the legacy segment
+   up to and including [c] otherwise. *)
+let classify_path members path =
+  let rec scan acc = function
+    | [] -> `External
+    | asn :: rest ->
+      if Net.Asn.Set.mem asn members then `Reenters (List.rev (asn :: acc), asn)
+      else scan (asn :: acc) rest
+  in
+  scan [] path
+
+type edge_kind =
+  | K_intra
+  | K_exit of exit_route
+  | K_bridge of { via_neighbor : Net.Asn.t; to_member : Net.Asn.t; segment : Net.Asn.t list;
+                  rel : Bgp.Policy.relationship }
+  | K_local
+
+let compute ~members ~switch_graph ~(routes : exit_route list) ~originators () =
+  let subcluster_of = subcluster_table members switch_graph in
+  (* Best candidate per directed edge, with the realizing kind. *)
+  let edges : (int * int, float * edge_kind) Hashtbl.t = Hashtbl.create 64 in
+  let consider u v w kind =
+    match Hashtbl.find_opt edges (u, v) with
+    | Some (w', _) when w' <= w -> ()
+    | Some _ | None -> Hashtbl.replace edges (u, v) (w, kind)
+  in
+  (* Intra-cluster switch links. *)
+  List.iter
+    (fun (u, v, _) ->
+      consider u v 1.0 K_intra;
+      consider v u 1.0 K_intra)
+    (Net.Graph.edges switch_graph);
+  (* Originators reach the destination at no cost. *)
+  Net.Asn.Set.iter
+    (fun o -> consider (Net.Asn.to_int o) dest_id 0.0 K_local)
+    originators;
+  (* External routes: exits or legacy bridges. *)
+  List.iter
+    (fun (r : exit_route) ->
+      if Net.Asn.Set.mem r.member members then begin
+        let m = Net.Asn.to_int r.member in
+        let path = Bgp.Attrs.as_path r.attrs in
+        match classify_path members path with
+        | `External -> consider m dest_id (float_of_int (List.length path)) (K_exit r)
+        | `Reenters (segment, c) ->
+          let same_subcluster =
+            match (subcluster_of r.member, subcluster_of c) with
+            | Some a, Some b -> a = b
+            | _, _ -> true (* unknown membership: be conservative, drop *)
+          in
+          if (not same_subcluster) && not (Net.Asn.equal c r.member) then
+            consider m (Net.Asn.to_int c)
+              (float_of_int (List.length segment))
+              (K_bridge
+                 { via_neighbor = r.neighbor; to_member = c; segment; rel = r.rel })
+      end)
+    routes;
+  (* Dijkstra from the destination over reversed edges: pred in the
+     reversed run is each node's successor toward the destination. *)
+  let reversed = Net.Graph.create ~directed:true () in
+  Net.Graph.add_node reversed dest_id;
+  Net.Asn.Set.iter (fun m -> Net.Graph.add_node reversed (Net.Asn.to_int m)) members;
+  Hashtbl.iter (fun (u, v) (w, _) -> Net.Graph.add_edge ~w reversed v u) edges;
+  let dist, succ = Net.Graph.dijkstra reversed dest_id in
+  (* Read decisions off the successor tree, memoizing AS paths. *)
+  let memo : (int, Net.Asn.t list * Bgp.Policy.route_provenance) Hashtbl.t = Hashtbl.create 16 in
+  let rec path_of m =
+    match Hashtbl.find_opt memo m with
+    | Some r -> r
+    | None ->
+      let s = Hashtbl.find succ m in
+      let _, kind = Hashtbl.find edges (m, s) in
+      let result =
+        match kind with
+        | K_local -> ([], Bgp.Policy.Originated)
+        | K_exit r -> (Bgp.Attrs.as_path r.attrs, Bgp.Policy.From r.rel)
+        | K_intra ->
+          let rest, prov = path_of s in
+          (Net.Asn.of_int s :: rest, prov)
+        | K_bridge { segment; rel; to_member; _ } ->
+          let rest, _ = path_of (Net.Asn.to_int to_member) in
+          (segment @ rest, Bgp.Policy.From rel)
+      in
+      Hashtbl.replace memo m result;
+      result
+  in
+  Net.Asn.Set.fold
+    (fun member acc ->
+      let m = Net.Asn.to_int member in
+      match Hashtbl.find_opt dist m with
+      | None -> acc (* unreachable *)
+      | Some distance ->
+        let s = Hashtbl.find succ m in
+        let _, kind = Hashtbl.find edges (m, s) in
+        let hop =
+          match kind with
+          | K_local -> Deliver_local
+          | K_exit r -> Exit { neighbor = r.neighbor }
+          | K_intra -> Intra { next_member = Net.Asn.of_int s }
+          | K_bridge { via_neighbor; to_member; _ } -> Bridge { via_neighbor; to_member }
+        in
+        let as_path, provenance = path_of m in
+        acc |> Net.Asn.Map.add member { member; hop; as_path; distance; provenance })
+    members Net.Asn.Map.empty
+
+(* The strategy the paper warns against ("we can not naively use the same
+   loop avoidance mechanism as BGP"): select each member's best external
+   route independently, relying only on BGP's own-ASN loop check (already
+   applied at import).  No switch-graph transformation, no sub-cluster
+   analysis.  Kept as the comparison baseline that demonstrates why the
+   transformation exists — mutually-referential stale routes through
+   other cluster members produce forwarding loops the AS paths cannot
+   reveal (see test_as_graph). *)
+let naive_compute ~members ~(routes : exit_route list) ~originators () =
+  Net.Asn.Set.fold
+    (fun member acc ->
+      if Net.Asn.Set.mem member originators then
+        acc
+        |> Net.Asn.Map.add member
+             { member; hop = Deliver_local; as_path = []; distance = 0.0;
+               provenance = Bgp.Policy.Originated }
+      else begin
+        let candidates =
+          List.filter (fun (r : exit_route) -> Net.Asn.equal r.member member) routes
+        in
+        let best =
+          List.fold_left
+            (fun acc (r : exit_route) ->
+              let len = List.length (Bgp.Attrs.as_path r.attrs) in
+              match acc with
+              | Some (best_len, (best_r : exit_route))
+                when best_len < len
+                     || (best_len = len && Net.Asn.compare best_r.neighbor r.neighbor <= 0)
+                -> acc
+              | Some _ | None -> Some (len, r))
+            None candidates
+        in
+        match best with
+        | None -> acc
+        | Some (len, r) ->
+          acc
+          |> Net.Asn.Map.add member
+               {
+                 member;
+                 hop = Exit { neighbor = r.neighbor };
+                 as_path = Bgp.Attrs.as_path r.attrs;
+                 distance = float_of_int len;
+                 provenance = Bgp.Policy.From r.rel;
+               }
+      end)
+    members Net.Asn.Map.empty
+
+let pp_hop ppf = function
+  | Deliver_local -> Fmt.string ppf "local"
+  | Exit { neighbor } -> Fmt.pf ppf "exit via %a" Net.Asn.pp neighbor
+  | Intra { next_member } -> Fmt.pf ppf "intra to %a" Net.Asn.pp next_member
+  | Bridge { via_neighbor; to_member } ->
+    Fmt.pf ppf "bridge via %a to %a" Net.Asn.pp via_neighbor Net.Asn.pp to_member
+
+let pp_decision ppf d =
+  Fmt.pf ppf "%a: %a dist=%.0f path=[%a]" Net.Asn.pp d.member pp_hop d.hop d.distance
+    Bgp.Attrs.pp_path d.as_path

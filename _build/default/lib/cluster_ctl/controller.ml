@@ -1,0 +1,422 @@
+(* The proof-of-concept IDR SDN controller (the POX application role).
+
+   Inputs: external BGP updates relayed by the cluster speaker, port
+   status from member switches, and locally originated prefixes.
+   State: the switch graph, a cluster-wide external RIB, and the last
+   computed per-prefix decisions.
+   Outputs: FLOW_MODs to member switches and BGP announcements through
+   the speaker — one centralized decision replacing the members'
+   distributed path exploration.
+
+   Recomputation is *delayed*: external input marks prefixes dirty and a
+   batch recomputation runs after [recompute_delay], which both
+   rate-limits route flaps during bursts (the paper's design insight) and
+   is the mechanism by which centralization shortens convergence. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type config = {
+  recompute_delay : Engine.Time.span;
+  proactive : bool;
+      (* true: push flow rules for every decision (the paper's mode);
+         false: install reactively on PACKET_IN with an idle timeout *)
+  reactive_idle_timeout : Engine.Time.span;
+}
+
+let default_config =
+  {
+    recompute_delay = Engine.Time.sec 2;
+    proactive = true;
+    reactive_idle_timeout = Engine.Time.sec 30;
+  }
+
+type stats = {
+  mutable updates_in : int;
+  mutable recompute_batches : int;
+  mutable prefixes_recomputed : int;
+  mutable flow_mods : int;
+  mutable announces : int;
+  mutable withdraws : int;
+  mutable decision_changes : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  config : config;
+  members : Net.Asn.Set.t;
+  speaker : Speaker.t;
+  send_switch : member:Net.Asn.t -> Sdn.Openflow.t -> bool;
+  node_of_asn : Net.Asn.t -> int option;
+  asn_of_node : int -> Net.Asn.t option;
+  addr_of_member : Net.Asn.t -> Net.Ipv4.addr;
+  policy_of : member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Policy.t;
+  switch_graph : Net.Graph.t;
+  mutable rib : As_graph.exit_route list Pm.t;
+  mutable originated : Net.Asn.Set.t Pm.t;
+  mutable installed : Sdn.Flow.action Net.Asn.Map.t Pm.t;
+  mutable decisions : As_graph.decision Net.Asn.Map.t Pm.t;
+  mutable recompute : Recompute.t option; (* set right after creation *)
+  mutable on_decision_change :
+    (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) list;
+  stats : stats;
+}
+
+let log t fmt = Engine.Sim.logf t.sim ~node:"controller" ~category:"controller" fmt
+
+let members t = Net.Asn.Set.elements t.members
+
+let stats t = t.stats
+
+let switch_graph t = t.switch_graph
+
+let decisions_for t prefix =
+  Option.value (Pm.find_opt prefix t.decisions) ~default:Net.Asn.Map.empty
+
+let decision t ~member prefix = Net.Asn.Map.find_opt member (decisions_for t prefix)
+
+let rib_routes t prefix = Option.value (Pm.find_opt prefix t.rib) ~default:[]
+
+let known_prefixes t =
+  let s = Net.Ipv4.Prefix_set.empty in
+  let s = Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) t.rib s in
+  let s = Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) t.originated s in
+  let s = Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) t.decisions s in
+  Net.Ipv4.Prefix_set.elements s
+
+let subscribe_decision_change t f = t.on_decision_change <- t.on_decision_change @ [ f ]
+
+(* --- Announcement construction ---------------------------------------- *)
+
+(* What session (member, neighbor) should advertise for this prefix given
+   the decision map: the member's centrally selected route with its own
+   ASN prepended (AS identity preserved), filtered by loop check, by
+   not-back-to-exit, and by the member's export policy. *)
+let announcement t ~member ~neighbor prefix decision_map =
+  match Net.Asn.Map.find_opt member decision_map with
+  | None -> None
+  | Some (d : As_graph.decision) ->
+    let back_to_exit =
+      match d.As_graph.hop with
+      | As_graph.Exit { neighbor = n } -> Net.Asn.equal n neighbor
+      | As_graph.Bridge { via_neighbor; _ } -> Net.Asn.equal via_neighbor neighbor
+      | As_graph.Deliver_local | As_graph.Intra _ -> false
+    in
+    if back_to_exit then None
+    else begin
+      let as_path = member :: d.As_graph.as_path in
+      if List.exists (Net.Asn.equal neighbor) as_path then None
+      else begin
+        let attrs =
+          Bgp.Attrs.make ~as_path ~next_hop:(t.addr_of_member member) ()
+        in
+        let policy = t.policy_of ~member ~neighbor in
+        Bgp.Policy.export policy ~provenance:d.As_graph.provenance ~prefix attrs
+      end
+    end
+
+let sync_session t ~member ~neighbor prefix decision_map =
+  match announcement t ~member ~neighbor prefix decision_map with
+  | Some attrs ->
+    t.stats.announces <- t.stats.announces + 1;
+    Speaker.announce t.speaker ~member ~neighbor prefix attrs
+  | None ->
+    t.stats.withdraws <- t.stats.withdraws + 1;
+    Speaker.withdraw t.speaker ~member ~neighbor prefix
+
+(* --- Recomputation ------------------------------------------------------ *)
+
+let recompute_prefix t prefix =
+  t.stats.prefixes_recomputed <- t.stats.prefixes_recomputed + 1;
+  let originators = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
+  let desired =
+    As_graph.compute ~members:t.members ~switch_graph:t.switch_graph
+      ~routes:(rib_routes t prefix) ~originators ()
+  in
+  (* Notify decision changes (convergence instrumentation). *)
+  let previous = decisions_for t prefix in
+  Net.Asn.Set.iter
+    (fun member ->
+      let old_d = Net.Asn.Map.find_opt member previous in
+      let new_d = Net.Asn.Map.find_opt member desired in
+      let changed =
+        match (old_d, new_d) with
+        | None, None -> false
+        | Some a, Some b ->
+          a.As_graph.hop <> b.As_graph.hop
+          || a.As_graph.as_path <> b.As_graph.as_path
+        | None, Some _ | Some _, None -> true
+      in
+      if changed then begin
+        t.stats.decision_changes <- t.stats.decision_changes + 1;
+        log t "decision %a %a: %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp member
+          (Fmt.option ~none:(Fmt.any "unreachable") As_graph.pp_decision)
+          new_d;
+        List.iter (fun f -> f prefix member new_d) t.on_decision_change
+      end)
+    t.members;
+  t.decisions <- Pm.add prefix desired t.decisions;
+  (* Program the data plane. *)
+  let installed = Option.value (Pm.find_opt prefix t.installed) ~default:Net.Asn.Map.empty in
+  let changes, new_installed =
+    Flow_compiler.diff ~prefix ~node_of_asn:t.node_of_asn ~members:(members t) ~installed
+      ~desired
+  in
+  (* Reactive mode installs rules only on demand: recomputation refreshes
+     or deletes rules already on a switch but never pushes new ones. *)
+  let changes, new_installed =
+    if t.config.proactive then (changes, new_installed)
+    else begin
+      let had m = Net.Asn.Map.mem m installed in
+      ( List.filter (fun (c : Flow_compiler.change) -> had c.Flow_compiler.member) changes,
+        Net.Asn.Map.filter (fun m _ -> had m) new_installed )
+    end
+  in
+  t.installed <- Pm.add prefix new_installed t.installed;
+  List.iter
+    (fun { Flow_compiler.member; mods } ->
+      List.iter
+        (fun m ->
+          t.stats.flow_mods <- t.stats.flow_mods + 1;
+          ignore (t.send_switch ~member m))
+        mods)
+    changes;
+  (* Update the legacy world through the speaker. *)
+  List.iter
+    (fun (member, neighbor) -> sync_session t ~member ~neighbor prefix desired)
+    (Speaker.sessions t.speaker)
+
+let recompute_batch t prefixes =
+  t.stats.recompute_batches <- t.stats.recompute_batches + 1;
+  List.iter (recompute_prefix t) prefixes
+
+let mark_dirty t prefix =
+  match t.recompute with
+  | Some r -> Recompute.mark_dirty r prefix
+  | None -> recompute_prefix t prefix
+
+(* --- Inputs ------------------------------------------------------------- *)
+
+let upsert_route t prefix (route : As_graph.exit_route) =
+  let same (r : As_graph.exit_route) =
+    Net.Asn.equal r.As_graph.member route.As_graph.member
+    && Net.Asn.equal r.As_graph.neighbor route.As_graph.neighbor
+  in
+  let others = List.filter (fun r -> not (same r)) (rib_routes t prefix) in
+  let routes =
+    List.sort
+      (fun (a : As_graph.exit_route) (b : As_graph.exit_route) ->
+        let c = Net.Asn.compare a.As_graph.member b.As_graph.member in
+        if c <> 0 then c else Net.Asn.compare a.As_graph.neighbor b.As_graph.neighbor)
+      (route :: others)
+  in
+  t.rib <- Pm.add prefix routes t.rib
+
+let remove_route t prefix ~member ~neighbor =
+  let routes =
+    List.filter
+      (fun (r : As_graph.exit_route) ->
+        not
+          (Net.Asn.equal r.As_graph.member member
+          && Net.Asn.equal r.As_graph.neighbor neighbor))
+      (rib_routes t prefix)
+  in
+  t.rib <- (if routes = [] then Pm.remove prefix t.rib else Pm.add prefix routes t.rib)
+
+let on_external_update t ~member ~neighbor (u : Bgp.Message.update) =
+  t.stats.updates_in <- t.stats.updates_in + 1;
+  List.iter
+    (fun prefix ->
+      remove_route t prefix ~member ~neighbor;
+      mark_dirty t prefix)
+    u.Bgp.Message.withdrawn;
+  List.iter
+    (fun (prefix, attrs) ->
+      let policy = t.policy_of ~member ~neighbor in
+      (match Bgp.Policy.import policy ~me:member ~prefix attrs with
+      | Some attrs ->
+        upsert_route t prefix
+          { As_graph.member; neighbor; attrs; rel = Bgp.Policy.relationship policy }
+      | None -> remove_route t prefix ~member ~neighbor);
+      mark_dirty t prefix)
+    u.Bgp.Message.announced
+
+let on_session_change t ~member ~neighbor ~up =
+  if up then begin
+    (* Full-table sync toward the new session from current decisions. *)
+    List.iter
+      (fun prefix -> sync_session t ~member ~neighbor prefix (decisions_for t prefix))
+      (known_prefixes t)
+  end
+  else begin
+    (* Flush everything learned over this peering. *)
+    let affected =
+      Pm.fold
+        (fun prefix routes acc ->
+          if
+            List.exists
+              (fun (r : As_graph.exit_route) ->
+                Net.Asn.equal r.As_graph.member member
+                && Net.Asn.equal r.As_graph.neighbor neighbor)
+              routes
+          then prefix :: acc
+          else acc)
+        t.rib []
+    in
+    List.iter
+      (fun prefix ->
+        remove_route t prefix ~member ~neighbor;
+        mark_dirty t prefix)
+      affected
+  end
+
+(* Port status from a member switch: a member-to-member port edits the
+   switch graph (and re-splits sub-clusters); a member-to-external port
+   bounces the BGP session riding on it. *)
+let handle_port_status t ~switch_asn ~port ~up =
+  match t.asn_of_node port with
+  | None -> log t "port status for unknown node %d" port
+  | Some peer_asn ->
+    if Net.Asn.Set.mem peer_asn t.members then begin
+      let u = Net.Asn.to_int switch_asn and v = Net.Asn.to_int peer_asn in
+      (if up then Net.Graph.add_edge t.switch_graph u v
+       else Net.Graph.remove_edge t.switch_graph u v);
+      log t "switch graph %a<->%a %s" Net.Asn.pp switch_asn Net.Asn.pp peer_asn
+        (if up then "up" else "down");
+      List.iter (fun p -> mark_dirty t p) (known_prefixes t)
+    end
+    else if up then Speaker.open_session t.speaker ~member:switch_asn ~neighbor:peer_asn
+    else Speaker.session_down t.speaker ~member:switch_asn ~neighbor:peer_asn
+
+(* PACKET_IN: emit the packet on the decided port; in reactive mode also
+   install the rule (with an idle timeout) so the flow's successors stay
+   in the data plane. *)
+let handle_packet_in t ~switch_asn ~in_port:_ (packet : Net.Packet.t) =
+  let prefix_match =
+    List.find_opt
+      (fun p -> Net.Ipv4.mem packet.Net.Packet.dst p)
+      (known_prefixes t)
+  in
+  match prefix_match with
+  | None -> ()
+  | Some prefix -> (
+    match decision t ~member:switch_asn prefix with
+    | None -> ()
+    | Some d -> (
+      match Flow_compiler.action_of_decision ~node_of_asn:t.node_of_asn d with
+      | Some (Sdn.Flow.Output port as action) ->
+        if not t.config.proactive then begin
+          let rule =
+            Sdn.Flow.make
+              ~priority:(Net.Ipv4.prefix_len prefix)
+              ~idle_timeout:t.config.reactive_idle_timeout ~match_prefix:prefix action
+          in
+          t.stats.flow_mods <- t.stats.flow_mods + 1;
+          ignore
+            (t.send_switch ~member:switch_asn
+               (Sdn.Openflow.Flow_mod { command = Sdn.Openflow.Add; rule }));
+          let installed =
+            Option.value (Pm.find_opt prefix t.installed) ~default:Net.Asn.Map.empty
+          in
+          t.installed <- Pm.add prefix (Net.Asn.Map.add switch_asn action installed) t.installed
+        end;
+        ignore
+          (t.send_switch ~member:switch_asn (Sdn.Openflow.Packet_out { out_port = port; packet }))
+      | Some (Sdn.Flow.To_controller | Sdn.Flow.Drop) | None -> ()))
+
+let handle_openflow t msg =
+  match msg with
+  | Sdn.Openflow.Packet_in { switch_asn; in_port; packet } ->
+    handle_packet_in t ~switch_asn ~in_port packet
+  | Sdn.Openflow.Port_status { switch_asn; port; up } ->
+    handle_port_status t ~switch_asn ~port ~up
+  | Sdn.Openflow.Bgp_relay { member; neighbor; direction = Sdn.Openflow.To_speaker; payload } ->
+    Speaker.handle_relay t.speaker ~member ~neighbor payload
+  | Sdn.Openflow.Hello -> ()
+  | Sdn.Openflow.Flow_removed { switch_asn; rule; reason = _ } ->
+    (* A timed-out rule is gone from the switch: forget it so a later
+       PACKET_IN (reactive) or recomputation (proactive) reinstalls it. *)
+    log t "flow removed at %a: %a" Net.Asn.pp switch_asn Sdn.Flow.pp rule;
+    let prefix = rule.Sdn.Flow.match_prefix in
+    (match Pm.find_opt prefix t.installed with
+    | Some installed ->
+      t.installed <- Pm.add prefix (Net.Asn.Map.remove switch_asn installed) t.installed
+    | None -> ())
+  | Sdn.Openflow.Bgp_relay _ | Sdn.Openflow.Packet_out _ | Sdn.Openflow.Flow_mod _ ->
+    log t "unexpected openflow message: %a" Sdn.Openflow.pp msg
+
+(* --- Origination --------------------------------------------------------- *)
+
+let originate t ~member prefix =
+  if not (Net.Asn.Set.mem member t.members) then
+    invalid_arg (Fmt.str "Controller.originate: %a not a member" Net.Asn.pp member);
+  let current = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
+  t.originated <- Pm.add prefix (Net.Asn.Set.add member current) t.originated;
+  log t "originate %a at %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp member;
+  mark_dirty t prefix
+
+let withdraw_origin t ~member prefix =
+  match Pm.find_opt prefix t.originated with
+  | None -> ()
+  | Some set ->
+    let set = Net.Asn.Set.remove member set in
+    t.originated <-
+      (if Net.Asn.Set.is_empty set then Pm.remove prefix t.originated
+       else Pm.add prefix set t.originated);
+    log t "withdraw-origin %a at %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp member;
+    mark_dirty t prefix
+
+let flush_recompute t = Option.iter Recompute.flush_now t.recompute
+
+let recompute_info t =
+  match t.recompute with
+  | Some r -> (Recompute.batches r, Recompute.marks r)
+  | None -> (0, 0)
+
+(* --- Construction --------------------------------------------------------- *)
+
+let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn ~asn_of_node
+    ~addr_of_member ~policy_of ~intra_links =
+  let members = Net.Asn.Set.of_list member_list in
+  let switch_graph = Net.Graph.create () in
+  List.iter (fun m -> Net.Graph.add_node switch_graph (Net.Asn.to_int m)) member_list;
+  List.iter
+    (fun (a, b) -> Net.Graph.add_edge switch_graph (Net.Asn.to_int a) (Net.Asn.to_int b))
+    intra_links;
+  let t =
+    {
+      sim;
+      config;
+      members;
+      speaker;
+      send_switch;
+      node_of_asn;
+      asn_of_node;
+      addr_of_member;
+      policy_of;
+      switch_graph;
+      rib = Pm.empty;
+      originated = Pm.empty;
+      installed = Pm.empty;
+      decisions = Pm.empty;
+      recompute = None;
+      on_decision_change = [];
+      stats =
+        {
+          updates_in = 0;
+          recompute_batches = 0;
+          prefixes_recomputed = 0;
+          flow_mods = 0;
+          announces = 0;
+          withdraws = 0;
+          decision_changes = 0;
+        };
+    }
+  in
+  t.recompute <-
+    Some
+      (Recompute.create ~sim ~delay:config.recompute_delay ~callback:(fun prefixes ->
+           recompute_batch t prefixes));
+  Speaker.set_handlers speaker
+    ~on_update:(fun ~member ~neighbor u -> on_external_update t ~member ~neighbor u)
+    ~on_session:(fun ~member ~neighbor ~up -> on_session_change t ~member ~neighbor ~up);
+  t

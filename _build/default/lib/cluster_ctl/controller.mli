@@ -1,0 +1,71 @@
+(** The proof-of-concept IDR SDN controller: centralized per-prefix route
+    selection on the AS topology graph, flow-rule compilation, BGP
+    announcements through the cluster speaker, delayed recomputation. *)
+
+type config = {
+  recompute_delay : Engine.Time.span;
+  proactive : bool;
+      (** true: push flow rules for every decision (the paper's mode);
+          false: install on PACKET_IN with an idle timeout *)
+  reactive_idle_timeout : Engine.Time.span;
+}
+
+val default_config : config
+(** 2-second delayed recomputation, proactive installation. *)
+
+type stats = {
+  mutable updates_in : int;
+  mutable recompute_batches : int;
+  mutable prefixes_recomputed : int;
+  mutable flow_mods : int;
+  mutable announces : int;
+  mutable withdraws : int;
+  mutable decision_changes : int;
+}
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  config:config ->
+  members:Net.Asn.t list ->
+  speaker:Speaker.t ->
+  send_switch:(member:Net.Asn.t -> Sdn.Openflow.t -> bool) ->
+  node_of_asn:(Net.Asn.t -> int option) ->
+  asn_of_node:(int -> Net.Asn.t option) ->
+  addr_of_member:(Net.Asn.t -> Net.Ipv4.addr) ->
+  policy_of:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Policy.t) ->
+  intra_links:(Net.Asn.t * Net.Asn.t) list ->
+  t
+(** Registers itself as the speaker's update/session handler. *)
+
+val members : t -> Net.Asn.t list
+
+val stats : t -> stats
+
+val switch_graph : t -> Net.Graph.t
+
+val decision : t -> member:Net.Asn.t -> Net.Ipv4.prefix -> As_graph.decision option
+
+val decisions_for : t -> Net.Ipv4.prefix -> As_graph.decision Net.Asn.Map.t
+
+val rib_routes : t -> Net.Ipv4.prefix -> As_graph.exit_route list
+
+val known_prefixes : t -> Net.Ipv4.prefix list
+
+val subscribe_decision_change :
+  t -> (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) -> unit
+
+val handle_openflow : t -> Sdn.Openflow.t -> unit
+(** Entry point for messages arriving at the controller node: PACKET_IN,
+    PORT_STATUS, and BGP relays (handed to the speaker). *)
+
+val originate : t -> member:Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val withdraw_origin : t -> member:Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val flush_recompute : t -> unit
+(** Force pending dirty prefixes to recompute now. *)
+
+val recompute_info : t -> int * int
+(** (batches, marks) of the delayed-recomputation scheduler. *)

@@ -1,0 +1,59 @@
+(* Compile AS-graph decisions into per-switch flow rules and diff them
+   against what is installed, emitting only the necessary FLOW_MODs. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+(* Desired forwarding action at a member's switch for one prefix. *)
+let action_of_decision ~node_of_asn (d : As_graph.decision) =
+  match d.As_graph.hop with
+  | As_graph.Deliver_local -> Some (Sdn.Flow.Output (Net.Asn.to_int d.As_graph.member))
+    (* port = own node id is the Switch.handle_control PACKET_OUT-to-self
+       convention for local delivery; for installed rules we instead mark
+       local prefixes on the switch, so this case is normally filtered out
+       by the caller. *)
+  | As_graph.Exit { neighbor } -> Option.map (fun n -> Sdn.Flow.Output n) (node_of_asn neighbor)
+  | As_graph.Intra { next_member } ->
+    Option.map (fun n -> Sdn.Flow.Output n) (node_of_asn next_member)
+  | As_graph.Bridge { via_neighbor; _ } ->
+    Option.map (fun n -> Sdn.Flow.Output n) (node_of_asn via_neighbor)
+
+type change = {
+  member : Net.Asn.t;
+  mods : Sdn.Openflow.t list; (* FLOW_MODs to send to this member's switch *)
+}
+
+(* [installed]: what each member's switch currently has for this prefix.
+   [desired]: the new decisions.  Returns the per-member FLOW_MODs and the
+   new installed state. *)
+let diff ~prefix ~node_of_asn ~(members : Net.Asn.t list)
+    ~(installed : Sdn.Flow.action Net.Asn.Map.t) ~(desired : As_graph.decision Net.Asn.Map.t) =
+  let priority = Net.Ipv4.prefix_len prefix in
+  let changes = ref [] in
+  let new_installed = ref Net.Asn.Map.empty in
+  List.iter
+    (fun member ->
+      let want =
+        match Net.Asn.Map.find_opt member desired with
+        | Some d when d.As_graph.hop <> As_graph.Deliver_local ->
+          action_of_decision ~node_of_asn d
+        | Some _ (* Deliver_local: the switch's is_local check handles it *) | None -> None
+      in
+      let have = Net.Asn.Map.find_opt member installed in
+      let mods =
+        match (want, have) with
+        | Some w, Some h when Sdn.Flow.action_equal w h -> []
+        | Some w, (Some _ | None) ->
+          [ Sdn.Openflow.Flow_mod
+              { command = Sdn.Openflow.Add; rule = Sdn.Flow.make ~priority ~match_prefix:prefix w } ]
+        | None, Some h ->
+          [ Sdn.Openflow.Flow_mod
+              { command = Sdn.Openflow.Delete;
+                rule = Sdn.Flow.make ~priority ~match_prefix:prefix h } ]
+        | None, None -> []
+      in
+      (match want with
+      | Some w -> new_installed := Net.Asn.Map.add member w !new_installed
+      | None -> ());
+      if mods <> [] then changes := { member; mods } :: !changes)
+    members;
+  (List.rev !changes, !new_installed)

@@ -1,0 +1,18 @@
+(** Compile AS-graph decisions to flow rules, diffed against the installed
+    state so only changes produce FLOW_MODs. *)
+
+val action_of_decision :
+  node_of_asn:(Net.Asn.t -> int option) -> As_graph.decision -> Sdn.Flow.action option
+
+type change = { member : Net.Asn.t; mods : Sdn.Openflow.t list }
+
+val diff :
+  prefix:Net.Ipv4.prefix ->
+  node_of_asn:(Net.Asn.t -> int option) ->
+  members:Net.Asn.t list ->
+  installed:Sdn.Flow.action Net.Asn.Map.t ->
+  desired:As_graph.decision Net.Asn.Map.t ->
+  change list * Sdn.Flow.action Net.Asn.Map.t
+(** Returns the per-member FLOW_MODs and the new installed-state map.
+    [Deliver_local] decisions install nothing (the switch's local-prefix
+    check delivers those packets). *)

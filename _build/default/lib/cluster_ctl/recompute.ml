@@ -1,0 +1,66 @@
+(* Delayed best-path recomputation.
+
+   The paper's second design insight: recomputing on every external BGP
+   input destabilizes the cluster during update bursts (which is exactly
+   what convergence events produce), so the controller marks prefixes
+   dirty and recomputes them in one batch after a delay, rate-limiting
+   route flaps.  A zero delay degenerates to immediate recomputation (the
+   ablation baseline). *)
+
+type t = {
+  sim : Engine.Sim.t;
+  delay : Engine.Time.span;
+  mutable dirty : Net.Ipv4.Prefix_set.t;
+  timer : Engine.Timer.t;
+  mutable batches : int;
+  mutable marks : int;
+  callback : Net.Ipv4.prefix list -> unit;
+}
+
+let fire t () =
+  let prefixes = Net.Ipv4.Prefix_set.elements t.dirty in
+  t.dirty <- Net.Ipv4.Prefix_set.empty;
+  if prefixes <> [] then begin
+    t.batches <- t.batches + 1;
+    t.callback prefixes
+  end
+
+let create ~sim ~delay ~callback =
+  let self = ref None in
+  let timer =
+    Engine.Timer.create sim ~name:"recompute"
+      ~callback:(fun () -> match !self with Some t -> fire t () | None -> ())
+  in
+  let t =
+    {
+      sim;
+      delay;
+      dirty = Net.Ipv4.Prefix_set.empty;
+      timer;
+      batches = 0;
+      marks = 0;
+      callback;
+    }
+  in
+  self := Some t;
+  t
+
+let delay t = t.delay
+
+let mark_dirty t prefix =
+  t.marks <- t.marks + 1;
+  t.dirty <- Net.Ipv4.Prefix_set.add prefix t.dirty;
+  if Engine.Time.equal t.delay Engine.Time.zero then fire t ()
+  else Engine.Timer.start_if_idle t.timer t.delay
+
+let mark_dirty_many t prefixes = List.iter (mark_dirty t) prefixes
+
+let flush_now t =
+  Engine.Timer.cancel t.timer;
+  fire t ()
+
+let pending t = Net.Ipv4.Prefix_set.cardinal t.dirty
+
+let batches t = t.batches
+
+let marks t = t.marks

@@ -1,0 +1,27 @@
+(** Delayed, batched best-path recomputation: dirty-marking coalesces
+    bursts of external BGP input; a zero delay recomputes immediately. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  delay:Engine.Time.span ->
+  callback:(Net.Ipv4.prefix list -> unit) ->
+  t
+
+val delay : t -> Engine.Time.span
+
+val mark_dirty : t -> Net.Ipv4.prefix -> unit
+
+val mark_dirty_many : t -> Net.Ipv4.prefix list -> unit
+
+val flush_now : t -> unit
+(** Recompute everything dirty immediately (cancels the pending timer). *)
+
+val pending : t -> int
+
+val batches : t -> int
+(** Recomputation batches executed. *)
+
+val marks : t -> int
+(** Total dirty marks received (marks/batches = coalescing factor). *)

@@ -1,0 +1,203 @@
+(* The cluster BGP speaker (the ExaBGP role).
+
+   It terminates every external eBGP peering of every cluster member —
+   while preserving the member's AS identity on the wire — and relays
+   routing information between the legacy neighbors and the controller.
+   Messages physically travel encapsulated over the speaker's link to the
+   member's border switch (Switch.handle_control forwards them out).
+
+   The speaker keeps a per-session Adj-RIB-Out so the controller's
+   (re)announcements are deduplicated, and optionally paces announcements
+   with an MRAI like a conventional BGP implementation would (off by
+   default — ExaBGP emits updates as instructed; the controller's delayed
+   recomputation is the rate limiter). *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type session_key = Net.Asn.t * Net.Asn.t (* member, neighbor *)
+
+type session = {
+  member : Net.Asn.t;
+  neighbor : Net.Asn.t;
+  member_addr : Net.Ipv4.addr;
+  mutable established : bool;
+  mutable open_sent : bool;
+  mutable adj_out : Bgp.Attrs.t Pm.t;
+  mrai : Bgp.Mrai.t option;
+}
+
+type stats = {
+  mutable updates_in : int;
+  mutable updates_out : int;
+  mutable opens : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  send_relay : member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> bool;
+  sessions : (session_key, session) Hashtbl.t;
+  mutable session_order : session_key list; (* deterministic iteration *)
+  mutable on_update :
+    member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.update -> unit;
+  mutable on_session : member:Net.Asn.t -> neighbor:Net.Asn.t -> up:bool -> unit;
+  stats : stats;
+}
+
+let log t fmt = Engine.Sim.logf t.sim ~node:"speaker" ~category:"speaker" fmt
+
+let create ~sim ~send_relay =
+  {
+    sim;
+    rng = Engine.Rng.split (Engine.Sim.rng sim);
+    send_relay;
+    sessions = Hashtbl.create 32;
+    session_order = [];
+    on_update = (fun ~member:_ ~neighbor:_ _ -> ());
+    on_session = (fun ~member:_ ~neighbor:_ ~up:_ -> ());
+    stats = { updates_in = 0; updates_out = 0; opens = 0 };
+  }
+
+let set_handlers t ~on_update ~on_session =
+  t.on_update <- on_update;
+  t.on_session <- on_session
+
+let find t ~member ~neighbor = Hashtbl.find_opt t.sessions (member, neighbor)
+
+let sessions t = t.session_order
+
+let sessions_of t member =
+  List.filter_map
+    (fun (m, n) -> if Net.Asn.equal m member then Some n else None)
+    t.session_order
+
+let session_established t ~member ~neighbor =
+  match find t ~member ~neighbor with Some s -> s.established | None -> false
+
+let stats t = t.stats
+
+let send_wire t (s : session) msg =
+  let sent = t.send_relay ~member:s.member ~neighbor:s.neighbor msg in
+  if sent then begin
+    match msg with
+    | Bgp.Message.Update _ -> t.stats.updates_out <- t.stats.updates_out + 1
+    | Bgp.Message.Open _ | Bgp.Message.Keepalive | Bgp.Message.Notification _ -> ()
+  end;
+  sent
+
+let add_session ?(mrai_config : Bgp.Config.t option) t ~member ~neighbor ~member_addr =
+  let key = (member, neighbor) in
+  if Hashtbl.mem t.sessions key then
+    invalid_arg
+      (Fmt.str "Speaker.add_session: duplicate %a/%a" Net.Asn.pp member Net.Asn.pp neighbor);
+  let self = ref None in
+  let mrai =
+    Option.map
+      (fun config ->
+        Bgp.Mrai.create t.sim ~rng:(Engine.Rng.split t.rng) ~config
+          ~name:(Fmt.str "speaker-mrai-%a-%a" Net.Asn.pp member Net.Asn.pp neighbor)
+          ~send:(fun update ->
+            match !self with
+            | Some s when s.established ->
+              ignore (send_wire t s (Bgp.Message.Update update))
+            | Some _ | None -> ()))
+      mrai_config
+  in
+  let s =
+    { member; neighbor; member_addr; established = false; open_sent = false;
+      adj_out = Pm.empty; mrai }
+  in
+  self := Some s;
+  Hashtbl.replace t.sessions key s;
+  t.session_order <- t.session_order @ [ key ]
+
+let open_session t ~member ~neighbor =
+  match find t ~member ~neighbor with
+  | None ->
+    invalid_arg
+      (Fmt.str "Speaker.open_session: unknown %a/%a" Net.Asn.pp member Net.Asn.pp neighbor)
+  | Some s ->
+    if not s.open_sent then begin
+      s.open_sent <- true;
+      t.stats.opens <- t.stats.opens + 1;
+      ignore
+        (send_wire t s (Bgp.Message.Open { asn = s.member; router_id = s.member_addr }))
+    end
+
+let open_all t =
+  List.iter (fun (member, neighbor) -> open_session t ~member ~neighbor) t.session_order
+
+let establish t (s : session) =
+  if not s.established then begin
+    s.established <- true;
+    log t "session %a/%a established" Net.Asn.pp s.member Net.Asn.pp s.neighbor;
+    t.on_session ~member:s.member ~neighbor:s.neighbor ~up:true
+  end
+
+let session_down t ~member ~neighbor =
+  match find t ~member ~neighbor with
+  | None -> ()
+  | Some s ->
+    if s.established || s.open_sent then begin
+      s.established <- false;
+      s.open_sent <- false;
+      s.adj_out <- Pm.empty;
+      Option.iter Bgp.Mrai.reset s.mrai;
+      log t "session %a/%a down" Net.Asn.pp member Net.Asn.pp neighbor;
+      t.on_session ~member ~neighbor ~up:false
+    end
+
+(* A BGP message relayed in from a border switch. *)
+let handle_relay t ~member ~neighbor (msg : Bgp.Message.t) =
+  match find t ~member ~neighbor with
+  | None -> log t "relay for unknown session %a/%a" Net.Asn.pp member Net.Asn.pp neighbor
+  | Some s -> (
+    match msg with
+    | Bgp.Message.Open _ ->
+      if not s.open_sent then begin
+        s.open_sent <- true;
+        t.stats.opens <- t.stats.opens + 1;
+        ignore
+          (send_wire t s (Bgp.Message.Open { asn = s.member; router_id = s.member_addr }))
+      end;
+      establish t s
+    | Bgp.Message.Keepalive -> ()
+    | Bgp.Message.Notification reason ->
+      log t "notification on %a/%a: %s" Net.Asn.pp member Net.Asn.pp neighbor reason;
+      session_down t ~member ~neighbor
+    | Bgp.Message.Update u ->
+      if s.established then begin
+        t.stats.updates_in <- t.stats.updates_in + 1;
+        t.on_update ~member ~neighbor u
+      end)
+
+(* Controller-driven advertisement with Adj-RIB-Out deduplication. *)
+let announce t ~member ~neighbor prefix attrs =
+  match find t ~member ~neighbor with
+  | None -> ()
+  | Some s when not s.established -> ()
+  | Some s -> (
+    match Pm.find_opt prefix s.adj_out with
+    | Some prev when Bgp.Attrs.wire_equal prev attrs -> ()
+    | Some _ | None -> (
+      s.adj_out <- Pm.add prefix attrs s.adj_out;
+      match s.mrai with
+      | Some m -> Bgp.Mrai.enqueue_announce m prefix attrs
+      | None ->
+        ignore
+          (send_wire t s (Bgp.Message.update ~announced:[ (prefix, attrs) ] ()))))
+
+let withdraw t ~member ~neighbor prefix =
+  match find t ~member ~neighbor with
+  | None -> ()
+  | Some s when not s.established -> ()
+  | Some s ->
+    if Pm.mem prefix s.adj_out then begin
+      s.adj_out <- Pm.remove prefix s.adj_out;
+      match s.mrai with
+      | Some m -> Bgp.Mrai.enqueue_withdraw m prefix
+      | None -> ignore (send_wire t s (Bgp.Message.update ~withdrawn:[ prefix ] ()))
+    end
+
+let advertised t ~member ~neighbor prefix =
+  Option.bind (find t ~member ~neighbor) (fun s -> Pm.find_opt prefix s.adj_out)

@@ -1,0 +1,60 @@
+(** The cluster BGP speaker: terminates cluster members' external eBGP
+    peerings (preserving AS identity), relays updates to/from the
+    controller, deduplicates announcements per session. *)
+
+type t
+
+type stats = {
+  mutable updates_in : int;
+  mutable updates_out : int;
+  mutable opens : int;
+}
+
+val create :
+  sim:Engine.Sim.t ->
+  send_relay:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> bool) ->
+  t
+(** [send_relay] forwards a wire message toward the neighbor via the
+    member's border switch. *)
+
+val set_handlers :
+  t ->
+  on_update:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.update -> unit) ->
+  on_session:(member:Net.Asn.t -> neighbor:Net.Asn.t -> up:bool -> unit) ->
+  unit
+(** Wire the controller in. *)
+
+val add_session :
+  ?mrai_config:Bgp.Config.t ->
+  t ->
+  member:Net.Asn.t ->
+  neighbor:Net.Asn.t ->
+  member_addr:Net.Ipv4.addr ->
+  unit
+(** Configure one external peering.  [mrai_config] enables conventional
+    MRAI pacing of the speaker's announcements (off by default). *)
+
+val sessions : t -> (Net.Asn.t * Net.Asn.t) list
+(** (member, neighbor) pairs in configuration order. *)
+
+val sessions_of : t -> Net.Asn.t -> Net.Asn.t list
+
+val session_established : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> bool
+
+val stats : t -> stats
+
+val open_session : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> unit
+
+val open_all : t -> unit
+
+val session_down : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> unit
+(** E.g. after a PORT_STATUS down for the underlying link. *)
+
+val handle_relay : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> unit
+
+val announce : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Net.Ipv4.prefix -> Bgp.Attrs.t -> unit
+(** Advertise (deduplicated against the session's Adj-RIB-Out). *)
+
+val withdraw : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val advertised : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Net.Ipv4.prefix -> Bgp.Attrs.t option

@@ -1,0 +1,93 @@
+(** Hybridsdn — public facade of the hybrid BGP-SDN emulation framework.
+
+    Re-exports every layer under one roof and provides the quickstart
+    entry points:
+
+    {[
+      let spec = Core.sdn_tail ~k:8 (Core.Topo.clique 16) in
+      let exp = Core.run ~seed:1 spec in
+      let m = Core.measure_withdrawal exp (Core.Topo.asn 0) in
+      Fmt.pr "converged in %.1fs@." (Core.seconds m)
+    ]} *)
+
+val version : string
+
+(** {1 Engine: deterministic discrete-event simulation} *)
+
+module Time = Engine.Time
+module Rng = Engine.Rng
+module Stats = Engine.Stats
+module Sim = Engine.Sim
+module Trace = Engine.Trace
+
+(** {1 Network substrate} *)
+
+module Asn = Net.Asn
+module Ipv4 = Net.Ipv4
+module Graph = Net.Graph
+module Packet = Net.Packet
+
+(** {1 Topologies} *)
+
+module Spec = Topology.Spec
+module Caida = Topology.Caida
+module Iplane = Topology.Iplane
+module Random_models = Topology.Random_models
+
+(** Artificial topology shorthands (clique, star, ring, ...). *)
+module Topo : sig
+  include module type of Topology.Artificial
+end
+
+(** {1 BGP} *)
+
+module Bgp_attrs = Bgp.Attrs
+module Bgp_damping = Bgp.Damping
+module Bgp_route = Bgp.Route
+module Bgp_policy = Bgp.Policy
+module Bgp_decision = Bgp.Decision
+module Bgp_config = Bgp.Config
+module Bgp_router = Bgp.Router
+module Bgp_collector = Bgp.Collector
+
+(** {1 SDN} *)
+
+module Flow = Sdn.Flow
+module Flow_table = Sdn.Flow_table
+module Openflow = Sdn.Openflow
+module Switch = Sdn.Switch
+
+(** {1 The IDR controller cluster} *)
+
+module As_graph = Cluster_ctl.As_graph
+module Controller = Cluster_ctl.Controller
+module Speaker = Cluster_ctl.Speaker
+
+(** {1 Experiment framework} *)
+
+module Config = Framework.Config
+module Network = Framework.Network
+module Experiment = Framework.Experiment
+module Experiments = Framework.Experiments
+module Convergence = Framework.Convergence
+module Monitor = Framework.Monitor
+module Scenario = Framework.Scenario
+module Visualize = Framework.Visualize
+module Logparse = Framework.Logparse
+module Addressing = Framework.Addressing
+module Looking_glass = Framework.Looking_glass
+
+(** {1 Quickstart helpers} *)
+
+val sdn_tail : k:int -> Spec.t -> Spec.t
+(** Mark the last [k] ASes of a spec as SDN-controlled. *)
+
+val run : ?config:Config.t -> ?seed:int -> Spec.t -> Experiment.t
+(** Build and bootstrap an experiment. *)
+
+val measure_withdrawal : Experiment.t -> Asn.t -> Convergence.measurement
+(** Announce the AS's default prefix, settle, withdraw it, measure. *)
+
+val measure_announcement : Experiment.t -> Asn.t -> Convergence.measurement
+
+val seconds : Convergence.measurement -> float

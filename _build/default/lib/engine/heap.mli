@@ -1,0 +1,24 @@
+(** Array-backed binary min-heap with an explicit comparison function. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> ('a -> 'a -> int) -> 'a t
+(** [create ~dummy cmp] is an empty heap ordered by [cmp].  [dummy] fills
+    unused slots (it is never returned). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Unordered snapshot of the heap contents (testing aid). *)

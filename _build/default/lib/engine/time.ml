@@ -1,0 +1,64 @@
+(* Virtual simulation time.
+
+   Time is an absolute instant measured in integer microseconds since the
+   start of the simulation; [span] is a difference of instants.  Integer
+   microseconds keep event ordering exact and runs bit-reproducible, which
+   float seconds would not. *)
+
+type t = int64
+
+type span = int64
+
+let zero = 0L
+
+let compare = Int64.compare
+
+let equal = Int64.equal
+
+let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
+
+let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+
+let ( <= ) a b = Stdlib.( <= ) (Int64.compare a b) 0
+
+let ( < ) a b = Stdlib.( < ) (Int64.compare a b) 0
+
+let ( >= ) a b = Stdlib.( >= ) (Int64.compare a b) 0
+
+let ( > ) a b = Stdlib.( > ) (Int64.compare a b) 0
+
+let add = Int64.add
+
+let diff = Int64.sub
+
+(* Span constructors. *)
+
+let us n = Int64.of_int n
+
+let ms n = Int64.mul (Int64.of_int n) 1_000L
+
+let sec n = Int64.mul (Int64.of_int n) 1_000_000L
+
+let of_sec_f f = Int64.of_float (f *. 1e6)
+
+let span_add = Int64.add
+
+let span_scale span f = Int64.of_float (Int64.to_float span *. f)
+
+let span_zero = 0L
+
+(* Conversions. *)
+
+let to_us t = Int64.to_int t
+
+let to_ms_f t = Int64.to_float t /. 1e3
+
+let to_sec_f t = Int64.to_float t /. 1e6
+
+let of_us n = Int64.of_int n
+
+let pp ppf t = Fmt.pf ppf "%.3fs" (to_sec_f t)
+
+let pp_span = pp
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,38 @@
+(* Restartable one-shot timer on top of the scheduler.
+
+   This is the shape both BGP MRAI timers and the controller's delayed
+   recomputation need: arm, coalesce while armed, cancel, fire once. *)
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  callback : unit -> unit;
+  mutable armed : Sim.handle option;
+  mutable fires : int;
+}
+
+let create sim ~name ~callback = { sim; name; callback; armed = None; fires = 0 }
+
+let is_armed t =
+  match t.armed with
+  | None -> false
+  | Some h -> not (Sim.cancelled h)
+
+let cancel t =
+  (match t.armed with Some h -> Sim.cancel h | None -> ());
+  t.armed <- None
+
+let fire t () =
+  t.armed <- None;
+  t.fires <- t.fires + 1;
+  t.callback ()
+
+let start t span =
+  cancel t;
+  t.armed <- Some (Sim.schedule_after t.sim span (fire t))
+
+let start_if_idle t span = if not (is_armed t) then start t span
+
+let fires t = t.fires
+
+let name t = t.name

@@ -1,0 +1,21 @@
+(** Restartable one-shot timer: the primitive behind BGP MRAI timers and
+    the controller's delayed recomputation. *)
+
+type t
+
+val create : Sim.t -> name:string -> callback:(unit -> unit) -> t
+
+val start : t -> Time.span -> unit
+(** (Re)arm the timer: any pending expiry is cancelled first. *)
+
+val start_if_idle : t -> Time.span -> unit
+(** Arm only if not already armed — coalesces bursts of triggers. *)
+
+val cancel : t -> unit
+
+val is_armed : t -> bool
+
+val fires : t -> int
+(** Number of times the timer has fired. *)
+
+val name : t -> string

@@ -1,0 +1,73 @@
+(* Structured event log.
+
+   The original framework grep-analyses Quagga log files; we keep structured
+   records and can render them to similar text lines, so the log-analysis
+   tooling (framework.Logparse) has a faithful input format. *)
+
+type level = Debug | Info | Warn
+
+type record = {
+  time : Time.t;
+  node : string;
+  category : string;
+  level : level;
+  message : string;
+}
+
+type t = {
+  mutable records : record list; (* newest first *)
+  mutable count : int;
+  mutable enabled : bool;
+  mutable capacity : int; (* 0 = unbounded *)
+}
+
+let create ?(enabled = true) ?(capacity = 0) () =
+  { records = []; count = 0; enabled; capacity }
+
+let set_enabled t flag = t.enabled <- flag
+
+let enabled t = t.enabled
+
+let record t ~time ~node ~category ?(level = Info) message =
+  if t.enabled then begin
+    t.records <- { time; node; category; level; message } :: t.records;
+    t.count <- t.count + 1;
+    if t.capacity > 0 && t.count > t.capacity then begin
+      (* Drop the oldest half; amortized O(1) per record. *)
+      let keep = t.capacity / 2 in
+      t.records <- List.filteri (fun i _ -> i < keep) t.records;
+      t.count <- keep
+    end
+  end
+
+let count t = t.count
+
+let records t = List.rev t.records
+
+let clear t =
+  t.records <- [];
+  t.count <- 0
+
+let filter ?node ?category ?since t =
+  let matches r =
+    (match node with None -> true | Some n -> String.equal r.node n)
+    && (match category with None -> true | Some c -> String.equal r.category c)
+    && match since with None -> true | Some s -> Time.(r.time >= s)
+  in
+  List.filter matches (records t)
+
+let level_to_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let render_line r =
+  Fmt.str "%012d %s %s[%s]: %s" (Time.to_us r.time) (level_to_string r.level)
+    r.node r.category r.message
+
+let to_lines t = List.map render_line (records t)
+
+let last_time_matching t pred =
+  (* records are newest-first, so the first match is the latest. *)
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if pred r then Some r.time else find rest
+  in
+  find t.records

@@ -1,0 +1,42 @@
+(** Structured event log, renderable to Quagga-like text lines for the
+    log-analysis tooling. *)
+
+type level = Debug | Info | Warn
+
+type record = {
+  time : Time.t;
+  node : string;
+  category : string;
+  level : level;
+  message : string;
+}
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds retained records (0 = unbounded); when exceeded the
+    oldest half is dropped. *)
+
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+val record :
+  t -> time:Time.t -> node:string -> category:string -> ?level:level -> string -> unit
+
+val count : t -> int
+(** Number of records currently retained. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val filter : ?node:string -> ?category:string -> ?since:Time.t -> t -> record list
+
+val render_line : record -> string
+
+val to_lines : t -> string list
+
+val last_time_matching : t -> (record -> bool) -> Time.t option
+(** Time of the most recent record satisfying the predicate. *)

@@ -1,0 +1,1 @@
+lib/framework/addressing.ml: Fmt Hashtbl List Net Topology

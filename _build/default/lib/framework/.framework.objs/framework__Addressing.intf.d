@@ -1,0 +1,1 @@
+lib/framework/addressing.mli: Net Topology

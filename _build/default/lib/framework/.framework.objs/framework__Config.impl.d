@@ -1,0 +1,1 @@
+lib/framework/config.ml: Bgp Cluster_ctl Engine

@@ -1,0 +1,1 @@
+lib/framework/config.mli: Bgp Cluster_ctl Engine

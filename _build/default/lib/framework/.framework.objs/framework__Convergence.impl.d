@@ -1,0 +1,1 @@
+lib/framework/convergence.ml: Bgp Cluster_ctl Engine Fmt List Net Network Option

@@ -1,0 +1,1 @@
+lib/framework/convergence.mli: Engine Format Net Network

@@ -1,0 +1,1 @@
+lib/framework/experiment.ml: Addressing Config Convergence Engine List Monitor Network Topology

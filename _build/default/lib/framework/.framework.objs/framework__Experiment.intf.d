@@ -1,0 +1,1 @@
+lib/framework/experiment.mli: Config Convergence Engine Monitor Net Network Topology

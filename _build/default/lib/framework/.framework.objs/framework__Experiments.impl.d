@@ -1,0 +1,1 @@
+lib/framework/experiments.ml: Bgp Buffer Config Convergence Engine Experiment Float Fmt Hashtbl Int List Monitor Net Network Topology

@@ -1,0 +1,1 @@
+lib/framework/experiments.mli: Config Engine Format Net Topology

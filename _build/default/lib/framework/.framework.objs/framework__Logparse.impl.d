@@ -1,0 +1,1 @@
+lib/framework/logparse.ml: Engine Fmt Hashtbl Int List Net Option String

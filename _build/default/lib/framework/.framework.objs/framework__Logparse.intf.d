@@ -1,0 +1,1 @@
+lib/framework/logparse.mli: Engine Format Net

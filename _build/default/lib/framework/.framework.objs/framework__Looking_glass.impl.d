@@ -1,0 +1,1 @@
+lib/framework/looking_glass.ml: Bgp Cluster_ctl Engine Fmt List Net Network Sdn

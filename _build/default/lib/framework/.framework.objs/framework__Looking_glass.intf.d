@@ -1,0 +1,1 @@
+lib/framework/looking_glass.mli: Bgp Cluster_ctl Network Sdn

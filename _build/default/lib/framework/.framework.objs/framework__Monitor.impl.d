@@ -1,0 +1,1 @@
+lib/framework/monitor.ml: Addressing Engine Fmt List Net Network Option Topology

@@ -1,0 +1,1 @@
+lib/framework/monitor.mli: Engine Format Net Network

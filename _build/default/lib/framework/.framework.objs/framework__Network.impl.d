@@ -1,0 +1,1 @@
+lib/framework/network.ml: Addressing Bgp Cluster_ctl Config Engine Fmt Hashtbl List Net Option Payload Sdn String Topology

@@ -1,0 +1,1 @@
+lib/framework/network.mli: Addressing Bgp Cluster_ctl Config Engine Net Payload Sdn Topology

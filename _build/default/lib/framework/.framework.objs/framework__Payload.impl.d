@@ -1,0 +1,1 @@
+lib/framework/payload.ml: Bgp Fmt Net Sdn

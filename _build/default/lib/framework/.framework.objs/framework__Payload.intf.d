@@ -1,0 +1,1 @@
+lib/framework/payload.mli: Bgp Format Net Sdn

@@ -1,0 +1,1 @@
+lib/framework/quagga_conf.ml: Addressing Buffer Filename Fmt List Net Sys Topology

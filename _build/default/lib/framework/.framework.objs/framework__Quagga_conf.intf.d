@@ -1,0 +1,1 @@
+lib/framework/quagga_conf.mli: Addressing Net Topology

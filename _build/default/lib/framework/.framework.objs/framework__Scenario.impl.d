@@ -1,0 +1,1 @@
+lib/framework/scenario.ml: Addressing Buffer Engine Experiment Filename Fmt List Net Network String

@@ -1,0 +1,1 @@
+lib/framework/scenario.mli: Engine Experiment Format Net

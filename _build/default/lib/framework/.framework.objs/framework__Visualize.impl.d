@@ -1,0 +1,1 @@
+lib/framework/visualize.ml: Buffer Bytes Engine Experiments Float Fmt List Logparse Net Topology

@@ -1,0 +1,1 @@
+lib/framework/visualize.mli: Experiments Logparse Net Topology

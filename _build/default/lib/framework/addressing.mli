@@ -1,0 +1,13 @@
+(** Automatic IP address assignment: router address, host address and
+    default origin prefix per AS, derived from the spec ordering. *)
+
+type plan = {
+  index_of : Net.Asn.t -> int;
+  router_addr : Net.Asn.t -> Net.Ipv4.addr;
+  host_addr : Net.Asn.t -> Net.Ipv4.addr;
+  origin_prefix : Net.Asn.t -> Net.Ipv4.prefix;
+}
+
+val plan : Topology.Spec.t -> plan
+(** @raise Invalid_argument for ASNs outside the spec;
+    @raise Failure for topologies beyond the address plan (~16k ASes). *)

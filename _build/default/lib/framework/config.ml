@@ -1,0 +1,55 @@
+(* Framework-level experiment configuration: BGP timing, controller
+   behaviour, link properties, infrastructure placement. *)
+
+type t = {
+  bgp : Bgp.Config.t;
+  damping : Bgp.Damping.config option; (* RFC 2439 flap damping on legacy routers *)
+  controller : Cluster_ctl.Controller.config;
+  speaker_mrai : Bgp.Config.t option;
+      (* pace the cluster speaker's announcements like a normal BGP
+         implementation (None = ExaBGP-style immediate emission) *)
+  default_link_delay : Engine.Time.span;
+  collector_link_delay : Engine.Time.span;
+  control_link_delay : Engine.Time.span; (* controller <-> switch *)
+  wire_transport : bool;
+      (* pass every BGP message through the RFC 4271 binary codec at the
+         sender (encode -> byte stream -> decode), exactly as a TCP
+         transport would carry it; semantic UPDATEs that split into
+         several wire messages are delivered as such *)
+}
+
+let default =
+  {
+    bgp = Bgp.Config.default;
+    damping = None;
+    controller = Cluster_ctl.Controller.default_config;
+    speaker_mrai = None;
+    default_link_delay = Engine.Time.ms 2;
+    collector_link_delay = Engine.Time.ms 1;
+    control_link_delay = Engine.Time.ms 1;
+    wire_transport = false;
+  }
+
+let with_mrai t span = { t with bgp = Bgp.Config.with_mrai t.bgp span }
+
+let with_recompute_delay t span =
+  { t with
+    controller = { t.controller with Cluster_ctl.Controller.recompute_delay = span } }
+
+(* A configuration scaled for fast unit tests: second-scale MRAI. *)
+let fast_test =
+  {
+    default with
+    bgp =
+      {
+        Bgp.Config.default with
+        Bgp.Config.mrai = Engine.Time.sec 2;
+        proc_delay_min = Engine.Time.ms 1;
+        proc_delay_max = Engine.Time.ms 5;
+        session_down_detect = Engine.Time.ms 100;
+        session_open_delay = Engine.Time.ms 200;
+      };
+    controller =
+      { Cluster_ctl.Controller.default_config with
+        Cluster_ctl.Controller.recompute_delay = Engine.Time.ms 200 };
+  }

@@ -1,0 +1,28 @@
+(** Framework-level experiment configuration. *)
+
+type t = {
+  bgp : Bgp.Config.t;
+  damping : Bgp.Damping.config option;
+      (** RFC 2439 route-flap damping on legacy routers *)
+  controller : Cluster_ctl.Controller.config;
+  speaker_mrai : Bgp.Config.t option;
+      (** pace the cluster speaker's announcements like a conventional BGP
+          implementation ([None] = ExaBGP-style immediate emission) *)
+  default_link_delay : Engine.Time.span;
+  collector_link_delay : Engine.Time.span;
+  control_link_delay : Engine.Time.span;
+  wire_transport : bool;
+      (** pass every BGP message through the RFC 4271 binary codec at the
+          sender, as a TCP transport would *)
+}
+
+val default : t
+(** The paper's Quagga-like deployment: 30 s jittered MRAI (withdrawals
+    included), 2 s controller recomputation delay. *)
+
+val fast_test : t
+(** Second-scale timers for unit tests. *)
+
+val with_mrai : t -> Engine.Time.span -> t
+
+val with_recompute_delay : t -> Engine.Time.span -> t

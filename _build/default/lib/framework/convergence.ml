@@ -1,0 +1,136 @@
+(* Convergence detection.
+
+   The framework's definition (matching the paper's tooling): the network
+   has converged for a prefix when no routing state anywhere changes any
+   more.  We instrument every decision point — each legacy router's
+   Loc-RIB and each controller member decision — plus the route
+   collector's update stream, and record the last change time per prefix.
+   Because the emulation is a discrete-event simulation, "no more events"
+   is an exact quiet-period test: [Network.settle] drains the queue and
+   the convergence time is simply the last recorded change.
+
+   Attach the watcher *before* running the phase being measured. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+type t = {
+  mutable last_control_change : Engine.Time.t Pm.t; (* loc-rib / decisions *)
+  mutable last_collector_update : Engine.Time.t Pm.t;
+  mutable control_changes : int Pm.t;
+  mutable last_any : Engine.Time.t; (* latest control change, any prefix *)
+  network : Network.t;
+}
+
+let bump_map time prefix m = Pm.add prefix time m
+
+let attach network =
+  let t =
+    {
+      last_control_change = Pm.empty;
+      last_collector_update = Pm.empty;
+      control_changes = Pm.empty;
+      last_any = Engine.Time.zero;
+      network;
+    }
+  in
+  let note prefix =
+    let now = Engine.Sim.now (Network.sim network) in
+    t.last_control_change <- bump_map now prefix t.last_control_change;
+    t.last_any <- now;
+    t.control_changes <-
+      Pm.update prefix (fun c -> Some (1 + Option.value c ~default:0)) t.control_changes
+  in
+  Net.Asn.Map.iter
+    (fun _ router -> Bgp.Router.subscribe_best_change router (fun prefix _ -> note prefix))
+    (Network.routers network);
+  (match Network.controller network with
+  | Some ctrl ->
+    Cluster_ctl.Controller.subscribe_decision_change ctrl (fun prefix _ _ -> note prefix)
+  | None -> ());
+  t
+
+(* Refresh collector-derived timestamps (pull, not push). *)
+let refresh_collector t =
+  let collector = Network.collector t.network in
+  List.iter
+    (fun (e : Bgp.Collector.event) ->
+      let current = Pm.find_opt e.Bgp.Collector.prefix t.last_collector_update in
+      let better =
+        match current with
+        | None -> true
+        | Some c -> Engine.Time.(e.Bgp.Collector.time > c)
+      in
+      if better then
+        t.last_collector_update <-
+          bump_map e.Bgp.Collector.time e.Bgp.Collector.prefix t.last_collector_update)
+    (Bgp.Collector.events collector)
+
+let last_control_change t prefix = Pm.find_opt prefix t.last_control_change
+
+let last_collector_update t prefix =
+  refresh_collector t;
+  Pm.find_opt prefix t.last_collector_update
+
+let control_changes t prefix = Option.value (Pm.find_opt prefix t.control_changes) ~default:0
+
+(* Convergence time of an event on a prefix: run the network to
+   quiescence, then report the interval from [event_time] to the last
+   control-plane change for the prefix.  [None] if nothing changed after
+   the event (e.g. the event was a no-op). *)
+type measurement = {
+  prefix : Net.Ipv4.prefix;
+  event_time : Engine.Time.t;
+  settled_at : Engine.Time.t;
+  last_change : Engine.Time.t option;
+  convergence : Engine.Time.span option;
+  changes : int;
+}
+
+let measure ?(max_events = 10_000_000) ?changes_before t ~prefix ~event_time =
+  let changes_before =
+    match changes_before with Some c -> c | None -> control_changes t prefix
+  in
+  let settled_at = Network.settle ~max_events t.network in
+  let last_change =
+    match last_control_change t prefix with
+    | Some time when Engine.Time.(time >= event_time) -> Some time
+    | Some _ | None -> None
+  in
+  let convergence = Option.map (fun c -> Engine.Time.diff c event_time) last_change in
+  {
+    prefix;
+    event_time;
+    settled_at;
+    last_change;
+    convergence;
+    changes = control_changes t prefix - changes_before;
+  }
+
+(* Quiet-period convergence waiting: advance the simulation in [step]
+   increments until no control-plane change has occurred for [quiet].
+   This is the detection mode for experiments whose event queue never
+   drains (periodic keepalives, endless probe streams) — the analogue of
+   the original framework's "wait until BGP has converged" command. *)
+let wait_quiet ?(step = Engine.Time.sec 1) ?(max_wait = Engine.Time.sec 7200) ~quiet t =
+  let sim = Network.sim t.network in
+  let deadline = Engine.Time.add (Engine.Sim.now sim) max_wait in
+  let rec loop () =
+    let now = Engine.Sim.now sim in
+    let quiet_for = Engine.Time.diff now (Engine.Time.max t.last_any Engine.Time.zero) in
+    if Engine.Time.(quiet_for >= quiet) then `Quiet now
+    else if Engine.Time.(now >= deadline) then `Timeout now
+    else begin
+      match Engine.Sim.run ~until:(Engine.Time.add now step) sim with
+      | Engine.Sim.Exhausted -> `Quiet (Engine.Sim.now sim)
+      | Engine.Sim.Reached_time _ | Engine.Sim.Reached_limit -> loop ()
+    end
+  in
+  loop ()
+
+let last_any_change t = t.last_any
+
+let pp_measurement ppf m =
+  Fmt.pf ppf "event@%a settled@%a convergence=%a changes=%d" Engine.Time.pp m.event_time
+    Engine.Time.pp m.settled_at
+    (Fmt.option ~none:(Fmt.any "none") Engine.Time.pp_span)
+    m.convergence m.changes

@@ -1,0 +1,51 @@
+(** Convergence detection: instruments every decision point (legacy
+    Loc-RIBs, controller decisions) and the route collector, and measures
+    per-prefix convergence of experiment events. *)
+
+type t
+
+val attach : Network.t -> t
+(** Subscribe to every router and the controller.  Attach before running
+    the phase you want measured. *)
+
+val last_control_change : t -> Net.Ipv4.prefix -> Engine.Time.t option
+
+val last_collector_update : t -> Net.Ipv4.prefix -> Engine.Time.t option
+
+val control_changes : t -> Net.Ipv4.prefix -> int
+(** Total best-route changes observed for the prefix. *)
+
+val last_any_change : t -> Engine.Time.t
+(** Latest control-plane change for any prefix. *)
+
+type measurement = {
+  prefix : Net.Ipv4.prefix;
+  event_time : Engine.Time.t;
+  settled_at : Engine.Time.t;
+  last_change : Engine.Time.t option;
+  convergence : Engine.Time.span option;
+  changes : int;
+}
+
+val measure :
+  ?max_events:int ->
+  ?changes_before:int ->
+  t ->
+  prefix:Net.Ipv4.prefix ->
+  event_time:Engine.Time.t ->
+  measurement
+(** Run the network to quiescence and report the interval from
+    [event_time] to the prefix's last control-plane change ([None] when
+    the event changed nothing). *)
+
+val wait_quiet :
+  ?step:Engine.Time.span ->
+  ?max_wait:Engine.Time.span ->
+  quiet:Engine.Time.span ->
+  t ->
+  [ `Quiet of Engine.Time.t | `Timeout of Engine.Time.t ]
+(** Advance the simulation until no control-plane change for [quiet] —
+    the detection mode for networks whose event queue never drains
+    (keepalives, endless probe streams). *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

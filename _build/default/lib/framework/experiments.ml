@@ -1,0 +1,538 @@
+(* Canned experiments reproducing the paper's evaluation.
+
+   Fig. 2: withdrawal convergence on a 16-AS clique vs fraction of
+   SDN-controlled ASes, boxplots over 10 seeded runs; plus the
+   announcement and fail-over variants §4 mentions, and the ablations
+   DESIGN.md commits to.  All are parameterized so tests can run scaled-
+   down versions of the same code paths. *)
+
+type event_kind = Withdrawal | Announcement | Failover
+
+let event_to_string = function
+  | Withdrawal -> "withdrawal"
+  | Announcement -> "announcement"
+  | Failover -> "failover"
+
+type run_result = {
+  seconds : float; (* convergence time of the measured event *)
+  changes : int; (* control-plane best-route changes during it *)
+  collector_updates : int; (* updates seen by the route collector *)
+  restore_mean : float; (* mean per-AS data-plane restoration (failover) *)
+  restore_max : float; (* slowest AS's restoration (failover) *)
+}
+
+type point = {
+  x : float; (* e.g. SDN fraction *)
+  results : run_result list;
+  box : Engine.Stats.boxplot; (* over convergence seconds *)
+}
+
+type series = { label : string; points : point list }
+
+let box_of results = Engine.Stats.boxplot (List.map (fun r -> r.seconds) results)
+
+(* --- Single measured runs ------------------------------------------------ *)
+
+(* One convergence measurement on a clique with [sdn] of the non-origin
+   ASes centralized.  The origin AS (node 0) always stays legacy, as in
+   the paper's experiment where the withdrawn prefix belongs to the
+   legacy world. *)
+let clique_run ~n ~sdn ~event ~seed ~config () =
+  if sdn > n - 2 then invalid_arg "Experiments.clique_run: sdn must leave origin + 1 legacy";
+  let spec = Topology.Artificial.clique n in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Experiment.create ~config ~seed spec in
+  let origin = Topology.Artificial.asn 0 in
+  let prefix = Experiment.default_prefix exp origin in
+  let collector = Network.collector (Experiment.network exp) in
+  let measured =
+    match event with
+    | Announcement ->
+      Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin))
+    | Withdrawal ->
+      ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+      let before = Bgp.Collector.event_count collector in
+      let m =
+        Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
+      in
+      ignore before;
+      m
+    | Failover -> invalid_arg "Experiments.clique_run: use failover_run"
+  in
+  let collector_updates = Bgp.Collector.event_count collector in
+  {
+    seconds = Experiment.convergence_seconds measured;
+    changes = measured.Convergence.changes;
+    collector_updates;
+    restore_mean = nan;
+    restore_max = nan;
+  }
+
+(* Fail-over: a stub's short primary path (into clique member 0) dies and
+   the network must fall back to a strictly longer backup chain (into
+   member 1).  Legacy clique members hold stale intermediate-length paths
+   through each other and explore them MRAI round by round before
+   settling on the backup; centralized members skip that exploration.
+   [sdn] clique members are centralized — never members 0/1, which anchor
+   the primary and backup paths. *)
+let failover_run ~n ~sdn ~seed ~config () =
+  if sdn > n - 2 then invalid_arg "Experiments.failover_run: too many SDN members";
+  let spec = Topology.Artificial.failover_backup_chain ~clique_size:n ~chain_len:2 () in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Experiment.create ~config ~seed spec in
+  let stub = Topology.Artificial.stub_asn spec in
+  let primary = Topology.Artificial.asn 0 in
+  let prefix = Experiment.default_prefix exp stub in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp stub)));
+  let collector = Network.collector (Experiment.network exp) in
+  (* Track per-AS data-plane restoration (the paper's end-to-end video
+     interruption): sample forwarding state every 100 ms after the
+     failure and record each AS's first instant of renewed reachability
+     to the stub. *)
+  let network = Experiment.network exp in
+  let sim = Experiment.sim exp in
+  let watchers = List.filter (fun a -> not (Net.Asn.equal a stub)) (Topology.Spec.asns spec) in
+  let restored : (Net.Asn.t, float) Hashtbl.t = Hashtbl.create 16 in
+  let event_time = ref Engine.Time.zero in
+  let rec sample () =
+    List.iter
+      (fun src ->
+        if not (Hashtbl.mem restored src) && Monitor.reachable network ~src ~dst:stub then
+          Hashtbl.replace restored src
+            (Engine.Time.to_sec_f (Engine.Time.diff (Engine.Sim.now sim) !event_time)))
+      watchers;
+    let elapsed = Engine.Time.diff (Engine.Sim.now sim) !event_time in
+    if
+      Hashtbl.length restored < List.length watchers
+      && Engine.Time.(elapsed < Engine.Time.sec 3600)
+    then ignore (Engine.Sim.schedule_after sim (Engine.Time.ms 100) sample)
+  in
+  let measured =
+    Experiment.measure exp ~prefix (fun () ->
+        event_time := Engine.Sim.now sim;
+        Experiment.fail_link exp stub primary;
+        sample ())
+  in
+  let restore_times = Hashtbl.fold (fun _ t acc -> t :: acc) restored [] in
+  let restore_mean = Engine.Stats.mean restore_times in
+  let restore_max = List.fold_left Float.max 0.0 restore_times in
+  {
+    seconds = Experiment.convergence_seconds measured;
+    changes = measured.Convergence.changes;
+    collector_updates = Bgp.Collector.event_count collector;
+    restore_mean;
+    restore_max;
+  }
+
+(* --- Sweeps --------------------------------------------------------------- *)
+
+let sweep_points ~runs ~seed ~run_at xs =
+  List.map
+    (fun x ->
+      let results = List.init runs (fun i -> run_at ~x ~seed:(seed + (1000 * i))) in
+      { x; results; box = box_of results })
+    xs
+
+let default_fractions n =
+  (* 0, 2, 4, ... n-2 SDN members out of n, as in Fig. 2. *)
+  List.init ((n / 2) - 0) (fun i -> 2 * i) |> List.filter (fun k -> k <= n - 2)
+
+(* Fig. 2: withdrawal convergence vs SDN fraction. *)
+let fig2_withdrawal ?(n = 16) ?(runs = 10) ?(seed = 7) ?(config = Config.default) () =
+  let points =
+    sweep_points ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        clique_run ~n ~sdn:(int_of_float x) ~event:Withdrawal ~seed ~config ())
+      (List.map float_of_int (default_fractions n))
+  in
+  { label = Fmt.str "fig2-withdrawal-clique%d" n; points }
+
+(* §4: announcement experiments — smaller reductions. *)
+let announcement_sweep ?(n = 16) ?(runs = 10) ?(seed = 11) ?(config = Config.default) () =
+  let points =
+    sweep_points ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        clique_run ~n ~sdn:(int_of_float x) ~event:Announcement ~seed ~config ())
+      (List.map float_of_int (default_fractions n))
+  in
+  { label = Fmt.str "announcement-clique%d" n; points }
+
+(* §4: fail-over experiments — smaller reductions. *)
+let failover_sweep ?(n = 16) ?(runs = 10) ?(seed = 13) ?(config = Config.default) () =
+  let points =
+    sweep_points ~runs ~seed
+      ~run_at:(fun ~x ~seed -> failover_run ~n ~sdn:(int_of_float x) ~seed ~config ())
+      (List.map float_of_int (default_fractions n))
+  in
+  { label = Fmt.str "failover-clique%d" n; points }
+
+(* Ablation A1: the controller's delayed-recomputation interval, at a
+   fixed 50% deployment. *)
+let ablation_recompute_delay ?(n = 16) ?(runs = 10) ?(seed = 17) ?(config = Config.default)
+    ?(delays_ms = [ 0; 500; 2000; 8000 ]) () =
+  let points =
+    List.map
+      (fun delay_ms ->
+        let config = Config.with_recompute_delay config (Engine.Time.ms delay_ms) in
+        let results =
+          List.init runs (fun i ->
+              clique_run ~n ~sdn:(n / 2) ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
+        in
+        { x = float_of_int delay_ms; results; box = box_of results })
+      delays_ms
+  in
+  { label = Fmt.str "ablation-recompute-delay-clique%d" n; points }
+
+(* Ablation A3: MRAI sensitivity of the 0%-SDN baseline and of a 50%
+   deployment. *)
+let ablation_mrai ?(n = 16) ?(runs = 10) ?(seed = 19) ?(config = Config.default)
+    ?(mrai_s = [ 5; 15; 30 ]) ~sdn () =
+  let points =
+    List.map
+      (fun mrai ->
+        let config = Config.with_mrai config (Engine.Time.sec mrai) in
+        let results =
+          List.init runs (fun i ->
+              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
+        in
+        { x = float_of_int mrai; results; box = box_of results })
+      mrai_s
+  in
+  { label = Fmt.str "ablation-mrai-clique%d-sdn%d" n sdn; points }
+
+(* Ablation A4: RFC-style MRAI (withdrawals exempt) vs Quagga-style. *)
+let ablation_wrate ?(n = 16) ?(runs = 10) ?(seed = 23) ?(config = Config.default) ~sdn () =
+  let points =
+    List.map
+      (fun (x, wrate) ->
+        let config = { config with Config.bgp = { config.Config.bgp with Bgp.Config.mrai_on_withdrawals = wrate } } in
+        let results =
+          List.init runs (fun i ->
+              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
+        in
+        { x; results; box = box_of results })
+      [ (0.0, false); (1.0, true) ]
+  in
+  { label = Fmt.str "ablation-wrate-clique%d-sdn%d" n sdn; points }
+
+(* Scaling: withdrawal convergence vs clique size at a fixed deployment
+   fraction — does the linear-in-(legacy count) behaviour persist as the
+   network grows? *)
+let scaling_sweep ?(sizes = [ 8; 12; 16; 20; 24 ]) ?(fraction = 0.5) ?(runs = 5) ?(seed = 37)
+    ?(config = Config.default) () =
+  let points =
+    List.map
+      (fun n ->
+        let sdn = int_of_float (float_of_int n *. fraction) in
+        let sdn = min sdn (n - 2) in
+        let results =
+          List.init runs (fun i ->
+              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
+        in
+        { x = float_of_int n; results; box = box_of results })
+      sizes
+  in
+  { label = Fmt.str "scaling-withdrawal-f%.2f" fraction; points }
+
+(* Convergence under background churn: a second AS flaps its own prefix
+   throughout the measurement.  Because MRAI timers are per *peer*, not
+   per prefix, background churn keeps the timers armed and the measured
+   withdrawal inherits extra pacing delay — centralized members are
+   immune to that coupling. *)
+let churn_run ~n ~sdn ~flap_period_s ~seed ~config () =
+  if sdn > n - 3 then invalid_arg "Experiments.churn_run: need origin + flapper legacy";
+  let spec = Topology.Artificial.clique n in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Experiment.create ~config ~seed spec in
+  let origin = Topology.Artificial.asn 0 in
+  let flapper = Topology.Artificial.asn 1 in
+  let prefix = Experiment.default_prefix exp origin in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+  (* schedule a finite flap train long enough to cover the measurement *)
+  let sim = Experiment.sim exp in
+  let network = Experiment.network exp in
+  let period = Engine.Time.of_sec_f flap_period_s in
+  let flap_prefix = Experiment.default_prefix exp flapper in
+  let cycles = 40 in
+  for i = 0 to cycles - 1 do
+    let base = Engine.Time.add (Engine.Sim.now sim) (Engine.Time.span_scale period (float_of_int i)) in
+    ignore
+      (Engine.Sim.schedule_at sim base (fun () -> Network.originate network flapper flap_prefix));
+    ignore
+      (Engine.Sim.schedule_at sim
+         (Engine.Time.add base (Engine.Time.span_scale period 0.5))
+         (fun () -> Network.withdraw network flapper flap_prefix))
+  done;
+  let collector = Network.collector network in
+  let measured =
+    Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
+  in
+  {
+    seconds = Experiment.convergence_seconds measured;
+    changes = measured.Convergence.changes;
+    collector_updates = Bgp.Collector.event_count collector;
+    restore_mean = nan;
+    restore_max = nan;
+  }
+
+(* --- Deployment placement -------------------------------------------------
+
+   On heterogeneous (Internet-like) topologies it matters *which* ASes
+   join the cluster.  Three strategies: the k best-connected ASes, k
+   random ASes, k stubs.  The origin never joins. *)
+
+type placement = Top_degree | Random_choice | Stubs_first
+
+let placement_to_string = function
+  | Top_degree -> "top-degree"
+  | Random_choice -> "random"
+  | Stubs_first -> "stubs"
+
+let choose_members ~spec ~k ~placement ~origin ~seed =
+  let candidates =
+    List.filter (fun a -> not (Net.Asn.equal a origin)) (Topology.Spec.asns spec)
+  in
+  let degree a = List.length (Topology.Spec.neighbors spec a) in
+  match placement with
+  | Top_degree ->
+    List.stable_sort (fun a b -> Int.compare (degree b) (degree a)) candidates
+    |> List.filteri (fun i _ -> i < k)
+  | Stubs_first ->
+    List.stable_sort (fun a b -> Int.compare (degree a) (degree b)) candidates
+    |> List.filteri (fun i _ -> i < k)
+  | Random_choice -> Engine.Rng.sample (Engine.Rng.create seed) k candidates
+
+(* Withdrawal convergence with [k] members placed by [placement]. *)
+let placement_run ~spec ~k ~placement ~origin ~seed ~config () =
+  let members = choose_members ~spec ~k ~placement ~origin ~seed in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Experiment.create ~config ~seed spec in
+  let prefix = Experiment.default_prefix exp origin in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+  let collector = Network.collector (Experiment.network exp) in
+  let measured =
+    Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
+  in
+  {
+    seconds = Experiment.convergence_seconds measured;
+    changes = measured.Convergence.changes;
+    collector_updates = Bgp.Collector.event_count collector;
+    restore_mean = nan;
+    restore_max = nan;
+  }
+
+(* Sweep k for one strategy on an Internet-like topology. *)
+let placement_sweep ?(tier1 = 3) ?(tier2 = 8) ?(stubs = 20) ?(ks = [ 0; 2; 4; 6; 8 ])
+    ?(runs = 5) ?(seed = 53) ?(config = Config.default) ~placement () =
+  let spec = Topology.Caida.generate ~tier1 ~tier2 ~stubs (Engine.Rng.create seed) in
+  let origin = List.hd (Topology.Caida.stub_asns ~tier1 ~tier2 ~stubs) in
+  let points =
+    List.map
+      (fun k ->
+        let results =
+          List.init runs (fun i ->
+              placement_run ~spec ~k ~placement ~origin ~seed:(seed + 1 + (1000 * i)) ~config
+                ())
+        in
+        { x = float_of_int k; results; box = box_of results })
+      ks
+  in
+  { label = Fmt.str "placement-%s" (placement_to_string placement); points }
+
+(* Table-size independence (negative control): withdraw one prefix while
+   [background] unrelated prefixes sit in every table.  Since updates are
+   per-prefix and the background is quiescent, convergence of the
+   withdrawn prefix should not depend on table size. *)
+let table_size_run ~n ~sdn ~background ~seed ~config () =
+  if background > n - 1 then invalid_arg "Experiments.table_size_run: too many background origins";
+  let spec = Topology.Artificial.clique n in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Experiment.create ~config ~seed spec in
+  (* background prefixes from ASes 1..background *)
+  for i = 1 to background do
+    ignore (Experiment.announce exp (Topology.Artificial.asn i))
+  done;
+  ignore (Experiment.settle exp);
+  let origin = Topology.Artificial.asn 0 in
+  let prefix = Experiment.default_prefix exp origin in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+  let collector = Network.collector (Experiment.network exp) in
+  let measured =
+    Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
+  in
+  {
+    seconds = Experiment.convergence_seconds measured;
+    changes = measured.Convergence.changes;
+    collector_updates = Bgp.Collector.event_count collector;
+    restore_mean = nan;
+    restore_max = nan;
+  }
+
+(* --- Flap storm / route-flap damping ------------------------------------ *)
+
+type flap_result = {
+  collector_updates_total : int; (* monitoring-plane churn over the storm *)
+  recovery_seconds : float; (* convergence after the final re-announcement *)
+  suppressions_total : int; (* damping suppressions across all routers *)
+  blackholed_after_storm : int; (* routers without the route once quiet *)
+}
+
+(* A flapping origin: [flaps] withdraw/re-announce cycles [gap_s] apart on
+   a clique, with or without RFC 2439 damping at the receivers.  Damping
+   trades churn for availability: suppressed routers stop relaying the
+   flaps but keep blackholing until the penalty decays. *)
+let flap_run ?(n = 8) ?(flaps = 4) ?(gap_s = 45.0) ~damping ~seed ~config () =
+  let config =
+    { config with Config.damping = (if damping then Some Bgp.Damping.default_config else None) }
+  in
+  let spec = Topology.Artificial.clique n in
+  let exp = Experiment.create ~config ~seed spec in
+  let origin = Topology.Artificial.asn 0 in
+  let prefix = Experiment.default_prefix exp origin in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+  let network = Experiment.network exp in
+  let sim = Experiment.sim exp in
+  let collector = Network.collector network in
+  let updates_before = Bgp.Collector.event_count collector in
+  let gap = Engine.Time.of_sec_f gap_s in
+  let final_event = ref Engine.Time.zero in
+  for i = 1 to flaps do
+    ignore (Experiment.withdraw exp origin);
+    Network.run_until network (Engine.Time.add (Engine.Sim.now sim) gap);
+    final_event := Engine.Sim.now sim;
+    ignore (Experiment.announce exp origin);
+    if i < flaps then Network.run_until network (Engine.Time.add (Engine.Sim.now sim) gap)
+  done;
+  (* the storm is over; measure recovery of the final announcement *)
+  let final_event = !final_event in
+  let settled = Network.settle network in
+  ignore settled;
+  let watcher = Experiment.watcher exp in
+  let recovery_seconds =
+    match Convergence.last_control_change watcher prefix with
+    | Some t when Engine.Time.(t >= final_event) ->
+      Engine.Time.to_sec_f (Engine.Time.diff t final_event)
+    | Some _ | None -> 0.0
+  in
+  let suppressions_total =
+    List.fold_left
+      (fun acc asn ->
+        match Network.router network asn with
+        | Some r -> (
+          match Bgp.Router.damping_state r with
+          | Some d -> acc + Bgp.Damping.suppressions d
+          | None -> acc)
+        | None -> acc)
+      0 (Network.asns network)
+  in
+  let blackholed_after_storm =
+    List.length
+      (List.filter
+         (fun asn ->
+           (not (Net.Asn.equal asn origin))
+           &&
+           match Network.router network asn with
+           | Some r -> Bgp.Router.best r prefix = None
+           | None -> false)
+         (Network.asns network))
+  in
+  {
+    collector_updates_total = Bgp.Collector.event_count collector - updates_before;
+    recovery_seconds;
+    suppressions_total;
+    blackholed_after_storm;
+  }
+
+(* --- Sub-cluster resilience (design goal: disjoint sub-clusters survive
+   intra-cluster link failure via legacy paths) -------------------------- *)
+
+type subcluster_result = {
+  reachable_before : bool;
+  reachable_after_split : bool; (* after the intra-cluster bridge died *)
+  reachable_after_recovery : bool;
+  used_legacy_bridge : bool; (* the post-split path crossed the legacy world *)
+}
+
+(* Topology: two SDN islands (a-b, c-d) whose only intra-cluster link is
+   b<->c, all four also connected through a legacy backbone.  Traffic
+   a -> d uses the cluster; when b<->c dies the controller must fall back
+   to a legacy-crossing path rather than blackholing. *)
+let subcluster_resilience ?(seed = 29) ?(config = Config.default) () =
+  let asn = Topology.Artificial.asn in
+  let a, b, c, d = (asn 0, asn 1, asn 2, asn 3) in
+  let l1, l2 = (asn 4, asn 5) in
+  let nodes =
+    List.map (fun x -> Topology.Spec.node x) [ a; b; c; d; l1; l2 ]
+  in
+  let links =
+    [
+      Topology.Spec.link a b;
+      Topology.Spec.link b c; (* the intra-cluster bridge that will fail *)
+      Topology.Spec.link c d;
+      Topology.Spec.link b l1;
+      Topology.Spec.link l1 l2;
+      Topology.Spec.link l2 c;
+      Topology.Spec.link a l1;
+      Topology.Spec.link d l2;
+    ]
+  in
+  let spec =
+    Topology.Spec.with_sdn
+      (Topology.Spec.make ~title:"subclusters" ~nodes ~links)
+      [ a; b; c; d ]
+  in
+  let exp = Experiment.create ~config ~seed spec in
+  let prefix = Experiment.default_prefix exp d in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp d)));
+  let reachable_before = Experiment.reachable exp ~src:a ~dst:d in
+  ignore (Experiment.measure exp ~prefix (fun () -> Experiment.fail_link exp b c));
+  let reachable_after_split = Experiment.reachable exp ~src:a ~dst:d in
+  let used_legacy_bridge =
+    match Experiment.walk exp ~src:a ~dst:d with
+    | Monitor.Delivered path ->
+      List.exists (fun hop -> Net.Asn.equal hop l1 || Net.Asn.equal hop l2) path
+    | Monitor.Blackhole _ | Monitor.Loop _ | Monitor.Ttl_exceeded _ -> false
+  in
+  ignore (Experiment.measure exp ~prefix (fun () -> Experiment.recover_link exp b c));
+  let reachable_after_recovery = Experiment.reachable exp ~src:a ~dst:d in
+  { reachable_before; reachable_after_split; reachable_after_recovery; used_legacy_bridge }
+
+(* --- Rendering ------------------------------------------------------------ *)
+
+let pp_series ppf s =
+  Fmt.pf ppf "@[<v># %s@,%8s %8s %8s %8s %8s %8s %8s@," s.label "x" "min" "q1" "median" "q3"
+    "max" "mean";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%8.1f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f@," p.x p.box.Engine.Stats.minimum
+        p.box.Engine.Stats.q1 p.box.Engine.Stats.median p.box.Engine.Stats.q3
+        p.box.Engine.Stats.maximum p.box.Engine.Stats.mean)
+    s.points;
+  Fmt.pf ppf "@]"
+
+(* CSV export: one row per (point, run) for external plotting. *)
+let series_to_csv s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "label,x,run,seconds,changes,collector_updates\n";
+  List.iter
+    (fun p ->
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf
+            (Fmt.str "%s,%g,%d,%.6f,%d,%d\n" s.label p.x i r.seconds r.changes
+               r.collector_updates))
+        p.results)
+    s.points;
+  Buffer.contents buf
+
+(* The linear-trend check for Fig. 2: slope of median convergence vs SDN
+   count, and the fit quality. *)
+let median_trend s =
+  let pts = List.map (fun p -> (p.x, p.box.Engine.Stats.median)) s.points in
+  let intercept, slope = Engine.Stats.linear_fit pts in
+  let r2 = Engine.Stats.r_squared pts in
+  (intercept, slope, r2)

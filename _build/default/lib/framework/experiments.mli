@@ -1,0 +1,142 @@
+(** Canned experiments reproducing the paper's evaluation, parameterized
+    so tests can run scaled-down instances of the bench's exact code
+    paths. *)
+
+type event_kind = Withdrawal | Announcement | Failover
+
+val event_to_string : event_kind -> string
+
+type run_result = {
+  seconds : float;  (** convergence time of the measured event *)
+  changes : int;  (** control-plane best-route changes during it *)
+  collector_updates : int;
+  restore_mean : float;  (** mean per-AS data-plane restoration (failover) *)
+  restore_max : float;
+}
+
+type point = { x : float; results : run_result list; box : Engine.Stats.boxplot }
+
+type series = { label : string; points : point list }
+
+val clique_run :
+  n:int -> sdn:int -> event:event_kind -> seed:int -> config:Config.t -> unit -> run_result
+(** One convergence measurement on an [n]-clique with [sdn] centralized
+    ASes (the origin stays legacy).
+    @raise Invalid_argument for [Failover] (use {!failover_run}). *)
+
+val failover_run : n:int -> sdn:int -> seed:int -> config:Config.t -> unit -> run_result
+(** Primary-link failure with a longer backup chain; also measures per-AS
+    data-plane restoration. *)
+
+val fig2_withdrawal : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+(** The paper's Fig. 2 sweep: withdrawal convergence vs SDN fraction. *)
+
+val announcement_sweep : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+
+val failover_sweep : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+
+val ablation_recompute_delay :
+  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> ?delays_ms:int list -> unit -> series
+
+val ablation_mrai :
+  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> ?mrai_s:int list -> sdn:int -> unit -> series
+
+val ablation_wrate :
+  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> sdn:int -> unit -> series
+(** RFC-exempt (x=0) vs Quagga-paced (x=1) withdrawals. *)
+
+val scaling_sweep :
+  ?sizes:int list ->
+  ?fraction:float ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  unit ->
+  series
+(** Withdrawal convergence vs clique size at a fixed SDN fraction. *)
+
+val churn_run :
+  n:int -> sdn:int -> flap_period_s:float -> seed:int -> config:Config.t -> unit -> run_result
+(** Withdrawal convergence while an unrelated AS flaps its prefix: per-peer
+    MRAI timers couple the measured prefix to the background churn. *)
+
+(** Deployment-placement strategies for heterogeneous topologies. *)
+type placement = Top_degree | Random_choice | Stubs_first
+
+val placement_to_string : placement -> string
+
+val choose_members :
+  spec:Topology.Spec.t ->
+  k:int ->
+  placement:placement ->
+  origin:Net.Asn.t ->
+  seed:int ->
+  Net.Asn.t list
+
+val placement_run :
+  spec:Topology.Spec.t ->
+  k:int ->
+  placement:placement ->
+  origin:Net.Asn.t ->
+  seed:int ->
+  config:Config.t ->
+  unit ->
+  run_result
+
+val placement_sweep :
+  ?tier1:int ->
+  ?tier2:int ->
+  ?stubs:int ->
+  ?ks:int list ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  placement:placement ->
+  unit ->
+  series
+(** Withdrawal convergence vs cluster size on a synthetic Internet-like
+    topology, for one placement strategy. *)
+
+val table_size_run :
+  n:int -> sdn:int -> background:int -> seed:int -> config:Config.t -> unit -> run_result
+(** Negative control: withdrawal convergence with [background] unrelated
+    prefixes installed everywhere — should be table-size independent. *)
+
+type flap_result = {
+  collector_updates_total : int;
+  recovery_seconds : float;
+  suppressions_total : int;
+  blackholed_after_storm : int;
+}
+
+val flap_run :
+  ?n:int ->
+  ?flaps:int ->
+  ?gap_s:float ->
+  damping:bool ->
+  seed:int ->
+  config:Config.t ->
+  unit ->
+  flap_result
+(** A flapping origin with or without RFC 2439 damping at the receivers:
+    damping trades monitoring-plane churn for recovery latency. *)
+
+type subcluster_result = {
+  reachable_before : bool;
+  reachable_after_split : bool;
+  reachable_after_recovery : bool;
+  used_legacy_bridge : bool;
+}
+
+val subcluster_resilience : ?seed:int -> ?config:Config.t -> unit -> subcluster_result
+(** Two SDN islands lose their intra-cluster bridge and must reach each
+    other over the legacy world (the paper's design goal 3). *)
+
+val pp_series : Format.formatter -> series -> unit
+
+val series_to_csv : series -> string
+(** One row per (point, run): label,x,run,seconds,changes,collector_updates. *)
+
+val median_trend : series -> float * float * float
+(** (intercept, slope, r²) of the least-squares line through the medians
+    — the Fig. 2 "linear reduction" check. *)

@@ -1,0 +1,125 @@
+(* Automatic log-file analysis.
+
+   The original framework greps Quagga logs; ours renders the structured
+   trace to equivalent text lines (Engine.Trace.render_line) and this
+   module parses them back and answers the same questions: per-node
+   activity, per-prefix route-change timelines, convergence instants,
+   update counts.  Parsing text (rather than peeking at live state) keeps
+   the analysis usable on saved log files. *)
+
+type entry = {
+  time_us : int;
+  level : string;
+  node : string;
+  category : string;
+  message : string;
+}
+
+(* Lines look like: "000001234567 info AS65001[bgp]: bestpath ..." *)
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i1 -> (
+    let time_str = String.sub line 0 i1 in
+    match int_of_string_opt time_str with
+    | None -> None
+    | Some time_us -> (
+      let rest = String.sub line (i1 + 1) (String.length line - i1 - 1) in
+      match String.index_opt rest ' ' with
+      | None -> None
+      | Some i2 -> (
+        let level = String.sub rest 0 i2 in
+        let rest = String.sub rest (i2 + 1) (String.length rest - i2 - 1) in
+        (* node[category]: message *)
+        match (String.index_opt rest '[', String.index_opt rest ']') with
+        | Some ib, Some ie when ib < ie && ie + 1 < String.length rest && rest.[ie + 1] = ':'
+          ->
+          let node = String.sub rest 0 ib in
+          let category = String.sub rest (ib + 1) (ie - ib - 1) in
+          let msg_start = ie + 2 in
+          let message =
+            String.trim (String.sub rest msg_start (String.length rest - msg_start))
+          in
+          Some { time_us; level; node; category; message }
+        | _ -> None)))
+
+let parse_lines lines = List.filter_map parse_line lines
+
+let parse_text text = parse_lines (String.split_on_char '\n' text)
+
+let of_trace trace = parse_lines (Engine.Trace.to_lines trace)
+
+(* --- Analyses ------------------------------------------------------------ *)
+
+let by_node entries =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace table e.node (1 + Option.value (Hashtbl.find_opt table e.node) ~default:0))
+    entries;
+  Hashtbl.fold (fun node count acc -> (node, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_category entries =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace table e.category
+        (1 + Option.value (Hashtbl.find_opt table e.category) ~default:0))
+    entries;
+  Hashtbl.fold (fun cat count acc -> (cat, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let mentions_prefix prefix e =
+  let needle = Net.Ipv4.prefix_to_string prefix in
+  let hay = e.message in
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  n > 0 && scan 0
+
+(* The route-change timeline of a prefix: every bestpath/decision line
+   that mentions it, in time order. *)
+let route_changes entries prefix =
+  List.filter
+    (fun e ->
+      (e.category = "bgp" || e.category = "controller")
+      && mentions_prefix prefix e
+      &&
+      let is_prefix_of p s =
+        String.length s >= String.length p && String.sub s 0 (String.length p) = p
+      in
+      is_prefix_of "bestpath" e.message || is_prefix_of "decision" e.message)
+    entries
+
+(* Log-derived convergence instant for a prefix (microseconds), i.e. the
+   last route change mentioning it. *)
+let convergence_time_us entries prefix =
+  List.fold_left
+    (fun acc e -> match acc with Some t when t >= e.time_us -> acc | _ -> Some e.time_us)
+    None (route_changes entries prefix)
+
+let in_window entries ~from_us ~to_us =
+  List.filter (fun e -> e.time_us >= from_us && e.time_us <= to_us) entries
+
+(* Path-exploration rounds: best-route changes for a prefix cluster into
+   MRAI-spaced waves; we count the clusters, splitting wherever the gap
+   between consecutive changes exceeds [round_gap_us] (use ~half the
+   MRAI).  This turns the mechanism behind Fig. 2 — "convergence time =
+   rounds x MRAI" — into a measurable quantity. *)
+let exploration_rounds ?(round_gap_us = 10_000_000) entries prefix =
+  let times =
+    List.map (fun e -> e.time_us) (route_changes entries prefix) |> List.sort_uniq Int.compare
+  in
+  match times with
+  | [] -> 0
+  | first :: rest ->
+    let rounds, _ =
+      List.fold_left
+        (fun (rounds, prev) t -> if t - prev > round_gap_us then (rounds + 1, t) else (rounds, t))
+        (1, first) rest
+    in
+    rounds
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%.3fs %s %s[%s]: %s" (float_of_int e.time_us /. 1e6) e.level e.node e.category
+    e.message

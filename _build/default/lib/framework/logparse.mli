@@ -1,0 +1,40 @@
+(** Log-file analysis over the trace's rendered text lines (the analogue
+    of the original framework's Quagga-log tooling). *)
+
+type entry = {
+  time_us : int;
+  level : string;
+  node : string;
+  category : string;
+  message : string;
+}
+
+val parse_line : string -> entry option
+
+val parse_lines : string list -> entry list
+
+val parse_text : string -> entry list
+
+val of_trace : Engine.Trace.t -> entry list
+
+val by_node : entry list -> (string * int) list
+(** Record counts per node, sorted by node name. *)
+
+val by_category : entry list -> (string * int) list
+
+val route_changes : entry list -> Net.Ipv4.prefix -> entry list
+(** Bestpath/decision lines mentioning the prefix, in time order. *)
+
+val convergence_time_us : entry list -> Net.Ipv4.prefix -> int option
+(** Log-derived convergence instant: the last route change for the
+    prefix. *)
+
+val in_window : entry list -> from_us:int -> to_us:int -> entry list
+
+val exploration_rounds : ?round_gap_us:int -> entry list -> Net.Ipv4.prefix -> int
+(** Count MRAI-spaced waves of best-route changes for a prefix (clusters
+    split at gaps above [round_gap_us], default 10 s — use about half the
+    MRAI).  The "rounds" whose count times the MRAI is Fig. 2's
+    convergence time. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,12 @@
+(** Looking glass: human-readable control- and data-plane state dumps. *)
+
+val router_rib : Bgp.Router.t -> string
+(** "show ip bgp": the Loc-RIB with best and alternate paths. *)
+
+val switch_flows : Sdn.Switch.t -> string
+
+val controller_state : Cluster_ctl.Controller.t -> string
+(** Members, sub-clusters, per-prefix decisions, counters. *)
+
+val network_state : Network.t -> string
+(** Every router, switch, the controller and the collector. *)

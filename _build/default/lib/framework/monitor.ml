@@ -1,0 +1,167 @@
+(* End-to-end connectivity and loss monitoring.
+
+   Two complementary tools, mirroring the original framework's ping-based
+   host monitoring:
+
+   - a zero-time *walker* over the programmed forwarding state (legacy
+     FIBs + SDN flow tables) that classifies a path as delivered, black-
+     holed, or looping — used for "is connectivity stable" checks; and
+   - a *probe stream* of real data packets through the fabric (delays,
+     loss, in-flight drops included), whose delivery ratio over time is
+     the loss measurement — this is the paper's end-to-end video proxy. *)
+
+type outcome =
+  | Delivered of Net.Asn.t list (* AS-level path, source first *)
+  | Blackhole of Net.Asn.t list
+  | Loop of Net.Asn.t list
+  | Ttl_exceeded of Net.Asn.t list
+
+let outcome_path = function
+  | Delivered p | Blackhole p | Loop p | Ttl_exceeded p -> p
+
+let is_delivered = function
+  | Delivered _ -> true
+  | Blackhole _ | Loop _ | Ttl_exceeded _ -> false
+
+(* Walk the forwarding state from [src] toward [dst_addr]. *)
+let walk ?(max_hops = 64) network ~src ~dst_addr =
+  let rec go asn visited hops =
+    let path = List.rev (asn :: visited) in
+    if hops > max_hops then Ttl_exceeded path
+    else
+      match Network.forwarding_at network asn dst_addr with
+      | Network.Local -> Delivered path
+      | Network.No_route -> Blackhole path
+      | Network.Next node -> (
+        match Network.asn_of_node network node with
+        | None -> Blackhole path
+        | Some next ->
+          (* A next hop over a failed link drops traffic on the wire. *)
+          if not (Network.link_up network asn next) then Blackhole path
+          else if List.exists (Net.Asn.equal next) (asn :: visited) then Loop (path @ [ next ])
+          else go next (asn :: visited) (hops + 1))
+  in
+  go src [] 0
+
+let reachable network ~src ~dst =
+  let dst_addr = (Network.plan network).Addressing.host_addr dst in
+  is_delivered (walk network ~src ~dst_addr)
+
+(* All-pairs reachability for the ASes that currently originate their
+   default prefix (others have no address to reach). *)
+let connectivity_matrix network ~origins =
+  let plan = Network.plan network in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if Net.Asn.equal src dst then None
+          else
+            Some (src, dst, is_delivered (walk network ~src ~dst_addr:(plan.Addressing.host_addr dst))))
+        origins)
+    (Topology.Spec.asns (Network.spec network))
+
+(* Traceroute: the walker annotated with cumulative one-way latency from
+   the fabric's link delays. *)
+type trace_hop = { hop : Net.Asn.t; cumulative : Engine.Time.span }
+
+let traceroute network ~src ~dst =
+  let dst_addr = (Network.plan network).Addressing.host_addr dst in
+  let outcome = walk network ~src ~dst_addr in
+  let rec annotate acc cumulative = function
+    | [] -> List.rev acc
+    | [ last ] -> List.rev ({ hop = last; cumulative } :: acc)
+    | a :: (b :: _ as rest) ->
+      let step = Option.value (Network.link_delay network a b) ~default:Engine.Time.span_zero in
+      annotate
+        ({ hop = a; cumulative } :: acc)
+        (Engine.Time.span_add cumulative step)
+        rest
+  in
+  (outcome, annotate [] Engine.Time.span_zero (outcome_path outcome))
+
+let pp_traceroute ppf (outcome, hops) =
+  let status =
+    match outcome with
+    | Delivered _ -> "reached"
+    | Blackhole _ -> "blackhole"
+    | Loop _ -> "loop"
+    | Ttl_exceeded _ -> "ttl exceeded"
+  in
+  List.iteri
+    (fun i { hop; cumulative } ->
+      Fmt.pf ppf "%2d  %a  %.2f ms@." (i + 1) Net.Asn.pp hop
+        (Engine.Time.to_ms_f cumulative))
+    hops;
+  Fmt.pf ppf "-- %s@." status
+
+(* --- Probe streams ------------------------------------------------------ *)
+
+type probe_stats = {
+  mutable sent : int;
+  mutable received : int;
+  mutable replies : int;
+  mutable rtt_sum_us : int;
+}
+
+type stream = {
+  src : Net.Asn.t;
+  dst : Net.Asn.t;
+  stats : probe_stats;
+  mutable sent_at : (int * Engine.Time.t) list;
+}
+
+let loss_ratio s =
+  if s.stats.sent = 0 then 0.0
+  else 1.0 -. (float_of_int s.stats.replies /. float_of_int s.stats.sent)
+
+let mean_rtt_ms s =
+  if s.stats.replies = 0 then nan
+  else float_of_int s.stats.rtt_sum_us /. float_of_int s.stats.replies /. 1000.0
+
+(* Send [count] echo probes from src's host to dst's host, [interval]
+   apart, starting now.  Replies are matched by sequence number. *)
+let start_stream network ~src ~dst ~interval ~count =
+  let plan = Network.plan network in
+  let sim = Network.sim network in
+  let stream =
+    { src; dst; stats = { sent = 0; received = 0; replies = 0; rtt_sum_us = 0 }; sent_at = [] }
+  in
+  let src_addr = plan.Addressing.host_addr src in
+  let dst_addr = plan.Addressing.host_addr dst in
+  Network.subscribe_deliver network (fun asn packet ->
+      match packet.Net.Packet.kind with
+      | Net.Packet.Icmp_echo _ ->
+        if Net.Asn.equal asn dst && Net.Ipv4.equal_addr packet.Net.Packet.dst dst_addr then
+          stream.stats.received <- stream.stats.received + 1
+      | Net.Packet.Icmp_reply { seq } ->
+        if Net.Asn.equal asn src && Net.Ipv4.equal_addr packet.Net.Packet.dst src_addr then begin
+          match List.assoc_opt seq stream.sent_at with
+          | Some t0 ->
+            stream.stats.replies <- stream.stats.replies + 1;
+            stream.stats.rtt_sum_us <-
+              stream.stats.rtt_sum_us
+              + Engine.Time.to_us (Engine.Time.diff (Engine.Sim.now sim) t0)
+          | None -> ()
+        end
+      | Net.Packet.Payload _ -> ());
+  for i = 0 to count - 1 do
+    ignore
+      (Engine.Sim.schedule_after sim
+         (Engine.Time.span_scale interval (float_of_int i))
+         (fun () ->
+           stream.stats.sent <- stream.stats.sent + 1;
+           stream.sent_at <- (i, Engine.Sim.now sim) :: stream.sent_at;
+           Network.inject network ~src (Net.Packet.echo ~src:src_addr ~dst:dst_addr i)))
+  done;
+  stream
+
+let pp_outcome ppf o =
+  let kind, path =
+    match o with
+    | Delivered p -> ("delivered", p)
+    | Blackhole p -> ("blackhole", p)
+    | Loop p -> ("loop", p)
+    | Ttl_exceeded p -> ("ttl-exceeded", p)
+  in
+  Fmt.pf ppf "%s via [%a]" kind Fmt.(list ~sep:sp Net.Asn.pp) path

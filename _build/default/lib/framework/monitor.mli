@@ -1,0 +1,63 @@
+(** End-to-end connectivity and loss monitoring: a zero-time walker over
+    programmed forwarding state, and real probe streams through the
+    fabric. *)
+
+type outcome =
+  | Delivered of Net.Asn.t list  (** AS-level path, source first *)
+  | Blackhole of Net.Asn.t list
+  | Loop of Net.Asn.t list
+  | Ttl_exceeded of Net.Asn.t list
+
+val outcome_path : outcome -> Net.Asn.t list
+
+val is_delivered : outcome -> bool
+
+val walk : ?max_hops:int -> Network.t -> src:Net.Asn.t -> dst_addr:Net.Ipv4.addr -> outcome
+(** Follow FIBs/flow tables hop by hop; a next hop over a failed link is
+    a blackhole. *)
+
+val reachable : Network.t -> src:Net.Asn.t -> dst:Net.Asn.t -> bool
+(** Walk from [src] to [dst]'s host address. *)
+
+val connectivity_matrix :
+  Network.t -> origins:Net.Asn.t list -> (Net.Asn.t * Net.Asn.t * bool) list
+(** All-pairs reachability from every AS to each origin's host. *)
+
+type trace_hop = { hop : Net.Asn.t; cumulative : Engine.Time.span }
+
+val traceroute :
+  Network.t -> src:Net.Asn.t -> dst:Net.Asn.t -> outcome * trace_hop list
+(** The walker annotated with cumulative one-way latency per hop. *)
+
+val pp_traceroute : Format.formatter -> outcome * trace_hop list -> unit
+
+type probe_stats = {
+  mutable sent : int;
+  mutable received : int;
+  mutable replies : int;
+  mutable rtt_sum_us : int;
+}
+
+type stream = {
+  src : Net.Asn.t;
+  dst : Net.Asn.t;
+  stats : probe_stats;
+  mutable sent_at : (int * Engine.Time.t) list;
+}
+
+val start_stream :
+  Network.t ->
+  src:Net.Asn.t ->
+  dst:Net.Asn.t ->
+  interval:Engine.Time.span ->
+  count:int ->
+  stream
+(** Schedule [count] echo probes, [interval] apart, from now.  Loss and
+    RTT accumulate as the simulation runs. *)
+
+val loss_ratio : stream -> float
+(** 1 − replies/sent. *)
+
+val mean_rtt_ms : stream -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit

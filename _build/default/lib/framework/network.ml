@@ -1,0 +1,574 @@
+(* The network builder: turn a topology spec into a running emulation.
+
+   Layout on the fabric:
+   - every AS is one node whose id is its raw ASN integer — a legacy node
+     runs a Bgp.Router, an SDN node runs an Sdn.Switch;
+   - node [collector_node] (-2) hosts the monitoring route collector,
+     linked and peered with every AS;
+   - node [ctrl_node] (-1) hosts the cluster BGP speaker and the IDR
+     controller, linked to every SDN switch (the per-peering
+     speaker-to-border-switch relay links of the paper);
+   - data packets are forwarded through legacy FIBs and SDN flow tables,
+     so end-to-end connectivity reflects actual programmed state. *)
+
+module Pm = Net.Ipv4.Prefix_map
+
+let ctrl_node = -1
+
+let collector_node = -2
+
+let collector_asn = Net.Asn.of_int 4_200_000_000
+
+type data_stats = { mutable forwarded : int; mutable dropped : int; mutable delivered : int }
+
+type t = {
+  sim : Engine.Sim.t;
+  net : Payload.t Net.Netsim.t;
+  spec : Topology.Spec.t;
+  plan : Addressing.plan;
+  config : Config.t;
+  routers : Bgp.Router.t Net.Asn.Map.t;
+  switches : Sdn.Switch.t Net.Asn.Map.t;
+  fibs : int Net.Fib.t Net.Asn.Map.t; (* legacy data planes: prefix -> next node *)
+  local_prefixes : (Net.Asn.t, Net.Ipv4.Prefix_set.t ref) Hashtbl.t;
+  collector : Bgp.Collector.t;
+  controller : Cluster_ctl.Controller.t option;
+  speaker : Cluster_ctl.Speaker.t option;
+  data_stats : data_stats;
+  mutable on_deliver : (Net.Asn.t -> Net.Packet.t -> unit) list;
+  mutable auto_reply : bool;
+  (* relationships of peerings added at runtime, keyed (me, neighbor) *)
+  rel_overrides : (Net.Asn.t * Net.Asn.t, Bgp.Policy.relationship) Hashtbl.t;
+}
+
+let sim t = t.sim
+
+let fabric t = t.net
+
+let spec t = t.spec
+
+let plan t = t.plan
+
+let config t = t.config
+
+let collector t = t.collector
+
+let controller t = t.controller
+
+let speaker t = t.speaker
+
+let data_stats t = t.data_stats
+
+let routers t = t.routers
+
+let router t asn = Net.Asn.Map.find_opt asn t.routers
+
+let switch t asn = Net.Asn.Map.find_opt asn t.switches
+
+let asns t = Topology.Spec.asns t.spec
+
+let sdn_asns t = Topology.Spec.sdn_asns t.spec
+
+let legacy_asns t = Topology.Spec.legacy_asns t.spec
+
+let node_of_asn_exn asn = Net.Asn.to_int asn
+
+let is_as_node t node = node > 0 && Topology.Spec.mem t.spec (Net.Asn.of_int node)
+
+let asn_of_node t node =
+  if node = collector_node then Some collector_asn
+  else if is_as_node t node then Some (Net.Asn.of_int node)
+  else None
+
+let node_of_asn t asn =
+  if Net.Asn.equal asn collector_asn then Some collector_node
+  else if Topology.Spec.mem t.spec asn then Some (Net.Asn.to_int asn)
+  else None
+
+let local_set t asn =
+  match Hashtbl.find_opt t.local_prefixes asn with
+  | Some s -> s
+  | None ->
+    let s = ref Net.Ipv4.Prefix_set.empty in
+    Hashtbl.replace t.local_prefixes asn s;
+    s
+
+let is_local_addr t asn addr =
+  Net.Ipv4.equal_addr addr (t.plan.Addressing.router_addr asn)
+  || Net.Ipv4.Prefix_set.exists (fun p -> Net.Ipv4.mem addr p) !(local_set t asn)
+
+let add_local_prefix t asn prefix =
+  let s = local_set t asn in
+  s := Net.Ipv4.Prefix_set.add prefix !s
+
+let remove_local_prefix t asn prefix =
+  let s = local_set t asn in
+  s := Net.Ipv4.Prefix_set.remove prefix !s
+
+let subscribe_deliver t f = t.on_deliver <- t.on_deliver @ [ f ]
+
+let set_auto_reply t flag = t.auto_reply <- flag
+
+(* --- Data plane --------------------------------------------------------- *)
+
+let rec deliver_local t asn (packet : Net.Packet.t) =
+  t.data_stats.delivered <- t.data_stats.delivered + 1;
+  Engine.Sim.logf t.sim ~node:(Net.Asn.to_string asn) ~category:"data" "delivered %a"
+    Net.Packet.pp packet;
+  List.iter (fun f -> f asn packet) t.on_deliver;
+  if t.auto_reply then
+    match Net.Packet.reply_to packet with
+    | Some reply -> inject t ~src:asn reply
+    | None -> ()
+
+and forward_legacy t asn (packet : Net.Packet.t) =
+  if is_local_addr t asn packet.Net.Packet.dst then deliver_local t asn packet
+  else
+    match Net.Packet.decr_ttl packet with
+    | None -> t.data_stats.dropped <- t.data_stats.dropped + 1
+    | Some packet -> (
+      let fib = Net.Asn.Map.find asn t.fibs in
+      match Net.Fib.lookup_value fib packet.Net.Packet.dst with
+      | Some next_node ->
+        if Net.Netsim.send t.net ~src:(node_of_asn_exn asn) ~dst:next_node (Payload.Data packet)
+        then t.data_stats.forwarded <- t.data_stats.forwarded + 1
+        else t.data_stats.dropped <- t.data_stats.dropped + 1
+      | None -> t.data_stats.dropped <- t.data_stats.dropped + 1)
+
+(* Start a packet at an AS, as if a local host emitted it. *)
+and inject t ~src (packet : Net.Packet.t) =
+  match Net.Asn.Map.find_opt src t.switches with
+  | Some sw -> Sdn.Switch.handle_data sw ~from:(node_of_asn_exn src) packet
+  | None -> (
+    match Net.Asn.Map.find_opt src t.routers with
+    | Some _ -> forward_legacy t src packet
+    | None -> invalid_arg (Fmt.str "Network.inject: unknown AS %a" Net.Asn.pp src))
+
+(* --- Construction ------------------------------------------------------- *)
+
+let spec_relationship spec ~me ~neighbor =
+  if Net.Asn.equal neighbor collector_asn then Bgp.Policy.Customer
+  else begin
+    let link =
+      List.find_opt
+        (fun (l : Topology.Spec.link_spec) ->
+          (Net.Asn.equal l.Topology.Spec.a me && Net.Asn.equal l.Topology.Spec.b neighbor)
+          || (Net.Asn.equal l.Topology.Spec.b me && Net.Asn.equal l.Topology.Spec.a neighbor))
+        (Topology.Spec.links spec)
+    in
+    match link with
+    | None -> Bgp.Policy.Unrestricted
+    | Some l -> (
+      match Topology.Spec.neighbor_role_of_link ~me l with
+      | Topology.Spec.Customer -> Bgp.Policy.Customer
+      | Topology.Spec.Provider -> Bgp.Policy.Provider
+      | Topology.Spec.Peer -> Bgp.Policy.Peer
+      | Topology.Spec.Sibling -> Bgp.Policy.Sibling
+      | Topology.Spec.Unrestricted -> Bgp.Policy.Unrestricted)
+  end
+
+let policy_toward spec ~me ~neighbor = Bgp.Policy.make (spec_relationship spec ~me ~neighbor)
+
+(* Runtime-aware relationship lookup: peerings added after construction
+   take precedence over (absence in) the spec. *)
+let relationship_for t ~me ~neighbor =
+  match Hashtbl.find_opt t.rel_overrides (me, neighbor) with
+  | Some rel -> rel
+  | None -> spec_relationship t.spec ~me ~neighbor
+
+let policy_for t ~me ~neighbor = Bgp.Policy.make (relationship_for t ~me ~neighbor)
+
+let create ?(config = Config.default) ~seed spec =
+  (match Topology.Spec.validate spec with
+  | [] -> ()
+  | problems ->
+    invalid_arg (Fmt.str "Network.create: invalid spec: %s" (String.concat "; " problems)));
+  let sim = Engine.Sim.create ~seed () in
+  let net = Net.Netsim.create sim in
+  let plan = Addressing.plan spec in
+  let all_asns = Topology.Spec.asns spec in
+  let sdn = Topology.Spec.sdn_asns spec in
+  let sdn_set = Net.Asn.Set.of_list sdn in
+  let is_sdn asn = Net.Asn.Set.mem asn sdn_set in
+  (* Fabric nodes. *)
+  List.iter
+    (fun asn ->
+      Net.Netsim.add_node net ~id:(Net.Asn.to_int asn) ~name:(Net.Asn.to_string asn))
+    all_asns;
+  Net.Netsim.add_node net ~id:collector_node ~name:"collector";
+  if sdn <> [] then Net.Netsim.add_node net ~id:ctrl_node ~name:"ctrl";
+  (* Fabric links: AS-AS per the spec, collector to everyone, control
+     links to every switch. *)
+  List.iter
+    (fun (l : Topology.Spec.link_spec) ->
+      let delay =
+        match l.Topology.Spec.delay_us with
+        | Some us -> Engine.Time.us us
+        | None -> config.Config.default_link_delay
+      in
+      ignore
+        (Net.Netsim.add_link ~delay net (Net.Asn.to_int l.Topology.Spec.a)
+           (Net.Asn.to_int l.Topology.Spec.b)))
+    (Topology.Spec.links spec);
+  List.iter
+    (fun asn ->
+      ignore
+        (Net.Netsim.add_link ~delay:config.Config.collector_link_delay net collector_node
+           (Net.Asn.to_int asn)))
+    all_asns;
+  List.iter
+    (fun asn ->
+      ignore
+        (Net.Netsim.add_link ~delay:config.Config.control_link_delay net ctrl_node
+           (Net.Asn.to_int asn)))
+    sdn;
+  (* BGP transmission, optionally through the RFC 4271 binary codec (a
+     semantic UPDATE may split into several wire messages, delivered
+     individually, as a real TCP transport would). *)
+  let send_bgp_via ~src ~dst msg =
+    if not config.Config.wire_transport then
+      Net.Netsim.send net ~src ~dst (Payload.Bgp msg)
+    else begin
+      match Bgp.Wire.decode_all (Bgp.Wire.encode_concat msg) with
+      | Ok msgs ->
+        List.fold_left
+          (fun acc m -> Net.Netsim.send net ~src ~dst (Payload.Bgp m) && acc)
+          true msgs
+      | Error e -> failwith (Fmt.str "Network: wire codec failure: %a" Bgp.Wire.pp_error e)
+    end
+  in
+  (* Collector. *)
+  let collector =
+    Bgp.Collector.create ~sim ~asn:collector_asn ~node_id:collector_node
+      ~router_id:(Net.Ipv4.addr_of_octets 10 255 255 1)
+      ~send:(fun ~dst msg -> send_bgp_via ~src:collector_node ~dst msg)
+  in
+  (* Legacy routers. *)
+  let routers =
+    List.fold_left
+      (fun acc asn ->
+        if is_sdn asn then acc
+        else begin
+          let node_id = Net.Asn.to_int asn in
+          let router =
+            Bgp.Router.create ?damping:config.Config.damping ~sim ~asn ~node_id
+              ~router_id:(plan.Addressing.router_addr asn) ~config:config.Config.bgp
+              ~send:(fun ~dst msg -> send_bgp_via ~src:node_id ~dst msg)
+              ()
+          in
+          Net.Asn.Map.add asn router acc
+        end)
+      Net.Asn.Map.empty all_asns
+  in
+  (* Configure router peers: spec neighbors + the collector. *)
+  Net.Asn.Map.iter
+    (fun asn router ->
+      List.iter
+        (fun neighbor ->
+          Bgp.Router.add_peer router ~peer_asn:neighbor ~peer_node:(Net.Asn.to_int neighbor)
+            ~policy:(policy_toward spec ~me:asn ~neighbor))
+        (Topology.Spec.neighbors spec asn);
+      Bgp.Router.add_peer router ~peer_asn:collector_asn ~peer_node:collector_node
+        ~policy:(Bgp.Policy.make Bgp.Policy.Customer);
+      Bgp.Collector.add_peer collector ~peer_asn:asn ~peer_node:(Net.Asn.to_int asn))
+    routers;
+  (* Legacy FIBs driven by Loc-RIB changes. *)
+  let fibs =
+    Net.Asn.Map.map
+      (fun _ -> (Net.Fib.create () : int Net.Fib.t))
+      routers
+  in
+  Net.Asn.Map.iter
+    (fun asn router ->
+      let fib = Net.Asn.Map.find asn fibs in
+      Bgp.Router.subscribe_best_change router (fun prefix best ->
+          match best with
+          | Some route -> (
+            match Bgp.Route.from_peer route with
+            | Some peer -> Net.Fib.insert fib prefix (Net.Asn.to_int peer)
+            | None -> Net.Fib.remove fib prefix (* locally originated *))
+          | None -> Net.Fib.remove fib prefix))
+    routers;
+  (* The record is needed by the switch/controller closures below; build
+     it first with placeholders for the SDN parts, then fill them in. *)
+  let t_ref = ref None in
+  let the () = Option.get !t_ref in
+  (* Cluster: speaker + controller + switches. *)
+  let speaker, controller, switches =
+    if sdn = [] then (None, None, Net.Asn.Map.empty)
+    else begin
+      let send_relay ~member ~neighbor msg =
+        (* speaker -> member's border switch, encapsulated *)
+        Net.Netsim.send net ~src:ctrl_node ~dst:(Net.Asn.to_int member)
+          (Payload.Openflow
+             (Sdn.Openflow.Bgp_relay
+                { member; neighbor; direction = Sdn.Openflow.To_neighbor; payload = msg }))
+      in
+      let speaker = Cluster_ctl.Speaker.create ~sim ~send_relay in
+      (* One speaker session per external peering of each member (legacy
+         neighbors, members of *other* sub-networks are still neighbors on
+         the wire but handled intra-cluster, and the collector). *)
+      List.iter
+        (fun member ->
+          List.iter
+            (fun neighbor ->
+              if not (is_sdn neighbor) then
+                Cluster_ctl.Speaker.add_session ?mrai_config:config.Config.speaker_mrai speaker
+                  ~member ~neighbor ~member_addr:(plan.Addressing.router_addr member))
+            (Topology.Spec.neighbors spec member);
+          Cluster_ctl.Speaker.add_session ?mrai_config:config.Config.speaker_mrai speaker
+            ~member ~neighbor:collector_asn
+            ~member_addr:(plan.Addressing.router_addr member);
+          Bgp.Collector.add_peer collector ~peer_asn:member ~peer_node:(Net.Asn.to_int member))
+        sdn;
+      let intra_links =
+        List.filter_map
+          (fun (l : Topology.Spec.link_spec) ->
+            if is_sdn l.Topology.Spec.a && is_sdn l.Topology.Spec.b then
+              Some (l.Topology.Spec.a, l.Topology.Spec.b)
+            else None)
+          (Topology.Spec.links spec)
+      in
+      let controller =
+        Cluster_ctl.Controller.create ~sim
+          ~config:config.Config.controller ~members:sdn ~speaker
+          ~send_switch:(fun ~member msg ->
+            Net.Netsim.send net ~src:ctrl_node ~dst:(Net.Asn.to_int member)
+              (Payload.Openflow msg))
+          ~node_of_asn:(fun asn -> node_of_asn (the ()) asn)
+          ~asn_of_node:(fun node -> asn_of_node (the ()) node)
+          ~addr_of_member:plan.Addressing.router_addr
+          ~policy_of:(fun ~member ~neighbor -> policy_for (the ()) ~me:member ~neighbor)
+          ~intra_links
+      in
+      let switches =
+        List.fold_left
+          (fun acc member ->
+            let node_id = Net.Asn.to_int member in
+            let sw =
+              Sdn.Switch.create ~sim ~asn:member ~node_id
+                ~send_control:(fun msg ->
+                  Net.Netsim.send net ~src:node_id ~dst:ctrl_node (Payload.Openflow msg))
+                ~send_data:(fun ~dst pkt ->
+                  Net.Netsim.send net ~src:node_id ~dst (Payload.Data pkt))
+                ~send_bgp:(fun ~dst msg -> send_bgp_via ~src:node_id ~dst msg)
+                ~asn_of_node:(fun node -> asn_of_node (the ()) node)
+                ~node_of_asn:(fun asn -> node_of_asn (the ()) asn)
+                ~is_local:(fun addr -> is_local_addr (the ()) member addr)
+                ~deliver_local:(fun pkt -> deliver_local (the ()) member pkt)
+            in
+            Net.Asn.Map.add member sw acc)
+          Net.Asn.Map.empty sdn
+      in
+      (Some speaker, Some controller, switches)
+    end
+  in
+  let t =
+    {
+      sim;
+      net;
+      spec;
+      plan;
+      config;
+      routers;
+      switches;
+      fibs;
+      local_prefixes = Hashtbl.create 16;
+      collector;
+      controller;
+      speaker;
+      data_stats = { forwarded = 0; dropped = 0; delivered = 0 };
+      on_deliver = [];
+      auto_reply = true;
+      rel_overrides = Hashtbl.create 8;
+    }
+  in
+  t_ref := Some t;
+  (* Message handlers. *)
+  Net.Asn.Map.iter
+    (fun asn router ->
+      Net.Netsim.set_handler net (Net.Asn.to_int asn) (fun ~from msg ->
+          match msg with
+          | Payload.Bgp m -> Bgp.Router.handle_message router ~from m
+          | Payload.Data p -> forward_legacy t asn p
+          | Payload.Openflow _ -> ()))
+    routers;
+  Net.Asn.Map.iter
+    (fun asn sw ->
+      Net.Netsim.set_handler net (Net.Asn.to_int asn) (fun ~from msg ->
+          match msg with
+          | Payload.Bgp m -> Sdn.Switch.handle_bgp sw ~from m
+          | Payload.Data p -> Sdn.Switch.handle_data sw ~from p
+          | Payload.Openflow c ->
+            if from = ctrl_node then Sdn.Switch.handle_control sw c);
+      ignore asn)
+    switches;
+  Net.Netsim.set_handler net collector_node (fun ~from msg ->
+      match msg with
+      | Payload.Bgp m -> Bgp.Collector.handle_message collector ~from m
+      | Payload.Data _ | Payload.Openflow _ -> ());
+  (match controller with
+  | Some ctrl ->
+    Net.Netsim.set_handler net ctrl_node (fun ~from:_ msg ->
+        match msg with
+        | Payload.Openflow m -> Cluster_ctl.Controller.handle_openflow ctrl m
+        | Payload.Bgp _ | Payload.Data _ -> ())
+  | None -> ());
+  (* Link watchers: session lifecycle for legacy routers, PORT_STATUS for
+     switches. *)
+  Net.Asn.Map.iter
+    (fun asn router ->
+      Net.Netsim.set_link_watcher net (Net.Asn.to_int asn) (fun ~link ~peer ~up ->
+          match asn_of_node t peer with
+          | None -> ()
+          | Some peer_asn ->
+            if up then
+              ignore
+                (Engine.Sim.schedule_after sim config.Config.bgp.Bgp.Config.session_open_delay
+                   (fun () ->
+                     if Net.Link.is_up link then Bgp.Router.open_session router peer_asn))
+            else
+              ignore
+                (Engine.Sim.schedule_after sim
+                   config.Config.bgp.Bgp.Config.session_down_detect (fun () ->
+                     if not (Net.Link.is_up link) then Bgp.Router.session_down router peer_asn))))
+    routers;
+  Net.Asn.Map.iter
+    (fun _ sw ->
+      Net.Netsim.set_link_watcher net (Sdn.Switch.node_id sw) (fun ~link:_ ~peer ~up ->
+          if peer <> ctrl_node then Sdn.Switch.port_change sw ~peer ~up))
+    switches;
+  t
+
+(* Open all BGP sessions (idempotent). *)
+let start t =
+  Net.Asn.Map.iter (fun _ r -> Bgp.Router.start r) t.routers;
+  Option.iter Cluster_ctl.Speaker.open_all t.speaker
+
+(* --- Experiment-facing operations -------------------------------------- *)
+
+let role t asn = Topology.Spec.role_of t.spec asn
+
+let originate t asn prefix =
+  add_local_prefix t asn prefix;
+  match Net.Asn.Map.find_opt asn t.routers with
+  | Some router -> Bgp.Router.originate router prefix
+  | None -> (
+    match t.controller with
+    | Some ctrl -> Cluster_ctl.Controller.originate ctrl ~member:asn prefix
+    | None -> invalid_arg (Fmt.str "Network.originate: unknown AS %a" Net.Asn.pp asn))
+
+let withdraw t asn prefix =
+  remove_local_prefix t asn prefix;
+  match Net.Asn.Map.find_opt asn t.routers with
+  | Some router -> Bgp.Router.withdraw_origin router prefix
+  | None -> (
+    match t.controller with
+    | Some ctrl -> Cluster_ctl.Controller.withdraw_origin ctrl ~member:asn prefix
+    | None -> invalid_arg (Fmt.str "Network.withdraw: unknown AS %a" Net.Asn.pp asn))
+
+let fail_link t a b =
+  if not (Net.Netsim.fail_link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b)) then
+    invalid_arg
+      (Fmt.str "Network.fail_link: no link %a<->%a" Net.Asn.pp a Net.Asn.pp b)
+
+let recover_link t a b =
+  if not (Net.Netsim.recover_link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b)) then
+    invalid_arg
+      (Fmt.str "Network.recover_link: no link %a<->%a" Net.Asn.pp a Net.Asn.pp b)
+
+(* Dynamically add an inter-AS peering mid-experiment — the framework's
+   "dynamically changing the topology" objective.  [rel] is expressed as
+   in topology specs ([C2p] = [a] is the customer of [b]). *)
+let add_peering ?(rel = Topology.Spec.Open) ?delay t a b =
+  if not (Topology.Spec.mem t.spec a) then
+    invalid_arg (Fmt.str "Network.add_peering: unknown %a" Net.Asn.pp a);
+  if not (Topology.Spec.mem t.spec b) then
+    invalid_arg (Fmt.str "Network.add_peering: unknown %a" Net.Asn.pp b);
+  let delay = Option.value delay ~default:t.config.Config.default_link_delay in
+  (* Netsim rejects duplicate links, so existing peerings are caught here. *)
+  ignore (Net.Netsim.add_link ~delay t.net (Net.Asn.to_int a) (Net.Asn.to_int b));
+  let probe = Topology.Spec.link ~rel a b in
+  let to_policy_rel = function
+    | Topology.Spec.Customer -> Bgp.Policy.Customer
+    | Topology.Spec.Provider -> Bgp.Policy.Provider
+    | Topology.Spec.Peer -> Bgp.Policy.Peer
+    | Topology.Spec.Sibling -> Bgp.Policy.Sibling
+    | Topology.Spec.Unrestricted -> Bgp.Policy.Unrestricted
+  in
+  Hashtbl.replace t.rel_overrides (a, b)
+    (to_policy_rel (Topology.Spec.neighbor_role_of_link ~me:a probe));
+  Hashtbl.replace t.rel_overrides (b, a)
+    (to_policy_rel (Topology.Spec.neighbor_role_of_link ~me:b probe));
+  let configure_endpoint me other =
+    match Net.Asn.Map.find_opt me t.routers with
+    | Some router ->
+      Bgp.Router.add_peer router ~peer_asn:other ~peer_node:(Net.Asn.to_int other)
+        ~policy:(Bgp.Policy.make (relationship_for t ~me ~neighbor:other));
+      Bgp.Router.open_session router other
+    | None -> (
+      (* [me] is an SDN member *)
+      if Net.Asn.Map.mem other t.switches then begin
+        (* member-to-member: grow the controller's switch graph *)
+        match t.controller with
+        | Some ctrl ->
+          Cluster_ctl.Controller.handle_openflow ctrl
+            (Sdn.Openflow.Port_status
+               { switch_asn = me; port = Net.Asn.to_int other; up = true })
+        | None -> ()
+      end
+      else
+        match t.speaker with
+        | Some speaker ->
+          Cluster_ctl.Speaker.add_session ?mrai_config:t.config.Config.speaker_mrai speaker
+            ~member:me ~neighbor:other
+            ~member_addr:(t.plan.Addressing.router_addr me);
+          Cluster_ctl.Speaker.open_session speaker ~member:me ~neighbor:other
+        | None -> ())
+  in
+  configure_endpoint a b;
+  configure_endpoint b a
+
+(* Run the simulation until no events remain (the network is idle: all
+   protocol activity, including MRAI timers, has quiesced) or safety
+   limits are hit. *)
+let settle ?(max_events = 10_000_000) t =
+  match Engine.Sim.run ~max_events t.sim with
+  | Engine.Sim.Exhausted -> Engine.Sim.now t.sim
+  | Engine.Sim.Reached_limit -> failwith "Network.settle: event limit hit (divergence?)"
+  | Engine.Sim.Reached_time _ -> assert false
+
+let run_until t time = ignore (Engine.Sim.run ~until:time t.sim)
+
+let now t = Engine.Sim.now t.sim
+
+let link_up t a b =
+  match Net.Netsim.link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b) with
+  | Some link -> Net.Link.is_up link
+  | None -> false
+
+let link_delay t a b =
+  match Net.Netsim.link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b) with
+  | Some link -> Some (Net.Link.delay link)
+  | None -> None
+
+(* Forwarding-state introspection for the connectivity walker. *)
+type forwarding = Local | Next of int | No_route
+
+let forwarding_at t asn (addr : Net.Ipv4.addr) =
+  if is_local_addr t asn addr then Local
+  else
+    match Net.Asn.Map.find_opt asn t.switches with
+    | Some sw -> (
+      match Sdn.Flow_table.lookup (Sdn.Switch.table sw) addr with
+      | Some { Sdn.Flow.action = Sdn.Flow.Output port; _ } -> Next port
+      | Some { Sdn.Flow.action = Sdn.Flow.Drop; _ }
+      | Some { Sdn.Flow.action = Sdn.Flow.To_controller; _ }
+      | None -> No_route)
+    | None -> (
+      match Net.Asn.Map.find_opt asn t.fibs with
+      | Some fib -> (
+        match Net.Fib.lookup_value fib addr with
+        | Some node -> Next node
+        | None -> No_route)
+      | None -> No_route)

@@ -1,0 +1,116 @@
+(** The network builder: a topology spec turned into a running emulation —
+    legacy BGP routers, SDN switches under the IDR controller + cluster
+    speaker, the monitoring collector, automatic addressing/policies, and
+    the data plane. *)
+
+type t
+
+val ctrl_node : int
+(** Fabric node id hosting the controller + cluster BGP speaker. *)
+
+val collector_node : int
+
+val collector_asn : Net.Asn.t
+
+val create : ?config:Config.t -> seed:int -> Topology.Spec.t -> t
+(** Build the emulation (validates the spec).  Call {!start} to open BGP
+    sessions, then drive the simulator. *)
+
+val start : t -> unit
+(** Open all BGP sessions (routers and cluster speaker). *)
+
+(* --- Accessors --- *)
+
+val sim : t -> Engine.Sim.t
+
+val fabric : t -> Payload.t Net.Netsim.t
+
+val spec : t -> Topology.Spec.t
+
+val plan : t -> Addressing.plan
+
+val config : t -> Config.t
+
+val collector : t -> Bgp.Collector.t
+
+val controller : t -> Cluster_ctl.Controller.t option
+
+val speaker : t -> Cluster_ctl.Speaker.t option
+
+val routers : t -> Bgp.Router.t Net.Asn.Map.t
+
+val router : t -> Net.Asn.t -> Bgp.Router.t option
+
+val switch : t -> Net.Asn.t -> Sdn.Switch.t option
+
+val asns : t -> Net.Asn.t list
+
+val sdn_asns : t -> Net.Asn.t list
+
+val legacy_asns : t -> Net.Asn.t list
+
+val role : t -> Net.Asn.t -> Topology.Spec.role
+
+val asn_of_node : t -> int -> Net.Asn.t option
+
+val node_of_asn : t -> Net.Asn.t -> int option
+
+val link_up : t -> Net.Asn.t -> Net.Asn.t -> bool
+
+val link_delay : t -> Net.Asn.t -> Net.Asn.t -> Engine.Time.span option
+
+(* --- Experiment operations --- *)
+
+val originate : t -> Net.Asn.t -> Net.Ipv4.prefix -> unit
+(** Originate at a legacy router or (via the controller) an SDN member;
+    also marks the prefix for local data-plane delivery. *)
+
+val withdraw : t -> Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val fail_link : t -> Net.Asn.t -> Net.Asn.t -> unit
+(** @raise Invalid_argument when no such link exists. *)
+
+val recover_link : t -> Net.Asn.t -> Net.Asn.t -> unit
+
+val add_peering :
+  ?rel:Topology.Spec.rel -> ?delay:Engine.Time.span -> t -> Net.Asn.t -> Net.Asn.t -> unit
+(** Add a new inter-AS peering at runtime ([Open] relationship by
+    default; [C2p] = first AS is the customer): creates the link,
+    configures both endpoints (router peer, speaker session, or
+    controller switch-graph edge) and opens the session.
+    @raise Invalid_argument for unknown ASes or an existing link. *)
+
+val settle : ?max_events:int -> t -> Engine.Time.t
+(** Run until the event queue drains (full protocol quiescence including
+    MRAI timers).  @raise Failure at the event-limit safety valve. *)
+
+val run_until : t -> Engine.Time.t -> unit
+
+val now : t -> Engine.Time.t
+
+(* --- Data plane --- *)
+
+type data_stats = { mutable forwarded : int; mutable dropped : int; mutable delivered : int }
+
+val data_stats : t -> data_stats
+
+val inject : t -> src:Net.Asn.t -> Net.Packet.t -> unit
+(** Start a packet at an AS, as if emitted by a local host. *)
+
+val subscribe_deliver : t -> (Net.Asn.t -> Net.Packet.t -> unit) -> unit
+(** Called on every locally delivered packet. *)
+
+val set_auto_reply : t -> bool -> unit
+(** Whether delivered echo requests generate replies (default true). *)
+
+val add_local_prefix : t -> Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val remove_local_prefix : t -> Net.Asn.t -> Net.Ipv4.prefix -> unit
+
+val is_local_addr : t -> Net.Asn.t -> Net.Ipv4.addr -> bool
+
+type forwarding = Local | Next of int | No_route
+
+val forwarding_at : t -> Net.Asn.t -> Net.Ipv4.addr -> forwarding
+(** The AS's current forwarding decision for an address (FIB for legacy,
+    flow table for SDN members). *)

@@ -1,0 +1,14 @@
+(** Quagga/FRR bgpd configuration generation from a topology spec and the
+    automatic address plan — exports an emulated experiment to a real
+    testbed.  Gao–Rexford policies are encoded the way deployments do it:
+    provenance communities stamped on import, valley-free deny clauses on
+    export toward peers and providers. *)
+
+val bgpd_conf : Topology.Spec.t -> Addressing.plan -> Net.Asn.t -> string
+(** The bgpd.conf text for one AS.
+    @raise Invalid_argument for ASNs outside the spec. *)
+
+val all_configs : Topology.Spec.t -> (Net.Asn.t * string) list
+
+val write_configs : Topology.Spec.t -> dir:string -> unit
+(** Write [bgpd-AS<n>.conf] files into [dir] (created if missing). *)

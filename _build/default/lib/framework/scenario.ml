@@ -1,0 +1,174 @@
+(* Declarative experiment scenarios: a list of timed actions replayed
+   against a network — the scripting layer on which interactive demos and
+   regression experiments are written. *)
+
+type action =
+  | Announce of Net.Asn.t * Net.Ipv4.prefix option (* None = the AS's default prefix *)
+  | Withdraw of Net.Asn.t * Net.Ipv4.prefix option
+  | Fail_link of Net.Asn.t * Net.Asn.t
+  | Recover_link of Net.Asn.t * Net.Asn.t
+  | Ping of Net.Asn.t * Net.Asn.t
+  | Note of string
+
+type step = { at : Engine.Time.t; action : action }
+
+type t = { title : string; steps : step list }
+
+let make ~title steps =
+  let sorted = List.stable_sort (fun a b -> Engine.Time.compare a.at b.at) steps in
+  { title; steps = sorted }
+
+let at seconds action = { at = Engine.Time.of_sec_f seconds; action }
+
+let title t = t.title
+
+let steps t = t.steps
+
+let pp_action ppf = function
+  | Announce (asn, p) ->
+    Fmt.pf ppf "announce %a %a" Net.Asn.pp asn
+      (Fmt.option ~none:(Fmt.any "<default>") Net.Ipv4.pp_prefix)
+      p
+  | Withdraw (asn, p) ->
+    Fmt.pf ppf "withdraw %a %a" Net.Asn.pp asn
+      (Fmt.option ~none:(Fmt.any "<default>") Net.Ipv4.pp_prefix)
+      p
+  | Fail_link (a, b) -> Fmt.pf ppf "fail-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Recover_link (a, b) -> Fmt.pf ppf "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Ping (a, b) -> Fmt.pf ppf "ping %a -> %a" Net.Asn.pp a Net.Asn.pp b
+  | Note s -> Fmt.pf ppf "note %S" s
+
+(* --- Text format ----------------------------------------------------------
+
+   One action per line, '#' comments:
+
+     @0.5  announce AS65001
+     @2.0  announce AS65002 100.99.0.0/24
+     @10.0 fail-link AS65001 AS65002
+     @20.0 recover-link AS65001 AS65002
+     @25.0 ping AS65002 AS65001
+     @30.0 withdraw AS65001
+     @31.0 note measurement window ends
+
+   This is the file format `hybridsim scenario` replays. *)
+
+let render_action = function
+  | Announce (asn, p) ->
+    Fmt.str "announce %a%s" Net.Asn.pp asn
+      (match p with Some p -> " " ^ Net.Ipv4.prefix_to_string p | None -> "")
+  | Withdraw (asn, p) ->
+    Fmt.str "withdraw %a%s" Net.Asn.pp asn
+      (match p with Some p -> " " ^ Net.Ipv4.prefix_to_string p | None -> "")
+  | Fail_link (a, b) -> Fmt.str "fail-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Recover_link (a, b) -> Fmt.str "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Ping (a, b) -> Fmt.str "ping %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Note s -> Fmt.str "note %s" s
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "# scenario: %s\n" t.title);
+  List.iter
+    (fun step ->
+      Buffer.add_string buf
+        (Fmt.str "@%.3f %s\n" (Engine.Time.to_sec_f step.at) (render_action step.action)))
+    t.steps;
+  Buffer.contents buf
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let fail reason = Error (Fmt.str "line %d: %s" lineno reason) in
+    let words = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    match words with
+    | time :: action :: args when String.length time > 1 && time.[0] = '@' -> (
+      let time_str = String.sub time 1 (String.length time - 1) in
+      match float_of_string_opt time_str with
+      | None -> fail (Fmt.str "bad time %S" time_str)
+      | Some seconds -> (
+        let asn1 () =
+          match args with
+          | a :: _ -> Net.Asn.of_string a
+          | [] -> None
+        in
+        let asn2 () =
+          match args with
+          | _ :: b :: _ -> Net.Asn.of_string b
+          | _ -> None
+        in
+        let opt_prefix () =
+          match args with
+          | [ _ ] -> Ok None
+          | [ _; p ] -> (
+            match Net.Ipv4.prefix_of_string p with
+            | Some p -> Ok (Some p)
+            | None -> Error (Fmt.str "bad prefix %S" p))
+          | _ -> Error "expected: AS [prefix]"
+        in
+        match (String.lowercase_ascii action, asn1 (), asn2 ()) with
+        | "announce", Some a, _ -> (
+          match opt_prefix () with
+          | Ok p -> Ok (Some (at seconds (Announce (a, p))))
+          | Error e -> fail e)
+        | "withdraw", Some a, _ -> (
+          match opt_prefix () with
+          | Ok p -> Ok (Some (at seconds (Withdraw (a, p))))
+          | Error e -> fail e)
+        | "fail-link", Some a, Some b -> Ok (Some (at seconds (Fail_link (a, b))))
+        | "recover-link", Some a, Some b -> Ok (Some (at seconds (Recover_link (a, b))))
+        | "ping", Some a, Some b -> Ok (Some (at seconds (Ping (a, b))))
+        | "note", _, _ -> Ok (Some (at seconds (Note (String.concat " " args))))
+        | ("announce" | "withdraw" | "fail-link" | "recover-link" | "ping"), _, _ ->
+          fail "bad or missing AS number"
+        | other, _, _ -> fail (Fmt.str "unknown action %S" other)))
+    | _ -> fail "expected: @SECONDS ACTION ..."
+  end
+
+let parse_string ?(title = "scenario") text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (make ~title (List.rev acc))
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some step) -> go (lineno + 1) (step :: acc) rest
+      | Error e -> Error e)
+  in
+  go 1 [] lines
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string ~title:(Filename.basename path) text
+
+(* Schedule every step on the simulator, then run to quiescence.  Returns
+   the executed (time, action, note) log. *)
+let run exp scenario =
+  let network = Experiment.network exp in
+  let sim = Network.sim network in
+  let log = ref [] in
+  let record action = log := (Engine.Sim.now sim, action) :: !log in
+  let prefix_for asn = function Some p -> p | None -> Experiment.default_prefix exp asn in
+  List.iter
+    (fun { at; action } ->
+      let run_action () =
+        record action;
+        match action with
+        | Announce (asn, p) -> Network.originate network asn (prefix_for asn p)
+        | Withdraw (asn, p) -> Network.withdraw network asn (prefix_for asn p)
+        | Fail_link (a, b) -> Network.fail_link network a b
+        | Recover_link (a, b) -> Network.recover_link network a b
+        | Ping (src, dst) ->
+          let plan = Network.plan network in
+          Network.inject network ~src
+            (Net.Packet.echo ~src:(plan.Addressing.host_addr src)
+               ~dst:(plan.Addressing.host_addr dst) 0)
+        | Note _ -> ()
+      in
+      if Engine.Time.(at <= Engine.Sim.now sim) then run_action ()
+      else ignore (Engine.Sim.schedule_at sim at run_action))
+    scenario.steps;
+  ignore (Network.settle network);
+  List.rev !log

@@ -1,0 +1,36 @@
+(** Declarative timed experiment scenarios, runnable from code or from the
+    text format `hybridsim scenario` replays. *)
+
+type action =
+  | Announce of Net.Asn.t * Net.Ipv4.prefix option  (** [None] = default prefix *)
+  | Withdraw of Net.Asn.t * Net.Ipv4.prefix option
+  | Fail_link of Net.Asn.t * Net.Asn.t
+  | Recover_link of Net.Asn.t * Net.Asn.t
+  | Ping of Net.Asn.t * Net.Asn.t
+  | Note of string
+
+type step = { at : Engine.Time.t; action : action }
+
+type t
+
+val make : title:string -> step list -> t
+(** Steps are sorted by time. *)
+
+val at : float -> action -> step
+(** [at seconds action]. *)
+
+val title : t -> string
+
+val steps : t -> step list
+
+val pp_action : Format.formatter -> action -> unit
+
+val render : t -> string
+(** The text format: ["@SECONDS ACTION ARGS"] lines with ['#'] comments. *)
+
+val parse_string : ?title:string -> string -> (t, string) result
+
+val parse_file : string -> (t, string) result
+
+val run : Experiment.t -> t -> (Engine.Time.t * action) list
+(** Schedule all steps, run to quiescence, return the executed log. *)

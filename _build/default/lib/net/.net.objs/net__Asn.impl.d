@@ -1,0 +1,1 @@
+lib/net/asn.ml: Fmt Hashtbl Int Map Set String

@@ -1,0 +1,1 @@
+lib/net/fib.ml: Int32 Ipv4 List Option

@@ -1,0 +1,1 @@
+lib/net/fib.mli: Ipv4

@@ -1,0 +1,1 @@
+lib/net/graph.ml: Engine Float Fmt Hashtbl Int List Option Queue

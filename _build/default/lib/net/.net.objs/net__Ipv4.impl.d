@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Fmt Hashtbl Int Int32 List Map Option Set String

@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Engine Fmt Graph Hashtbl Int Link List Option

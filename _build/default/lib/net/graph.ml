@@ -1,0 +1,208 @@
+(* Weighted graph over integer node ids.
+
+   Used for physical topologies, the controller's switch graph and the
+   per-prefix AS topology graph.  Adjacency lists are kept sorted by node
+   id so traversal order — and therefore every algorithm built on top — is
+   deterministic. *)
+
+type t = {
+  adj : (int, (int * float) list) Hashtbl.t;
+  directed : bool;
+  mutable nedges : int;
+}
+
+let create ?(directed = false) () = { adj = Hashtbl.create 64; directed; nedges = 0 }
+
+let is_directed t = t.directed
+
+let add_node t v = if not (Hashtbl.mem t.adj v) then Hashtbl.replace t.adj v []
+
+let mem_node t v = Hashtbl.mem t.adj v
+
+let nodes t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.adj [] |> List.sort Int.compare
+
+let node_count t = Hashtbl.length t.adj
+
+let edge_count t = t.nedges
+
+let neighbors t v = match Hashtbl.find_opt t.adj v with None -> [] | Some l -> l
+
+let succ t v = List.map fst (neighbors t v)
+
+let degree t v = List.length (neighbors t v)
+
+let weight t u v =
+  List.find_map (fun (w, wt) -> if w = v then Some wt else None) (neighbors t u)
+
+let mem_edge t u v = Option.is_some (weight t u v)
+
+(* Insert (v, w) into a sorted adjacency list, replacing any existing entry
+   for v.  Returns the new list and whether an entry existed. *)
+let rec insert_sorted v w = function
+  | [] -> ([ (v, w) ], false)
+  | (x, _) :: rest when x = v -> ((v, w) :: rest, true)
+  | (x, xw) :: rest when x < v ->
+    let rest', existed = insert_sorted v w rest in
+    ((x, xw) :: rest', existed)
+  | l -> ((v, w) :: l, false)
+
+let add_half t u v w =
+  add_node t u;
+  add_node t v;
+  let l, existed = insert_sorted v w (neighbors t u) in
+  Hashtbl.replace t.adj u l;
+  existed
+
+let add_edge ?(w = 1.0) t u v =
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  let existed = add_half t u v w in
+  if not t.directed then ignore (add_half t v u w);
+  if not existed then t.nedges <- t.nedges + 1
+
+let remove_half t u v =
+  match Hashtbl.find_opt t.adj u with
+  | None -> false
+  | Some l ->
+    let l' = List.filter (fun (x, _) -> x <> v) l in
+    Hashtbl.replace t.adj u l';
+    List.length l' <> List.length l
+
+let remove_edge t u v =
+  let existed = remove_half t u v in
+  if not t.directed then ignore (remove_half t v u);
+  if existed then t.nedges <- t.nedges - 1
+
+let remove_node t v =
+  if Hashtbl.mem t.adj v then begin
+    let out_degree = degree t v in
+    Hashtbl.remove t.adj v;
+    let removed_in = ref 0 in
+    Hashtbl.iter
+      (fun u l ->
+        let l' = List.filter (fun (x, _) -> x <> v) l in
+        if List.length l' <> List.length l then incr removed_in;
+        Hashtbl.replace t.adj u l')
+      t.adj;
+    if t.directed then t.nedges <- t.nedges - out_degree - !removed_in
+    else t.nedges <- t.nedges - out_degree
+  end
+
+let edges t =
+  let all =
+    Hashtbl.fold
+      (fun u l acc -> List.fold_left (fun acc (v, w) -> (u, v, w) :: acc) acc l)
+      t.adj []
+  in
+  let all = if t.directed then all else List.filter (fun (u, v, _) -> u < v) all in
+  List.sort (fun (a, b, _) (c, d, _) -> if a <> c then Int.compare a c else Int.compare b d) all
+
+let copy t =
+  let g = create ~directed:t.directed () in
+  Hashtbl.iter (fun v l -> Hashtbl.replace g.adj v l) t.adj;
+  g.nedges <- t.nedges;
+  g
+
+(* Dijkstra from [src]; infinite-distance nodes are absent from the result. *)
+let dijkstra t src =
+  let dist : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let pred : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cmp (d1, s1, _) (d2, s2, _) =
+    let c = Float.compare d1 d2 in
+    if c <> 0 then c else Int.compare s1 s2
+  in
+  let heap = Engine.Heap.create ~dummy:(0.0, 0, 0) cmp in
+  let seq = ref 0 in
+  let push d v =
+    Engine.Heap.push heap (d, !seq, v);
+    incr seq
+  in
+  Hashtbl.replace dist src 0.0;
+  push 0.0 src;
+  let rec loop () =
+    match Engine.Heap.pop heap with
+    | None -> ()
+    | Some (d, _, v) ->
+      (* Skip stale entries. *)
+      if Float.equal (Hashtbl.find dist v) d then
+        List.iter
+          (fun (w, wt) ->
+            if wt < 0.0 then invalid_arg "Graph.dijkstra: negative weight";
+            let nd = d +. wt in
+            let better =
+              match Hashtbl.find_opt dist w with
+              | None -> true
+              | Some old -> nd < old
+            in
+            if better then begin
+              Hashtbl.replace dist w nd;
+              Hashtbl.replace pred w v;
+              push nd w
+            end)
+          (neighbors t v);
+      loop ()
+  in
+  loop ();
+  (dist, pred)
+
+let distance t src dst =
+  let dist, _ = dijkstra t src in
+  Hashtbl.find_opt dist dst
+
+let shortest_path t src dst =
+  if src = dst then if mem_node t src then Some [ src ] else None
+  else begin
+    let _, pred = dijkstra t src in
+    if not (Hashtbl.mem pred dst) then None
+    else begin
+      let rec build v acc =
+        if v = src then v :: acc else build (Hashtbl.find pred v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let bfs_reachable t src =
+  if not (mem_node t src) then []
+  else begin
+    let visited = Hashtbl.create 64 in
+    Hashtbl.replace visited src ();
+    let queue = Queue.create () in
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun (w, _) ->
+          if not (Hashtbl.mem visited w) then begin
+            Hashtbl.replace visited w ();
+            Queue.push w queue
+          end)
+        (neighbors t v)
+    done;
+    Hashtbl.fold (fun v () acc -> v :: acc) visited [] |> List.sort Int.compare
+  end
+
+(* Connected components of the undirected view, each sorted, listed by
+   smallest member. *)
+let components t =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun v ->
+      if Hashtbl.mem seen v then None
+      else begin
+        let comp = bfs_reachable t v in
+        List.iter (fun w -> Hashtbl.replace seen w ()) comp;
+        Some comp
+      end)
+    (nodes t)
+
+let is_connected t =
+  match nodes t with
+  | [] -> true
+  | v :: _ -> List.length (bfs_reachable t v) = node_count t
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>graph %d nodes %d edges" (node_count t) (edge_count t);
+  List.iter (fun (u, v, w) -> Fmt.pf ppf "@,  %d %s %d (%.1f)" u
+                (if t.directed then "->" else "--") v w) (edges t);
+  Fmt.pf ppf "@]"

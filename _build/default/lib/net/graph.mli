@@ -1,0 +1,63 @@
+(** Weighted graph over integer node ids, with deterministic traversal
+    order (adjacency sorted by node id). *)
+
+type t
+
+val create : ?directed:bool -> unit -> t
+(** Undirected by default. *)
+
+val is_directed : t -> bool
+
+val add_node : t -> int -> unit
+
+val mem_node : t -> int -> bool
+
+val nodes : t -> int list
+(** Sorted ascending. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val neighbors : t -> int -> (int * float) list
+(** Sorted by neighbor id; empty for unknown nodes. *)
+
+val succ : t -> int -> int list
+
+val degree : t -> int -> int
+
+val weight : t -> int -> int -> float option
+
+val mem_edge : t -> int -> int -> bool
+
+val add_edge : ?w:float -> t -> int -> int -> unit
+(** Adds endpoints as needed; replaces the weight of an existing edge.
+    @raise Invalid_argument on self-loops. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val remove_node : t -> int -> unit
+
+val edges : t -> (int * int * float) list
+(** Each undirected edge once (u < v), sorted. *)
+
+val copy : t -> t
+
+val dijkstra : t -> int -> (int, float) Hashtbl.t * (int, int) Hashtbl.t
+(** [dijkstra t src] is [(dist, pred)]; unreachable nodes are absent.
+    @raise Invalid_argument on negative edge weights. *)
+
+val distance : t -> int -> int -> float option
+
+val shortest_path : t -> int -> int -> int list option
+(** Node sequence from [src] to [dst] inclusive. *)
+
+val bfs_reachable : t -> int -> int list
+(** Nodes reachable from [src], sorted, including [src]. *)
+
+val components : t -> int list list
+(** Connected components (undirected view), each sorted. *)
+
+val is_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit

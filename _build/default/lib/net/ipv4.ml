@@ -1,0 +1,136 @@
+(* IPv4 addresses and prefixes.
+
+   Addresses are int32 in network order semantics (bit 31 = first octet's
+   MSB); all arithmetic goes through Int32 logical ops so the full unsigned
+   range works. *)
+
+type addr = int32
+
+type prefix = { network : int32; len : int }
+
+let compare_addr a b =
+  (* unsigned comparison *)
+  Int32.unsigned_compare a b
+
+let equal_addr = Int32.equal
+
+let addr_of_int32 i = i
+
+let addr_to_int32 a = a
+
+let addr_of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255 then
+    invalid_arg "Ipv4.addr_of_octets";
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let octets a =
+  let byte shift = Int32.to_int (Int32.logand (Int32.shift_right_logical a shift) 0xFFl) in
+  (byte 24, byte 16, byte 8, byte 0)
+
+let pp_addr ppf a =
+  let o1, o2, o3, o4 = octets a in
+  Fmt.pf ppf "%d.%d.%d.%d" o1 o2 o3 o4
+
+let addr_to_string a = Fmt.str "%a" pp_addr a
+
+let addr_of_string s =
+  match String.split_on_char '.' (String.trim s) with
+  | [ a; b; c; d ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+    | Some a, Some b, Some c, Some d
+      when a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255 && d >= 0 && d <= 255
+      -> Some (addr_of_octets a b c d)
+    | _ -> None)
+  | _ -> None
+
+let mask_of_len len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let apply_mask addr len = Int32.logand addr (mask_of_len len)
+
+let prefix addr len =
+  if len < 0 || len > 32 then invalid_arg (Fmt.str "Ipv4.prefix: bad length %d" len);
+  { network = apply_mask addr len; len }
+
+let prefix_len p = p.len
+
+let prefix_network p = p.network
+
+let compare_prefix p q =
+  let c = Int32.unsigned_compare p.network q.network in
+  if c <> 0 then c else Int.compare p.len q.len
+
+let equal_prefix p q = compare_prefix p q = 0
+
+let hash_prefix p = Hashtbl.hash (p.network, p.len)
+
+let mem addr p = Int32.equal (apply_mask addr p.len) p.network
+
+let subsumes ~outer ~inner =
+  outer.len <= inner.len && Int32.equal (apply_mask inner.network outer.len) outer.network
+
+let pp_prefix ppf p = Fmt.pf ppf "%a/%d" pp_addr p.network p.len
+
+let prefix_to_string p = Fmt.str "%a" pp_prefix p
+
+let prefix_of_string s =
+  match String.split_on_char '/' (String.trim s) with
+  | [ addr; len ] -> (
+    match (addr_of_string addr, int_of_string_opt len) with
+    | Some a, Some l when l >= 0 && l <= 32 -> Some (prefix a l)
+    | _ -> None)
+  | [ addr ] -> Option.map (fun a -> prefix a 32) (addr_of_string addr)
+  | _ -> None
+
+let host_count p = if p.len >= 31 then 1 else (1 lsl (32 - p.len)) - 2
+
+let nth_host p n =
+  let span = Int32.shift_left 1l (32 - p.len) in
+  if n < 0 || (p.len < 32 && Int32.unsigned_compare (Int32.of_int n) span >= 0) then
+    invalid_arg "Ipv4.nth_host";
+  Int32.add p.network (Int32.of_int n)
+
+let subnets p ~len =
+  if len < p.len || len > 32 then invalid_arg "Ipv4.subnets";
+  let count = 1 lsl (len - p.len) in
+  let step = Int32.shift_left 1l (32 - len) in
+  List.init count (fun i ->
+      { network = Int32.add p.network (Int32.mul (Int32.of_int i) step); len })
+
+(* Sequential allocator of equal-sized subnets from a pool — the automatic
+   IP assignment the framework performs for AS loopbacks, link nets and
+   originated prefixes. *)
+module Allocator = struct
+  type t = { pool : prefix; len : int; mutable next : int; capacity : int }
+
+  let create ~(pool : prefix) ~len =
+    if len < pool.len || len > 32 then invalid_arg "Ipv4.Allocator.create";
+    { pool; len; next = 0; capacity = 1 lsl (len - pool.len) }
+
+  let allocated t = t.next
+
+  let capacity t = t.capacity
+
+  let next t =
+    if t.next >= t.capacity then failwith "Ipv4.Allocator: pool exhausted";
+    let step = Int32.shift_left 1l (32 - t.len) in
+    let network = Int32.add t.pool.network (Int32.mul (Int32.of_int t.next) step) in
+    t.next <- t.next + 1;
+    { network; len = t.len }
+end
+
+module Prefix_map = Map.Make (struct
+  type t = prefix
+
+  let compare = compare_prefix
+end)
+
+module Prefix_set = Set.Make (struct
+  type t = prefix
+
+  let compare = compare_prefix
+end)

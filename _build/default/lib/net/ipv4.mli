@@ -1,0 +1,78 @@
+(** IPv4 addresses and prefixes, plus the sequential subnet allocator used
+    for automatic address assignment. *)
+
+type addr
+
+type prefix
+
+val compare_addr : addr -> addr -> int
+(** Unsigned comparison. *)
+
+val equal_addr : addr -> addr -> bool
+
+val addr_of_int32 : int32 -> addr
+
+val addr_to_int32 : addr -> int32
+
+val addr_of_octets : int -> int -> int -> int -> addr
+
+val octets : addr -> int * int * int * int
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val addr_to_string : addr -> string
+
+val addr_of_string : string -> addr option
+
+val prefix : addr -> int -> prefix
+(** [prefix a len] normalizes [a] to its network address.
+    @raise Invalid_argument if [len] is outside [0..32]. *)
+
+val prefix_len : prefix -> int
+
+val prefix_network : prefix -> addr
+
+val compare_prefix : prefix -> prefix -> int
+
+val equal_prefix : prefix -> prefix -> bool
+
+val hash_prefix : prefix -> int
+
+val mem : addr -> prefix -> bool
+
+val subsumes : outer:prefix -> inner:prefix -> bool
+(** [subsumes ~outer ~inner] iff every address of [inner] is in [outer]. *)
+
+val pp_prefix : Format.formatter -> prefix -> unit
+
+val prefix_to_string : prefix -> string
+
+val prefix_of_string : string -> prefix option
+(** Accepts ["10.0.0.0/8"] and bare addresses (as /32). *)
+
+val host_count : prefix -> int
+(** Usable host addresses (1 for /31 and /32). *)
+
+val nth_host : prefix -> int -> addr
+(** [nth_host p n] is the [n]-th address of [p] (0 = network address). *)
+
+val subnets : prefix -> len:int -> prefix list
+(** All subnets of [p] with the given longer length. *)
+
+(** Sequential allocator of equal-sized subnets from a pool. *)
+module Allocator : sig
+  type t
+
+  val create : pool:prefix -> len:int -> t
+
+  val next : t -> prefix
+  (** @raise Failure when the pool is exhausted. *)
+
+  val allocated : t -> int
+
+  val capacity : t -> int
+end
+
+module Prefix_map : Map.S with type key = prefix
+
+module Prefix_set : Set.S with type elt = prefix

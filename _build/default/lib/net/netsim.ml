@@ -1,0 +1,158 @@
+(* The emulated network fabric: nodes, links, and delayed message delivery.
+
+   Parametric in the message payload so the protocol layers (BGP, OpenFlow,
+   data packets) define their own message types without this module
+   depending on them.  Messages in flight when their link fails are dropped
+   at delivery time, like frames on a cut wire. *)
+
+type 'a handler = from:int -> 'a -> unit
+
+type link_watcher = link:Link.t -> peer:int -> up:bool -> unit
+
+type 'a node = {
+  id : int;
+  name : string;
+  mutable handler : 'a handler option;
+  mutable link_watcher : link_watcher option;
+}
+
+type 'a t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  nodes : (int, 'a node) Hashtbl.t;
+  links : (Link.id, Link.t) Hashtbl.t;
+  by_pair : (int * int, Link.id) Hashtbl.t;
+  mutable next_link_id : int;
+}
+
+let create sim =
+  {
+    sim;
+    rng = Engine.Rng.split (Engine.Sim.rng sim);
+    nodes = Hashtbl.create 64;
+    links = Hashtbl.create 64;
+    by_pair = Hashtbl.create 64;
+    next_link_id = 0;
+  }
+
+let sim t = t.sim
+
+let pair u v = if u < v then (u, v) else (v, u)
+
+let add_node t ~id ~name =
+  if Hashtbl.mem t.nodes id then invalid_arg (Fmt.str "Netsim.add_node: duplicate id %d" id);
+  Hashtbl.replace t.nodes id { id; name; handler = None; link_watcher = None }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Fmt.str "Netsim: unknown node %d" id)
+
+let mem_node t id = Hashtbl.mem t.nodes id
+
+let node_name t id = (node t id).name
+
+let node_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort Int.compare
+
+let set_handler t id h = (node t id).handler <- Some h
+
+let set_link_watcher t id w = (node t id).link_watcher <- Some w
+
+let add_link ?(delay = Engine.Time.ms 2) ?(loss = 0.0) ?bandwidth_bps ?queue_limit t u v =
+  ignore (node t u);
+  ignore (node t v);
+  if Hashtbl.mem t.by_pair (pair u v) then
+    invalid_arg (Fmt.str "Netsim.add_link: duplicate link %d<->%d" u v);
+  let id = t.next_link_id in
+  t.next_link_id <- id + 1;
+  let link = Link.make ?bandwidth_bps ?queue_limit ~id ~a:u ~b:v ~delay ~loss () in
+  Hashtbl.replace t.links id link;
+  Hashtbl.replace t.by_pair (pair u v) id;
+  link
+
+let link_by_id t id = Hashtbl.find_opt t.links id
+
+let link_between t u v =
+  Option.bind (Hashtbl.find_opt t.by_pair (pair u v)) (fun id -> Hashtbl.find_opt t.links id)
+
+let links t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+  |> List.sort (fun a b -> Int.compare (Link.id a) (Link.id b))
+
+let neighbors t id =
+  List.filter_map
+    (fun l ->
+      let a, b = Link.endpoints l in
+      if a = id then Some b else if b = id then Some a else None)
+    (links t)
+
+let set_link_up t link up =
+  if Link.is_up link <> up then begin
+    Link.set_up_internal link up;
+    let a, b = Link.endpoints link in
+    Engine.Sim.logf t.sim ~node:"net" ~category:"link" "link %d<->%d %s" a b
+      (if up then "up" else "down");
+    let notify endpoint peer =
+      match (node t endpoint).link_watcher with
+      | Some w -> w ~link ~peer ~up
+      | None -> ()
+    in
+    notify a b;
+    notify b a
+  end
+
+let fail_link_between t u v =
+  match link_between t u v with
+  | Some l ->
+    set_link_up t l false;
+    true
+  | None -> false
+
+let recover_link_between t u v =
+  match link_between t u v with
+  | Some l ->
+    set_link_up t l true;
+    true
+  | None -> false
+
+let deliver t link ~src ~dst payload () =
+  if not (Link.is_up link) then Link.note_dropped link
+  else if Link.loss link > 0.0 && Engine.Rng.chance t.rng (Link.loss link) then
+    Link.note_dropped link
+  else begin
+    match (node t dst).handler with
+    | None -> Link.note_dropped link
+    | Some h ->
+      Link.note_delivered link;
+      h ~from:src payload
+  end
+
+(* [size_bits] matters only on bandwidth-limited links, where it adds
+   serialization delay and FIFO queuing (drop-tail when the direction's
+   queue is full). *)
+let send ?(size_bits = 8 * 64) t ~src ~dst payload =
+  match link_between t src dst with
+  | None -> false
+  | Some link when not (Link.is_up link) -> false
+  | Some link -> (
+    match Link.admit link ~now:(Engine.Sim.now t.sim) ~dst ~size_bits with
+    | None ->
+      Link.note_dropped link;
+      true (* accepted by the sender, lost in the queue *)
+    | Some delivery_at ->
+      ignore (Engine.Sim.schedule_at t.sim delivery_at (deliver t link ~src ~dst payload));
+      true)
+
+(* Current topology restricted to links that are up. *)
+let up_graph t =
+  let g = Graph.create () in
+  List.iter (fun id -> Graph.add_node g id) (node_ids t);
+  List.iter
+    (fun l ->
+      if Link.is_up l then begin
+        let a, b = Link.endpoints l in
+        Graph.add_edge g a b
+      end)
+    (links t);
+  g

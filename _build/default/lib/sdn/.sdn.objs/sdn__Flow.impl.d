@@ -1,0 +1,1 @@
+lib/sdn/flow.ml: Engine Fmt Net

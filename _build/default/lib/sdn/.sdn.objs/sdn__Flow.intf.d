@@ -1,0 +1,1 @@
+lib/sdn/flow.mli: Engine Format Net

@@ -1,0 +1,1 @@
+lib/sdn/openflow.ml: Bgp Flow Fmt Net

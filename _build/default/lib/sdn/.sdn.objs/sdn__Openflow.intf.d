@@ -1,0 +1,1 @@
+lib/sdn/openflow.mli: Bgp Flow Format Net

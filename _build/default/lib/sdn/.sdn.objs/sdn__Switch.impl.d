@@ -1,0 +1,1 @@
+lib/sdn/switch.ml: Bgp Engine Flow Flow_table Net Openflow Option

@@ -1,0 +1,1 @@
+lib/sdn/switch.mli: Bgp Engine Flow_table Net Openflow

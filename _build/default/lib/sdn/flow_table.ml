@@ -1,0 +1,65 @@
+(* A switch's flow table: highest-priority matching rule wins; among equal
+   priorities the longest prefix wins (the compiler sets priority = prefix
+   length, so both tie-breaks agree). *)
+
+type t = { mutable rules : Flow.rule list; mutable misses : int }
+
+let create () = { rules = []; misses = 0 }
+
+let rules t = t.rules
+
+let size t = List.length t.rules
+
+let misses t = t.misses
+
+let add t rule =
+  (* Add-or-replace on the (match, priority) key. *)
+  t.rules <- rule :: List.filter (fun r -> not (Flow.same_match r rule)) t.rules
+
+let delete t ~match_prefix =
+  t.rules <-
+    List.filter (fun r -> not (Net.Ipv4.equal_prefix r.Flow.match_prefix match_prefix)) t.rules
+
+let delete_exact t rule = t.rules <- List.filter (fun r -> not (Flow.same_match r rule)) t.rules
+
+(* Remove this very rule record (physical identity) — used by timeout
+   expiry so that a same-key replacement installed later is never the
+   victim of the old rule's timer. *)
+let remove_physical t rule =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> r != rule) t.rules;
+  List.length t.rules < before
+
+let mem_physical t rule = List.memq rule t.rules
+
+let clear t = t.rules <- []
+
+let lookup t addr =
+  let candidates = List.filter (fun r -> Flow.matches r addr) t.rules in
+  let better (a : Flow.rule) (b : Flow.rule) =
+    if a.priority <> b.priority then a.priority > b.priority
+    else Net.Ipv4.prefix_len a.match_prefix > Net.Ipv4.prefix_len b.match_prefix
+  in
+  match candidates with
+  | [] ->
+    t.misses <- t.misses + 1;
+    None
+  | first :: rest ->
+    let best = List.fold_left (fun acc r -> if better r acc then r else acc) first rest in
+    best.Flow.packets <- best.Flow.packets + 1;
+    Some best
+
+let find t ~match_prefix =
+  List.find_opt (fun r -> Net.Ipv4.equal_prefix r.Flow.match_prefix match_prefix) t.rules
+
+let entries_sorted t =
+  List.sort
+    (fun (a : Flow.rule) (b : Flow.rule) ->
+      if a.priority <> b.priority then Int.compare b.priority a.priority
+      else Net.Ipv4.compare_prefix a.match_prefix b.match_prefix)
+    t.rules
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>flow table (%d rules, %d misses)" (size t) t.misses;
+  List.iter (fun r -> Fmt.pf ppf "@,  %a" Flow.pp r) (entries_sorted t);
+  Fmt.pf ppf "@]"

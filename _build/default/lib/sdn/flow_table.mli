@@ -1,0 +1,38 @@
+(** A switch's flow table: highest priority wins, then longest prefix. *)
+
+type t
+
+val create : unit -> t
+
+val rules : t -> Flow.rule list
+
+val size : t -> int
+
+val misses : t -> int
+(** Lookups that matched no rule. *)
+
+val add : t -> Flow.rule -> unit
+(** Add-or-replace on the (match, priority) key. *)
+
+val delete : t -> match_prefix:Net.Ipv4.prefix -> unit
+(** Delete all rules matching exactly this prefix (any priority). *)
+
+val delete_exact : t -> Flow.rule -> unit
+
+val remove_physical : t -> Flow.rule -> bool
+(** Remove exactly this rule record (physical identity); [false] when it
+    was not installed.  Timeout expiry uses this so a later same-key
+    replacement is never removed by the old rule's timer. *)
+
+val mem_physical : t -> Flow.rule -> bool
+
+val clear : t -> unit
+
+val lookup : t -> Net.Ipv4.addr -> Flow.rule option
+(** Winning rule for the address; bumps its packet counter. *)
+
+val find : t -> match_prefix:Net.Ipv4.prefix -> Flow.rule option
+
+val entries_sorted : t -> Flow.rule list
+
+val pp : Format.formatter -> t -> unit

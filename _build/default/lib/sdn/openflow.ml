@@ -1,0 +1,44 @@
+(* OpenFlow-style control messages between switches and the controller,
+   plus the BGP relay encapsulation the cluster uses: every external BGP
+   peering of a cluster member terminates at the cluster BGP speaker, and
+   its messages travel encapsulated over the switch-controller channel. *)
+
+type flow_mod_command = Add | Delete | Delete_strict
+
+type removal_reason = Idle_timeout | Hard_timeout
+
+type relay_direction = To_speaker | To_neighbor
+
+type t =
+  | Hello
+  | Packet_in of { switch_asn : Net.Asn.t; in_port : Flow.port; packet : Net.Packet.t }
+  | Packet_out of { out_port : Flow.port; packet : Net.Packet.t }
+  | Flow_mod of { command : flow_mod_command; rule : Flow.rule }
+  | Flow_removed of { switch_asn : Net.Asn.t; rule : Flow.rule; reason : removal_reason }
+  | Port_status of { switch_asn : Net.Asn.t; port : Flow.port; up : bool }
+  | Bgp_relay of {
+      member : Net.Asn.t; (* the cluster member AS whose peering this is *)
+      neighbor : Net.Asn.t; (* the external BGP neighbor *)
+      direction : relay_direction;
+      payload : Bgp.Message.t;
+    }
+
+let pp ppf = function
+  | Hello -> Fmt.string ppf "HELLO"
+  | Packet_in { switch_asn; in_port; packet } ->
+    Fmt.pf ppf "PACKET_IN %a port=%d %a" Net.Asn.pp switch_asn in_port Net.Packet.pp packet
+  | Packet_out { out_port; packet } ->
+    Fmt.pf ppf "PACKET_OUT port=%d %a" out_port Net.Packet.pp packet
+  | Flow_mod { command; rule } ->
+    let cmd = match command with Add -> "add" | Delete -> "del" | Delete_strict -> "del!" in
+    Fmt.pf ppf "FLOW_MOD %s %a" cmd Flow.pp rule
+  | Flow_removed { switch_asn; rule; reason } ->
+    let r = match reason with Idle_timeout -> "idle" | Hard_timeout -> "hard" in
+    Fmt.pf ppf "FLOW_REMOVED %a %a (%s)" Net.Asn.pp switch_asn Flow.pp rule r
+  | Port_status { switch_asn; port; up } ->
+    Fmt.pf ppf "PORT_STATUS %a port=%d %s" Net.Asn.pp switch_asn port
+      (if up then "up" else "down")
+  | Bgp_relay { member; neighbor; direction; payload } ->
+    let dir = match direction with To_speaker -> "->speaker" | To_neighbor -> "->neighbor" in
+    Fmt.pf ppf "BGP_RELAY %a/%a %s %a" Net.Asn.pp member Net.Asn.pp neighbor dir
+      Bgp.Message.pp payload

@@ -1,0 +1,24 @@
+(** OpenFlow-style control messages, including the BGP relay
+    encapsulation between border switches and the cluster BGP speaker. *)
+
+type flow_mod_command = Add | Delete | Delete_strict
+
+type removal_reason = Idle_timeout | Hard_timeout
+
+type relay_direction = To_speaker | To_neighbor
+
+type t =
+  | Hello
+  | Packet_in of { switch_asn : Net.Asn.t; in_port : Flow.port; packet : Net.Packet.t }
+  | Packet_out of { out_port : Flow.port; packet : Net.Packet.t }
+  | Flow_mod of { command : flow_mod_command; rule : Flow.rule }
+  | Flow_removed of { switch_asn : Net.Asn.t; rule : Flow.rule; reason : removal_reason }
+  | Port_status of { switch_asn : Net.Asn.t; port : Flow.port; up : bool }
+  | Bgp_relay of {
+      member : Net.Asn.t;
+      neighbor : Net.Asn.t;
+      direction : relay_direction;
+      payload : Bgp.Message.t;
+    }
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+(* An OpenFlow switch standing as a cluster member AS's border device.
+
+   Data packets are forwarded by flow-table lookup; table misses go to the
+   controller as PACKET_INs.  BGP messages arriving from external (legacy)
+   neighbors are not processed locally — the switch encapsulates them
+   toward the cluster BGP speaker (BGP_RELAY), and relays the speaker's
+   messages back out to the neighbors, exactly the control-plane relaying
+   the paper describes. *)
+
+type stats = {
+  mutable forwarded : int;
+  mutable to_controller : int;
+  mutable dropped : int;
+  mutable relayed_in : int;
+  mutable relayed_out : int;
+  mutable flow_mods : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  asn : Net.Asn.t;
+  node_id : int;
+  table : Flow_table.t;
+  send_control : Openflow.t -> bool;
+  send_data : dst:int -> Net.Packet.t -> bool;
+  send_bgp : dst:int -> Bgp.Message.t -> bool;
+  asn_of_node : int -> Net.Asn.t option;
+  node_of_asn : Net.Asn.t -> int option;
+  is_local : Net.Ipv4.addr -> bool;
+  deliver_local : Net.Packet.t -> unit;
+  stats : stats;
+}
+
+let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"switch" fmt
+
+let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~node_of_asn
+    ~is_local ~deliver_local =
+  {
+    sim;
+    asn;
+    node_id;
+    table = Flow_table.create ();
+    send_control;
+    send_data;
+    send_bgp;
+    asn_of_node;
+    node_of_asn;
+    is_local;
+    deliver_local;
+    stats =
+      {
+        forwarded = 0;
+        to_controller = 0;
+        dropped = 0;
+        relayed_in = 0;
+        relayed_out = 0;
+        flow_mods = 0;
+      };
+  }
+
+let asn t = t.asn
+
+let node_id t = t.node_id
+
+let table t = t.table
+
+let stats t = t.stats
+
+let packet_in t ~in_port packet =
+  t.stats.to_controller <- t.stats.to_controller + 1;
+  ignore (t.send_control (Openflow.Packet_in { switch_asn = t.asn; in_port; packet }))
+
+(* Timeout enforcement.  Timers hold the physical rule record, so a
+   same-key replacement installed later is untouched by the old timers. *)
+let expire t rule reason =
+  if Flow_table.remove_physical t.table rule then
+    ignore (t.send_control (Openflow.Flow_removed { switch_asn = t.asn; rule; reason }))
+
+let arm_timeouts t (rule : Flow.rule) =
+  rule.Flow.last_used <- Engine.Sim.now t.sim;
+  Option.iter
+    (fun span ->
+      ignore
+        (Engine.Sim.schedule_after t.sim span (fun () ->
+             expire t rule Openflow.Hard_timeout)))
+    rule.Flow.hard_timeout;
+  Option.iter
+    (fun span ->
+      let rec check () =
+        if Flow_table.mem_physical t.table rule then begin
+          let idle_deadline = Engine.Time.add rule.Flow.last_used span in
+          if Engine.Time.(idle_deadline <= Engine.Sim.now t.sim) then
+            expire t rule Openflow.Idle_timeout
+          else ignore (Engine.Sim.schedule_at t.sim idle_deadline check)
+        end
+      in
+      ignore (Engine.Sim.schedule_after t.sim span check))
+    rule.Flow.idle_timeout
+
+let handle_data t ~from (packet : Net.Packet.t) =
+  if t.is_local packet.Net.Packet.dst then t.deliver_local packet
+  else
+    match Net.Packet.decr_ttl packet with
+    | None ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      log t "ttl exceeded for %a" Net.Packet.pp packet
+    | Some packet -> (
+      let matched = Flow_table.lookup t.table packet.Net.Packet.dst in
+      Option.iter (fun (r : Flow.rule) -> r.Flow.last_used <- Engine.Sim.now t.sim) matched;
+      match matched with
+      | Some { Flow.action = Flow.Output port; _ } ->
+        if t.send_data ~dst:port packet then t.stats.forwarded <- t.stats.forwarded + 1
+        else begin
+          t.stats.dropped <- t.stats.dropped + 1;
+          log t "output port %d unreachable, packet dropped" port
+        end
+      | Some { Flow.action = Flow.Drop; _ } -> t.stats.dropped <- t.stats.dropped + 1
+      | Some { Flow.action = Flow.To_controller; _ } | None ->
+        (* Table miss (or explicit punt): controller decides. *)
+        packet_in t ~in_port:from packet)
+
+(* BGP from an external neighbor: encapsulate toward the speaker. *)
+let handle_bgp t ~from msg =
+  match t.asn_of_node from with
+  | None -> log t "bgp from unknown node %d dropped" from
+  | Some neighbor ->
+    t.stats.relayed_in <- t.stats.relayed_in + 1;
+    ignore
+      (t.send_control
+         (Openflow.Bgp_relay
+            { member = t.asn; neighbor; direction = Openflow.To_speaker; payload = msg }))
+
+let handle_control t msg =
+  match msg with
+  | Openflow.Hello -> ignore (t.send_control Openflow.Hello)
+  | Openflow.Flow_mod { command; rule } -> begin
+    t.stats.flow_mods <- t.stats.flow_mods + 1;
+    match command with
+    | Openflow.Add ->
+      Flow_table.add t.table rule;
+      arm_timeouts t rule
+    | Openflow.Delete -> Flow_table.delete t.table ~match_prefix:rule.Flow.match_prefix
+    | Openflow.Delete_strict -> Flow_table.delete_exact t.table rule
+  end
+  | Openflow.Packet_out { out_port; packet } ->
+    if out_port = t.node_id then t.deliver_local packet
+    else if t.send_data ~dst:out_port packet then t.stats.forwarded <- t.stats.forwarded + 1
+    else t.stats.dropped <- t.stats.dropped + 1
+  | Openflow.Bgp_relay { neighbor; direction = Openflow.To_neighbor; payload; _ } -> begin
+    match t.node_of_asn neighbor with
+    | Some dst ->
+      t.stats.relayed_out <- t.stats.relayed_out + 1;
+      ignore (t.send_bgp ~dst payload)
+    | None -> log t "relay to unknown neighbor %a dropped" Net.Asn.pp neighbor
+  end
+  | Openflow.Bgp_relay _ | Openflow.Packet_in _ | Openflow.Port_status _
+  | Openflow.Flow_removed _ ->
+    log t "unexpected control message: %a" Openflow.pp msg
+
+(* Adjacent link changed state: report to the controller. *)
+let port_change t ~peer ~up =
+  ignore (t.send_control (Openflow.Port_status { switch_asn = t.asn; port = peer; up }))

@@ -1,0 +1,47 @@
+(** An OpenFlow switch acting as a cluster member's border device: flow
+    forwarding, PACKET_IN on miss, and BGP relaying between external
+    neighbors and the cluster BGP speaker. *)
+
+type stats = {
+  mutable forwarded : int;
+  mutable to_controller : int;
+  mutable dropped : int;
+  mutable relayed_in : int;
+  mutable relayed_out : int;
+  mutable flow_mods : int;
+}
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  asn:Net.Asn.t ->
+  node_id:int ->
+  send_control:(Openflow.t -> bool) ->
+  send_data:(dst:int -> Net.Packet.t -> bool) ->
+  send_bgp:(dst:int -> Bgp.Message.t -> bool) ->
+  asn_of_node:(int -> Net.Asn.t option) ->
+  node_of_asn:(Net.Asn.t -> int option) ->
+  is_local:(Net.Ipv4.addr -> bool) ->
+  deliver_local:(Net.Packet.t -> unit) ->
+  t
+
+val asn : t -> Net.Asn.t
+
+val node_id : t -> int
+
+val table : t -> Flow_table.t
+
+val stats : t -> stats
+
+val handle_data : t -> from:int -> Net.Packet.t -> unit
+(** Forward a data packet (TTL decrement, flow lookup, PACKET_IN on miss). *)
+
+val handle_bgp : t -> from:int -> Bgp.Message.t -> unit
+(** Encapsulate an external neighbor's BGP message toward the speaker. *)
+
+val handle_control : t -> Openflow.t -> unit
+(** Process a message from the controller (FLOW_MOD, PACKET_OUT, relay). *)
+
+val port_change : t -> peer:int -> up:bool -> unit
+(** Report an adjacent link state change as PORT_STATUS. *)

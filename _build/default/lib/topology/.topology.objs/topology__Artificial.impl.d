@@ -1,0 +1,1 @@
+lib/topology/artificial.ml: Fmt List Net Spec

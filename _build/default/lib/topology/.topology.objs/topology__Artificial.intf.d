@@ -1,0 +1,1 @@
+lib/topology/artificial.mli: Net Spec

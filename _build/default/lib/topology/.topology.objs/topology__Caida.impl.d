@@ -1,0 +1,1 @@
+lib/topology/caida.ml: Artificial Buffer Engine Filename Fmt Hashtbl List Net Spec String

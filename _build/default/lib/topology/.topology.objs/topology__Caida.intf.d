@@ -1,0 +1,1 @@
+lib/topology/caida.mli: Engine Format Net Spec

@@ -1,0 +1,1 @@
+lib/topology/iplane.ml: Array Artificial Buffer Engine Filename Float Fmt Fun Hashtbl List Net Option Spec String

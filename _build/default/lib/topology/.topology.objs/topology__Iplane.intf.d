@@ -1,0 +1,1 @@
+lib/topology/iplane.mli: Engine Format Net Spec

@@ -1,0 +1,1 @@
+lib/topology/random_models.ml: Array Artificial Engine Float Fmt Hashtbl List Net Spec

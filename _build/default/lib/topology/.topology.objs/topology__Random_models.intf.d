@@ -1,0 +1,1 @@
+lib/topology/random_models.mli: Engine Spec

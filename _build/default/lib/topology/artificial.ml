@@ -1,0 +1,118 @@
+(* Deterministic artificial topologies.
+
+   The paper's headline experiment runs on a 16-AS clique with full route
+   propagation (Open links), which is the classic BGP path-exploration
+   worst case.  The other shapes are standard building blocks for
+   experiment design. *)
+
+let base_asn = 65001
+
+let asn i = Net.Asn.of_int (base_asn + i)
+
+let nodes n = List.init n (fun i -> Spec.node (asn i))
+
+let clique ?(rel = Spec.Open) n =
+  if n < 2 then invalid_arg "Artificial.clique: need at least 2 nodes";
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      links := Spec.link ~rel (asn i) (asn j) :: !links
+    done
+  done;
+  Spec.make ~title:(Fmt.str "clique-%d" n) ~nodes:(nodes n) ~links:(List.rev !links)
+
+(* Hub is provider of every leaf by default (a classic access topology). *)
+let star ?(rel = Spec.C2p) n =
+  if n < 2 then invalid_arg "Artificial.star: need at least 2 nodes";
+  let links = List.init (n - 1) (fun i -> Spec.link ~rel (asn (i + 1)) (asn 0)) in
+  Spec.make ~title:(Fmt.str "star-%d" n) ~nodes:(nodes n) ~links
+
+let line ?(rel = Spec.Open) n =
+  if n < 2 then invalid_arg "Artificial.line: need at least 2 nodes";
+  let links = List.init (n - 1) (fun i -> Spec.link ~rel (asn i) (asn (i + 1))) in
+  Spec.make ~title:(Fmt.str "line-%d" n) ~nodes:(nodes n) ~links
+
+let ring ?(rel = Spec.Open) n =
+  if n < 3 then invalid_arg "Artificial.ring: need at least 3 nodes";
+  let links =
+    Spec.link ~rel (asn (n - 1)) (asn 0)
+    :: List.init (n - 1) (fun i -> Spec.link ~rel (asn i) (asn (i + 1)))
+  in
+  Spec.make ~title:(Fmt.str "ring-%d" n) ~nodes:(nodes n) ~links
+
+(* Complete binary tree with [depth] levels; children are customers of
+   their parent, mirroring provider hierarchies. *)
+let tree ?(rel = Spec.C2p) depth =
+  if depth < 1 then invalid_arg "Artificial.tree: depth must be >= 1";
+  let n = (1 lsl depth) - 1 in
+  let links = ref [] in
+  for i = 1 to n - 1 do
+    let parent = (i - 1) / 2 in
+    links := Spec.link ~rel (asn i) (asn parent) :: !links
+  done;
+  Spec.make ~title:(Fmt.str "tree-d%d" depth) ~nodes:(nodes n) ~links:(List.rev !links)
+
+let grid ?(rel = Spec.Open) rows cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "Artificial.grid";
+  let id r c = (r * cols) + c in
+  let links = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then links := Spec.link ~rel (asn (id r c)) (asn (id r (c + 1))) :: !links;
+      if r + 1 < rows then links := Spec.link ~rel (asn (id r c)) (asn (id (r + 1) c)) :: !links
+    done
+  done;
+  Spec.make
+    ~title:(Fmt.str "grid-%dx%d" rows cols)
+    ~nodes:(nodes (rows * cols))
+    ~links:(List.rev !links)
+
+(* A stub AS dual-homed to two transit ASes that are connected to the rest
+   of a clique: the fail-over experiment's shape — kill the primary link
+   and routing must fall back to the backup. *)
+let dual_homed_stub ?(clique_size = 6) () =
+  if clique_size < 2 then invalid_arg "Artificial.dual_homed_stub";
+  let base = clique ~rel:Spec.Open clique_size in
+  let stub = asn clique_size in
+  let primary = asn 0 in
+  let backup = asn 1 in
+  Spec.make
+    ~title:(Fmt.str "dual-homed-stub-%d" clique_size)
+    ~nodes:(Spec.nodes base @ [ Spec.node stub ])
+    ~links:
+      (Spec.links base
+      @ [ Spec.link ~rel:Spec.C2p stub primary; Spec.link ~rel:Spec.C2p stub backup ])
+
+let stub_asn spec =
+  match List.rev (Spec.nodes spec) with
+  | [] -> invalid_arg "Artificial.stub_asn: empty spec"
+  | last :: _ -> last.Spec.asn
+
+(* Fail-over with real path exploration: a stub AS has a short primary
+   path into clique member 0 and a strictly longer backup path — a chain
+   of [chain_len] transit ASes into clique member 1.  When the primary
+   link dies, clique members hold stale length-3 paths through each other
+   ([X, member0, stub]) that beat the longer backup, so they explore them
+   MRAI round by MRAI round before settling on the backup — the dynamics
+   the paper's fail-over experiment stresses.
+
+   Node layout: 0..n-1 clique, n..n+chain_len-1 the backup chain
+   (stub-side first), n+chain_len the stub. *)
+let failover_backup_chain ?(clique_size = 16) ?(chain_len = 2) () =
+  if clique_size < 2 || chain_len < 1 then invalid_arg "Artificial.failover_backup_chain";
+  let base = clique ~rel:Spec.Open clique_size in
+  let chain = List.init chain_len (fun i -> asn (clique_size + i)) in
+  let stub = asn (clique_size + chain_len) in
+  let chain_links =
+    (* stub -> chain.0 -> chain.1 -> ... -> clique member 1 *)
+    let hops = (stub :: chain) @ [ asn 1 ] in
+    let rec pair = function
+      | a :: (b :: _ as rest) -> Spec.link ~rel:Spec.Open a b :: pair rest
+      | [ _ ] | [] -> []
+    in
+    pair hops
+  in
+  Spec.make
+    ~title:(Fmt.str "failover-chain-%d-%d" clique_size chain_len)
+    ~nodes:(Spec.nodes base @ List.map Spec.node chain @ [ Spec.node stub ])
+    ~links:(Spec.links base @ [ Spec.link ~rel:Spec.Open stub (asn 0) ] @ chain_links)

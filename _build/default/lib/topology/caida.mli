@@ -1,0 +1,23 @@
+(** CAIDA AS-relationship dataset support: serial-1 parser/renderer and a
+    synthetic Internet-like generator for sealed environments. *)
+
+type parse_error = { line : int; content : string; reason : string }
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val parse_string : ?title:string -> string -> (Spec.t, parse_error) result
+(** Parse serial-1 text ([provider|customer|-1], [peer|peer|0],
+    [sibling|sibling|2], ['#'] comments).  Duplicate pairs are dropped. *)
+
+val parse_file : string -> (Spec.t, parse_error) result
+
+val render : Spec.t -> string
+(** Render a spec back to serial-1 text ([Open] links render as peers). *)
+
+val generate : ?tier1:int -> ?tier2:int -> ?stubs:int -> ?multihome:float -> Engine.Rng.t -> Spec.t
+(** Synthetic Internet-like graph: tier-1 peering clique, multi-homed
+    tier-2 transit with lateral peering, and stub customers. *)
+
+val tier1_asns : tier1:int -> Net.Asn.t list
+
+val stub_asns : tier1:int -> tier2:int -> stubs:int -> Net.Asn.t list

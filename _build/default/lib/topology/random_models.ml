@@ -1,0 +1,171 @@
+(* Random topology models (Erdős–Rényi, Barabási–Albert, Waxman).
+
+   All models draw from a caller-supplied RNG and guarantee a connected
+   result: components are stitched by linking each to the first one, which
+   perturbs the degree distribution negligibly for the sizes used here.
+
+   Relationships: by default every link is [Open]; with [~infer_rels:true]
+   links are oriented customer→provider towards the higher-degree endpoint,
+   a standard degree heuristic for synthetic AS graphs. *)
+
+let asn = Artificial.asn
+
+let stitch_connected rng links n =
+  let g = Net.Graph.create () in
+  for i = 0 to n - 1 do
+    Net.Graph.add_node g i
+  done;
+  List.iter (fun (a, b) -> Net.Graph.add_edge g a b) !links;
+  match Net.Graph.components g with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    List.iter
+      (fun comp ->
+        let a = Engine.Rng.pick rng first in
+        let b = Engine.Rng.pick rng comp in
+        links := (a, b) :: !links)
+      rest
+
+let degree_table links n =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    links;
+  deg
+
+let to_spec ~title ~infer_rels links n =
+  let deg = degree_table links n in
+  let rel_for a b =
+    if not infer_rels then (a, b, Spec.Open)
+    else if deg.(a) = deg.(b) then (a, b, Spec.P2p)
+    else if deg.(a) < deg.(b) then (a, b, Spec.C2p) (* a is the customer *)
+    else (b, a, Spec.C2p)
+  in
+  let links =
+    List.map
+      (fun (a, b) ->
+        let a, b, rel = rel_for a b in
+        Spec.link ~rel (asn a) (asn b))
+      links
+  in
+  Spec.make ~title ~nodes:(List.init n (fun i -> Spec.node (asn i))) ~links
+
+let erdos_renyi ?(infer_rels = false) rng ~n ~p =
+  if n < 2 then invalid_arg "Random_models.erdos_renyi: n >= 2";
+  if p < 0.0 || p > 1.0 then invalid_arg "Random_models.erdos_renyi: p in [0,1]";
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Engine.Rng.chance rng p then links := (i, j) :: !links
+    done
+  done;
+  stitch_connected rng links n;
+  to_spec ~title:(Fmt.str "er-%d-p%.2f" n p) ~infer_rels !links n
+
+let barabasi_albert ?(infer_rels = false) rng ~n ~m =
+  if n < 2 || m < 1 || m >= n then invalid_arg "Random_models.barabasi_albert";
+  (* Endpoint multiset for preferential attachment. *)
+  let endpoints = ref [] in
+  let links = ref [] in
+  let add_link a b =
+    links := (a, b) :: !links;
+    endpoints := a :: b :: !endpoints
+  in
+  (* Seed: a small connected core of m+1 nodes in a line. *)
+  for i = 0 to m - 1 do
+    add_link i (i + 1)
+  done;
+  for v = m + 1 to n - 1 do
+    (* Draw m distinct targets weighted by degree. *)
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 1000 do
+      incr attempts;
+      let target = Engine.Rng.pick rng !endpoints in
+      if target <> v then Hashtbl.replace chosen target ()
+    done;
+    Hashtbl.iter (fun target () -> add_link v target) chosen
+  done;
+  stitch_connected rng links n;
+  to_spec ~title:(Fmt.str "ba-%d-m%d" n m) ~infer_rels !links n
+
+(* Generalized Linear Preference (Bu & Towsley, INFOCOM'02): grows a graph
+   where, with probability [p], [m] new links are added between existing
+   nodes, otherwise a new node joins with [m] links; attachment
+   probability is proportional to (degree - beta).  Produces AS-level
+   degree distributions closer to measured data than plain BA. *)
+let glp ?(infer_rels = false) ?(p = 0.45) ?(beta = 0.64) rng ~n ~m =
+  if n < 3 || m < 1 || m >= n then invalid_arg "Random_models.glp";
+  if p < 0.0 || p >= 1.0 then invalid_arg "Random_models.glp: p in [0,1)";
+  if beta >= 1.0 then invalid_arg "Random_models.glp: beta < 1";
+  let degree = Array.make n 0 in
+  let links = ref [] in
+  let link_set = Hashtbl.create 64 in
+  let add_link a b =
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem link_set key) then begin
+      Hashtbl.replace link_set key ();
+      links := (a, b) :: !links;
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1
+    end
+  in
+  (* seed: a small line of m+1 nodes *)
+  let node_count = ref (m + 1) in
+  for i = 0 to m - 1 do
+    add_link i (i + 1)
+  done;
+  (* weighted pick proportional to (degree - beta) over current nodes *)
+  let pick_preferential () =
+    let total = ref 0.0 in
+    for i = 0 to !node_count - 1 do
+      total := !total +. Float.max 0.05 (float_of_int degree.(i) -. beta)
+    done;
+    let draw = Engine.Rng.float rng !total in
+    let rec find i acc =
+      if i >= !node_count - 1 then i
+      else begin
+        let acc = acc +. Float.max 0.05 (float_of_int degree.(i) -. beta) in
+        if draw < acc then i else find (i + 1) acc
+      end
+    in
+    find 0 0.0
+  in
+  let safety = ref 0 in
+  while !node_count < n && !safety < 100 * n do
+    incr safety;
+    if Engine.Rng.chance rng p then
+      (* densify: m new internal links *)
+      for _ = 1 to m do
+        add_link (pick_preferential ()) (pick_preferential ())
+      done
+    else begin
+      (* attach the new node to targets drawn among existing nodes *)
+      let v = !node_count in
+      for _ = 1 to m do
+        add_link v (pick_preferential ())
+      done;
+      incr node_count
+    end
+  done;
+  let n = !node_count in
+  stitch_connected rng links n;
+  to_spec ~title:(Fmt.str "glp-%d-m%d" n m) ~infer_rels !links n
+
+let waxman ?(infer_rels = false) ?(alpha = 0.4) ?(beta = 0.2) rng ~n =
+  if n < 2 then invalid_arg "Random_models.waxman: n >= 2";
+  let xs = Array.init n (fun _ -> Engine.Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Engine.Rng.float rng 1.0) in
+  let dist i j = sqrt (((xs.(i) -. xs.(j)) ** 2.0) +. ((ys.(i) -. ys.(j)) ** 2.0)) in
+  let max_dist = sqrt 2.0 in
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = alpha *. exp (-.dist i j /. (beta *. max_dist)) in
+      if Engine.Rng.chance rng p then links := (i, j) :: !links
+    done
+  done;
+  stitch_connected rng links n;
+  to_spec ~title:(Fmt.str "waxman-%d" n) ~infer_rels !links n

@@ -1,0 +1,18 @@
+(** Random topology models.  All results are connected (components are
+    stitched); with [~infer_rels:true] links are oriented
+    customer→provider towards the higher-degree endpoint, otherwise all
+    links are [Open]. *)
+
+val erdos_renyi : ?infer_rels:bool -> Engine.Rng.t -> n:int -> p:float -> Spec.t
+
+val barabasi_albert : ?infer_rels:bool -> Engine.Rng.t -> n:int -> m:int -> Spec.t
+(** Preferential attachment with [m] links per new node. *)
+
+val waxman : ?infer_rels:bool -> ?alpha:float -> ?beta:float -> Engine.Rng.t -> n:int -> Spec.t
+(** Geometric Waxman model on the unit square. *)
+
+val glp : ?infer_rels:bool -> ?p:float -> ?beta:float -> Engine.Rng.t -> n:int -> m:int -> Spec.t
+(** Generalized Linear Preference (Bu–Towsley): with probability [p]
+    densify with [m] internal links, else a new node joins with [m]
+    links; attachment ∝ (degree − beta).  Closer to measured AS degree
+    distributions than plain preferential attachment. *)

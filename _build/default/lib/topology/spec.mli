@@ -1,0 +1,77 @@
+(** Declarative topology description: ASes, relationship-annotated links,
+    and the SDN/legacy role split. *)
+
+type role = Legacy | Sdn
+
+(** Relationship of link endpoint [a] towards endpoint [b]. *)
+type rel =
+  | C2p  (** [a] is customer of [b] *)
+  | P2p  (** settlement-free peers *)
+  | S2s  (** siblings (mutual full transit) *)
+  | Open  (** no policy — full propagation (clique experiments) *)
+
+type node_spec = { asn : Net.Asn.t; role : role; name : string }
+
+type link_spec = { a : Net.Asn.t; b : Net.Asn.t; rel : rel; delay_us : int option }
+
+type t
+
+val rel_to_string : rel -> string
+
+val rel_of_string : string -> rel option
+
+val role_to_string : role -> string
+
+val node : ?role:role -> ?name:string -> Net.Asn.t -> node_spec
+
+val link : ?rel:rel -> ?delay_us:int -> Net.Asn.t -> Net.Asn.t -> link_spec
+
+val make : title:string -> nodes:node_spec list -> links:link_spec list -> t
+
+val title : t -> string
+
+val nodes : t -> node_spec list
+
+val links : t -> link_spec list
+
+val asns : t -> Net.Asn.t list
+
+val node_count : t -> int
+
+val link_count : t -> int
+
+val find_node : t -> Net.Asn.t -> node_spec option
+
+val mem : t -> Net.Asn.t -> bool
+
+val sdn_asns : t -> Net.Asn.t list
+
+val legacy_asns : t -> Net.Asn.t list
+
+val role_of : t -> Net.Asn.t -> role
+
+val with_sdn : t -> Net.Asn.t list -> t
+(** Mark exactly the given ASes as SDN-controlled. *)
+
+val links_of : t -> Net.Asn.t -> link_spec list
+
+val neighbors : t -> Net.Asn.t -> Net.Asn.t list
+
+(** A neighbor's role relative to a given AS. *)
+type neighbor_role = Customer | Provider | Peer | Sibling | Unrestricted
+
+val neighbor_role_to_string : neighbor_role -> string
+
+val neighbor_role_of_link : me:Net.Asn.t -> link_spec -> neighbor_role
+
+val validate : t -> string list
+(** Structural problems; empty when valid. *)
+
+val is_valid : t -> bool
+
+val to_graph : t -> Net.Graph.t
+(** Undirected AS graph; node ids are raw ASN integers. *)
+
+val is_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_addressing.ml: Alcotest Framework List Net Topology

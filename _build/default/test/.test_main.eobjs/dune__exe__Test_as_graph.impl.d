@@ -1,0 +1,1 @@
+test/test_as_graph.ml: Alcotest As_graph Bgp Cluster_ctl Engine Fmt Fun List Net QCheck QCheck_alcotest String

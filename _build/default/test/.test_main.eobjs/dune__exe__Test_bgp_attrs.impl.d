@@ -1,0 +1,1 @@
+test/test_bgp_attrs.ml: Alcotest Bgp List Net Option

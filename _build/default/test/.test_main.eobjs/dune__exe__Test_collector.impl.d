@@ -1,0 +1,1 @@
+test/test_collector.ml: Alcotest Bgp Engine List Net Option Sim Time

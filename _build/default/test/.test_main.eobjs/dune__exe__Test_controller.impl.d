@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Bgp Cluster_ctl Framework List Net Option Topology

@@ -1,0 +1,1 @@
+test/test_convergence.ml: Alcotest Core Engine Float Fmt Framework Option Topology

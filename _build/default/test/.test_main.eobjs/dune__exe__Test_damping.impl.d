@@ -1,0 +1,1 @@
+test/test_damping.ml: Alcotest Bgp Engine Float Fmt Net Option QCheck QCheck_alcotest Test_router Time

@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Bgp Engine Fmt Gen List Net Option QCheck QCheck_alcotest

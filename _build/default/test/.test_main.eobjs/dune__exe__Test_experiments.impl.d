@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Engine Float Fmt Framework List Net Topology

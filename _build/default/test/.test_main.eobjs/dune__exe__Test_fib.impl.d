@@ -1,0 +1,1 @@
+test/test_fib.ml: Alcotest Fib Fmt Int32 Ipv4 List Net Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow_compiler.ml: Alcotest As_graph Bgp Cluster_ctl Flow_compiler List Net Option Sdn

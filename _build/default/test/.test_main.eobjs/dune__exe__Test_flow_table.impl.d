@@ -1,0 +1,1 @@
+test/test_flow_table.ml: Alcotest Flow Flow_table Fmt List Net Option QCheck QCheck_alcotest Sdn

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Bgp Engine Framework List Net Option Topology

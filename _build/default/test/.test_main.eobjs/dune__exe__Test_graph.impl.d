@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Float Fmt Graph Hashtbl List Net QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Engine Heap Int List Option QCheck QCheck_alcotest

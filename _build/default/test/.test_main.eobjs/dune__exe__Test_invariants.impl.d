@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Bgp Engine Fmt Framework List Net Option Topology

@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest Int32 Ipv4 List Net Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Bgp Engine Framework Hashtbl Net Option Sim Time Topology

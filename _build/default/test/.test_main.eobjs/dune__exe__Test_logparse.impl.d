@@ -1,0 +1,1 @@
+test/test_logparse.ml: Alcotest Engine Fmt Framework List Net Option Topology

@@ -1,0 +1,1 @@
+test/test_looking_glass.ml: Alcotest Framework List Option String Topology

@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Astring_like Bgp Fmt List Net Option

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Engine Framework List Net Topology

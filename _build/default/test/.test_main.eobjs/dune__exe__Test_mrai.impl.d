@@ -1,0 +1,1 @@
+test/test_mrai.ml: Alcotest Bgp Engine List Net Option Rng Sim Time

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine Gen Graph Link List Net Netsim Option QCheck QCheck_alcotest Sim Time

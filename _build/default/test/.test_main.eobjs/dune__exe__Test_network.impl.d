@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Bgp Cluster_ctl Engine Fmt Framework List Net Option Sdn Topology

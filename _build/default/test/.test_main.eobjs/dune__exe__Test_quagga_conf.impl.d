@@ -1,0 +1,1 @@
+test/test_quagga_conf.ml: Alcotest Fmt Framework List Net String Topology

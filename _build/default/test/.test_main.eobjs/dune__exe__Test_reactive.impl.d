@@ -1,0 +1,1 @@
+test/test_reactive.ml: Alcotest Cluster_ctl Engine Framework Net Option Sdn Topology

@@ -1,0 +1,1 @@
+test/test_recompute.ml: Alcotest Cluster_ctl Engine List Net Option Sim Time

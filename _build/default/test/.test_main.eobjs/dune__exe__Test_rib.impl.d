@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Bgp Engine List Net Option

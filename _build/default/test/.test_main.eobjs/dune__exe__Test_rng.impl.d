@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Engine Int List QCheck QCheck_alcotest Rng Time

@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Bgp Engine Hashtbl List Net Option Sim Time

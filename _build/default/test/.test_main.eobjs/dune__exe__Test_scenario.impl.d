@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Bgp Engine Framework List Option Topology

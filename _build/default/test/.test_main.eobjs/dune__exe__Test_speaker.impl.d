@@ -1,0 +1,1 @@
+test/test_speaker.ml: Alcotest Bgp Cluster_ctl Engine List Net Option

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Bgp Engine Flow Flow_table List Net Openflow Option Sdn Switch

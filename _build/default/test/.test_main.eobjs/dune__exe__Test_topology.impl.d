@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Engine List Net QCheck QCheck_alcotest Topology

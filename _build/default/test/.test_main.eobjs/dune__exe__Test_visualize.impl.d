@@ -1,0 +1,1 @@
+test/test_visualize.ml: Alcotest Engine Framework List Net Option String Topology

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bgp Bytes Char Fmt List Net Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_wire_transport.ml: Alcotest Bgp Float Framework List Net Option Topology

@@ -1,0 +1,6 @@
+(* Tiny shared test helper: substring search. *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  n > 0 && scan 0

@@ -1,0 +1,57 @@
+(* Framework.Addressing: automatic assignment is unique and coherent. *)
+
+let test_uniqueness () =
+  let spec = Topology.Artificial.clique 20 in
+  let plan = Framework.Addressing.plan spec in
+  let asns = Topology.Spec.asns spec in
+  let routers = List.map plan.Framework.Addressing.router_addr asns in
+  let origins = List.map plan.Framework.Addressing.origin_prefix asns in
+  let uniq cmp l = List.length (List.sort_uniq cmp l) = List.length l in
+  Alcotest.(check bool) "router addrs unique" true (uniq Net.Ipv4.compare_addr routers);
+  Alcotest.(check bool) "origin prefixes unique" true (uniq Net.Ipv4.compare_prefix origins)
+
+let test_host_in_origin_prefix () =
+  let spec = Topology.Artificial.clique 5 in
+  let plan = Framework.Addressing.plan spec in
+  List.iter
+    (fun asn ->
+      Alcotest.(check bool) "host inside origin" true
+        (Net.Ipv4.mem
+           (plan.Framework.Addressing.host_addr asn)
+           (plan.Framework.Addressing.origin_prefix asn)))
+    (Topology.Spec.asns spec)
+
+let test_router_outside_origin () =
+  let spec = Topology.Artificial.clique 5 in
+  let plan = Framework.Addressing.plan spec in
+  List.iter
+    (fun asn ->
+      Alcotest.(check bool) "router not inside origin" false
+        (Net.Ipv4.mem
+           (plan.Framework.Addressing.router_addr asn)
+           (plan.Framework.Addressing.origin_prefix asn)))
+    (Topology.Spec.asns spec)
+
+let test_unknown_asn_rejected () =
+  let spec = Topology.Artificial.clique 3 in
+  let plan = Framework.Addressing.plan spec in
+  match plan.Framework.Addressing.router_addr (Net.Asn.of_int 1234) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown ASN must raise"
+
+let test_large_topology () =
+  (* index split across the second octet *)
+  let spec = Topology.Artificial.line 300 in
+  let plan = Framework.Addressing.plan spec in
+  let a299 = plan.Framework.Addressing.router_addr (Topology.Artificial.asn 299) in
+  let o1, o2, o3, _ = Net.Ipv4.octets a299 in
+  Alcotest.(check (list int)) "octets split" [ 10; 1; 43 ] [ o1; o2; o3 ]
+
+let suite =
+  [
+    Alcotest.test_case "uniqueness" `Quick test_uniqueness;
+    Alcotest.test_case "host inside origin prefix" `Quick test_host_in_origin_prefix;
+    Alcotest.test_case "router outside origin prefix" `Quick test_router_outside_origin;
+    Alcotest.test_case "unknown ASN rejected" `Quick test_unknown_asn_rejected;
+    Alcotest.test_case "large topology octet split" `Quick test_large_topology;
+  ]

@@ -1,0 +1,59 @@
+(* Bgp.Attrs and Bgp.Community. *)
+
+let nh = Net.Ipv4.addr_of_octets 10 0 0 1
+
+let asn = Net.Asn.of_int
+
+let test_prepend () =
+  let a = Bgp.Attrs.make ~next_hop:nh () in
+  let a = Bgp.Attrs.prepend a (asn 65002) in
+  let a = Bgp.Attrs.prepend a (asn 65001) in
+  Alcotest.(check (list int)) "leftmost is latest" [ 65001; 65002 ]
+    (List.map Net.Asn.to_int (Bgp.Attrs.as_path a));
+  Alcotest.(check int) "length" 2 (Bgp.Attrs.path_length a);
+  Alcotest.(check bool) "contains" true (Bgp.Attrs.path_contains a (asn 65002));
+  Alcotest.(check bool) "not contains" false (Bgp.Attrs.path_contains a (asn 65009))
+
+let test_path_endpoints () =
+  let a = Bgp.Attrs.make ~as_path:[ asn 65001; asn 65002; asn 65003 ] ~next_hop:nh () in
+  Alcotest.(check (option int)) "origin AS" (Some 65003)
+    (Option.map Net.Asn.to_int (Bgp.Attrs.origin_as a));
+  Alcotest.(check (option int)) "neighbor AS" (Some 65001)
+    (Option.map Net.Asn.to_int (Bgp.Attrs.neighbor_as a));
+  let empty = Bgp.Attrs.make ~next_hop:nh () in
+  Alcotest.(check (option int)) "empty origin" None
+    (Option.map Net.Asn.to_int (Bgp.Attrs.origin_as empty))
+
+let test_wire_equal_ignores_local_pref () =
+  let a = Bgp.Attrs.make ~as_path:[ asn 65001 ] ~local_pref:100 ~next_hop:nh () in
+  let b = Bgp.Attrs.with_local_pref a 200 in
+  Alcotest.(check bool) "local pref excluded" true (Bgp.Attrs.wire_equal a b);
+  let c = Bgp.Attrs.with_med a 5 in
+  Alcotest.(check bool) "med included" false (Bgp.Attrs.wire_equal a c);
+  let d = Bgp.Attrs.prepend a (asn 65009) in
+  Alcotest.(check bool) "path included" false (Bgp.Attrs.wire_equal a d)
+
+let test_communities () =
+  let c = Bgp.Community.make 65000 77 in
+  let a = Bgp.Attrs.add_community (Bgp.Attrs.make ~next_hop:nh ()) c in
+  Alcotest.(check bool) "has community" true (Bgp.Attrs.has_community a c);
+  Alcotest.(check bool) "no other" false (Bgp.Attrs.has_community a Bgp.Community.no_export);
+  Alcotest.(check string) "render" "65000:77" (Bgp.Community.to_string c);
+  Alcotest.(check bool) "parse roundtrip" true
+    (Bgp.Community.of_string "65000:77" = Some c);
+  Alcotest.(check bool) "bad parse" true (Bgp.Community.of_string "9999999:1" = None)
+
+let test_origin_rank () =
+  Alcotest.(check bool) "igp < egp" true
+    (Bgp.Attrs.origin_rank Bgp.Attrs.Igp < Bgp.Attrs.origin_rank Bgp.Attrs.Egp);
+  Alcotest.(check bool) "egp < incomplete" true
+    (Bgp.Attrs.origin_rank Bgp.Attrs.Egp < Bgp.Attrs.origin_rank Bgp.Attrs.Incomplete)
+
+let suite =
+  [
+    Alcotest.test_case "prepend" `Quick test_prepend;
+    Alcotest.test_case "path endpoints" `Quick test_path_endpoints;
+    Alcotest.test_case "wire equality" `Quick test_wire_equal_ignores_local_pref;
+    Alcotest.test_case "communities" `Quick test_communities;
+    Alcotest.test_case "origin rank" `Quick test_origin_rank;
+  ]

@@ -1,0 +1,85 @@
+(* Framework.Convergence: measurement semantics. *)
+
+let asn = Topology.Artificial.asn
+
+let cfg = Framework.Config.fast_test
+
+let make_exp ?(n = 4) ?(sdn = []) () =
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique n) sdn in
+  Framework.Experiment.create ~config:cfg ~seed:5 spec
+
+let test_announcement_measured () =
+  let exp = make_exp () in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  let m =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.announce exp (asn 0)))
+  in
+  Alcotest.(check bool) "has convergence" true (m.Framework.Convergence.convergence <> None);
+  let secs = Framework.Experiment.convergence_seconds m in
+  Alcotest.(check bool) "positive and small" true (secs > 0.0 && secs < 5.0);
+  Alcotest.(check bool) "changes counted" true (m.Framework.Convergence.changes >= 4)
+
+let test_noop_event_has_no_convergence () =
+  let exp = make_exp () in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  (* withdrawing a prefix that was never announced changes nothing *)
+  let m =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.withdraw exp (asn 0)))
+  in
+  Alcotest.(check bool) "no convergence for no-op" true
+    (m.Framework.Convergence.convergence = None);
+  Alcotest.(check int) "no changes" 0 m.Framework.Convergence.changes
+
+let test_withdrawal_slower_than_announcement () =
+  let exp = make_exp () in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  let m_ann =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.announce exp (asn 0)))
+  in
+  let m_wd =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.withdraw exp (asn 0)))
+  in
+  Alcotest.(check bool) "Tdown > Tup (path exploration)" true
+    (Framework.Experiment.convergence_seconds m_wd
+    > Framework.Experiment.convergence_seconds m_ann)
+
+let test_collector_view_close_to_control_view () =
+  let exp = make_exp () in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  ignore
+    (Framework.Experiment.measure exp ~prefix (fun () ->
+         ignore (Framework.Experiment.announce exp (asn 0))));
+  let w = Framework.Experiment.watcher exp in
+  let control = Option.get (Framework.Convergence.last_control_change w prefix) in
+  let collector = Option.get (Framework.Convergence.last_collector_update w prefix) in
+  (* the collector hears about the last change within an MRAI + delays *)
+  let gap = Engine.Time.to_sec_f (Engine.Time.diff collector control) in
+  Alcotest.(check bool) (Fmt.str "gap %.3fs bounded" gap) true (Float.abs gap < 3.0)
+
+let test_sdn_reduces_withdrawal_time () =
+  let t_legacy =
+    let exp = make_exp ~n:6 () in
+    Framework.Experiment.convergence_seconds (Core.measure_withdrawal exp (asn 0))
+  in
+  let t_hybrid =
+    let exp = make_exp ~n:6 ~sdn:[ asn 2; asn 3; asn 4; asn 5 ] () in
+    Framework.Experiment.convergence_seconds (Core.measure_withdrawal exp (asn 0))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "hybrid %.2fs < legacy %.2fs" t_hybrid t_legacy)
+    true (t_hybrid < t_legacy)
+
+let suite =
+  [
+    Alcotest.test_case "announcement measured" `Quick test_announcement_measured;
+    Alcotest.test_case "no-op has no convergence" `Quick test_noop_event_has_no_convergence;
+    Alcotest.test_case "withdrawal slower than announcement" `Quick
+      test_withdrawal_slower_than_announcement;
+    Alcotest.test_case "collector view consistent" `Quick
+      test_collector_view_close_to_control_view;
+    Alcotest.test_case "centralization reduces Tdown" `Quick test_sdn_reduces_withdrawal_time;
+  ]

@@ -1,0 +1,148 @@
+(* Bgp.Damping: penalty decay math and router-level suppression. *)
+
+open Engine
+
+let p s = Option.get (Net.Ipv4.prefix_of_string s)
+
+let peer = Net.Asn.of_int 65001
+
+let prefix = p "100.64.0.0/24"
+
+(* Small numbers for testable arithmetic: half-life 10 s. *)
+let test_config =
+  {
+    Bgp.Damping.half_life = Time.sec 10;
+    suppress_threshold = 2000.0;
+    reuse_threshold = 750.0;
+    max_suppress = Time.sec 120;
+    withdrawal_penalty = 1000.0;
+    readvertisement_penalty = 1000.0;
+    attribute_change_penalty = 500.0;
+  }
+
+let test_penalty_decays () =
+  let d = Bgp.Damping.create test_config in
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+  Alcotest.(check (float 1e-6)) "initial" 1000.0
+    (Bgp.Damping.current_penalty d ~peer ~prefix ~now:Time.zero);
+  Alcotest.(check (float 1e-6)) "halved at half-life" 500.0
+    (Bgp.Damping.current_penalty d ~peer ~prefix ~now:(Time.sec 10));
+  Alcotest.(check (float 1e-6)) "quartered at 2x" 250.0
+    (Bgp.Damping.current_penalty d ~peer ~prefix ~now:(Time.sec 20))
+
+let test_accumulation_with_decay () =
+  let d = Bgp.Damping.create test_config in
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:(Time.sec 10) Bgp.Damping.Attribute_change);
+  (* 1000 decayed to 500, plus 500 *)
+  Alcotest.(check (float 1e-6)) "decay then add" 1000.0
+    (Bgp.Damping.current_penalty d ~peer ~prefix ~now:(Time.sec 10))
+
+let test_suppression_and_reuse () =
+  let d = Bgp.Damping.create test_config in
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+  Alcotest.(check bool) "below threshold" false
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:Time.zero);
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:(Time.sec 1) Bgp.Damping.Readvertisement);
+  (* ~1933 so far: still under the 2000 threshold *)
+  Alcotest.(check bool) "still under threshold" false
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:(Time.sec 1));
+  (match Bgp.Damping.record d ~peer ~prefix ~now:(Time.sec 1) Bgp.Damping.Attribute_change with
+  | `Suppressed_until reuse_at ->
+    (* penalty ~2433; reuse at 10 * log2(2433/750) ~ 17 s later *)
+    let dt = Time.to_sec_f (Time.diff reuse_at (Time.sec 1)) in
+    Alcotest.(check bool) (Fmt.str "reuse in %.1fs" dt) true (dt > 15.0 && dt < 19.0)
+  | `Ok -> Alcotest.fail "must suppress above threshold");
+  Alcotest.(check bool) "suppressed now" true
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:(Time.sec 2));
+  Alcotest.(check int) "suppression counted" 1 (Bgp.Damping.suppressions d);
+  Alcotest.(check bool) "reusable after decay" false
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:(Time.sec 60));
+  Alcotest.(check int) "reuse counted" 1 (Bgp.Damping.reuses d)
+
+let test_max_suppress_cap () =
+  let config = { test_config with Bgp.Damping.half_life = Time.sec 100000 } in
+  let d = Bgp.Damping.create config in
+  (* with an enormous half-life the penalty barely decays; only the cap
+     can lift the suppression *)
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+  ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+  Alcotest.(check bool) "suppressed" true
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:(Time.sec 60));
+  Alcotest.(check bool) "cap lifts it" false
+    (Bgp.Damping.is_suppressed d ~peer ~prefix ~now:(Time.sec 121))
+
+let test_span_to_reuse () =
+  let span = Bgp.Damping.span_to_reuse test_config 1500.0 in
+  Alcotest.(check bool) "1500 -> 750 takes one half-life" true
+    (Float.abs (Time.to_sec_f span -. 10.0) < 0.01);
+  Alcotest.(check bool) "already reusable" true
+    (Time.equal (Bgp.Damping.span_to_reuse test_config 700.0) Time.span_zero)
+
+(* Router-level: a flapping origin gets its route suppressed at the
+   receiver, and the route comes back after the penalty decays. *)
+let test_router_suppression () =
+  let h = Test_router.make_harness () in
+  let a = Test_router.add_router h 65001 in
+  let b = Test_router.add_router ~damping:test_config h 65002 in
+  Test_router.peer_pair a b;
+  Bgp.Router.start a;
+  Test_router.run_until h (Time.sec 1);
+  (* flap quickly (2 s apart, half-life 10 s) so penalties accumulate *)
+  Bgp.Router.originate a prefix;
+  Test_router.run_until h (Time.sec 3);
+  Bgp.Router.withdraw_origin a prefix;
+  Test_router.run_until h (Time.sec 5);
+  Bgp.Router.originate a prefix;
+  Test_router.run_until h (Time.sec 7);
+  Bgp.Router.withdraw_origin a prefix;
+  Test_router.run_until h (Time.sec 9);
+  Bgp.Router.originate a prefix;
+  Test_router.run_until h (Time.sec 11);
+  Alcotest.(check bool) "suppressed at receiver" true (Bgp.Router.best b prefix = None);
+  (match Bgp.Router.damping_state b with
+  | Some d ->
+    Alcotest.(check bool) "suppression recorded" true (Bgp.Damping.suppressions d >= 1)
+  | None -> Alcotest.fail "damping enabled");
+  (* the scheduled reuse re-decision restores it once decayed *)
+  Test_router.run h;
+  Alcotest.(check bool) "route restored after reuse" true (Bgp.Router.best b prefix <> None)
+
+let test_router_no_damping_unaffected () =
+  let h = Test_router.make_harness () in
+  let a = Test_router.add_router h 65001 in
+  let b = Test_router.add_router h 65002 in
+  Test_router.peer_pair a b;
+  Bgp.Router.start a;
+  Test_router.run h;
+  Bgp.Router.originate a prefix;
+  Test_router.run h;
+  Bgp.Router.withdraw_origin a prefix;
+  Test_router.run h;
+  Bgp.Router.originate a prefix;
+  Test_router.run h;
+  Alcotest.(check bool) "no suppression without damping" true
+    (Bgp.Router.best b prefix <> None)
+
+let prop_decay_monotone =
+  QCheck.Test.make ~name:"penalty decay is monotone in time" ~count:200
+    QCheck.(pair (float_bound_inclusive 5000.0) (pair small_nat small_nat))
+    (fun (pen, (t1, t2)) ->
+      let d = Bgp.Damping.create test_config in
+      ignore (Bgp.Damping.record d ~peer ~prefix ~now:Time.zero Bgp.Damping.Withdrawal);
+      ignore pen;
+      let early = Bgp.Damping.current_penalty d ~peer ~prefix ~now:(Time.sec (min t1 t2)) in
+      let late = Bgp.Damping.current_penalty d ~peer ~prefix ~now:(Time.sec (max t1 t2)) in
+      late <= early +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "penalty decays" `Quick test_penalty_decays;
+    Alcotest.test_case "accumulation with decay" `Quick test_accumulation_with_decay;
+    Alcotest.test_case "suppression and reuse" `Quick test_suppression_and_reuse;
+    Alcotest.test_case "max suppress cap" `Quick test_max_suppress_cap;
+    Alcotest.test_case "span to reuse" `Quick test_span_to_reuse;
+    Alcotest.test_case "router-level suppression" `Quick test_router_suppression;
+    Alcotest.test_case "no damping, no suppression" `Quick test_router_no_damping_unaffected;
+    QCheck_alcotest.to_alcotest prop_decay_monotone;
+  ]

@@ -1,0 +1,113 @@
+(* Bgp.Decision: each tie-break step and total-order properties. *)
+
+let nh = Net.Ipv4.addr_of_octets 10 0 0 1
+
+let prefix = Option.get (Net.Ipv4.prefix_of_string "100.64.0.0/24")
+
+let route ?(local_pref = 100) ?(path = [ 65001 ]) ?(med = 0) ?(origin = Bgp.Attrs.Igp)
+    ?(source = `Ebgp 65001) () =
+  let attrs =
+    Bgp.Attrs.make ~as_path:(List.map Net.Asn.of_int path) ~local_pref ~med ~origin ~next_hop:nh
+      ()
+  in
+  let source =
+    match source with `Local -> Bgp.Route.Local | `Ebgp n -> Bgp.Route.Ebgp (Net.Asn.of_int n)
+  in
+  Bgp.Route.make ~prefix ~attrs ~source ~learned_at:Engine.Time.zero
+
+let prefer a b msg =
+  Alcotest.(check bool) msg true (Bgp.Decision.better a b);
+  Alcotest.(check bool) (msg ^ " (antisym)") false (Bgp.Decision.better b a)
+
+let test_local_pref_wins () =
+  prefer
+    (route ~local_pref:130 ~path:[ 65001; 65002; 65003 ] ())
+    (route ~local_pref:100 ~path:[ 65004 ] ~source:(`Ebgp 65004) ())
+    "higher local pref beats shorter path"
+
+let test_local_beats_learned () =
+  prefer (route ~source:`Local ~path:[] ()) (route ~path:[ 65001 ] ())
+    "locally originated beats learned"
+
+let test_shorter_path () =
+  prefer (route ~path:[ 65002 ] ~source:(`Ebgp 65002) ())
+    (route ~path:[ 65001; 65003 ] ~source:(`Ebgp 65001) ())
+    "shorter AS path wins"
+
+let test_origin () =
+  prefer
+    (route ~origin:Bgp.Attrs.Igp ())
+    (route ~origin:Bgp.Attrs.Incomplete ~source:(`Ebgp 65000) ())
+    "IGP origin beats incomplete"
+
+let test_med () =
+  prefer (route ~med:5 ()) (route ~med:10 ~source:(`Ebgp 65000) ()) "lower MED wins"
+
+let test_neighbor_tiebreak () =
+  prefer
+    (route ~source:(`Ebgp 65001) ())
+    (route ~source:(`Ebgp 65002) ~path:[ 65002 ] ())
+    "lower neighbor ASN breaks ties"
+
+let test_select () =
+  let worst = route ~local_pref:90 () in
+  let best = route ~local_pref:130 ~source:(`Ebgp 65005) ~path:[ 65005 ] () in
+  let mid = route ~local_pref:110 ~source:(`Ebgp 65002) ~path:[ 65002 ] () in
+  (match Bgp.Decision.select [ worst; best; mid ] with
+  | Some r -> Alcotest.(check int) "selects best" 130 (Bgp.Route.attrs r).Bgp.Attrs.local_pref
+  | None -> Alcotest.fail "must select");
+  Alcotest.(check bool) "empty" true (Bgp.Decision.select [] = None)
+
+let test_explain () =
+  let a = route ~local_pref:130 () and b = route ~local_pref:90 ~source:(`Ebgp 65002) () in
+  let step, sign = Bgp.Decision.explain a b in
+  Alcotest.(check string) "deciding step" "local_pref" step;
+  Alcotest.(check bool) "sign prefers a" true (sign < 0)
+
+let arb_route =
+  let gen =
+    QCheck.Gen.(
+      let* lp = int_range 90 130 in
+      let* len = int_range 0 4 in
+      let* path = list_repeat len (int_range 65001 65008) in
+      let* med = int_range 0 3 in
+      let* src = int_range 65001 65008 in
+      let* origin = oneofl [ Bgp.Attrs.Igp; Bgp.Attrs.Egp; Bgp.Attrs.Incomplete ] in
+      return (route ~local_pref:lp ~path ~med ~origin ~source:(`Ebgp src) ()))
+  in
+  QCheck.make ~print:(fun r -> Fmt.str "%a" Bgp.Route.pp r) gen
+
+let prop_total_order_antisymmetric =
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:300
+    QCheck.(pair arb_route arb_route)
+    (fun (a, b) -> Bgp.Decision.compare a b = -Bgp.Decision.compare b a)
+
+let prop_total_order_transitive =
+  QCheck.Test.make ~name:"compare is transitive" ~count:300
+    QCheck.(triple arb_route arb_route arb_route)
+    (fun (a, b, c) ->
+      let ab = Bgp.Decision.compare a b and bc = Bgp.Decision.compare b c in
+      if ab <= 0 && bc <= 0 then Bgp.Decision.compare a c <= 0 else true)
+
+let prop_select_is_minimum =
+  QCheck.Test.make ~name:"select returns the compare-minimum" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 10) arb_route)
+    (fun routes ->
+      match Bgp.Decision.select routes with
+      | None -> false
+      | Some best -> List.for_all (fun r -> Bgp.Decision.compare best r <= 0) routes)
+
+let suite =
+  [
+    Alcotest.test_case "local pref dominates" `Quick test_local_pref_wins;
+    Alcotest.test_case "local origination" `Quick test_local_beats_learned;
+    Alcotest.test_case "shorter path" `Quick test_shorter_path;
+    Alcotest.test_case "origin rank" `Quick test_origin;
+    Alcotest.test_case "MED" `Quick test_med;
+    Alcotest.test_case "neighbor tiebreak" `Quick test_neighbor_tiebreak;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "explain" `Quick test_explain;
+    QCheck_alcotest.to_alcotest prop_total_order_antisymmetric;
+    QCheck_alcotest.to_alcotest prop_total_order_transitive;
+    QCheck_alcotest.to_alcotest prop_select_is_minimum;
+  ]

@@ -1,0 +1,179 @@
+(* Text formats: scenario files and collector dumps. *)
+
+let asn = Topology.Artificial.asn
+
+let p s = Option.get (Net.Ipv4.prefix_of_string s)
+
+(* --- Scenario text ------------------------------------------------------- *)
+
+let scenario_text =
+  "# demo scenario\n\
+   @0.5 announce AS65001\n\
+   @2.0 announce AS65002 100.99.0.0/24\n\
+   @10.0 fail-link AS65001 AS65002\n\
+   @20.0 recover-link AS65001 AS65002\n\
+   @25.0 ping AS65002 AS65001\n\
+   @30.0 withdraw AS65001\n\
+   @31.0 note measurement window ends\n"
+
+let test_scenario_parse () =
+  match Framework.Scenario.parse_string scenario_text with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    let steps = Framework.Scenario.steps s in
+    Alcotest.(check int) "step count" 7 (List.length steps);
+    (match steps with
+    | first :: _ -> (
+      Alcotest.(check int) "first at 0.5s" 500_000
+        (Engine.Time.to_us first.Framework.Scenario.at);
+      match first.Framework.Scenario.action with
+      | Framework.Scenario.Announce (a, None) ->
+        Alcotest.(check int) "announce AS" 65001 (Net.Asn.to_int a)
+      | _ -> Alcotest.fail "first action should be a default-prefix announce")
+    | [] -> Alcotest.fail "no steps");
+    let with_prefix =
+      List.exists
+        (fun (st : Framework.Scenario.step) ->
+          match st.Framework.Scenario.action with
+          | Framework.Scenario.Announce (_, Some pre) ->
+            Net.Ipv4.equal_prefix pre (p "100.99.0.0/24")
+          | _ -> false)
+        steps
+    in
+    Alcotest.(check bool) "explicit prefix parsed" true with_prefix
+
+let test_scenario_roundtrip () =
+  match Framework.Scenario.parse_string scenario_text with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+    let rendered = Framework.Scenario.render s in
+    match Framework.Scenario.parse_string rendered with
+    | Error e -> Alcotest.failf "re-parse failed: %s" e
+    | Ok s2 ->
+      Alcotest.(check int) "same step count"
+        (List.length (Framework.Scenario.steps s))
+        (List.length (Framework.Scenario.steps s2));
+      Alcotest.(check string) "stable render" rendered (Framework.Scenario.render s2))
+
+let test_scenario_parse_errors () =
+  let bad_cases =
+    [ "@x announce AS65001"; "@1.0 announce"; "@1.0 explode AS65001"; "announce AS65001";
+      "@1.0 announce AS65001 999.0.0.0/8"; "@1.0 fail-link AS65001" ]
+  in
+  List.iter
+    (fun text ->
+      match Framework.Scenario.parse_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" text)
+    bad_cases
+
+let test_scenario_executes_parsed () =
+  let text = "@1.0 announce AS65001\n@40.0 withdraw AS65001\n" in
+  let scenario =
+    match Framework.Scenario.parse_string text with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let exp =
+    Framework.Experiment.create ~config:Framework.Config.fast_test ~seed:41
+      (Topology.Artificial.clique 3)
+  in
+  let log = Framework.Scenario.run exp scenario in
+  Alcotest.(check int) "both actions ran" 2 (List.length log);
+  let net = Framework.Experiment.network exp in
+  let r = Option.get (Framework.Network.router net (asn 1)) in
+  Alcotest.(check bool) "withdrawn at the end" true
+    (Bgp.Router.best r (Framework.Experiment.default_prefix exp (asn 0)) = None)
+
+(* --- Collector dumps ------------------------------------------------------ *)
+
+let make_collector_with_events () =
+  let sim = Engine.Sim.create () in
+  let collector =
+    Bgp.Collector.create ~sim ~asn:(Net.Asn.of_int 64000) ~node_id:99
+      ~router_id:(Net.Ipv4.addr_of_octets 10 9 9 9)
+      ~send:(fun ~dst:_ _ -> true)
+  in
+  Bgp.Collector.add_peer collector ~peer_asn:(Net.Asn.of_int 65001) ~peer_node:1;
+  let attrs path =
+    Bgp.Attrs.make
+      ~as_path:(List.map Net.Asn.of_int path)
+      ~next_hop:(Net.Ipv4.addr_of_octets 10 0 0 1)
+      ()
+  in
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 5) (fun () ->
+         Bgp.Collector.handle_message collector ~from:1
+           (Bgp.Message.update
+              ~announced:[ (p "100.64.0.0/24", attrs [ 65001; 65002 ]) ]
+              ())));
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 1500) (fun () ->
+         Bgp.Collector.handle_message collector ~from:1
+           (Bgp.Message.update ~withdrawn:[ p "100.64.0.0/24" ] ())));
+  ignore (Engine.Sim.run sim);
+  collector
+
+let test_dump_roundtrip () =
+  let collector = make_collector_with_events () in
+  let text = Bgp.Collector.dump collector in
+  match Bgp.Collector.parse_dump text with
+  | Error e -> Alcotest.fail e
+  | Ok events ->
+    Alcotest.(check int) "two events" 2 (List.length events);
+    (match events with
+    | [ a; w ] ->
+      Alcotest.(check int) "announce time" 5_000 (Engine.Time.to_us a.Bgp.Collector.time);
+      (match a.Bgp.Collector.action with
+      | Bgp.Collector.Announce attrs ->
+        Alcotest.(check (list int)) "path preserved" [ 65001; 65002 ]
+          (List.map Net.Asn.to_int (Bgp.Attrs.as_path attrs))
+      | Bgp.Collector.Withdraw -> Alcotest.fail "first should be announce");
+      Alcotest.(check bool) "second is withdraw" true
+        (w.Bgp.Collector.action = Bgp.Collector.Withdraw)
+    | _ -> Alcotest.fail "expected exactly two")
+
+let test_dump_parse_errors () =
+  List.iter
+    (fun text ->
+      match Bgp.Collector.parse_dump text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" text)
+    [ "garbage"; "5|65001|X|100.64.0.0/24|"; "5|65001|A|not-a-prefix|65001" ]
+
+let test_rate_buckets () =
+  let collector = make_collector_with_events () in
+  let buckets = Bgp.Collector.rate_buckets ~bucket:(Engine.Time.sec 1) collector in
+  Alcotest.(check int) "two buckets" 2 (List.length buckets);
+  match buckets with
+  | [ (t0, c0); (t1, c1) ] ->
+    Alcotest.(check int) "bucket 0 start" 0 (Engine.Time.to_us t0);
+    Alcotest.(check int) "bucket 0 count" 1 c0;
+    Alcotest.(check int) "bucket 1 start" 1_000_000 (Engine.Time.to_us t1);
+    Alcotest.(check int) "bucket 1 count" 1 c1
+  | _ -> Alcotest.fail "unexpected buckets"
+
+(* --- Flap-storm experiment ------------------------------------------------ *)
+
+let test_flap_damping_tradeoff () =
+  let config = Framework.Config.fast_test in
+  let off = Framework.Experiments.flap_run ~n:5 ~flaps:3 ~gap_s:10.0 ~damping:false ~seed:31 ~config () in
+  let on = Framework.Experiments.flap_run ~n:5 ~flaps:3 ~gap_s:10.0 ~damping:true ~seed:31 ~config () in
+  Alcotest.(check int) "no suppressions without damping" 0 off.Framework.Experiments.suppressions_total;
+  Alcotest.(check bool) "damping suppresses" true (on.Framework.Experiments.suppressions_total > 0);
+  Alcotest.(check bool) "damping reduces churn" true
+    (on.Framework.Experiments.collector_updates_total
+    < off.Framework.Experiments.collector_updates_total);
+  Alcotest.(check bool) "damping delays recovery" true
+    (on.Framework.Experiments.recovery_seconds > off.Framework.Experiments.recovery_seconds);
+  Alcotest.(check int) "both eventually recover" 0 on.Framework.Experiments.blackholed_after_storm
+
+let suite =
+  [
+    Alcotest.test_case "scenario parse" `Quick test_scenario_parse;
+    Alcotest.test_case "scenario roundtrip" `Quick test_scenario_roundtrip;
+    Alcotest.test_case "scenario parse errors" `Quick test_scenario_parse_errors;
+    Alcotest.test_case "scenario executes parsed" `Quick test_scenario_executes_parsed;
+    Alcotest.test_case "collector dump roundtrip" `Quick test_dump_roundtrip;
+    Alcotest.test_case "collector dump errors" `Quick test_dump_parse_errors;
+    Alcotest.test_case "collector rate buckets" `Quick test_rate_buckets;
+    Alcotest.test_case "flap damping trade-off" `Quick test_flap_damping_tradeoff;
+  ]

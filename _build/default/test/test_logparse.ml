@@ -1,0 +1,112 @@
+(* Framework.Logparse: render/parse roundtrip and analyses. *)
+
+let p s = Option.get (Net.Ipv4.prefix_of_string s)
+
+let test_parse_line () =
+  match Framework.Logparse.parse_line "000001234567 info AS65001[bgp]: bestpath 1.2.3.0/24" with
+  | Some e ->
+    Alcotest.(check int) "time" 1_234_567 e.Framework.Logparse.time_us;
+    Alcotest.(check string) "level" "info" e.Framework.Logparse.level;
+    Alcotest.(check string) "node" "AS65001" e.Framework.Logparse.node;
+    Alcotest.(check string) "category" "bgp" e.Framework.Logparse.category;
+    Alcotest.(check string) "message" "bestpath 1.2.3.0/24" e.Framework.Logparse.message
+  | None -> Alcotest.fail "must parse"
+
+let test_parse_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Framework.Logparse.parse_line "not a log line" = None);
+  Alcotest.(check bool) "empty rejected" true (Framework.Logparse.parse_line "" = None)
+
+let test_trace_roundtrip () =
+  let trace = Engine.Trace.create () in
+  Engine.Trace.record trace ~time:(Engine.Time.ms 5) ~node:"AS65001" ~category:"bgp"
+    "bestpath 100.64.0.0/24 -> [AS65002]";
+  Engine.Trace.record trace ~time:(Engine.Time.ms 9) ~node:"controller" ~category:"controller"
+    ~level:Engine.Trace.Warn "decision 100.64.0.0/24 AS65003: unreachable";
+  let entries = Framework.Logparse.of_trace trace in
+  Alcotest.(check int) "both parsed" 2 (List.length entries);
+  let changes = Framework.Logparse.route_changes entries (p "100.64.0.0/24") in
+  Alcotest.(check int) "both are route changes" 2 (List.length changes);
+  Alcotest.(check (option int)) "convergence instant" (Some 9_000)
+    (Framework.Logparse.convergence_time_us entries (p "100.64.0.0/24"))
+
+let test_aggregations () =
+  let trace = Engine.Trace.create () in
+  List.iter
+    (fun (node, cat) ->
+      Engine.Trace.record trace ~time:Engine.Time.zero ~node ~category:cat "x")
+    [ ("a", "bgp"); ("a", "bgp"); ("b", "link"); ("a", "link") ];
+  let entries = Framework.Logparse.of_trace trace in
+  Alcotest.(check (list (pair string int))) "by node" [ ("a", 3); ("b", 1) ]
+    (Framework.Logparse.by_node entries);
+  Alcotest.(check (list (pair string int))) "by category" [ ("bgp", 2); ("link", 2) ]
+    (Framework.Logparse.by_category entries)
+
+let test_window () =
+  let trace = Engine.Trace.create () in
+  List.iter
+    (fun ms ->
+      Engine.Trace.record trace ~time:(Engine.Time.ms ms) ~node:"a" ~category:"c" "x")
+    [ 1; 5; 9 ];
+  let entries = Framework.Logparse.of_trace trace in
+  Alcotest.(check int) "window filter" 1
+    (List.length (Framework.Logparse.in_window entries ~from_us:4_000 ~to_us:8_000))
+
+let test_real_network_logs () =
+  (* End-to-end: run a tiny experiment and analyse its real trace. *)
+  let exp =
+    Framework.Experiment.create ~config:Framework.Config.fast_test ~seed:21
+      (Topology.Artificial.clique 3)
+  in
+  let asn0 = Topology.Artificial.asn 0 in
+  let prefix = Framework.Experiment.default_prefix exp asn0 in
+  ignore
+    (Framework.Experiment.measure exp ~prefix (fun () ->
+         ignore (Framework.Experiment.announce exp asn0)));
+  let trace = Engine.Sim.trace (Framework.Experiment.sim exp) in
+  let entries = Framework.Logparse.of_trace trace in
+  Alcotest.(check bool) "trace parsed" true (List.length entries > 0);
+  Alcotest.(check bool) "route changes found" true
+    (List.length (Framework.Logparse.route_changes entries prefix) >= 3);
+  Alcotest.(check bool) "convergence derivable from logs" true
+    (Framework.Logparse.convergence_time_us entries prefix <> None)
+
+let test_exploration_rounds () =
+  (* withdrawal on a clique explores in multiple MRAI waves; the
+     announcement settles in one *)
+  let exp =
+    Framework.Experiment.create ~config:Framework.Config.fast_test ~seed:23
+      (Topology.Artificial.clique 6)
+  in
+  let origin = Topology.Artificial.asn 0 in
+  let prefix = Framework.Experiment.default_prefix exp origin in
+  ignore
+    (Framework.Experiment.measure exp ~prefix (fun () ->
+         ignore (Framework.Experiment.announce exp origin)));
+  let entries () =
+    Framework.Logparse.of_trace (Engine.Sim.trace (Framework.Experiment.sim exp))
+  in
+  (* fast_test MRAI is 2 s: use a 1 s gap *)
+  let announce_rounds = Framework.Logparse.exploration_rounds ~round_gap_us:1_000_000 (entries ()) prefix in
+  Alcotest.(check int) "announcement: one wave" 1 announce_rounds;
+  ignore
+    (Framework.Experiment.measure exp ~prefix (fun () ->
+         ignore (Framework.Experiment.withdraw exp origin)));
+  let total_rounds = Framework.Logparse.exploration_rounds ~round_gap_us:1_000_000 (entries ()) prefix in
+  Alcotest.(check bool)
+    (Fmt.str "withdrawal adds exploration waves (total %d)" total_rounds)
+    true (total_rounds >= 3);
+  Alcotest.(check int) "no changes, no rounds" 0
+    (Framework.Logparse.exploration_rounds (entries ())
+       (Option.get (Net.Ipv4.prefix_of_string "203.0.113.0/24")))
+
+let suite =
+  [
+    Alcotest.test_case "parse line" `Quick test_parse_line;
+    Alcotest.test_case "exploration rounds" `Quick test_exploration_rounds;
+    Alcotest.test_case "parse garbage" `Quick test_parse_garbage;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "aggregations" `Quick test_aggregations;
+    Alcotest.test_case "time window" `Quick test_window;
+    Alcotest.test_case "real network logs" `Quick test_real_network_logs;
+  ]

@@ -1,0 +1,57 @@
+(* Framework.Looking_glass: state dumps contain what they claim. *)
+
+let asn = Topology.Artificial.asn
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  n > 0 && scan 0
+
+let build () =
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique 4) [ asn 2; asn 3 ] in
+  let net = Framework.Network.create ~config:Framework.Config.fast_test ~seed:51 spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  ignore (Framework.Network.settle net);
+  net
+
+let test_router_rib () =
+  let net = build () in
+  let r1 = Option.get (Framework.Network.router net (asn 1)) in
+  let dump = Framework.Looking_glass.router_rib r1 in
+  Alcotest.(check bool) "names the router" true (contains dump "AS65002");
+  Alcotest.(check bool) "shows the prefix" true (contains dump "100.64.0.0/24");
+  Alcotest.(check bool) "shows the best path" true (contains dump "[AS65001]");
+  Alcotest.(check bool) "shows alternates" true (contains dump "alt via")
+
+let test_switch_flows () =
+  let net = build () in
+  let sw = Option.get (Framework.Network.switch net (asn 2)) in
+  let dump = Framework.Looking_glass.switch_flows sw in
+  Alcotest.(check bool) "names the switch" true (contains dump "AS65003");
+  Alcotest.(check bool) "shows a rule" true (contains dump "100.64.0.0/24")
+
+let test_controller_state () =
+  let net = build () in
+  let ctrl = Option.get (Framework.Network.controller net) in
+  let dump = Framework.Looking_glass.controller_state ctrl in
+  Alcotest.(check bool) "member count" true (contains dump "members=2");
+  Alcotest.(check bool) "decisions listed" true (contains dump "exit via AS65001")
+
+let test_network_state () =
+  let net = build () in
+  let dump = Framework.Looking_glass.network_state net in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains dump needle))
+    [ "looking glass"; "AS65001"; "flow table"; "controller"; "collector" ]
+
+let suite =
+  [
+    Alcotest.test_case "router rib" `Quick test_router_rib;
+    Alcotest.test_case "switch flows" `Quick test_switch_flows;
+    Alcotest.test_case "controller state" `Quick test_controller_state;
+    Alcotest.test_case "network state" `Quick test_network_state;
+  ]

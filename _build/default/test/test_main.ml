@@ -1,0 +1,48 @@
+(* Aggregates every module's suite into one alcotest run. *)
+
+let () =
+  Alcotest.run "hybridsdn"
+    [
+      ("engine.time", Test_time.suite);
+      ("engine.heap", Test_heap.suite);
+      ("engine.rng", Test_rng.suite);
+      ("engine.stats", Test_stats.suite);
+      ("engine.sim", Test_sim.suite);
+      ("net.ipv4", Test_ipv4.suite);
+      ("net.graph", Test_graph.suite);
+      ("net.fib", Test_fib.suite);
+      ("net.netsim", Test_netsim.suite);
+      ("topology", Test_topology.suite);
+      ("bgp.attrs", Test_bgp_attrs.suite);
+      ("bgp.message", Test_message.suite);
+      ("bgp.decision", Test_decision.suite);
+      ("bgp.policy", Test_policy.suite);
+      ("bgp.rib", Test_rib.suite);
+      ("bgp.mrai", Test_mrai.suite);
+      ("bgp.router", Test_router.suite);
+      ("bgp.wire", Test_wire.suite);
+      ("bgp.wire_transport", Test_wire_transport.suite);
+      ("bgp.damping", Test_damping.suite);
+      ("bgp.liveness", Test_liveness.suite);
+      ("bgp.collector", Test_collector.suite);
+      ("sdn.flow_table", Test_flow_table.suite);
+      ("sdn.switch", Test_switch.suite);
+      ("cluster.as_graph", Test_as_graph.suite);
+      ("cluster.flow_compiler", Test_flow_compiler.suite);
+      ("cluster.recompute", Test_recompute.suite);
+      ("cluster.speaker", Test_speaker.suite);
+      ("cluster.reactive", Test_reactive.suite);
+      ("cluster.controller", Test_controller.suite);
+      ("framework.addressing", Test_addressing.suite);
+      ("framework.network", Test_network.suite);
+      ("framework.convergence", Test_convergence.suite);
+      ("framework.monitor", Test_monitor.suite);
+      ("framework.logparse", Test_logparse.suite);
+      ("framework.visualize", Test_visualize.suite);
+      ("framework.scenario", Test_scenario.suite);
+      ("framework.experiments", Test_experiments.suite);
+      ("formats", Test_formats.suite);
+      ("framework.looking_glass", Test_looking_glass.suite);
+      ("framework.quagga_conf", Test_quagga_conf.suite);
+      ("invariants", Test_invariants.suite);
+    ]

@@ -1,0 +1,245 @@
+(* Framework.Network: full-stack wiring — sessions, FIBs, data plane,
+   link failures — on small topologies with the fast test config. *)
+
+let asn = Topology.Artificial.asn
+
+let cfg = Framework.Config.fast_test
+
+let build ?(sdn = []) ?(seed = 3) spec_n =
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique spec_n) sdn in
+  let net = Framework.Network.create ~config:cfg ~seed spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  net
+
+let test_sessions_up () =
+  let net = build 4 in
+  List.iter
+    (fun a ->
+      let r = Option.get (Framework.Network.router net a) in
+      List.iter
+        (fun b ->
+          if not (Net.Asn.equal a b) then
+            Alcotest.(check bool)
+              (Fmt.str "%a-%a" Net.Asn.pp a Net.Asn.pp b)
+              true
+              (Bgp.Router.peer_established r b))
+        (Framework.Network.asns net))
+    (Framework.Network.asns net)
+
+let test_collector_peered () =
+  let net = build 3 in
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  ignore (Framework.Network.settle net);
+  Alcotest.(check bool) "collector saw updates" true
+    (Bgp.Collector.event_count (Framework.Network.collector net) > 0)
+
+let test_data_plane_end_to_end () =
+  let net = build 4 in
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  Framework.Network.originate net (asn 2) (plan.Framework.Addressing.origin_prefix (asn 2));
+  ignore (Framework.Network.settle net);
+  (* walk: 2 -> 0 *)
+  let outcome =
+    Framework.Monitor.walk net ~src:(asn 2)
+      ~dst_addr:(plan.Framework.Addressing.host_addr (asn 0))
+  in
+  Alcotest.(check bool) "delivered" true (Framework.Monitor.is_delivered outcome);
+  (* real packets: inject an echo, settle, expect delivery + auto reply *)
+  let before = (Framework.Network.data_stats net).Framework.Network.delivered in
+  Framework.Network.inject net ~src:(asn 2)
+    (Net.Packet.echo
+       ~src:(plan.Framework.Addressing.host_addr (asn 2))
+       ~dst:(plan.Framework.Addressing.host_addr (asn 0))
+       1);
+  ignore (Framework.Network.settle net);
+  let after = (Framework.Network.data_stats net).Framework.Network.delivered in
+  Alcotest.(check int) "echo + reply delivered" 2 (after - before)
+
+let test_link_failure_session_down () =
+  let net = build 3 in
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  Framework.Network.fail_link net (asn 0) (asn 1);
+  ignore (Framework.Network.settle net);
+  Alcotest.(check bool) "session down after detection" false
+    (Bgp.Router.peer_established r0 (asn 1));
+  Framework.Network.recover_link net (asn 0) (asn 1);
+  ignore (Framework.Network.settle net);
+  Alcotest.(check bool) "session re-established" true (Bgp.Router.peer_established r0 (asn 1))
+
+let test_reroute_after_failure () =
+  (* line 0-1-2 plus direct 0-2?  Use a square: 0-1, 1-2, 2-3, 3-0.
+     0 originates; 2 reaches it via 1 or 3; fail the active first hop and
+     the data plane must re-route. *)
+  let spec = Topology.Artificial.ring 4 in
+  let net = Framework.Network.create ~config:cfg ~seed:3 spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  ignore (Framework.Network.settle net);
+  let dst_addr = plan.Framework.Addressing.host_addr (asn 0) in
+  let first_hop () =
+    match Framework.Monitor.walk net ~src:(asn 2) ~dst_addr with
+    | Framework.Monitor.Delivered (_ :: hop :: _) -> Some hop
+    | _ -> None
+  in
+  let hop1 = Option.get (first_hop ()) in
+  Framework.Network.fail_link net (asn 2) hop1;
+  ignore (Framework.Network.settle net);
+  let hop2 = Option.get (first_hop ()) in
+  Alcotest.(check bool) "rerouted around failure" false (Net.Asn.equal hop1 hop2)
+
+let test_sdn_members_have_switches () =
+  let net = build ~sdn:[ asn 2; asn 3 ] 4 in
+  Alcotest.(check bool) "switch exists" true (Framework.Network.switch net (asn 2) <> None);
+  Alcotest.(check bool) "no router for SDN member" true
+    (Framework.Network.router net (asn 2) = None);
+  Alcotest.(check bool) "controller exists" true (Framework.Network.controller net <> None);
+  Alcotest.(check bool) "speaker exists" true (Framework.Network.speaker net <> None)
+
+let test_speaker_sessions_established () =
+  let net = build ~sdn:[ asn 2; asn 3 ] 4 in
+  let speaker = Option.get (Framework.Network.speaker net) in
+  (* member 2 peers with legacy 0, legacy 1 and the collector; member-to-
+     member peerings are intra-cluster, not speaker sessions *)
+  Alcotest.(check int) "sessions of member 2" 3
+    (List.length (Cluster_ctl.Speaker.sessions_of speaker (asn 2)));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Fmt.str "2/%a established" Net.Asn.pp n)
+        true
+        (Cluster_ctl.Speaker.session_established speaker ~member:(asn 2) ~neighbor:n))
+    (Cluster_ctl.Speaker.sessions_of speaker (asn 2))
+
+let test_hybrid_route_exchange () =
+  let net = build ~sdn:[ asn 2; asn 3 ] 4 in
+  let plan = Framework.Network.plan net in
+  (* legacy 0 announces; SDN members must get flow rules; legacy 1 keeps
+     its BGP route *)
+  let prefix = plan.Framework.Addressing.origin_prefix (asn 0) in
+  Framework.Network.originate net (asn 0) prefix;
+  ignore (Framework.Network.settle net);
+  let ctrl = Option.get (Framework.Network.controller net) in
+  (match Cluster_ctl.Controller.decision ctrl ~member:(asn 2) prefix with
+  | Some d ->
+    Alcotest.(check bool) "member 2 exits toward 0" true
+      (d.Cluster_ctl.As_graph.hop = Cluster_ctl.As_graph.Exit { neighbor = asn 0 })
+  | None -> Alcotest.fail "controller must route member 2");
+  let sw = Option.get (Framework.Network.switch net (asn 2)) in
+  Alcotest.(check bool) "flow rule installed" true
+    (Sdn.Flow_table.size (Sdn.Switch.table sw) > 0);
+  (* SDN member originates; legacy routers must learn it via the speaker
+     with the member's AS identity *)
+  let sdn_prefix = plan.Framework.Addressing.origin_prefix (asn 3) in
+  Framework.Network.originate net (asn 3) sdn_prefix;
+  ignore (Framework.Network.settle net);
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  match Bgp.Router.best r0 sdn_prefix with
+  | Some route ->
+    Alcotest.(check (list int)) "AS identity preserved"
+      [ Net.Asn.to_int (asn 3) ]
+      (List.map Net.Asn.to_int (Bgp.Attrs.as_path (Bgp.Route.attrs route)))
+  | None -> Alcotest.fail "legacy must learn the SDN-originated prefix"
+
+let test_hybrid_data_path () =
+  let net = build ~sdn:[ asn 2; asn 3 ] 4 in
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  Framework.Network.originate net (asn 3) (plan.Framework.Addressing.origin_prefix (asn 3));
+  ignore (Framework.Network.settle net);
+  Alcotest.(check bool) "sdn -> legacy" true
+    (Framework.Monitor.reachable net ~src:(asn 3) ~dst:(asn 0));
+  Alcotest.(check bool) "legacy -> sdn" true
+    (Framework.Monitor.reachable net ~src:(asn 0) ~dst:(asn 3))
+
+let test_dynamic_peering_legacy () =
+  (* line 0-1-2: traffic 0->2 transits 1 until a direct 0-2 peering is
+     added at runtime *)
+  let spec = Topology.Artificial.line 3 in
+  let net = Framework.Network.create ~config:cfg ~seed:13 spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 2) (plan.Framework.Addressing.origin_prefix (asn 2));
+  ignore (Framework.Network.settle net);
+  let path () =
+    match
+      Framework.Monitor.walk net ~src:(asn 0)
+        ~dst_addr:(plan.Framework.Addressing.host_addr (asn 2))
+    with
+    | Framework.Monitor.Delivered p -> List.length p
+    | _ -> -1
+  in
+  Alcotest.(check int) "transit path first" 3 (path ());
+  Framework.Network.add_peering net (asn 0) (asn 2);
+  ignore (Framework.Network.settle net);
+  Alcotest.(check int) "direct after dynamic peering" 2 (path ());
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  Alcotest.(check bool) "session established" true
+    (Bgp.Router.peer_established r0 (asn 2))
+
+let test_dynamic_peering_hybrid () =
+  (* legacy 0 gains a runtime peering with SDN member 3 *)
+  let spec = Topology.Artificial.line 4 in
+  let spec = Topology.Spec.with_sdn spec [ asn 3 ] in
+  let net = Framework.Network.create ~config:cfg ~seed:14 spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 3) (plan.Framework.Addressing.origin_prefix (asn 3));
+  ignore (Framework.Network.settle net);
+  Framework.Network.add_peering net (asn 0) (asn 3);
+  ignore (Framework.Network.settle net);
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  (match Bgp.Router.best r0 (plan.Framework.Addressing.origin_prefix (asn 3)) with
+  | Some route ->
+    Alcotest.(check (list int)) "direct path over new peering" [ 65004 ]
+      (List.map Net.Asn.to_int (Bgp.Attrs.as_path (Bgp.Route.attrs route)))
+  | None -> Alcotest.fail "route must arrive over the new peering");
+  let speaker = Option.get (Framework.Network.speaker net) in
+  Alcotest.(check bool) "speaker session live" true
+    (Cluster_ctl.Speaker.session_established speaker ~member:(asn 3) ~neighbor:(asn 0))
+
+let test_dynamic_peering_guards () =
+  let net = build 3 in
+  (match Framework.Network.add_peering net (asn 0) (asn 1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate peering must raise");
+  match Framework.Network.add_peering net (asn 0) (Net.Asn.of_int 4242) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown AS must raise"
+
+let test_determinism () =
+  let run () =
+    let net = build ~sdn:[ asn 3 ] ~seed:11 4 in
+    let plan = Framework.Network.plan net in
+    Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+    let t1 = Framework.Network.settle net in
+    Framework.Network.withdraw net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+    let t2 = Framework.Network.settle net in
+    (Engine.Time.to_us t1, Engine.Time.to_us t2,
+     Bgp.Collector.event_count (Framework.Network.collector net))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "bit-identical rerun" a b
+
+let suite =
+  [
+    Alcotest.test_case "sessions up" `Quick test_sessions_up;
+    Alcotest.test_case "collector peered" `Quick test_collector_peered;
+    Alcotest.test_case "data plane end-to-end" `Quick test_data_plane_end_to_end;
+    Alcotest.test_case "link failure bounces session" `Quick test_link_failure_session_down;
+    Alcotest.test_case "reroute after failure" `Quick test_reroute_after_failure;
+    Alcotest.test_case "sdn wiring" `Quick test_sdn_members_have_switches;
+    Alcotest.test_case "speaker sessions" `Quick test_speaker_sessions_established;
+    Alcotest.test_case "hybrid route exchange" `Quick test_hybrid_route_exchange;
+    Alcotest.test_case "hybrid data path" `Quick test_hybrid_data_path;
+    Alcotest.test_case "dynamic peering (legacy)" `Quick test_dynamic_peering_legacy;
+    Alcotest.test_case "dynamic peering (hybrid)" `Quick test_dynamic_peering_hybrid;
+    Alcotest.test_case "dynamic peering guards" `Quick test_dynamic_peering_guards;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,73 @@
+(* Framework.Quagga_conf: exported bgpd.conf content. *)
+
+let asn = Topology.Artificial.asn
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  n > 0 && scan 0
+
+(* star: leaves are customers of hub 0 *)
+let spec = Topology.Artificial.star 4
+
+let plan = Framework.Addressing.plan spec
+
+let test_basics () =
+  let conf = Framework.Quagga_conf.bgpd_conf spec plan (asn 1) in
+  Alcotest.(check bool) "hostname" true (contains conf "hostname AS65002");
+  Alcotest.(check bool) "router bgp" true (contains conf "router bgp 65002");
+  Alcotest.(check bool) "router id" true (contains conf "bgp router-id 10.0.1.1");
+  Alcotest.(check bool) "network statement" true (contains conf "network 100.64.1.0/24");
+  Alcotest.(check bool) "neighbor with remote-as" true (contains conf "remote-as 65001");
+  Alcotest.(check bool) "mrai configured" true (contains conf "advertisement-interval 30")
+
+let test_leaf_policy_toward_provider () =
+  (* a leaf's single neighbor is its provider: import lp 90, provenance
+     community, and valley-free deny on export *)
+  let conf = Framework.Quagga_conf.bgpd_conf spec plan (asn 2) in
+  Alcotest.(check bool) "provider local-pref" true
+    (contains conf "set local-preference 90");
+  Alcotest.(check bool) "provider community" true
+    (contains conf "set community 65000:3 additive");
+  Alcotest.(check bool) "export deny clause" true (contains conf "route-map EXPORT-65001 deny 10");
+  Alcotest.(check bool) "community match" true
+    (contains conf "match community FROM-PEER-OR-PROVIDER");
+  Alcotest.(check bool) "community list emitted" true
+    (contains conf "ip community-list standard FROM-PEER-OR-PROVIDER permit 65000:2")
+
+let test_hub_policy_toward_customers () =
+  (* the hub's neighbors are customers: lp 130, no export restriction *)
+  let conf = Framework.Quagga_conf.bgpd_conf spec plan (asn 0) in
+  Alcotest.(check bool) "customer local-pref" true
+    (contains conf "set local-preference 130");
+  Alcotest.(check bool) "customer community" true
+    (contains conf "set community 65000:1 additive");
+  Alcotest.(check bool) "exports to customers unrestricted" true
+    (contains conf "route-map EXPORT-65002 permit 10");
+  Alcotest.(check bool) "no deny toward customers" false
+    (contains conf "route-map EXPORT-65002 deny")
+
+let test_all_configs () =
+  let configs = Framework.Quagga_conf.all_configs spec in
+  Alcotest.(check int) "one per AS" 4 (List.length configs);
+  List.iter
+    (fun (asn, conf) ->
+      Alcotest.(check bool)
+        (Fmt.str "config of %a non-trivial" Net.Asn.pp asn)
+        true
+        (String.length conf > 200))
+    configs
+
+let test_unknown_asn () =
+  match Framework.Quagga_conf.bgpd_conf spec plan (Net.Asn.of_int 99) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown ASN must raise"
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "leaf policy toward provider" `Quick test_leaf_policy_toward_provider;
+    Alcotest.test_case "hub policy toward customers" `Quick test_hub_policy_toward_customers;
+    Alcotest.test_case "all configs" `Quick test_all_configs;
+    Alcotest.test_case "unknown asn" `Quick test_unknown_asn;
+  ]

@@ -1,0 +1,93 @@
+(* Bgp.Rib: the three RIBs' bookkeeping. *)
+
+let nh = Net.Ipv4.addr_of_octets 10 0 0 1
+
+let p s = Option.get (Net.Ipv4.prefix_of_string s)
+
+let asn = Net.Asn.of_int
+
+let route ~peer ~prefix =
+  Bgp.Route.make ~prefix
+    ~attrs:(Bgp.Attrs.make ~as_path:[ asn peer ] ~next_hop:nh ())
+    ~source:(Bgp.Route.Ebgp (asn peer)) ~learned_at:Engine.Time.zero
+
+let test_adj_in_implicit_withdraw () =
+  let rib = Bgp.Rib.Adj_in.create () in
+  let pre = p "100.64.0.0/24" in
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65001) (route ~peer:65001 ~prefix:pre);
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65001) (route ~peer:65001 ~prefix:pre);
+  Alcotest.(check int) "replaced, not duplicated" 1 (Bgp.Rib.Adj_in.size rib);
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65002) (route ~peer:65002 ~prefix:pre);
+  Alcotest.(check int) "two candidates" 2 (List.length (Bgp.Rib.Adj_in.candidates rib pre))
+
+let test_adj_in_candidates_order () =
+  let rib = Bgp.Rib.Adj_in.create () in
+  let pre = p "100.64.0.0/24" in
+  List.iter
+    (fun peer -> Bgp.Rib.Adj_in.set rib ~peer:(asn peer) (route ~peer ~prefix:pre))
+    [ 65005; 65001; 65003 ];
+  let peers =
+    List.filter_map (fun r -> Bgp.Route.from_peer r) (Bgp.Rib.Adj_in.candidates rib pre)
+  in
+  Alcotest.(check (list int)) "ascending peer order" [ 65001; 65003; 65005 ]
+    (List.map Net.Asn.to_int peers)
+
+let test_adj_in_drop_peer () =
+  let rib = Bgp.Rib.Adj_in.create () in
+  let p1 = p "100.64.0.0/24" and p2 = p "100.64.1.0/24" in
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65001) (route ~peer:65001 ~prefix:p1);
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65001) (route ~peer:65001 ~prefix:p2);
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65002) (route ~peer:65002 ~prefix:p1);
+  let dropped = Bgp.Rib.Adj_in.drop_peer rib ~peer:(asn 65001) in
+  Alcotest.(check int) "dropped both" 2 (List.length dropped);
+  Alcotest.(check int) "other peer remains" 1 (Bgp.Rib.Adj_in.size rib);
+  Alcotest.(check bool) "lookup empty" true
+    (Bgp.Rib.Adj_in.find rib ~peer:(asn 65001) p1 = None)
+
+let test_adj_in_remove () =
+  let rib = Bgp.Rib.Adj_in.create () in
+  let pre = p "100.64.0.0/24" in
+  Bgp.Rib.Adj_in.set rib ~peer:(asn 65001) (route ~peer:65001 ~prefix:pre);
+  Bgp.Rib.Adj_in.remove rib ~peer:(asn 65001) pre;
+  Alcotest.(check int) "removed" 0 (Bgp.Rib.Adj_in.size rib);
+  Alcotest.(check (list string)) "all_prefixes empty" []
+    (List.map Net.Ipv4.prefix_to_string (Bgp.Rib.Adj_in.all_prefixes rib))
+
+let test_loc () =
+  let loc = Bgp.Rib.Loc.create () in
+  let pre = p "100.64.0.0/24" in
+  Alcotest.(check bool) "initially empty" true (Bgp.Rib.Loc.find loc pre = None);
+  Bgp.Rib.Loc.set loc (route ~peer:65001 ~prefix:pre);
+  Alcotest.(check int) "size" 1 (Bgp.Rib.Loc.size loc);
+  Bgp.Rib.Loc.set loc (route ~peer:65002 ~prefix:pre);
+  Alcotest.(check int) "replace keeps size" 1 (Bgp.Rib.Loc.size loc);
+  (match Bgp.Rib.Loc.find loc pre with
+  | Some r ->
+    Alcotest.(check (option int)) "latest kept" (Some 65002)
+      (Option.map Net.Asn.to_int (Bgp.Route.from_peer r))
+  | None -> Alcotest.fail "must find");
+  Bgp.Rib.Loc.remove loc pre;
+  Alcotest.(check int) "removed" 0 (Bgp.Rib.Loc.size loc)
+
+let test_adj_out () =
+  let out = Bgp.Rib.Adj_out.create () in
+  let pre = p "100.64.0.0/24" in
+  let attrs = Bgp.Attrs.make ~next_hop:nh () in
+  Bgp.Rib.Adj_out.set out ~peer:(asn 65001) pre attrs;
+  Alcotest.(check bool) "recorded" true
+    (Bgp.Rib.Adj_out.find out ~peer:(asn 65001) pre <> None);
+  Alcotest.(check int) "advertised list" 1
+    (List.length (Bgp.Rib.Adj_out.advertised out ~peer:(asn 65001)));
+  let dropped = Bgp.Rib.Adj_out.drop_peer out ~peer:(asn 65001) in
+  Alcotest.(check int) "drop peer" 1 (List.length dropped);
+  Alcotest.(check int) "empty after drop" 0 (Bgp.Rib.Adj_out.size out)
+
+let suite =
+  [
+    Alcotest.test_case "adj-in implicit withdraw" `Quick test_adj_in_implicit_withdraw;
+    Alcotest.test_case "adj-in candidate order" `Quick test_adj_in_candidates_order;
+    Alcotest.test_case "adj-in drop peer" `Quick test_adj_in_drop_peer;
+    Alcotest.test_case "adj-in remove" `Quick test_adj_in_remove;
+    Alcotest.test_case "loc-rib" `Quick test_loc;
+    Alcotest.test_case "adj-out" `Quick test_adj_out;
+  ]

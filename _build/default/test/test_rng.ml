@@ -1,0 +1,91 @@
+(* Engine.Rng: determinism, stream independence, range contracts. *)
+
+open Engine
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let da = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let db = List.init 50 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "same seed, same stream" true (da = db)
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (List.init 10 (fun _ -> Rng.next_int64 a) = List.init 10 (fun _ -> Rng.next_int64 b))
+
+let test_split_independence () =
+  (* Drawing from a split stream must not perturb the parent beyond the
+     single split draw. *)
+  let parent1 = Rng.create 7 in
+  let child1 = Rng.split parent1 in
+  ignore (List.init 100 (fun _ -> Rng.next_int64 child1));
+  let after_child_use = List.init 10 (fun _ -> Rng.next_int64 parent1) in
+  let parent2 = Rng.create 7 in
+  let _child2 = Rng.split parent2 in
+  let reference = List.init 10 (fun _ -> Rng.next_int64 parent2) in
+  Alcotest.(check bool) "parent unaffected by child draws" true (after_child_use = reference)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done
+
+let test_int_range_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_range rng 10 20 in
+    if v < 10 || v > 20 then Alcotest.fail "int_range out of bounds"
+  done
+
+let test_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_invalid_args () =
+  let rng = Rng.create 6 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng ([] : int list)))
+
+let test_jitter_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 200 do
+    let s = Rng.jitter_span rng (Time.sec 30) ~lo:0.75 ~hi:1.0 in
+    let sec = Time.to_sec_f s in
+    if sec < 22.5 -. 1e-6 || sec >= 30.0 +. 1e-6 then
+      Alcotest.failf "jitter out of bounds: %f" sec
+  done
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      List.sort Int.compare (Rng.shuffle rng l) = List.sort Int.compare l)
+
+let prop_sample_size =
+  QCheck.Test.make ~name:"sample size is min(k, |l|)" ~count:200
+    QCheck.(triple small_int small_nat (list small_int))
+    (fun (seed, k, l) ->
+      let rng = Rng.create seed in
+      List.length (Rng.sample rng k l) = min k (List.length l))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_range bounds" `Quick test_int_range_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "mrai jitter bounds" `Quick test_jitter_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_sample_size;
+  ]

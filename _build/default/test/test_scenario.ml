@@ -1,0 +1,78 @@
+(* Framework.Scenario: declarative timed experiment scripts. *)
+
+let asn = Topology.Artificial.asn
+
+let cfg = Framework.Config.fast_test
+
+let test_actions_execute_in_order () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:31 (Topology.Artificial.clique 3) in
+  let t0 = Engine.Time.to_sec_f (Framework.Experiment.now exp) in
+  let scenario =
+    Framework.Scenario.make ~title:"demo"
+      [
+        Framework.Scenario.at (t0 +. 1.0) (Framework.Scenario.Announce (asn 0, None));
+        Framework.Scenario.at (t0 +. 20.0) (Framework.Scenario.Withdraw (asn 0, None));
+        Framework.Scenario.at (t0 +. 10.0) (Framework.Scenario.Note "midpoint");
+      ]
+  in
+  let log = Framework.Scenario.run exp scenario in
+  let kinds =
+    List.map
+      (fun (_, action) ->
+        match action with
+        | Framework.Scenario.Announce _ -> "announce"
+        | Framework.Scenario.Withdraw _ -> "withdraw"
+        | Framework.Scenario.Note _ -> "note"
+        | _ -> "other")
+      log
+  in
+  Alcotest.(check (list string)) "sorted by time" [ "announce"; "note"; "withdraw" ] kinds;
+  (* after announce+withdraw the route must be gone everywhere *)
+  let net = Framework.Experiment.network exp in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  List.iter
+    (fun a ->
+      match Framework.Network.router net a with
+      | Some r -> Alcotest.(check bool) "no residue" true (Bgp.Router.best r prefix = None)
+      | None -> ())
+    (Framework.Network.asns net)
+
+let test_link_actions () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:32 (Topology.Artificial.ring 4) in
+  let t0 = Engine.Time.to_sec_f (Framework.Experiment.now exp) in
+  let scenario =
+    Framework.Scenario.make ~title:"flap"
+      [
+        Framework.Scenario.at (t0 +. 0.5) (Framework.Scenario.Fail_link (asn 0, asn 1));
+        Framework.Scenario.at (t0 +. 5.0) (Framework.Scenario.Recover_link (asn 0, asn 1));
+      ]
+  in
+  ignore (Framework.Scenario.run exp scenario);
+  let net = Framework.Experiment.network exp in
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  Alcotest.(check bool) "session recovered after flap" true
+    (Bgp.Router.peer_established r0 (asn 1))
+
+let test_ping_action () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:33 (Topology.Artificial.clique 3) in
+  let t0 = Engine.Time.to_sec_f (Framework.Experiment.now exp) in
+  let scenario =
+    Framework.Scenario.make ~title:"ping"
+      [
+        Framework.Scenario.at (t0 +. 0.1) (Framework.Scenario.Announce (asn 0, None));
+        Framework.Scenario.at (t0 +. 0.1) (Framework.Scenario.Announce (asn 1, None));
+        Framework.Scenario.at (t0 +. 5.0) (Framework.Scenario.Ping (asn 1, asn 0));
+      ]
+  in
+  let net = Framework.Experiment.network exp in
+  let delivered = ref 0 in
+  Framework.Network.subscribe_deliver net (fun _ _ -> incr delivered);
+  ignore (Framework.Scenario.run exp scenario);
+  Alcotest.(check bool) "echo and reply delivered" true (!delivered >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "ordered execution" `Quick test_actions_execute_in_order;
+    Alcotest.test_case "link actions" `Quick test_link_actions;
+    Alcotest.test_case "ping action" `Quick test_ping_action;
+  ]

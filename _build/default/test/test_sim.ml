@@ -1,0 +1,184 @@
+(* Engine.Sim and Engine.Timer: scheduling order, cancellation,
+   quiescence, restartable timers. *)
+
+open Engine
+
+let test_fifo_same_instant () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  ignore (Sim.schedule_at sim (Time.ms 5) (note "a"));
+  ignore (Sim.schedule_at sim (Time.ms 5) (note "b"));
+  ignore (Sim.schedule_at sim (Time.ms 5) (note "c"));
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "insertion order at same instant" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_time_order () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore (Sim.schedule_at sim (Time.ms 30) (fun () -> order := 30 :: !order));
+  ignore (Sim.schedule_at sim (Time.ms 10) (fun () -> order := 10 :: !order));
+  ignore (Sim.schedule_at sim (Time.ms 20) (fun () -> order := 20 :: !order));
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !order);
+  Alcotest.(check int) "clock at last event" 30_000 (Time.to_us (Sim.now sim))
+
+let test_cancellation () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim (Time.ms 1) (fun () -> fired := true) in
+  Sim.cancel h;
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check bool) "handle reports cancelled" true (Sim.cancelled h)
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim (Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.schedule_after sim (Time.ms 1) (fun () -> log := "inner" :: !log))));
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "nested events run" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "two events executed" 2 (Sim.executed sim)
+
+let test_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim (Time.ms 10) (fun () -> ()));
+  ignore (Sim.run sim);
+  (match Sim.schedule_at sim (Time.ms 5) (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "scheduling in the past must raise")
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule_at sim (Time.ms 10) (fun () -> incr fired));
+  ignore (Sim.schedule_at sim (Time.ms 50) (fun () -> incr fired));
+  (match Sim.run ~until:(Time.ms 20) sim with
+  | Sim.Reached_time _ -> ()
+  | Sim.Exhausted | Sim.Reached_limit -> Alcotest.fail "expected Reached_time");
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "clock advanced to limit" 20_000 (Time.to_us (Sim.now sim));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_max_events () =
+  let sim = Sim.create () in
+  for i = 1 to 10 do
+    ignore (Sim.schedule_at sim (Time.ms i) (fun () -> ()))
+  done;
+  (match Sim.run ~max_events:3 sim with
+  | Sim.Reached_limit -> ()
+  | Sim.Exhausted | Sim.Reached_time _ -> Alcotest.fail "expected Reached_limit");
+  Alcotest.(check int) "executed exactly 3" 3 (Sim.executed sim)
+
+let test_trace_logging () =
+  let sim = Sim.create () in
+  ignore
+    (Sim.schedule_at sim (Time.ms 7) (fun () ->
+         Sim.logf sim ~node:"x" ~category:"test" "value=%d" 42));
+  ignore (Sim.run sim);
+  match Trace.records (Sim.trace sim) with
+  | [ r ] ->
+    Alcotest.(check string) "message" "value=42" r.Trace.message;
+    Alcotest.(check int) "time" 7_000 (Time.to_us r.Trace.time)
+  | records -> Alcotest.failf "expected 1 record, got %d" (List.length records)
+
+(* Timer semantics *)
+
+let test_timer_fires_once () =
+  let sim = Sim.create () in
+  let fires = ref 0 in
+  let timer = Timer.create sim ~name:"t" ~callback:(fun () -> incr fires) in
+  Timer.start timer (Time.ms 10);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "one fire" 1 !fires;
+  Alcotest.(check bool) "idle after fire" false (Timer.is_armed timer)
+
+let test_timer_restart_replaces () =
+  let sim = Sim.create () in
+  let fired_at = ref [] in
+  let timer = ref None in
+  let t =
+    Timer.create sim ~name:"t" ~callback:(fun () ->
+        fired_at := Sim.now sim :: !fired_at;
+        ignore timer)
+  in
+  timer := Some t;
+  Timer.start t (Time.ms 10);
+  Timer.start t (Time.ms 30);
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "restart postpones" [ 30_000 ]
+    (List.map Time.to_us (List.rev !fired_at))
+
+let test_timer_start_if_idle_coalesces () =
+  let sim = Sim.create () in
+  let fires = ref 0 in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> incr fires) in
+  Timer.start_if_idle t (Time.ms 10);
+  Timer.start_if_idle t (Time.ms 50);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "coalesced to one" 1 !fires;
+  Alcotest.(check int) "fired at first deadline" 10_000 (Time.to_us (Sim.now sim))
+
+let test_timer_cancel () =
+  let sim = Sim.create () in
+  let fires = ref 0 in
+  let t = Timer.create sim ~name:"t" ~callback:(fun () -> incr fires) in
+  Timer.start t (Time.ms 10);
+  Timer.cancel t;
+  ignore (Sim.run sim);
+  Alcotest.(check int) "cancelled" 0 !fires
+
+let test_trace_capacity () =
+  let trace = Trace.create ~capacity:10 () in
+  for i = 1 to 25 do
+    Trace.record trace ~time:(Time.ms i) ~node:"n" ~category:"c" (string_of_int i)
+  done;
+  Alcotest.(check bool) "bounded" true (Trace.count trace <= 10);
+  (* the newest records survive *)
+  match List.rev (Trace.records trace) with
+  | newest :: _ -> Alcotest.(check string) "newest kept" "25" newest.Trace.message
+  | [] -> Alcotest.fail "trace empty"
+
+let test_trace_filter () =
+  let trace = Trace.create () in
+  Trace.record trace ~time:(Time.ms 1) ~node:"a" ~category:"x" "1";
+  Trace.record trace ~time:(Time.ms 2) ~node:"b" ~category:"x" "2";
+  Trace.record trace ~time:(Time.ms 3) ~node:"a" ~category:"y" "3";
+  Alcotest.(check int) "by node" 2 (List.length (Trace.filter ~node:"a" trace));
+  Alcotest.(check int) "by category" 2 (List.length (Trace.filter ~category:"x" trace));
+  Alcotest.(check int) "by both" 1 (List.length (Trace.filter ~node:"a" ~category:"x" trace));
+  Alcotest.(check int) "since" 2 (List.length (Trace.filter ~since:(Time.ms 2) trace));
+  Alcotest.(check (option int)) "last matching" (Some 3_000)
+    (Option.map Time.to_us (Trace.last_time_matching trace (fun r -> r.Trace.node = "a")))
+
+let test_trace_disabled () =
+  let trace = Trace.create ~enabled:false () in
+  Trace.record trace ~time:Time.zero ~node:"a" ~category:"c" "x";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.count trace);
+  Trace.set_enabled trace true;
+  Trace.record trace ~time:Time.zero ~node:"a" ~category:"c" "x";
+  Alcotest.(check int) "recording after enable" 1 (Trace.count trace)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO at same instant" `Quick test_fifo_same_instant;
+    Alcotest.test_case "trace capacity" `Quick test_trace_capacity;
+    Alcotest.test_case "trace filter" `Quick test_trace_filter;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "max events" `Quick test_max_events;
+    Alcotest.test_case "trace logging" `Quick test_trace_logging;
+    Alcotest.test_case "timer fires once" `Quick test_timer_fires_once;
+    Alcotest.test_case "timer restart" `Quick test_timer_restart_replaces;
+    Alcotest.test_case "timer start_if_idle" `Quick test_timer_start_if_idle_coalesces;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+  ]

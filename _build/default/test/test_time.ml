@@ -1,0 +1,44 @@
+(* Engine.Time: instants, spans, conversions. *)
+
+open Engine
+
+let check_time = Alcotest.testable Time.pp Time.equal
+
+let test_constructors () =
+  Alcotest.(check int) "us" 5 (Time.to_us (Time.us 5));
+  Alcotest.(check int) "ms" 5_000 (Time.to_us (Time.ms 5));
+  Alcotest.(check int) "sec" 5_000_000 (Time.to_us (Time.sec 5));
+  Alcotest.check check_time "of_sec_f" (Time.sec 2) (Time.of_sec_f 2.0)
+
+let test_arithmetic () =
+  let t = Time.add Time.zero (Time.sec 3) in
+  Alcotest.check check_time "add" (Time.sec 3) t;
+  Alcotest.check check_time "diff" (Time.sec 2) (Time.diff (Time.sec 5) (Time.sec 3));
+  Alcotest.check check_time "span_add" (Time.ms 1500)
+    (Time.span_add (Time.sec 1) (Time.ms 500))
+
+let test_comparisons () =
+  Alcotest.(check bool) "lt" true Time.(Time.ms 1 < Time.ms 2);
+  Alcotest.(check bool) "le refl" true Time.(Time.ms 1 <= Time.ms 1);
+  Alcotest.(check bool) "gt" true Time.(Time.ms 3 > Time.ms 2);
+  Alcotest.(check bool) "ge" true Time.(Time.ms 3 >= Time.ms 3);
+  Alcotest.check check_time "min" (Time.ms 1) (Time.min (Time.ms 1) (Time.ms 2));
+  Alcotest.check check_time "max" (Time.ms 2) (Time.max (Time.ms 1) (Time.ms 2))
+
+let test_scale () =
+  Alcotest.check check_time "scale 0.5" (Time.ms 500) (Time.span_scale (Time.sec 1) 0.5);
+  Alcotest.check check_time "scale 2.0" (Time.sec 2) (Time.span_scale (Time.sec 1) 2.0)
+
+let test_conversions () =
+  Alcotest.(check (float 1e-9)) "to_sec_f" 1.5 (Time.to_sec_f (Time.ms 1500));
+  Alcotest.(check (float 1e-9)) "to_ms_f" 1500.0 (Time.to_ms_f (Time.ms 1500));
+  Alcotest.(check string) "to_string" "1.500s" (Time.to_string (Time.ms 1500))
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "span scaling" `Quick test_scale;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+  ]

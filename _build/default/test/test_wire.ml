@@ -1,0 +1,247 @@
+(* Bgp.Wire: RFC 4271 binary encoding — roundtrips, wire-format details,
+   and malformed-input handling. *)
+
+let asn = Net.Asn.of_int
+
+let nh = Net.Ipv4.addr_of_octets 10 1 2 3
+
+let p s = Option.get (Net.Ipv4.prefix_of_string s)
+
+let attrs ?(path = [ 65001 ]) ?(lp = 100) ?(med = 0) ?(origin = Bgp.Attrs.Igp)
+    ?(communities = []) () =
+  Bgp.Attrs.make ~as_path:(List.map asn path) ~local_pref:lp ~med ~origin
+    ~communities:(Bgp.Community.Set.of_list communities)
+    ~next_hop:nh ()
+
+let decode_one bytes =
+  match Bgp.Wire.decode bytes with
+  | Ok (msg, consumed) ->
+    Alcotest.(check int) "consumed all" (Bytes.length bytes) consumed;
+    msg
+  | Error e -> Alcotest.failf "decode failed: %a" Bgp.Wire.pp_error e
+
+let test_keepalive_roundtrip () =
+  match Bgp.Wire.encode Bgp.Message.Keepalive with
+  | [ bytes ] ->
+    Alcotest.(check int) "19 bytes" Bgp.Wire.header_size (Bytes.length bytes);
+    Alcotest.(check bool) "roundtrip" true (decode_one bytes = Bgp.Message.Keepalive)
+  | _ -> Alcotest.fail "one message expected"
+
+let test_open_roundtrip_small_asn () =
+  let msg = Bgp.Message.Open { asn = asn 65001; router_id = nh } in
+  match Bgp.Wire.encode msg with
+  | [ bytes ] -> (
+    match decode_one bytes with
+    | Bgp.Message.Open { asn = a; router_id } ->
+      Alcotest.(check int) "asn" 65001 (Net.Asn.to_int a);
+      Alcotest.(check bool) "router id" true (Net.Ipv4.equal_addr router_id nh)
+    | _ -> Alcotest.fail "expected OPEN")
+  | _ -> Alcotest.fail "one message expected"
+
+let test_open_roundtrip_4byte_asn () =
+  (* an ASN above 65535 must survive via the 4-octet-AS capability *)
+  let big = asn 4_200_000_000 in
+  let msg = Bgp.Message.Open { asn = big; router_id = nh } in
+  match Bgp.Wire.encode msg with
+  | [ bytes ] -> (
+    (* the 2-octet field must carry AS_TRANS *)
+    let as2 =
+      (Char.code (Bytes.get bytes (Bgp.Wire.header_size + 1)) lsl 8)
+      lor Char.code (Bytes.get bytes (Bgp.Wire.header_size + 2))
+    in
+    Alcotest.(check int) "AS_TRANS in 2-octet field" 23456 as2;
+    match decode_one bytes with
+    | Bgp.Message.Open { asn = a; _ } ->
+      Alcotest.(check int) "full asn recovered" 4_200_000_000 (Net.Asn.to_int a)
+    | _ -> Alcotest.fail "expected OPEN")
+  | _ -> Alcotest.fail "one message expected"
+
+let test_notification_roundtrip () =
+  let msg = Bgp.Message.Notification "hold timer expired" in
+  match Bgp.Wire.encode msg with
+  | [ bytes ] -> (
+    match decode_one bytes with
+    | Bgp.Message.Notification reason ->
+      Alcotest.(check string) "reason" "hold timer expired" reason
+    | _ -> Alcotest.fail "expected NOTIFICATION")
+  | _ -> Alcotest.fail "one message expected"
+
+let test_update_roundtrip () =
+  let a = attrs ~path:[ 65001; 65002 ] ~lp:130 ~med:7 ~origin:Bgp.Attrs.Egp
+      ~communities:[ Bgp.Community.make 65000 99; Bgp.Community.no_export ] () in
+  let msg =
+    Bgp.Message.update
+      ~announced:[ (p "100.64.0.0/24", a); (p "100.64.1.0/24", a) ]
+      ~withdrawn:[ p "9.9.0.0/16"; p "8.0.0.0/8" ]
+      ()
+  in
+  match Bgp.Wire.encode msg with
+  | [ bytes ] -> (
+    match decode_one bytes with
+    | Bgp.Message.Update { announced; withdrawn } ->
+      Alcotest.(check int) "two nlri" 2 (List.length announced);
+      Alcotest.(check int) "two withdrawn" 2 (List.length withdrawn);
+      let _, a' = List.hd announced in
+      Alcotest.(check bool) "attrs wire-equal" true (Bgp.Attrs.wire_equal a a');
+      Alcotest.(check int) "local pref" 130 a'.Bgp.Attrs.local_pref;
+      Alcotest.(check int) "med" 7 a'.Bgp.Attrs.med;
+      Alcotest.(check bool) "origin" true (a'.Bgp.Attrs.origin = Bgp.Attrs.Egp);
+      Alcotest.(check bool) "communities" true
+        (Bgp.Attrs.has_community a' Bgp.Community.no_export)
+    | _ -> Alcotest.fail "expected UPDATE")
+  | msgs -> Alcotest.failf "expected one message, got %d" (List.length msgs)
+
+let test_update_splits_by_attrs () =
+  (* different attribute sets cannot share a wire UPDATE *)
+  let a1 = attrs ~path:[ 65001 ] () and a2 = attrs ~path:[ 65002; 65003 ] () in
+  let msg =
+    Bgp.Message.update
+      ~announced:[ (p "100.64.0.0/24", a1); (p "100.64.1.0/24", a2) ]
+      ~withdrawn:[ p "9.9.0.0/16" ]
+      ()
+  in
+  let parts = Bgp.Wire.encode msg in
+  Alcotest.(check int) "two wire messages" 2 (List.length parts);
+  match Bgp.Wire.decode_all (Bgp.Wire.encode_concat msg) with
+  | Ok msgs ->
+    let announced =
+      List.concat_map
+        (function Bgp.Message.Update u -> u.Bgp.Message.announced | _ -> [])
+        msgs
+    in
+    let withdrawn =
+      List.concat_map
+        (function Bgp.Message.Update u -> u.Bgp.Message.withdrawn | _ -> [])
+        msgs
+    in
+    Alcotest.(check int) "all nlri recovered" 2 (List.length announced);
+    Alcotest.(check int) "withdrawals once" 1 (List.length withdrawn)
+  | Error e -> Alcotest.failf "decode_all: %a" Bgp.Wire.pp_error e
+
+let test_odd_prefix_lengths () =
+  (* /0, /1, /9, /17, /25, /32 exercise every octet-count branch *)
+  List.iter
+    (fun prefix_str ->
+      let msg =
+        Bgp.Message.update ~announced:[ (p prefix_str, attrs ()) ] ()
+      in
+      match Bgp.Wire.decode_all (Bgp.Wire.encode_concat msg) with
+      | Ok [ Bgp.Message.Update { announced = [ (back, _) ]; _ } ] ->
+        Alcotest.(check string) prefix_str prefix_str (Net.Ipv4.prefix_to_string back)
+      | _ -> Alcotest.failf "roundtrip failed for %s" prefix_str)
+    [ "0.0.0.0/0"; "128.0.0.0/1"; "10.128.0.0/9"; "10.1.128.0/17"; "10.1.2.128/25";
+      "10.1.2.3/32" ]
+
+let test_malformed_inputs () =
+  let good = Bgp.Wire.encode_concat Bgp.Message.Keepalive in
+  (* truncation *)
+  (match Bgp.Wire.decode (Bytes.sub good 0 10) with
+  | Error Bgp.Wire.Truncated -> ()
+  | _ -> Alcotest.fail "truncated must fail");
+  (* marker corruption *)
+  let bad_marker = Bytes.copy good in
+  Bytes.set bad_marker 3 '\x00';
+  (match Bgp.Wire.decode bad_marker with
+  | Error Bgp.Wire.Bad_marker -> ()
+  | _ -> Alcotest.fail "bad marker must fail");
+  (* bad type *)
+  let bad_type = Bytes.copy good in
+  Bytes.set bad_type 18 '\x09';
+  (match Bgp.Wire.decode bad_type with
+  | Error (Bgp.Wire.Bad_type 9) -> ()
+  | _ -> Alcotest.fail "bad type must fail");
+  (* absurd length *)
+  let bad_len = Bytes.copy good in
+  Bytes.set bad_len 16 '\x00';
+  Bytes.set bad_len 17 '\x05';
+  match Bgp.Wire.decode bad_len with
+  | Error (Bgp.Wire.Bad_length 5) -> ()
+  | _ -> Alcotest.fail "bad length must fail"
+
+let test_long_as_path_segments () =
+  (* paths longer than 255 hops need multiple AS_SEQUENCE segments *)
+  let long_path = List.init 300 (fun i -> 60000 + i) in
+  let msg =
+    Bgp.Message.update ~announced:[ (p "100.64.0.0/24", attrs ~path:long_path ()) ] ()
+  in
+  match Bgp.Wire.decode_all (Bgp.Wire.encode_concat msg) with
+  | Ok [ Bgp.Message.Update { announced = [ (_, a) ]; _ } ] ->
+    Alcotest.(check int) "300 hops survive" 300 (Bgp.Attrs.path_length a);
+    Alcotest.(check (list int)) "order preserved" long_path
+      (List.map Net.Asn.to_int (Bgp.Attrs.as_path a))
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let arb_message =
+  let gen =
+    QCheck.Gen.(
+      let gen_prefix =
+        let* oct1 = int_range 1 223 in
+        let* oct2 = int_range 0 255 in
+        let* len = int_range 8 32 in
+        return (Net.Ipv4.prefix (Net.Ipv4.addr_of_octets oct1 oct2 0 0) len)
+      in
+      let gen_attrs =
+        let* path_len = int_range 0 6 in
+        let* path = list_repeat path_len (int_range 1 100000) in
+        let* lp = int_range 0 300 in
+        let* med = int_range 0 50 in
+        let* origin = oneofl [ Bgp.Attrs.Igp; Bgp.Attrs.Egp; Bgp.Attrs.Incomplete ] in
+        let* ncomm = int_range 0 3 in
+        let* comms = list_repeat ncomm (pair (int_range 0 65535) (int_range 0 65535)) in
+        return
+          (attrs ~path ~lp ~med ~origin
+             ~communities:(List.map (fun (a, t) -> Bgp.Community.make a t) comms)
+             ())
+      in
+      let* n_ann = int_range 0 5 in
+      let* announced = list_repeat n_ann (pair gen_prefix gen_attrs) in
+      let* n_wd = int_range 0 5 in
+      let* withdrawn = list_repeat n_wd gen_prefix in
+      return (Bgp.Message.update ~announced ~withdrawn ()))
+  in
+  QCheck.make ~print:(fun m -> Fmt.str "%a" Bgp.Message.pp m) gen
+
+let prop_update_roundtrip =
+  QCheck.Test.make ~name:"update stream roundtrip preserves content" ~count:300 arb_message
+    (fun msg ->
+      match msg with
+      | Bgp.Message.Update u -> (
+        match Bgp.Wire.decode_all (Bgp.Wire.encode_concat msg) with
+        | Error _ -> false
+        | Ok msgs ->
+          let announced =
+            List.concat_map
+              (function Bgp.Message.Update u -> u.Bgp.Message.announced | _ -> [])
+              msgs
+          in
+          let withdrawn =
+            List.concat_map
+              (function Bgp.Message.Update u -> u.Bgp.Message.withdrawn | _ -> [])
+              msgs
+          in
+          let norm_ann l =
+            List.sort compare
+              (List.map
+                 (fun (p, (a : Bgp.Attrs.t)) ->
+                   ( Net.Ipv4.prefix_to_string p,
+                     Fmt.str "%a|%d" Bgp.Attrs.pp a a.Bgp.Attrs.local_pref ))
+                 l)
+          in
+          let norm_wd l = List.sort compare (List.map Net.Ipv4.prefix_to_string l) in
+          norm_ann announced = norm_ann u.Bgp.Message.announced
+          && norm_wd withdrawn = norm_wd u.Bgp.Message.withdrawn)
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "keepalive roundtrip" `Quick test_keepalive_roundtrip;
+    Alcotest.test_case "open roundtrip (16-bit asn)" `Quick test_open_roundtrip_small_asn;
+    Alcotest.test_case "open roundtrip (32-bit asn)" `Quick test_open_roundtrip_4byte_asn;
+    Alcotest.test_case "notification roundtrip" `Quick test_notification_roundtrip;
+    Alcotest.test_case "update roundtrip" `Quick test_update_roundtrip;
+    Alcotest.test_case "update splits by attrs" `Quick test_update_splits_by_attrs;
+    Alcotest.test_case "odd prefix lengths" `Quick test_odd_prefix_lengths;
+    Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+    Alcotest.test_case "long AS path segments" `Quick test_long_as_path_segments;
+    QCheck_alcotest.to_alcotest prop_update_roundtrip;
+  ]

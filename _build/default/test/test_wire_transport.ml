@@ -1,0 +1,88 @@
+(* Full-stack wire transport: with [wire_transport] every BGP message
+   crosses the RFC 4271 binary codec at the sender.  The emulation must
+   behave identically (the codec is transparent), which is the strongest
+   integration check the codec can get. *)
+
+let asn = Topology.Artificial.asn
+
+let wire_cfg = { Framework.Config.fast_test with Framework.Config.wire_transport = true }
+
+let plain_cfg = Framework.Config.fast_test
+
+let run_convergence config =
+  let spec =
+    Topology.Spec.with_sdn (Topology.Artificial.clique 5) [ asn 3; asn 4 ]
+  in
+  let exp = Framework.Experiment.create ~config ~seed:61 spec in
+  let origin = asn 0 in
+  let prefix = Framework.Experiment.default_prefix exp origin in
+  let m_up =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.announce exp origin))
+  in
+  let m_down =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.withdraw exp origin))
+  in
+  (exp, Framework.Experiment.convergence_seconds m_up,
+   Framework.Experiment.convergence_seconds m_down)
+
+let test_wire_transport_converges () =
+  let exp, up, down = run_convergence wire_cfg in
+  Alcotest.(check bool) "announce converges" true (Float.is_finite up);
+  Alcotest.(check bool) "withdraw converges" true (Float.is_finite down);
+  (* no residual state *)
+  let net = Framework.Experiment.network exp in
+  List.iter
+    (fun a ->
+      match Framework.Network.router net a with
+      | Some r -> Alcotest.(check int) "loc-rib empty" 0 (Bgp.Router.loc_size r)
+      | None -> ())
+    (Framework.Network.asns net)
+
+let test_wire_transport_equivalent_routes () =
+  (* identical final routing state with and without the codec in the path *)
+  let routes config =
+    let spec = Topology.Spec.with_sdn (Topology.Artificial.clique 5) [ asn 3; asn 4 ] in
+    let exp = Framework.Experiment.create ~config ~seed:61 spec in
+    let origin = asn 0 in
+    let prefix = Framework.Experiment.default_prefix exp origin in
+    ignore
+      (Framework.Experiment.measure exp ~prefix (fun () ->
+           ignore (Framework.Experiment.announce exp origin)));
+    let net = Framework.Experiment.network exp in
+    List.filter_map
+      (fun a ->
+        match Framework.Network.router net a with
+        | Some r ->
+          Option.map
+            (fun route ->
+              (Net.Asn.to_int a,
+               List.map Net.Asn.to_int (Bgp.Attrs.as_path (Bgp.Route.attrs route))))
+            (Bgp.Router.best r prefix)
+        | None -> None)
+      (Framework.Network.asns net)
+  in
+  Alcotest.(check (list (pair int (list int)))) "same routes through the codec"
+    (routes plain_cfg) (routes wire_cfg)
+
+let test_wire_transport_hybrid_data_plane () =
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique 5) [ asn 3; asn 4 ] in
+  let net = Framework.Network.create ~config:wire_cfg ~seed:62 spec in
+  Framework.Network.start net;
+  ignore (Framework.Network.settle net);
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  Framework.Network.originate net (asn 4) (plan.Framework.Addressing.origin_prefix (asn 4));
+  ignore (Framework.Network.settle net);
+  Alcotest.(check bool) "legacy -> sdn over wire transport" true
+    (Framework.Monitor.reachable net ~src:(asn 0) ~dst:(asn 4));
+  Alcotest.(check bool) "sdn -> legacy over wire transport" true
+    (Framework.Monitor.reachable net ~src:(asn 4) ~dst:(asn 0))
+
+let suite =
+  [
+    Alcotest.test_case "converges through the codec" `Quick test_wire_transport_converges;
+    Alcotest.test_case "route-for-route equivalent" `Quick test_wire_transport_equivalent_routes;
+    Alcotest.test_case "hybrid data plane" `Quick test_wire_transport_hybrid_data_plane;
+  ]
