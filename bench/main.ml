@@ -12,11 +12,34 @@
      ABLATION-MRAI   MRAI sensitivity (A3)
      ABLATION-WRATE  withdrawal pacing: RFC vs Quagga (A4)
      CHURN           collector update counts vs SDN fraction
+     TELEMETRY       one instrumented withdrawal run: sampled metrics
+                     timeline + scheduler wall-clock profile
      MICRO           Bechamel micro-benchmarks
 
-   `dune exec bench/main.exe -- --quick` runs a reduced sweep. *)
+   `dune exec bench/main.exe -- --quick` runs a reduced sweep.
+   `--metrics-out FILE` exports the TELEMETRY run's timeline (format by
+   extension: .prom/.txt Prometheus, .csv CSV, else JSONL);
+   `--metrics-interval S` sets its sampling period in simulated seconds. *)
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let flag_value name =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let metrics_out = flag_value "--metrics-out"
+
+let metrics_interval =
+  match flag_value "--metrics-interval" with
+  | None -> 1.0
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> v
+    | _ -> Fmt.failwith "--metrics-interval: expected a positive number, got %S" s)
 
 let n = if quick then 8 else 16
 
@@ -226,6 +249,52 @@ let churn (fig2_series : Framework.Experiments.series) =
         (mean (fun r -> float_of_int r.Framework.Experiments.changes)))
     fig2_series.Framework.Experiments.points
 
+let telemetry () =
+  section "TELEMETRY: instrumented withdrawal run (metrics timeline + scheduler profile)";
+  let sdn = n / 2 in
+  let spec = Topology.Artificial.clique n in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let exp = Framework.Experiment.create ~config ~seed:67 spec in
+  let sim = Framework.Experiment.sim exp in
+  Engine.Sim.set_profiling sim true;
+  let sink =
+    Option.map
+      (fun path ->
+        Framework.Telemetry.create
+          ~interval:(Engine.Time.of_sec_f metrics_interval)
+          ~sim ~path ())
+      metrics_out
+  in
+  let origin = Topology.Artificial.asn 0 in
+  let prefix = Framework.Experiment.default_prefix exp origin in
+  ignore
+    (Framework.Experiment.measure exp ~prefix (fun () ->
+         ignore (Framework.Experiment.announce exp origin)));
+  let m =
+    Framework.Experiment.measure exp ~prefix (fun () ->
+        ignore (Framework.Experiment.withdraw exp origin))
+  in
+  Fmt.pr "clique:%d sdn:%d withdrawal Tdown = %.2f s@." n sdn
+    (Framework.Experiment.convergence_seconds m);
+  let snap = Framework.Experiment.final_metrics exp in
+  let headline name =
+    match Engine.Metrics.value snap name with
+    | Some v -> Fmt.pr "%-32s %10.0f@." name v
+    | None -> ()
+  in
+  List.iter headline
+    [ "controller_recompute_total"; "controller_flow_mods_total";
+      "controller_updates_in_total"; "bgp_mrai_deferrals_total";
+      "net_messages_delivered_total" ];
+  Fmt.pr "@.scheduler wall-clock self-profile (host time, varies run to run):@.";
+  Fmt.pr "%a@." Engine.Sim.pp_profile sim;
+  Option.iter
+    (fun sink ->
+      let count = Framework.Telemetry.finish sink in
+      Fmt.pr "metrics: %d snapshots written to %s@." count (Option.get metrics_out))
+    sink
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -396,5 +465,6 @@ let () =
   table_size ();
   subcluster ();
   churn fig2_series;
+  telemetry ();
   micro ();
   Fmt.pr "@.done.@."

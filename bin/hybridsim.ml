@@ -88,6 +88,60 @@ let mrai_arg =
 let config_of_mrai mrai =
   Framework.Config.with_mrai Framework.Config.default (Engine.Time.sec mrai)
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:
+          "Write a metrics export: .prom/.txt for Prometheus text, .csv for CSV, anything \
+           else for a JSONL timeline.")
+
+let metrics_interval_arg =
+  let positive_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v > 0.0 -> Ok v
+      | _ -> Error (`Msg (Fmt.str "expected a positive number of seconds, got %S" s))
+    in
+    Arg.conv (parse, Fmt.float)
+  in
+  Arg.(
+    value
+    & opt positive_float 1.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"Sampling interval (simulated seconds) for the metrics timeline.")
+
+(* Start a telemetry sink on the experiment's sim (None when no output was
+   requested). *)
+let telemetry_of exp metrics_out interval =
+  Option.map
+    (fun path ->
+      Framework.Telemetry.create
+        ~interval:(Engine.Time.of_sec_f interval)
+        ~sim:(Framework.Experiment.sim exp) ~path ())
+    metrics_out
+
+let finish_telemetry tele =
+  Option.iter
+    (fun t ->
+      let n = Framework.Telemetry.finish t in
+      Fmt.pr "metrics: %d snapshots written@." n)
+    tele
+
+(* For runs that only expose a final snapshot (no live sim access). *)
+let write_snapshot path snap =
+  let content =
+    match Framework.Telemetry.format_of_path path with
+    | Framework.Telemetry.Prometheus -> Engine.Metrics.to_prometheus snap
+    | Framework.Telemetry.Jsonl -> Engine.Metrics.to_jsonl snap
+    | Framework.Telemetry.Csv -> Engine.Metrics.to_csv snap
+  in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Fmt.pr "metrics: final snapshot written to %s@." path
+
 (* --- fig2 ----------------------------------------------------------------- *)
 
 let fig2_cmd =
@@ -108,7 +162,7 @@ let fig2_cmd =
 (* --- run ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let run topo sdn event seed mrai =
+  let run topo sdn event seed mrai metrics_out metrics_interval =
     let result =
       let* spec = parse_topo ~seed topo in
       let* spec = with_sdn_tail spec sdn in
@@ -116,6 +170,7 @@ let run_cmd =
       match String.lowercase_ascii event with
       | "withdraw" | "announce" ->
         let exp = Framework.Experiment.create ~config ~seed spec in
+        let tele = telemetry_of exp metrics_out metrics_interval in
         let origin = List.hd (Topology.Spec.asns spec) in
         let measured =
           if event = "announce" then Core.measure_announcement exp origin
@@ -127,6 +182,7 @@ let run_cmd =
         Fmt.pr "event: %s at %a@." event Net.Asn.pp origin;
         Fmt.pr "%a@." Framework.Convergence.pp_measurement measured;
         Fmt.pr "convergence: %.2f s@." (Framework.Experiment.convergence_seconds measured);
+        finish_telemetry tele;
         Ok ()
       | "failover" ->
         let n = Topology.Spec.node_count spec in
@@ -135,6 +191,9 @@ let run_cmd =
         Fmt.pr "control-plane convergence: %.2f s@." r.Framework.Experiments.seconds;
         Fmt.pr "data-plane restoration: mean %.2f s, max %.2f s@."
           r.Framework.Experiments.restore_mean r.Framework.Experiments.restore_max;
+        Option.iter
+          (fun path -> write_snapshot path r.Framework.Experiments.metrics)
+          metrics_out;
         Ok ()
       | e -> Error (Fmt.str "unknown event %S (withdraw|announce|failover)" e)
     in
@@ -152,7 +211,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single convergence experiment.")
-    Term.(ret (const run $ topo $ sdn $ event $ seed_arg $ mrai_arg))
+    Term.(
+      ret
+        (const run $ topo $ sdn $ event $ seed_arg $ mrai_arg $ metrics_out_arg
+        $ metrics_interval_arg))
 
 (* --- topo ----------------------------------------------------------------- *)
 
@@ -221,13 +283,14 @@ let dot_cmd =
 (* --- scenario --------------------------------------------------------------- *)
 
 let scenario_cmd =
-  let run topo sdn file seed mrai dump timeline show_state =
+  let run topo sdn file seed mrai dump timeline show_state metrics_out metrics_interval =
     let result =
       let* spec = parse_topo ~seed topo in
       let* spec = with_sdn_tail spec sdn in
       let* scenario = Framework.Scenario.parse_file file in
       let config = config_of_mrai mrai in
       let exp = Framework.Experiment.create ~config ~seed spec in
+      let tele = telemetry_of exp metrics_out metrics_interval in
       Fmt.pr "topology %s (%d ASes, %d SDN); scenario %s (%d steps)@."
         (Topology.Spec.title spec) (Topology.Spec.node_count spec)
         (List.length (Topology.Spec.sdn_asns spec))
@@ -261,6 +324,7 @@ let scenario_cmd =
           in
           print_string (Framework.Visualize.timeline entries prefix))
       | None -> ());
+      finish_telemetry tele;
       Ok ()
     in
     match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
@@ -286,7 +350,34 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario" ~doc:"Replay a timed scenario file against a topology.")
     Term.(
-      ret (const run $ topo $ sdn $ file $ seed_arg $ mrai_arg $ dump $ timeline $ show_state))
+      ret
+        (const run $ topo $ sdn $ file $ seed_arg $ mrai_arg $ dump $ timeline $ show_state
+        $ metrics_out_arg $ metrics_interval_arg))
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run check =
+    match check with
+    | None -> `Error (true, "nothing to do; use --check FILE")
+    | Some path -> (
+      match Framework.Telemetry.validate_file path with
+      | Ok n ->
+        Fmt.pr "%s: OK — %d entries (%s format)@." path n
+          (Framework.Telemetry.format_to_string (Framework.Telemetry.format_of_path path));
+        `Ok ()
+      | Error msg -> `Error (false, Fmt.str "%s: %s" path msg))
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"PATH"
+          ~doc:"Validate a metrics export (format inferred from the extension).")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Inspect and validate metrics export files.")
+    Term.(ret (const run $ check))
 
 (* --- export-quagga ----------------------------------------------------------- *)
 
@@ -337,4 +428,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2_cmd; run_cmd; topo_cmd; dot_cmd; scenario_cmd; export_quagga_cmd; demo_cmd ]))
+          [
+            fig2_cmd;
+            run_cmd;
+            topo_cmd;
+            dot_cmd;
+            scenario_cmd;
+            export_quagga_cmd;
+            demo_cmd;
+            metrics_cmd;
+          ]))

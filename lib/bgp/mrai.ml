@@ -21,6 +21,8 @@ type t = {
   timer : Engine.Timer.t;
   mutable pending : pending Pm.t;
   mutable flushes : int;
+  deferrals_c : Engine.Metrics.Counter.t;
+  flushes_c : Engine.Metrics.Counter.t;
 }
 
 let rec flush t =
@@ -35,6 +37,7 @@ let rec flush t =
     in
     t.pending <- Pm.empty;
     t.flushes <- t.flushes + 1;
+    Engine.Metrics.Counter.inc t.flushes_c;
     t.send { Message.announced = List.rev announced; withdrawn = List.rev withdrawn };
     arm t
   end
@@ -46,15 +49,23 @@ let create sim ~rng ~config ~name ~send =
      tie the knot through a reference. *)
   let self = ref None in
   let callback () = match !self with Some t -> flush t | None -> () in
+  (* All per-peer instances share the same unlabeled series — idempotent
+     registration returns the same handle each time. *)
+  let m = Engine.Sim.metrics sim in
   let t =
     {
       sim;
       rng;
       config;
       send;
-      timer = Engine.Timer.create sim ~name ~callback;
+      timer = Engine.Timer.create ~category:"bgp.mrai" sim ~name ~callback;
       pending = Pm.empty;
       flushes = 0;
+      deferrals_c =
+        Engine.Metrics.counter m ~help:"route changes deferred by a running MRAI timer"
+          "bgp_mrai_deferrals_total";
+      flushes_c =
+        Engine.Metrics.counter m ~help:"batched UPDATE flushes" "bgp_mrai_flushes_total";
     }
   in
   self := Some t;
@@ -68,12 +79,12 @@ let is_throttled t = Engine.Timer.is_armed t.timer
 
 let enqueue_announce t prefix attrs =
   t.pending <- Pm.add prefix (Announce attrs) t.pending;
-  if not (is_throttled t) then flush t
+  if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else flush t
 
 let enqueue_withdraw t prefix =
   if t.config.Config.mrai_on_withdrawals then begin
     t.pending <- Pm.add prefix Withdraw t.pending;
-    if not (is_throttled t) then flush t
+    if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else flush t
   end
   else begin
     (* Withdrawals are exempt from MRAI: cancel any pending announcement

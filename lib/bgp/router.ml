@@ -22,6 +22,16 @@ type stats = {
   mutable best_changes : int;
 }
 
+(* Registry handles, created once per router (labels [node=<asn>]). *)
+type telemetry = {
+  updates_sent : Engine.Metrics.Counter.t;
+  updates_received : Engine.Metrics.Counter.t;
+  withdrawals_sent : Engine.Metrics.Counter.t;
+  withdrawals_received : Engine.Metrics.Counter.t;
+  decision_runs_c : Engine.Metrics.Counter.t;
+  best_changes_c : Engine.Metrics.Counter.t;
+}
+
 type peer = {
   peer_asn : Net.Asn.t;
   peer_node : int;
@@ -50,6 +60,7 @@ type t = {
   mutable busy_until : Engine.Time.t;
   damping : Damping.t option;
   stats : stats;
+  tm : telemetry;
   mutable on_best_change : (Net.Ipv4.prefix -> Route.t option -> unit) list;
 }
 
@@ -58,33 +69,64 @@ let name t = Net.Asn.to_string t.asn
 let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp" fmt
 
 let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
-  {
-    damping = Option.map Damping.create damping;
-    sim;
-    rng = Engine.Rng.split (Engine.Sim.rng sim);
-    asn;
-    node_id;
-    router_id;
-    config;
-    send_raw = send;
-    peers = Net.Asn.Map.empty;
-    peer_of_node = Hashtbl.create 8;
-    adj_in = Rib.Adj_in.create ();
-    loc = Rib.Loc.create ();
-    adj_out = Rib.Adj_out.create ();
-    originated = Pm.empty;
-    busy_until = Engine.Time.zero;
-    stats =
-      {
-        msgs_in = 0;
-        msgs_out = 0;
-        prefixes_in = 0;
-        prefixes_out = 0;
-        decision_runs = 0;
-        best_changes = 0;
-      };
-    on_best_change = [];
-  }
+  let m = Engine.Sim.metrics sim in
+  let labels = [ ("node", Net.Asn.to_string asn) ] in
+  let counter ?help name = Engine.Metrics.counter m ?help ~labels name in
+  let tm =
+    {
+      updates_sent =
+        counter ~help:"prefixes announced in sent UPDATEs" "bgp_updates_sent_total";
+      updates_received =
+        counter ~help:"prefixes announced in received UPDATEs" "bgp_updates_received_total";
+      withdrawals_sent =
+        counter ~help:"prefixes withdrawn in sent UPDATEs" "bgp_withdrawals_sent_total";
+      withdrawals_received =
+        counter ~help:"prefixes withdrawn in received UPDATEs"
+          "bgp_withdrawals_received_total";
+      decision_runs_c = counter ~help:"decision process invocations" "bgp_decision_runs_total";
+      best_changes_c = counter ~help:"Loc-RIB best-path changes" "bgp_best_changes_total";
+    }
+  in
+  let t =
+    {
+      damping = Option.map Damping.create damping;
+      sim;
+      rng = Engine.Rng.split (Engine.Sim.rng sim);
+      asn;
+      node_id;
+      router_id;
+      config;
+      send_raw = send;
+      peers = Net.Asn.Map.empty;
+      peer_of_node = Hashtbl.create 8;
+      adj_in = Rib.Adj_in.create ();
+      loc = Rib.Loc.create ();
+      adj_out = Rib.Adj_out.create ();
+      originated = Pm.empty;
+      busy_until = Engine.Time.zero;
+      stats =
+        {
+          msgs_in = 0;
+          msgs_out = 0;
+          prefixes_in = 0;
+          prefixes_out = 0;
+          decision_runs = 0;
+          best_changes = 0;
+        };
+      tm;
+      on_best_change = [];
+    }
+  in
+  let loc_gauge =
+    Engine.Metrics.gauge m ~help:"routes in the Loc-RIB" ~labels "bgp_loc_rib_routes"
+  in
+  let adj_gauge =
+    Engine.Metrics.gauge m ~help:"routes in the Adj-RIB-In" ~labels "bgp_adj_in_routes"
+  in
+  Engine.Metrics.on_collect m (fun () ->
+      Engine.Metrics.Gauge.set loc_gauge (float_of_int (Rib.Loc.size t.loc));
+      Engine.Metrics.Gauge.set adj_gauge (float_of_int (Rib.Adj_in.size t.adj_in)));
+  t
 
 let asn t = t.asn
 
@@ -108,7 +150,10 @@ let send_message t peer msg =
   if sent then begin
     t.stats.msgs_out <- t.stats.msgs_out + 1;
     match msg with
-    | Message.Update u -> t.stats.prefixes_out <- t.stats.prefixes_out + Message.update_size u
+    | Message.Update u ->
+      t.stats.prefixes_out <- t.stats.prefixes_out + Message.update_size u;
+      Engine.Metrics.Counter.add t.tm.updates_sent (List.length u.Message.announced);
+      Engine.Metrics.Counter.add t.tm.withdrawals_sent (List.length u.Message.withdrawn)
     | Message.Open _ | Message.Keepalive | Message.Notification _ -> ()
   end;
   sent
@@ -223,6 +268,7 @@ let export_all_peers t prefix best =
 
 let run_decision t prefix =
   t.stats.decision_runs <- t.stats.decision_runs + 1;
+  Engine.Metrics.Counter.inc t.tm.decision_runs_c;
   let best = Decision.select (candidates t prefix) in
   let old = Rib.Loc.find t.loc prefix in
   let changed =
@@ -241,6 +287,7 @@ let run_decision t prefix =
       Rib.Loc.remove t.loc prefix;
       log t "bestpath %a -> unreachable" Net.Ipv4.pp_prefix prefix);
     t.stats.best_changes <- t.stats.best_changes + 1;
+    Engine.Metrics.Counter.inc t.tm.best_changes_c;
     List.iter (fun f -> f prefix best) t.on_best_change;
     export_all_peers t prefix best
   end
@@ -314,7 +361,7 @@ let start_liveness t peer =
           end
         in
         let timer =
-          Engine.Timer.create t.sim
+          Engine.Timer.create ~category:"bgp.liveness" t.sim
             ~name:(Fmt.str "%a-keepalive-%a" Net.Asn.pp t.asn Net.Asn.pp peer.peer_asn)
             ~callback:emit
         in
@@ -327,7 +374,7 @@ let start_liveness t peer =
       | Some timer -> timer
       | None ->
         let timer =
-          Engine.Timer.create t.sim
+          Engine.Timer.create ~category:"bgp.liveness" t.sim
             ~name:(Fmt.str "%a-hold-%a" Net.Asn.pp t.asn Net.Asn.pp peer.peer_asn)
             ~callback:(fun () ->
               Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp"
@@ -385,7 +432,9 @@ let note_flap t peer_asn prefix event =
       (* a hair past the reuse instant so the decayed penalty is safely
          at-or-below the threshold despite floating-point rounding *)
       let recheck = Engine.Time.add reuse_at (Engine.Time.ms 10) in
-      ignore (Engine.Sim.schedule_at t.sim recheck (fun () -> run_decision t prefix)))
+      ignore
+        (Engine.Sim.schedule_at ~category:"bgp.damping" t.sim recheck (fun () ->
+             run_decision t prefix)))
 
 let process_update t peer_asn (u : Message.update) =
   match find_peer t peer_asn with
@@ -456,6 +505,8 @@ let handle_message t ~from msg =
     | Message.Update u ->
       t.stats.msgs_in <- t.stats.msgs_in + 1;
       t.stats.prefixes_in <- t.stats.prefixes_in + Message.update_size u;
+      Engine.Metrics.Counter.add t.tm.updates_received (List.length u.Message.announced);
+      Engine.Metrics.Counter.add t.tm.withdrawals_received (List.length u.Message.withdrawn);
       (* Serialized processing behind a busy watermark: emulates a
          single-threaded bgpd working through its input queue. *)
       let now = Engine.Sim.now t.sim in
@@ -463,7 +514,8 @@ let handle_message t ~from msg =
       let finish = Engine.Time.add start (Config.processing_delay t.config t.rng) in
       t.busy_until <- finish;
       ignore
-        (Engine.Sim.schedule_at t.sim finish (fun () -> process_update t peer_asn u)))
+        (Engine.Sim.schedule_at ~category:"bgp.process" t.sim finish (fun () ->
+             process_update t peer_asn u)))
 
 (* Test/diagnostic accessors. *)
 

@@ -40,6 +40,18 @@ type stats = {
   mutable decision_changes : int;
 }
 
+(* Registry handles, created once per controller. *)
+type telemetry = {
+  updates_in_c : Engine.Metrics.Counter.t;
+  recompute_c : Engine.Metrics.Counter.t;
+  prefixes_recomputed_c : Engine.Metrics.Counter.t;
+  dijkstra_runs_c : Engine.Metrics.Counter.t;
+  flow_mods_c : Engine.Metrics.Counter.t;
+  announce_c : Engine.Metrics.Counter.t;
+  withdraw_c : Engine.Metrics.Counter.t;
+  decision_changes_c : Engine.Metrics.Counter.t;
+}
+
 type t = {
   sim : Engine.Sim.t;
   config : config;
@@ -59,6 +71,7 @@ type t = {
   mutable on_decision_change :
     (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) list;
   stats : stats;
+  tm : telemetry;
 }
 
 let log t fmt = Engine.Sim.logf t.sim ~node:"controller" ~category:"controller" fmt
@@ -118,15 +131,20 @@ let sync_session t ~member ~neighbor prefix decision_map =
   match announcement t ~member ~neighbor prefix decision_map with
   | Some attrs ->
     t.stats.announces <- t.stats.announces + 1;
+    Engine.Metrics.Counter.inc t.tm.announce_c;
     Speaker.announce t.speaker ~member ~neighbor prefix attrs
   | None ->
     t.stats.withdraws <- t.stats.withdraws + 1;
+    Engine.Metrics.Counter.inc t.tm.withdraw_c;
     Speaker.withdraw t.speaker ~member ~neighbor prefix
 
 (* --- Recomputation ------------------------------------------------------ *)
 
 let recompute_prefix t prefix =
   t.stats.prefixes_recomputed <- t.stats.prefixes_recomputed + 1;
+  Engine.Metrics.Counter.inc t.tm.prefixes_recomputed_c;
+  (* As_graph.compute runs exactly one Dijkstra over the switch graph. *)
+  Engine.Metrics.Counter.inc t.tm.dijkstra_runs_c;
   let originators = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
   let desired =
     As_graph.compute ~members:t.members ~switch_graph:t.switch_graph
@@ -148,6 +166,7 @@ let recompute_prefix t prefix =
       in
       if changed then begin
         t.stats.decision_changes <- t.stats.decision_changes + 1;
+        Engine.Metrics.Counter.inc t.tm.decision_changes_c;
         log t "decision %a %a: %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp member
           (Fmt.option ~none:(Fmt.any "unreachable") As_graph.pp_decision)
           new_d;
@@ -177,6 +196,7 @@ let recompute_prefix t prefix =
       List.iter
         (fun m ->
           t.stats.flow_mods <- t.stats.flow_mods + 1;
+          Engine.Metrics.Counter.inc t.tm.flow_mods_c;
           ignore (t.send_switch ~member m))
         mods)
     changes;
@@ -187,6 +207,7 @@ let recompute_prefix t prefix =
 
 let recompute_batch t prefixes =
   t.stats.recompute_batches <- t.stats.recompute_batches + 1;
+  Engine.Metrics.Counter.inc t.tm.recompute_c;
   List.iter (recompute_prefix t) prefixes
 
 let mark_dirty t prefix =
@@ -224,6 +245,7 @@ let remove_route t prefix ~member ~neighbor =
 
 let on_external_update t ~member ~neighbor (u : Bgp.Message.update) =
   t.stats.updates_in <- t.stats.updates_in + 1;
+  Engine.Metrics.Counter.inc t.tm.updates_in_c;
   List.iter
     (fun prefix ->
       remove_route t prefix ~member ~neighbor;
@@ -382,6 +404,28 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
   List.iter
     (fun (a, b) -> Net.Graph.add_edge switch_graph (Net.Asn.to_int a) (Net.Asn.to_int b))
     intra_links;
+  let m = Engine.Sim.metrics sim in
+  let counter ?help name = Engine.Metrics.counter m ?help name in
+  let tm =
+    {
+      updates_in_c =
+        counter ~help:"external BGP updates relayed to the controller"
+          "controller_updates_in_total";
+      recompute_c = counter ~help:"batch recomputation runs" "controller_recompute_total";
+      prefixes_recomputed_c =
+        counter ~help:"per-prefix recomputations" "controller_prefixes_recomputed_total";
+      dijkstra_runs_c =
+        counter ~help:"shortest-path runs over the switch graph"
+          "controller_dijkstra_runs_total";
+      flow_mods_c = counter ~help:"FLOW_MODs pushed to switches" "controller_flow_mods_total";
+      announce_c =
+        counter ~help:"announcements sent through the speaker" "controller_announce_total";
+      withdraw_c =
+        counter ~help:"withdrawals sent through the speaker" "controller_withdraw_total";
+      decision_changes_c =
+        counter ~help:"per-member decision changes" "controller_decision_changes_total";
+    }
+  in
   let t =
     {
       sim;
@@ -410,6 +454,7 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
           withdraws = 0;
           decision_changes = 0;
         };
+      tm;
     }
   in
   t.recompute <-

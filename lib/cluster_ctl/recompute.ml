@@ -14,6 +14,7 @@ type t = {
   timer : Engine.Timer.t;
   mutable batches : int;
   mutable marks : int;
+  coalesced_c : Engine.Metrics.Counter.t;
   callback : Net.Ipv4.prefix list -> unit;
 }
 
@@ -28,7 +29,7 @@ let fire t () =
 let create ~sim ~delay ~callback =
   let self = ref None in
   let timer =
-    Engine.Timer.create sim ~name:"recompute"
+    Engine.Timer.create ~category:"ctrl.recompute" sim ~name:"recompute"
       ~callback:(fun () -> match !self with Some t -> fire t () | None -> ())
   in
   let t =
@@ -39,6 +40,10 @@ let create ~sim ~delay ~callback =
       timer;
       batches = 0;
       marks = 0;
+      coalesced_c =
+        Engine.Metrics.counter (Engine.Sim.metrics sim)
+          ~help:"dirty marks absorbed by an already-armed recompute timer"
+          "controller_recompute_coalesced_total";
       callback;
     }
   in
@@ -51,6 +56,8 @@ let mark_dirty t prefix =
   t.marks <- t.marks + 1;
   t.dirty <- Net.Ipv4.Prefix_set.add prefix t.dirty;
   if Engine.Time.equal t.delay Engine.Time.zero then fire t ()
+  else if Engine.Timer.is_armed t.timer then
+    Engine.Metrics.Counter.inc t.coalesced_c
   else Engine.Timer.start_if_idle t.timer t.delay
 
 let mark_dirty_many t prefixes = List.iter (mark_dirty t) prefixes

@@ -1,0 +1,117 @@
+(** Label-aware metrics registry: counters, gauges and log-scale
+    histograms, snapshot-able at any simulated instant.
+
+    One registry per simulation (see {!Sim.metrics}).  Label sets are
+    canonicalized (sorted by key) at registration and snapshots are
+    sorted by (name, labels), so identical seeds yield byte-identical
+    exports.  Registration is idempotent: the same (name, labels) pair
+    always returns the same handle. *)
+
+type t
+
+type labels = (string * string) list
+
+val create : unit -> t
+
+val on_collect : t -> (unit -> unit) -> unit
+(** Register a callback run at the start of every {!snapshot} — the place
+    to sync pull-style gauges (RIB sizes, table occupancy) from their
+    owners. *)
+
+(** Monotonically increasing integer count. *)
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+
+  val add : t -> int -> unit
+  (** @raise Invalid_argument on negative increments. *)
+
+  val value : t -> int
+end
+
+(** Arbitrary instantaneous float value. *)
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+end
+
+(** Fixed-bucket distribution; use {!log_buckets} for the intended
+    log-scale bounds. *)
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+end
+
+val log_buckets : ?start:float -> ?factor:float -> ?count:int -> unit -> float array
+(** Geometric bucket upper bounds [start, start*factor, ...]; defaults
+    give 16 base-2 buckets from 1 ms up (seconds-denominated). *)
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> Counter.t
+(** Find-or-create.
+    @raise Invalid_argument if the series exists with a different kind. *)
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> Gauge.t
+
+val histogram :
+  t -> ?help:string -> ?labels:labels -> ?buckets:float array -> string -> Histogram.t
+
+(** {1 Snapshots} *)
+
+type hist_value = {
+  buckets : (float * int) list;
+      (** (upper bound, cumulative count) pairs; the [infinity] bound is
+          always last and equals [count]. *)
+  sum : float;
+  count : int;
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_value
+
+type sample = { name : string; help : string; labels : labels; value : value }
+
+type snapshot = { at : Time.t; samples : sample list }
+
+val snapshot : t -> at:Time.t -> snapshot
+(** Run the collect callbacks, then freeze every series.  The result is
+    immutable: later registry mutation never alters an earlier snapshot. *)
+
+val find_sample : snapshot -> ?labels:labels -> string -> sample option
+
+val value : snapshot -> ?labels:labels -> string -> float option
+(** Scalar view: counter/gauge values as-is, histograms by their count. *)
+
+(** {1 Exporters} *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format ([# HELP]/[# TYPE] per family,
+    histogram [_bucket]/[_sum]/[_count] expansion). *)
+
+val to_jsonl : snapshot -> string
+(** One JSON object per sample, one per line, each stamped with the
+    snapshot's simulated time ([t_us]) — append snapshots taken at
+    increasing instants to build a timeline. *)
+
+val csv_header : string
+
+val to_csv : ?header:bool -> snapshot -> string
+(** [t_us,metric,labels,type,value] rows; histograms are flattened to
+    [_bucket]/[_sum]/[_count] rows. *)
+
+(** {1 Parsing} *)
+
+type parsed_sample = { p_name : string; p_labels : labels; p_value : float }
+
+val parse_prometheus : string -> (parsed_sample list, string) result
+(** Parse Prometheus exposition text (as emitted by {!to_prometheus}):
+    comments are skipped, samples are returned in file order. *)

@@ -2,16 +2,28 @@
 
    Events fire in (time, insertion sequence) order, so two events scheduled
    for the same instant run in the order they were scheduled — this plus the
-   splittable RNG makes whole experiment runs bit-reproducible. *)
+   splittable RNG makes whole experiment runs bit-reproducible.
+
+   Observability: every event carries a category string; the scheduler
+   counts scheduled/executed/reaped events per category in its metrics
+   registry (deterministic — safe to export), and, when profiling is
+   enabled, additionally accumulates per-category wall-clock self time in
+   a separate table that deliberately stays OUT of the registry so metric
+   exports remain byte-identical across runs of the same seed. *)
 
 type event = {
   fire_at : Time.t;
   seq : int;
+  category : string;
   mutable cancelled : bool;
   action : unit -> unit;
 }
 
 type handle = event
+
+type profile_row = { category : string; events : int; seconds : float }
+
+type prof_cell = { mutable p_events : int; mutable p_seconds : float }
 
 type t = {
   mutable now : Time.t;
@@ -20,15 +32,24 @@ type t = {
   queue : event Heap.t;
   rng : Rng.t;
   trace : Trace.t;
+  metrics : Metrics.t;
+  mutable profiling : bool;
+  profile : (string, prof_cell) Hashtbl.t;
+  scheduled_by : (string, Metrics.Counter.t) Hashtbl.t;
+  executed_by : (string, Metrics.Counter.t) Hashtbl.t;
+  reaped : Metrics.Counter.t;
+  mutable on_wake : (unit -> unit) list;
 }
 
 let compare_event a b =
   let c = Time.compare a.fire_at b.fire_at in
   if c <> 0 then c else compare a.seq b.seq
 
-let dummy_event = { fire_at = Time.zero; seq = -1; cancelled = true; action = ignore }
+let dummy_event =
+  { fire_at = Time.zero; seq = -1; category = ""; cancelled = true; action = ignore }
 
-let create ?(seed = 0) ?(trace = true) () =
+let create ?(seed = 0) ?(trace = true) ?(profiling = false) () =
+  let metrics = Metrics.create () in
   {
     now = Time.zero;
     next_seq = 0;
@@ -36,6 +57,15 @@ let create ?(seed = 0) ?(trace = true) () =
     queue = Heap.create ~capacity:1024 ~dummy:dummy_event compare_event;
     rng = Rng.create seed;
     trace = Trace.create ~enabled:trace ();
+    metrics;
+    profiling;
+    profile = Hashtbl.create 16;
+    scheduled_by = Hashtbl.create 16;
+    executed_by = Hashtbl.create 16;
+    reaped =
+      Metrics.counter metrics ~help:"cancelled events reaped from the queue"
+        "sim_events_cancelled_total";
+    on_wake = [];
   }
 
 let now t = t.now
@@ -44,34 +74,94 @@ let rng t = t.rng
 
 let trace t = t.trace
 
+let metrics t = t.metrics
+
 let pending t = Heap.length t.queue
 
 let executed t = t.executed
 
-let schedule_at t fire_at action =
+let set_profiling t flag = t.profiling <- flag
+
+let profiling t = t.profiling
+
+let profile t =
+  Hashtbl.fold
+    (fun category cell acc ->
+      { category; events = cell.p_events; seconds = cell.p_seconds } :: acc)
+    t.profile []
+  |> List.sort (fun a b -> String.compare a.category b.category)
+
+let pp_profile ppf t =
+  Fmt.pf ppf "%-24s %10s %12s@." "category" "events" "self-s";
+  List.iter
+    (fun r -> Fmt.pf ppf "%-24s %10d %12.6f@." r.category r.events r.seconds)
+    (profile t)
+
+let category_counter cache metrics name category =
+  match Hashtbl.find_opt cache category with
+  | Some c -> c
+  | None ->
+    let c = Metrics.counter metrics ~labels:[ ("category", category) ] name in
+    Hashtbl.replace cache category c;
+    c
+
+let schedule_at ?(category = "event") t fire_at action =
   if Time.(fire_at < t.now) then
     invalid_arg
       (Fmt.str "Sim.schedule_at: %a is in the past (now %a)" Time.pp fire_at Time.pp t.now);
-  let ev = { fire_at; seq = t.next_seq; cancelled = false; action } in
+  let ev = { fire_at; seq = t.next_seq; category; cancelled = false; action } in
   t.next_seq <- t.next_seq + 1;
+  Metrics.Counter.inc
+    (category_counter t.scheduled_by t.metrics "sim_events_scheduled_total" category);
+  let was_empty = Heap.length t.queue = 0 in
   Heap.push t.queue ev;
+  (* Notify after the push so a hook's own scheduling sees a non-empty
+     queue and cannot re-trigger the transition. *)
+  if was_empty then List.iter (fun f -> f ()) t.on_wake;
   ev
 
-let schedule_after t span action = schedule_at t (Time.add t.now span) action
+let schedule_after ?category t span action =
+  schedule_at ?category t (Time.add t.now span) action
+
+let on_wake t f = t.on_wake <- t.on_wake @ [ f ]
 
 let cancel ev = ev.cancelled <- true
 
 let cancelled ev = ev.cancelled
 
+let note_reaped t = Metrics.Counter.inc t.reaped
+
+let execute t ev =
+  t.now <- ev.fire_at;
+  t.executed <- t.executed + 1;
+  Metrics.Counter.inc
+    (category_counter t.executed_by t.metrics "sim_events_executed_total" ev.category);
+  if t.profiling then begin
+    let t0 = Sys.time () in
+    ev.action ();
+    let dt = Sys.time () -. t0 in
+    let cell =
+      match Hashtbl.find_opt t.profile ev.category with
+      | Some c -> c
+      | None ->
+        let c = { p_events = 0; p_seconds = 0.0 } in
+        Hashtbl.replace t.profile ev.category c;
+        c
+    in
+    cell.p_events <- cell.p_events + 1;
+    cell.p_seconds <- cell.p_seconds +. dt
+  end
+  else ev.action ()
+
 (* Run one event; returns false when the queue is exhausted. *)
 let rec step t =
   match Heap.pop t.queue with
   | None -> false
-  | Some ev when ev.cancelled -> step t
+  | Some ev when ev.cancelled ->
+    note_reaped t;
+    step t
   | Some ev ->
-    t.now <- ev.fire_at;
-    t.executed <- t.executed + 1;
-    ev.action ();
+    execute t ev;
     true
 
 type run_result = Exhausted | Reached_limit | Reached_time of Time.t
@@ -84,6 +174,7 @@ let run ?until ?(max_events = max_int) t =
       | None -> Exhausted
       | Some ev when ev.cancelled ->
         ignore (Heap.pop t.queue);
+        note_reaped t;
         loop remaining
       | Some ev -> (
         match until with

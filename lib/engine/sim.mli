@@ -8,7 +8,7 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int -> ?trace:bool -> unit -> t
+val create : ?seed:int -> ?trace:bool -> ?profiling:bool -> unit -> t
 
 val now : t -> Time.t
 
@@ -17,16 +17,28 @@ val rng : t -> Rng.t
 
 val trace : t -> Trace.t
 
+val metrics : t -> Metrics.t
+(** The per-simulation metrics registry.  Every subsystem holding a [Sim.t]
+    registers its series here, so one snapshot covers the whole stack. *)
+
 val pending : t -> int
 (** Events still queued (including cancelled ones not yet reaped). *)
 
 val executed : t -> int
 (** Events executed so far. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
-(** @raise Invalid_argument if the instant is in the past. *)
+val schedule_at : ?category:string -> t -> Time.t -> (unit -> unit) -> handle
+(** [category] (default ["event"]) labels the event in the
+    [sim_events_scheduled_total]/[sim_events_executed_total] counters and
+    in the wall-clock profile.
+    @raise Invalid_argument if the instant is in the past. *)
 
-val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+val schedule_after : ?category:string -> t -> Time.span -> (unit -> unit) -> handle
+
+val on_wake : t -> (unit -> unit) -> unit
+(** [f] runs whenever the event queue transitions from empty to non-empty
+    — the hook periodic services (e.g. {!Sampler}) use to resume after the
+    simulation has drained and new work arrives. *)
 
 val cancel : handle -> unit
 
@@ -40,6 +52,24 @@ type run_result = Exhausted | Reached_limit | Reached_time of Time.t
 val run : ?until:Time.t -> ?max_events:int -> t -> run_result
 (** Run until the queue drains, [max_events] fire, or the next event lies
     beyond [until] (in which case the clock advances to [until]). *)
+
+(** {1 Wall-clock self-profiling}
+
+    Per-category host CPU time spent inside event actions.  This is real
+    time, not simulated time, so it varies run to run — it is therefore
+    kept in its own table and never enters the metrics registry, keeping
+    metric exports byte-identical across same-seed runs. *)
+
+val set_profiling : t -> bool -> unit
+
+val profiling : t -> bool
+
+type profile_row = { category : string; events : int; seconds : float }
+
+val profile : t -> profile_row list
+(** Sorted by category; empty unless profiling was enabled. *)
+
+val pp_profile : Format.formatter -> t -> unit
 
 val log : t -> node:string -> category:string -> ?level:Trace.level -> string -> unit
 

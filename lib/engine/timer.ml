@@ -6,12 +6,14 @@
 type t = {
   sim : Sim.t;
   name : string;
+  category : string;
   callback : unit -> unit;
   mutable armed : Sim.handle option;
   mutable fires : int;
 }
 
-let create sim ~name ~callback = { sim; name; callback; armed = None; fires = 0 }
+let create ?(category = "timer") sim ~name ~callback =
+  { sim; name; category; callback; armed = None; fires = 0 }
 
 let is_armed t =
   match t.armed with
@@ -29,7 +31,7 @@ let fire t () =
 
 let start t span =
   cancel t;
-  t.armed <- Some (Sim.schedule_after t.sim span (fire t))
+  t.armed <- Some (Sim.schedule_after ~category:t.category t.sim span (fire t))
 
 let start_if_idle t span = if not (is_armed t) then start t span
 

@@ -3,7 +3,9 @@
 
 type t
 
-val create : Sim.t -> name:string -> callback:(unit -> unit) -> t
+val create : ?category:string -> Sim.t -> name:string -> callback:(unit -> unit) -> t
+(** [category] (default ["timer"]) tags the scheduled expiry events for
+    the scheduler's per-category accounting. *)
 
 val start : t -> Time.span -> unit
 (** (Re)arm the timer: any pending expiry is cancelled first. *)

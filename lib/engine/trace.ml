@@ -17,12 +17,14 @@ type record = {
 type t = {
   mutable records : record list; (* newest first *)
   mutable count : int;
+  mutable total : int; (* records ever seen, eviction-proof *)
+  mutable warns : int; (* Warn-level records ever seen *)
   mutable enabled : bool;
   mutable capacity : int; (* 0 = unbounded *)
 }
 
 let create ?(enabled = true) ?(capacity = 0) () =
-  { records = []; count = 0; enabled; capacity }
+  { records = []; count = 0; total = 0; warns = 0; enabled; capacity }
 
 let set_enabled t flag = t.enabled <- flag
 
@@ -32,15 +34,23 @@ let record t ~time ~node ~category ?(level = Info) message =
   if t.enabled then begin
     t.records <- { time; node; category; level; message } :: t.records;
     t.count <- t.count + 1;
+    t.total <- t.total + 1;
+    if level = Warn then t.warns <- t.warns + 1;
     if t.capacity > 0 && t.count > t.capacity then begin
-      (* Drop the oldest half; amortized O(1) per record. *)
-      let keep = t.capacity / 2 in
+      (* Drop the oldest half, but always retain at least the newest
+         record — at capacity 1 the eviction would otherwise empty the
+         log entirely.  Amortized O(1) per record. *)
+      let keep = Stdlib.max 1 (t.capacity / 2) in
       t.records <- List.filteri (fun i _ -> i < keep) t.records;
       t.count <- keep
     end
   end
 
 let count t = t.count
+
+let total t = t.total
+
+let warn_count t = t.warns
 
 let records t = List.rev t.records
 

@@ -27,6 +27,13 @@ val record :
 val count : t -> int
 (** Number of records currently retained. *)
 
+val total : t -> int
+(** Number of records ever recorded, unaffected by capacity eviction. *)
+
+val warn_count : t -> int
+(** Number of [Warn]-level records ever recorded — the metrics layer
+    exports this as a health gauge. *)
+
 val records : t -> record list
 (** Oldest first. *)
 

@@ -33,10 +33,21 @@ let attach network =
       network;
     }
   in
+  let m = Engine.Sim.metrics (Network.sim network) in
+  let changes_c =
+    Engine.Metrics.counter m ~help:"control-plane changes observed (any prefix)"
+      "convergence_control_changes_total"
+  in
+  let last_change_g =
+    Engine.Metrics.gauge m ~help:"simulated time of the last control-plane change"
+      "convergence_last_change_seconds"
+  in
   let note prefix =
     let now = Engine.Sim.now (Network.sim network) in
     t.last_control_change <- bump_map now prefix t.last_control_change;
     t.last_any <- now;
+    Engine.Metrics.Counter.inc changes_c;
+    Engine.Metrics.Gauge.set last_change_g (Engine.Time.to_sec_f now);
     t.control_changes <-
       Pm.update prefix (fun c -> Some (1 + Option.value c ~default:0)) t.control_changes
   in

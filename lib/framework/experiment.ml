@@ -17,6 +17,12 @@ let sim t = Network.sim t.network
 
 let now t = Network.now t.network
 
+let metrics t = Engine.Sim.metrics (sim t)
+
+(* The whole-stack registry frozen at the current simulated instant —
+   what experiment results carry as their final telemetry. *)
+let final_metrics t = Engine.Metrics.snapshot (metrics t) ~at:(now t)
+
 (* Build the emulation and bring all BGP sessions up, with every AS
    originating its default prefix unless [originate_all] is false; runs
    until the bootstrap has fully converged. *)

@@ -18,6 +18,12 @@ val sim : t -> Engine.Sim.t
 
 val now : t -> Engine.Time.t
 
+val metrics : t -> Engine.Metrics.t
+(** The simulation's metrics registry. *)
+
+val final_metrics : t -> Engine.Metrics.snapshot
+(** The registry frozen at the current simulated instant. *)
+
 val default_prefix : t -> Net.Asn.t -> Net.Ipv4.prefix
 
 val announce : ?prefix:Net.Ipv4.prefix -> t -> Net.Asn.t -> Net.Ipv4.prefix

@@ -19,6 +19,7 @@ type run_result = {
   collector_updates : int; (* updates seen by the route collector *)
   restore_mean : float; (* mean per-AS data-plane restoration (failover) *)
   restore_max : float; (* slowest AS's restoration (failover) *)
+  metrics : Engine.Metrics.snapshot; (* whole-stack telemetry at run end *)
 }
 
 type point = {
@@ -67,6 +68,7 @@ let clique_run ~n ~sdn ~event ~seed ~config () =
     collector_updates;
     restore_mean = nan;
     restore_max = nan;
+    metrics = Experiment.final_metrics exp;
   }
 
 (* Fail-over: a stub's short primary path (into clique member 0) dies and
@@ -124,6 +126,7 @@ let failover_run ~n ~sdn ~seed ~config () =
     collector_updates = Bgp.Collector.event_count collector;
     restore_mean;
     restore_max;
+    metrics = Experiment.final_metrics exp;
   }
 
 (* --- Sweeps --------------------------------------------------------------- *)
@@ -276,6 +279,7 @@ let churn_run ~n ~sdn ~flap_period_s ~seed ~config () =
     collector_updates = Bgp.Collector.event_count collector;
     restore_mean = nan;
     restore_max = nan;
+    metrics = Experiment.final_metrics exp;
   }
 
 (* --- Deployment placement -------------------------------------------------
@@ -322,6 +326,7 @@ let placement_run ~spec ~k ~placement ~origin ~seed ~config () =
     collector_updates = Bgp.Collector.event_count collector;
     restore_mean = nan;
     restore_max = nan;
+    metrics = Experiment.final_metrics exp;
   }
 
 (* Sweep k for one strategy on an Internet-like topology. *)
@@ -370,6 +375,7 @@ let table_size_run ~n ~sdn ~background ~seed ~config () =
     collector_updates = Bgp.Collector.event_count collector;
     restore_mean = nan;
     restore_max = nan;
+    metrics = Experiment.final_metrics exp;
   }
 
 (* --- Flap storm / route-flap damping ------------------------------------ *)

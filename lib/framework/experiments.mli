@@ -12,6 +12,7 @@ type run_result = {
   collector_updates : int;
   restore_mean : float;  (** mean per-AS data-plane restoration (failover) *)
   restore_max : float;
+  metrics : Engine.Metrics.snapshot;  (** whole-stack telemetry at run end *)
 }
 
 type point = { x : float; results : run_result list; box : Engine.Stats.boxplot }

@@ -124,6 +124,17 @@ let mean_rtt_ms s =
 let start_stream network ~src ~dst ~interval ~count =
   let plan = Network.plan network in
   let sim = Network.sim network in
+  let m = Engine.Sim.metrics sim in
+  (* Shared across streams: idempotent registration returns one handle. *)
+  let sent_c = Engine.Metrics.counter m ~help:"echo probes injected" "monitor_probes_sent_total" in
+  let received_c =
+    Engine.Metrics.counter m ~help:"echo probes reaching their target"
+      "monitor_probes_received_total"
+  in
+  let replies_c =
+    Engine.Metrics.counter m ~help:"echo replies returning to the source"
+      "monitor_probe_replies_total"
+  in
   let stream =
     { src; dst; stats = { sent = 0; received = 0; replies = 0; rtt_sum_us = 0 }; sent_at = [] }
   in
@@ -132,13 +143,16 @@ let start_stream network ~src ~dst ~interval ~count =
   Network.subscribe_deliver network (fun asn packet ->
       match packet.Net.Packet.kind with
       | Net.Packet.Icmp_echo _ ->
-        if Net.Asn.equal asn dst && Net.Ipv4.equal_addr packet.Net.Packet.dst dst_addr then
-          stream.stats.received <- stream.stats.received + 1
+        if Net.Asn.equal asn dst && Net.Ipv4.equal_addr packet.Net.Packet.dst dst_addr then begin
+          stream.stats.received <- stream.stats.received + 1;
+          Engine.Metrics.Counter.inc received_c
+        end
       | Net.Packet.Icmp_reply { seq } ->
         if Net.Asn.equal asn src && Net.Ipv4.equal_addr packet.Net.Packet.dst src_addr then begin
           match List.assoc_opt seq stream.sent_at with
           | Some t0 ->
             stream.stats.replies <- stream.stats.replies + 1;
+            Engine.Metrics.Counter.inc replies_c;
             stream.stats.rtt_sum_us <-
               stream.stats.rtt_sum_us
               + Engine.Time.to_us (Engine.Time.diff (Engine.Sim.now sim) t0)
@@ -147,10 +161,11 @@ let start_stream network ~src ~dst ~interval ~count =
       | Net.Packet.Payload _ -> ());
   for i = 0 to count - 1 do
     ignore
-      (Engine.Sim.schedule_after sim
+      (Engine.Sim.schedule_after ~category:"monitor.probe" sim
          (Engine.Time.span_scale interval (float_of_int i))
          (fun () ->
            stream.stats.sent <- stream.stats.sent + 1;
+           Engine.Metrics.Counter.inc sent_c;
            stream.sent_at <- (i, Engine.Sim.now sim) :: stream.sent_at;
            Network.inject network ~src (Net.Packet.echo ~src:src_addr ~dst:dst_addr i)))
   done;

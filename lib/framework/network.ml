@@ -384,6 +384,34 @@ let create ?(config = Config.default) ~seed spec =
     }
   in
   t_ref := Some t;
+  (* Data-plane and trace health series, synced from their owners at
+     snapshot time (data_stats counts are monotonic, so exporting the
+     delta since the previous collect keeps counter semantics). *)
+  let m = Engine.Sim.metrics sim in
+  let fwd_c =
+    Engine.Metrics.counter m ~help:"data packets forwarded hop by hop"
+      "net_data_forwarded_total"
+  in
+  let dlv_c =
+    Engine.Metrics.counter m ~help:"data packets delivered to a local host"
+      "net_data_delivered_total"
+  in
+  let drp_c =
+    Engine.Metrics.counter m ~help:"data packets dropped (no route, TTL, dead link)"
+      "net_data_dropped_total"
+  in
+  let warn_g =
+    Engine.Metrics.gauge m ~help:"Warn-level trace records emitted" "trace_warn_records"
+  in
+  let exported = ref (0, 0, 0) in
+  Engine.Metrics.on_collect m (fun () ->
+      let f0, d0, r0 = !exported in
+      Engine.Metrics.Counter.add fwd_c (t.data_stats.forwarded - f0);
+      Engine.Metrics.Counter.add dlv_c (t.data_stats.delivered - d0);
+      Engine.Metrics.Counter.add drp_c (t.data_stats.dropped - r0);
+      exported := (t.data_stats.forwarded, t.data_stats.delivered, t.data_stats.dropped);
+      Engine.Metrics.Gauge.set warn_g
+        (float_of_int (Engine.Trace.warn_count (Engine.Sim.trace sim))));
   (* Message handlers. *)
   Net.Asn.Map.iter
     (fun asn router ->

@@ -1,0 +1,243 @@
+(* Exportable convergence timelines.
+
+   A sink couples a periodic Engine.Sampler to an output file: every
+   sampling interval of *simulated* time it snapshots the sim's whole
+   metrics registry, and [finish] appends a final snapshot (the settled
+   state) and writes the file in the format implied by its extension.
+   Because snapshots contain only simulated-time-driven series (wall-clock
+   profiling lives outside the registry), identical seeds produce
+   byte-identical files. *)
+
+type format = Prometheus | Jsonl | Csv
+
+let format_to_string = function
+  | Prometheus -> "prometheus"
+  | Jsonl -> "jsonl"
+  | Csv -> "csv"
+
+let format_of_path path =
+  match String.rindex_opt path '.' with
+  | None -> Jsonl
+  | Some i -> (
+    match String.lowercase_ascii (String.sub path (i + 1) (String.length path - i - 1)) with
+    | "prom" | "txt" -> Prometheus
+    | "csv" -> Csv
+    | _ -> Jsonl)
+
+type t = {
+  sim : Engine.Sim.t;
+  path : string;
+  format : format;
+  mutable snapshots : Engine.Metrics.snapshot list; (* newest first *)
+  mutable sampler : Engine.Sampler.t option;
+  mutable finished : bool;
+}
+
+let default_interval = Engine.Time.sec 1
+
+let create ?(interval = default_interval) ~sim ~path () =
+  let t =
+    {
+      sim;
+      path;
+      format = format_of_path path;
+      snapshots = [];
+      sampler = None;
+      finished = false;
+    }
+  in
+  t.sampler <-
+    Some
+      (Engine.Sampler.start sim ~interval ~on_sample:(fun snap ->
+           t.snapshots <- snap :: t.snapshots));
+  t
+
+let snapshots t = List.rev t.snapshots
+
+let render t =
+  let snaps = snapshots t in
+  match t.format with
+  (* Exposition format is point-in-time: export the final state only. *)
+  | Prometheus -> (
+    match List.rev snaps with
+    | last :: _ -> Engine.Metrics.to_prometheus last
+    | [] -> "")
+  | Jsonl -> String.concat "" (List.map Engine.Metrics.to_jsonl snaps)
+  | Csv ->
+    Engine.Metrics.csv_header
+    ^ String.concat "" (List.map (Engine.Metrics.to_csv ~header:false) snaps)
+
+(* Take the final snapshot, write the file, and stop sampling.  Returns
+   the number of snapshots written.  Idempotent: later calls rewrite the
+   same content. *)
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    Option.iter Engine.Sampler.stop t.sampler;
+    let final =
+      Engine.Metrics.snapshot (Engine.Sim.metrics t.sim) ~at:(Engine.Sim.now t.sim)
+    in
+    (* Skip the duplicate when the last periodic sample already landed on
+       the final instant. *)
+    (match t.snapshots with
+    | last :: _ when Engine.Time.equal last.Engine.Metrics.at final.Engine.Metrics.at -> ()
+    | _ -> t.snapshots <- final :: t.snapshots)
+  end;
+  let oc = open_out t.path in
+  output_string oc (render t);
+  close_out oc;
+  List.length t.snapshots
+
+(* --- Validation ----------------------------------------------------------
+   Self-contained checks used by `hybridsim metrics --check` and the smoke
+   target, so emitted files are verified without external tooling. *)
+
+(* Minimal JSON syntax checker (values, objects, arrays; no number
+   pedantry beyond the grammar we emit). *)
+let json_valid line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let fail = ref false in
+  let expect c = match peek () with Some x when x = c -> advance () | _ -> fail := true in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_string () =
+    expect '"';
+    let rec chars () =
+      if !fail then ()
+      else
+        match peek () with
+        | None -> fail := true
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance ();
+            chars ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail := true
+            done;
+            chars ()
+          | _ -> fail := true)
+        | Some _ ->
+          advance ();
+          chars ()
+    in
+    chars ()
+  in
+  let parse_number () =
+    let any = ref false in
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+        any := true;
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if not !any then fail := true
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let rec parse_value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '"' -> parse_string ()
+      | Some '{' -> parse_object ()
+      | Some '[' -> parse_array ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | _ -> fail := true
+    end;
+    skip_ws ()
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        parse_string ();
+        skip_ws ();
+        expect ':';
+        parse_value ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | _ -> expect '}'
+      in
+      members ()
+    end
+  and parse_array () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let rec elems () =
+        parse_value ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elems ()
+        | _ -> expect ']'
+      in
+      elems ()
+    end
+  in
+  parse_value ();
+  (not !fail) && !pos = len
+
+let non_empty_lines text =
+  String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+
+(* Validate [text] as [format]; [Ok n] reports the number of samples (or
+   rows) checked. *)
+let validate format text =
+  match format with
+  | Prometheus ->
+    Result.map List.length (Engine.Metrics.parse_prometheus text)
+  | Jsonl ->
+    let lines = non_empty_lines text in
+    let rec check i = function
+      | [] -> Ok (List.length lines)
+      | l :: rest ->
+        if not (json_valid (String.trim l)) then
+          Error (Fmt.str "line %d: invalid JSON" i)
+        else if not (String.length l >= 2 && l.[0] = '{') then
+          Error (Fmt.str "line %d: not a JSON object" i)
+        else check (i + 1) rest
+    in
+    check 1 lines
+  | Csv -> (
+    match non_empty_lines text with
+    | [] -> Error "empty file"
+    | header :: rows ->
+      if header ^ "\n" <> Engine.Metrics.csv_header then
+        Error (Fmt.str "unexpected header %S" header)
+      else Ok (List.length rows))
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  validate (format_of_path path) text

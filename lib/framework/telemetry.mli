@@ -1,0 +1,38 @@
+(** Exportable convergence timelines: a periodic {!Engine.Sampler} feeding
+    a metrics file in Prometheus, JSONL or CSV format.
+
+    Snapshots are driven purely by simulated time, so identical seeds
+    produce byte-identical export files. *)
+
+type format = Prometheus | Jsonl | Csv
+
+val format_to_string : format -> string
+
+val format_of_path : string -> format
+(** By extension: [.prom]/[.txt] → Prometheus, [.csv] → CSV, anything
+    else → JSONL. *)
+
+type t
+
+val default_interval : Engine.Time.span
+(** One simulated second. *)
+
+val create : ?interval:Engine.Time.span -> sim:Engine.Sim.t -> path:string -> unit -> t
+(** Start sampling [sim]'s registry every [interval] of simulated time.
+    Nothing is written until {!finish}. *)
+
+val snapshots : t -> Engine.Metrics.snapshot list
+(** Collected so far, oldest first. *)
+
+val finish : t -> int
+(** Stop sampling, append a final snapshot of the settled state, write the
+    file and return the number of snapshots it holds.  Prometheus output
+    contains only the final snapshot (exposition format is point-in-time);
+    JSONL and CSV contain the whole timeline. *)
+
+val validate : format -> string -> (int, string) result
+(** Check [text] parses as [format]; [Ok n] is the number of samples
+    (Prometheus), lines (JSONL) or rows (CSV) checked. *)
+
+val validate_file : string -> (int, string) result
+(** {!validate} on a file's contents, format inferred from its path. *)

@@ -23,9 +23,13 @@ type 'a t = {
   links : (Link.id, Link.t) Hashtbl.t;
   by_pair : (int * int, Link.id) Hashtbl.t;
   mutable next_link_id : int;
+  sent_c : Engine.Metrics.Counter.t;
+  delivered_c : Engine.Metrics.Counter.t;
+  dropped_c : Engine.Metrics.Counter.t;
 }
 
 let create sim =
+  let m = Engine.Sim.metrics sim in
   {
     sim;
     rng = Engine.Rng.split (Engine.Sim.rng sim);
@@ -33,6 +37,15 @@ let create sim =
     links = Hashtbl.create 64;
     by_pair = Hashtbl.create 64;
     next_link_id = 0;
+    sent_c =
+      Engine.Metrics.counter m ~help:"messages accepted onto a link" "net_messages_sent_total";
+    delivered_c =
+      Engine.Metrics.counter m ~help:"messages handed to a receiver"
+        "net_messages_delivered_total";
+    dropped_c =
+      Engine.Metrics.counter m
+        ~help:"messages lost to link failure, loss, queue overflow or no handler"
+        "net_messages_dropped_total";
   }
 
 let sim t = t.sim
@@ -116,15 +129,20 @@ let recover_link_between t u v =
     true
   | None -> false
 
+let drop t link =
+  Link.note_dropped link;
+  Engine.Metrics.Counter.inc t.dropped_c
+
 let deliver t link ~src ~dst payload () =
-  if not (Link.is_up link) then Link.note_dropped link
+  if not (Link.is_up link) then drop t link
   else if Link.loss link > 0.0 && Engine.Rng.chance t.rng (Link.loss link) then
-    Link.note_dropped link
+    drop t link
   else begin
     match (node t dst).handler with
-    | None -> Link.note_dropped link
+    | None -> drop t link
     | Some h ->
       Link.note_delivered link;
+      Engine.Metrics.Counter.inc t.delivered_c;
       h ~from:src payload
   end
 
@@ -138,10 +156,13 @@ let send ?(size_bits = 8 * 64) t ~src ~dst payload =
   | Some link -> (
     match Link.admit link ~now:(Engine.Sim.now t.sim) ~dst ~size_bits with
     | None ->
-      Link.note_dropped link;
+      drop t link;
       true (* accepted by the sender, lost in the queue *)
     | Some delivery_at ->
-      ignore (Engine.Sim.schedule_at t.sim delivery_at (deliver t link ~src ~dst payload));
+      Engine.Metrics.Counter.inc t.sent_c;
+      ignore
+        (Engine.Sim.schedule_at ~category:"net.deliver" t.sim delivery_at
+           (deliver t link ~src ~dst payload));
       true)
 
 (* Current topology restricted to links that are up. *)

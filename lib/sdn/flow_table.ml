@@ -2,9 +2,33 @@
    priorities the longest prefix wins (the compiler sets priority = prefix
    length, so both tie-breaks agree). *)
 
-type t = { mutable rules : Flow.rule list; mutable misses : int }
+type t = {
+  mutable rules : Flow.rule list;
+  mutable misses : int;
+  misses_c : Engine.Metrics.Counter.t option;
+}
 
-let create () = { rules = []; misses = 0 }
+(* [metrics]/[labels] are optional so tables can exist outside a simulation
+   (tests, offline compilation); when given, misses become a labeled counter
+   and occupancy a pull-style gauge synced at snapshot time. *)
+let create ?metrics ?(labels = []) () =
+  let misses_c =
+    Option.map
+      (fun m ->
+        Engine.Metrics.counter m ~help:"lookups that matched no rule" ~labels
+          "sdn_flow_table_misses_total")
+      metrics
+  in
+  let t = { rules = []; misses = 0; misses_c } in
+  Option.iter
+    (fun m ->
+      let g =
+        Engine.Metrics.gauge m ~help:"installed flow rules" ~labels "sdn_flow_table_rules"
+      in
+      Engine.Metrics.on_collect m (fun () ->
+          Engine.Metrics.Gauge.set g (float_of_int (List.length t.rules))))
+    metrics;
+  t
 
 let rules t = t.rules
 
@@ -43,6 +67,7 @@ let lookup t addr =
   match candidates with
   | [] ->
     t.misses <- t.misses + 1;
+    Option.iter Engine.Metrics.Counter.inc t.misses_c;
     None
   | first :: rest ->
     let best = List.fold_left (fun acc r -> if better r acc then r else acc) first rest in

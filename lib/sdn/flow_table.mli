@@ -2,7 +2,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Engine.Metrics.t -> ?labels:Engine.Metrics.labels -> unit -> t
+(** When [metrics] is given, misses are exported as
+    [sdn_flow_table_misses_total] and occupancy as the [sdn_flow_table_rules]
+    gauge, both carrying [labels]. *)
 
 val rules : t -> Flow.rule list
 

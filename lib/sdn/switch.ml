@@ -39,7 +39,10 @@ let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~n
     sim;
     asn;
     node_id;
-    table = Flow_table.create ();
+    table =
+      Flow_table.create ~metrics:(Engine.Sim.metrics sim)
+        ~labels:[ ("node", Net.Asn.to_string asn) ]
+        ();
     send_control;
     send_data;
     send_bgp;
@@ -81,7 +84,7 @@ let arm_timeouts t (rule : Flow.rule) =
   Option.iter
     (fun span ->
       ignore
-        (Engine.Sim.schedule_after t.sim span (fun () ->
+        (Engine.Sim.schedule_after ~category:"sdn.timeout" t.sim span (fun () ->
              expire t rule Openflow.Hard_timeout)))
     rule.Flow.hard_timeout;
   Option.iter
@@ -91,10 +94,11 @@ let arm_timeouts t (rule : Flow.rule) =
           let idle_deadline = Engine.Time.add rule.Flow.last_used span in
           if Engine.Time.(idle_deadline <= Engine.Sim.now t.sim) then
             expire t rule Openflow.Idle_timeout
-          else ignore (Engine.Sim.schedule_at t.sim idle_deadline check)
+          else
+            ignore (Engine.Sim.schedule_at ~category:"sdn.timeout" t.sim idle_deadline check)
         end
       in
-      ignore (Engine.Sim.schedule_after t.sim span check))
+      ignore (Engine.Sim.schedule_after ~category:"sdn.timeout" t.sim span check))
     rule.Flow.idle_timeout
 
 let handle_data t ~from (packet : Net.Packet.t) =

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repo-wide check: format (if ocamlformat is available), build, unit
+# tests, and the end-to-end metrics smoke run.  Exits non-zero on the
+# first failure.  Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "format"
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ocamlformat not installed — skipping format check"
+fi
+
+step "build"
+dune build
+
+step "unit tests"
+dune runtest
+
+step "smoke (instrumented run + metrics validation)"
+dune build @smoke
+
+printf '\nall checks passed\n'

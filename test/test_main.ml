@@ -8,6 +8,7 @@ let () =
       ("engine.rng", Test_rng.suite);
       ("engine.stats", Test_stats.suite);
       ("engine.sim", Test_sim.suite);
+      ("engine.metrics", Test_metrics.suite);
       ("net.ipv4", Test_ipv4.suite);
       ("net.graph", Test_graph.suite);
       ("net.fib", Test_fib.suite);

@@ -43,7 +43,8 @@ let test_ascii_boxplot () =
     List.map
       (fun s ->
         { Framework.Experiments.seconds = s; changes = 1; collector_updates = 1;
-          restore_mean = nan; restore_max = nan })
+          restore_mean = nan; restore_max = nan;
+          metrics = { Engine.Metrics.at = Engine.Time.zero; samples = [] } })
   in
   let point x secs =
     {
