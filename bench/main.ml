@@ -17,9 +17,219 @@
      MICRO           Bechamel micro-benchmarks
 
    `dune exec bench/main.exe -- --quick` runs a reduced sweep.
+   `--out FILE` additionally writes a machine-readable JSON baseline
+   (per-section wall-clock, FIG2 medians, headline counters, Bechamel
+   micro results) so successive PRs can diff perf against each other;
+   `--check FILE` validates such a baseline and exits.
    `--metrics-out FILE` exports the TELEMETRY run's timeline (format by
    extension: .prom/.txt Prometheus, .csv CSV, else JSONL);
    `--metrics-interval S` sets its sampling period in simulated seconds. *)
+
+(* Minimal JSON value + writer + parser: just enough to emit the bench
+   baseline and validate it back (`--check`) without a json dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let num v = if Float.is_nan v then Null else Num v
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Num v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" v)
+      else Buffer.add_string b (Printf.sprintf "%.9g" v)
+    | Str s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+    | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          emit b (Str k);
+          Buffer.add_string b ": ";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    emit b t;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' ->
+            incr pos;
+            Buffer.contents b
+          | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?' (* placeholder: validation only *)
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4
+            | _ -> fail "bad escape");
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+end
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -32,6 +242,62 @@ let flag_value name =
   find 1
 
 let metrics_out = flag_value "--metrics-out"
+
+let out_path = flag_value "--out"
+
+let check_path = flag_value "--check"
+
+(* Per-section wall-clock, accumulated in run order for the JSON baseline. *)
+let sections_wall : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  sections_wall := (name, Unix.gettimeofday () -. t0) :: !sections_wall;
+  r
+
+(* `--check FILE`: validate a previously written baseline and exit.  Keeps
+   the CI smoke alias honest — the emitted file must parse and carry the
+   sections/micro/meta payload a later PR would diff against. *)
+let check_baseline path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail msg =
+    Fmt.epr "%s: %s@." path msg;
+    exit 1
+  in
+  let json =
+    match Json.parse contents with
+    | v -> v
+    | exception Json.Parse_error msg -> fail ("invalid JSON: " ^ msg)
+  in
+  let top = match json with Json.Obj kvs -> kvs | _ -> fail "top level is not an object" in
+  let field name =
+    match List.assoc_opt name top with
+    | Some v -> v
+    | None -> fail (Fmt.str "missing %S field" name)
+  in
+  (match field "meta" with Json.Obj (_ :: _) -> () | _ -> fail "\"meta\" is not a non-empty object");
+  let nonempty_arr name =
+    match field name with
+    | Json.Arr (_ :: _ as items) ->
+      List.iter
+        (function Json.Obj _ -> () | _ -> fail (Fmt.str "%S entry is not an object" name))
+        items;
+      List.length items
+    | _ -> fail (Fmt.str "%S is not a non-empty array" name)
+  in
+  let nsections = nonempty_arr "sections" in
+  let nmicro = nonempty_arr "micro" in
+  (match field "headline" with Json.Obj _ -> () | _ -> fail "\"headline\" is not an object");
+  Fmt.pr "%s: ok (%d sections, %d micro benchmarks)@." path nsections nmicro;
+  exit 0
+
+let () = Option.iter check_baseline check_path
 
 let metrics_interval =
   match flag_value "--metrics-interval" with
@@ -275,25 +541,25 @@ let telemetry () =
     Framework.Experiment.measure exp ~prefix (fun () ->
         ignore (Framework.Experiment.withdraw exp origin))
   in
-  Fmt.pr "clique:%d sdn:%d withdrawal Tdown = %.2f s@." n sdn
-    (Framework.Experiment.convergence_seconds m);
+  let tdown = Framework.Experiment.convergence_seconds m in
+  Fmt.pr "clique:%d sdn:%d withdrawal Tdown = %.2f s@." n sdn tdown;
   let snap = Framework.Experiment.final_metrics exp in
-  let headline name =
-    match Engine.Metrics.value snap name with
-    | Some v -> Fmt.pr "%-32s %10.0f@." name v
-    | None -> ()
+  let headline =
+    List.filter_map
+      (fun name -> Option.map (fun v -> (name, v)) (Engine.Metrics.value snap name))
+      [ "controller_recompute_total"; "controller_recompute_skipped_total";
+        "controller_flow_mods_total"; "controller_updates_in_total";
+        "bgp_mrai_deferrals_total"; "net_messages_delivered_total" ]
   in
-  List.iter headline
-    [ "controller_recompute_total"; "controller_flow_mods_total";
-      "controller_updates_in_total"; "bgp_mrai_deferrals_total";
-      "net_messages_delivered_total" ];
+  List.iter (fun (name, v) -> Fmt.pr "%-32s %10.0f@." name v) headline;
   Fmt.pr "@.scheduler wall-clock self-profile (host time, varies run to run):@.";
   Fmt.pr "%a@." Engine.Sim.pp_profile sim;
   Option.iter
     (fun sink ->
       let count = Framework.Telemetry.finish sink in
       Fmt.pr "metrics: %d snapshots written to %s@." count (Option.get metrics_out))
-    sink
+    sink;
+  (tdown, headline)
 
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -446,25 +712,86 @@ let micro () =
         else Fmt.str "%.0f ns" ns
       in
       Fmt.pr "%-40s %14s %8.3f@." name time r2)
-    rows
+    rows;
+  rows
+
+(* --- machine-readable baseline ------------------------------------------ *)
+
+let series_medians (s : Framework.Experiments.series) =
+  List.map
+    (fun (p : Framework.Experiments.point) ->
+      let med =
+        Engine.Stats.median
+          (List.map (fun r -> r.Framework.Experiments.seconds) p.Framework.Experiments.results)
+      in
+      (p.Framework.Experiments.x, med))
+    s.Framework.Experiments.points
+
+let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows =
+  let json =
+    Json.Obj
+      [
+        ( "meta",
+          Json.Obj
+            [
+              ("bench", Json.Str "hybridsdn");
+              ("quick", Json.Bool quick);
+              ("n", Json.Num (float_of_int n));
+              ("runs", Json.Num (float_of_int runs));
+            ] );
+        ( "sections",
+          Json.Arr
+            (List.rev_map
+               (fun (name, wall) ->
+                 Json.Obj [ ("name", Json.Str name); ("wall_s", Json.num wall) ])
+               !sections_wall) );
+        ( "fig2",
+          Json.Arr
+            (List.map
+               (fun (x, med) ->
+                 Json.Obj [ ("sdn", Json.num x); ("tdown_median_s", Json.num med) ])
+               (series_medians fig2_series)) );
+        ( "headline",
+          Json.Obj
+            (("telemetry_tdown_s", Json.num telemetry_tdown)
+            :: List.map (fun (name, v) -> (name, Json.num v)) headline) );
+        ( "micro",
+          Json.Arr
+            (List.map
+               (fun (name, ns, r2) ->
+                 Json.Obj
+                   [ ("name", Json.Str name); ("ns_per_run", Json.num ns); ("r2", Json.num r2) ])
+               micro_rows) );
+      ]
+  in
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "" && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "baseline written to %s@." path
 
 let () =
   Fmt.pr "hybridsdn bench harness (n=%d, runs=%d%s)@." n runs (if quick then ", quick" else "");
-  let fig2_series = fig2 () in
-  rounds ();
-  ignore (announce ());
-  ignore (failover ());
-  ablation_delay ();
-  ablation_mrai ();
-  ablation_wrate ();
-  ablation_speaker_mrai ();
-  ablation_damping ();
-  scaling ();
-  placement ();
-  churn_load ();
-  table_size ();
-  subcluster ();
-  churn fig2_series;
-  telemetry ();
-  micro ();
+  let fig2_series = timed "fig2" fig2 in
+  timed "rounds" rounds;
+  ignore (timed "announce" announce);
+  ignore (timed "failover" failover);
+  timed "ablation_delay" ablation_delay;
+  timed "ablation_mrai" ablation_mrai;
+  timed "ablation_wrate" ablation_wrate;
+  timed "ablation_speaker_mrai" ablation_speaker_mrai;
+  timed "ablation_damping" ablation_damping;
+  timed "scaling" scaling;
+  timed "placement" placement;
+  timed "churn_load" churn_load;
+  timed "table_size" table_size;
+  timed "subcluster" subcluster;
+  timed "churn" (fun () -> churn fig2_series);
+  let telemetry_tdown, headline = timed "telemetry" telemetry in
+  let micro_rows = timed "micro" micro in
+  Option.iter
+    (fun path -> write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows)
+    out_path;
   Fmt.pr "@.done.@."

@@ -19,27 +19,26 @@ let neighbor_key r =
   | Route.Local -> -1
   | Route.Ebgp p -> Net.Asn.to_int p
 
+(* Straight-line comparisons: this is the single hottest comparator in the
+   emulation (every decision-process run calls it per candidate pair), so
+   it must not allocate — no closure lists, each step evaluated only when
+   the previous ones tie. *)
 let compare (a : Route.t) (b : Route.t) =
-  let cmp =
-    [
-      (fun () -> Int.compare (Route.attrs b).Attrs.local_pref (Route.attrs a).Attrs.local_pref);
-      (fun () -> Int.compare (source_rank a) (source_rank b));
-      (fun () -> Int.compare (Attrs.path_length (Route.attrs a)) (Attrs.path_length (Route.attrs b)));
-      (fun () ->
-        Int.compare
-          (Attrs.origin_rank (Route.attrs a).Attrs.origin)
-          (Attrs.origin_rank (Route.attrs b).Attrs.origin));
-      (fun () -> Int.compare (Route.attrs a).Attrs.med (Route.attrs b).Attrs.med);
-      (fun () -> Int.compare (neighbor_key a) (neighbor_key b));
-    ]
-  in
-  let rec eval = function
-    | [] -> 0
-    | f :: rest ->
-      let c = f () in
-      if c <> 0 then c else eval rest
-  in
-  eval cmp
+  let aa = Route.attrs a and ba = Route.attrs b in
+  let c = Int.compare ba.Attrs.local_pref aa.Attrs.local_pref in
+  if c <> 0 then c
+  else
+    let c = Int.compare (source_rank a) (source_rank b) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Attrs.path_length aa) (Attrs.path_length ba) in
+      if c <> 0 then c
+      else
+        let c = Int.compare (Attrs.origin_rank aa.Attrs.origin) (Attrs.origin_rank ba.Attrs.origin) in
+        if c <> 0 then c
+        else
+          let c = Int.compare aa.Attrs.med ba.Attrs.med in
+          if c <> 0 then c else Int.compare (neighbor_key a) (neighbor_key b)
 
 let better a b = compare a b < 0
 

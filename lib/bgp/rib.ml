@@ -8,28 +8,54 @@
 module Pm = Net.Ipv4.Prefix_map
 
 module Adj_in = struct
-  type t = { mutable by_peer : Route.t Pm.t Net.Asn.Map.t }
+  (* Two views of the same routes.  The peer-major view serves session
+     maintenance ([drop_peer], [prefixes_from]); the prefix-major view
+     makes [candidates] — run on every decision process — a single map
+     lookup instead of a fold over every peer's whole prefix map.  Both
+     are updated together; [count] tracks the total so [size] is O(1). *)
+  type t = {
+    mutable by_peer : Route.t Pm.t Net.Asn.Map.t;
+    mutable by_prefix : Route.t Net.Asn.Map.t Pm.t;
+    mutable count : int;
+  }
 
-  let create () = { by_peer = Net.Asn.Map.empty }
+  let create () = { by_peer = Net.Asn.Map.empty; by_prefix = Pm.empty; count = 0 }
 
   let set t ~peer (route : Route.t) =
+    let prefix = Route.prefix route in
     let m = Option.value (Net.Asn.Map.find_opt peer t.by_peer) ~default:Pm.empty in
-    t.by_peer <- Net.Asn.Map.add peer (Pm.add (Route.prefix route) route m) t.by_peer
+    if not (Pm.mem prefix m) then t.count <- t.count + 1;
+    t.by_peer <- Net.Asn.Map.add peer (Pm.add prefix route m) t.by_peer;
+    let pm = Option.value (Pm.find_opt prefix t.by_prefix) ~default:Net.Asn.Map.empty in
+    t.by_prefix <- Pm.add prefix (Net.Asn.Map.add peer route pm) t.by_prefix
+
+  let remove_from_prefix t ~peer prefix =
+    match Pm.find_opt prefix t.by_prefix with
+    | None -> ()
+    | Some pm ->
+      let pm = Net.Asn.Map.remove peer pm in
+      t.by_prefix <-
+        (if Net.Asn.Map.is_empty pm then Pm.remove prefix t.by_prefix
+         else Pm.add prefix pm t.by_prefix)
 
   let remove t ~peer prefix =
     match Net.Asn.Map.find_opt peer t.by_peer with
     | None -> ()
-    | Some m -> t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer
+    | Some m ->
+      if Pm.mem prefix m then begin
+        t.count <- t.count - 1;
+        t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer;
+        remove_from_prefix t ~peer prefix
+      end
 
   let find t ~peer prefix =
     Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pm.find_opt prefix)
 
   (* All routes for a prefix across peers, in ascending peer order. *)
   let candidates t prefix =
-    Net.Asn.Map.fold
-      (fun _ m acc -> match Pm.find_opt prefix m with Some r -> r :: acc | None -> acc)
-      t.by_peer []
-    |> List.rev
+    match Pm.find_opt prefix t.by_prefix with
+    | None -> []
+    | Some pm -> Net.Asn.Map.fold (fun _ r acc -> r :: acc) pm [] |> List.rev
 
   let prefixes_from t ~peer =
     match Net.Asn.Map.find_opt peer t.by_peer with
@@ -39,15 +65,13 @@ module Adj_in = struct
   let drop_peer t ~peer =
     let dropped = prefixes_from t ~peer in
     t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
+    List.iter (fun prefix -> remove_from_prefix t ~peer prefix) dropped;
+    t.count <- t.count - List.length dropped;
     dropped
 
-  let all_prefixes t =
-    Net.Asn.Map.fold
-      (fun _ m acc -> Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) m acc)
-      t.by_peer Net.Ipv4.Prefix_set.empty
-    |> Net.Ipv4.Prefix_set.elements
+  let all_prefixes t = Pm.fold (fun p _ acc -> p :: acc) t.by_prefix [] |> List.rev
 
-  let size t = Net.Asn.Map.fold (fun _ m acc -> acc + Pm.cardinal m) t.by_peer 0
+  let size t = t.count
 end
 
 module Loc = struct

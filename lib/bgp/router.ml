@@ -61,7 +61,7 @@ type t = {
   damping : Damping.t option;
   stats : stats;
   tm : telemetry;
-  mutable on_best_change : (Net.Ipv4.prefix -> Route.t option -> unit) list;
+  mutable on_best_change : (Net.Ipv4.prefix -> Route.t option -> unit) array;
 }
 
 let name t = Net.Asn.to_string t.asn
@@ -114,7 +114,7 @@ let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
           best_changes = 0;
         };
       tm;
-      on_best_change = [];
+      on_best_change = [||];
     }
   in
   let loc_gauge =
@@ -136,7 +136,10 @@ let router_id t = t.router_id
 
 let stats t = t.stats
 
-let subscribe_best_change t f = t.on_best_change <- t.on_best_change @ [ f ]
+(* Rebuild-on-subscribe (rare) so notification (hot, every best-path
+   change) is a plain array iteration — never the quadratic
+   [subscribers @ [f]] append. *)
+let subscribe_best_change t f = t.on_best_change <- Array.append t.on_best_change [| f |]
 
 let find_peer t peer_asn = Net.Asn.Map.find_opt peer_asn t.peers
 
@@ -288,7 +291,7 @@ let run_decision t prefix =
       log t "bestpath %a -> unreachable" Net.Ipv4.pp_prefix prefix);
     t.stats.best_changes <- t.stats.best_changes + 1;
     Engine.Metrics.Counter.inc t.tm.best_changes_c;
-    List.iter (fun f -> f prefix best) t.on_best_change;
+    Array.iter (fun f -> f prefix best) t.on_best_change;
     export_all_peers t prefix best
   end
 

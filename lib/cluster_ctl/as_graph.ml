@@ -66,7 +66,7 @@ let subcluster_table members switch_graph =
         incr next
       end)
     members;
-  fun asn -> Hashtbl.find_opt table (Net.Asn.to_int asn)
+  table
 
 (* Split an AS path at its first cluster member: [`External] when it never
    enters the cluster, [`Reenters (segment, c)] with the legacy segment
@@ -87,10 +87,56 @@ type edge_kind =
                   rel : Bgp.Policy.relationship }
   | K_local
 
-let compute ~members ~switch_graph ~(routes : exit_route list) ~originators () =
-  let subcluster_of = subcluster_table members switch_graph in
+(* Reusable working state for [compute].  A controller recomputing many
+   prefixes against the same switch graph reuses the edge/memo tables, the
+   reversed graph, the Dijkstra scratch, and — keyed on the switch graph's
+   version counter — the sub-cluster table, so a batch stops reallocating
+   (and stops rerunning [Net.Graph.components]) per prefix. *)
+type arena = {
+  a_edges : (int * int, float * edge_kind) Hashtbl.t;
+  a_reversed : Net.Graph.t;
+  a_memo : (int, Net.Asn.t list * Bgp.Policy.route_provenance) Hashtbl.t;
+  a_scratch : Net.Graph.scratch;
+  mutable a_subclusters : (Net.Graph.t * int * Net.Asn.Set.t * (int, int) Hashtbl.t) option;
+      (* switch graph (physical identity), its version and the member set
+         when the table was built, and the node -> sub-cluster id table *)
+}
+
+let create_arena () =
+  {
+    a_edges = Hashtbl.create 64;
+    a_reversed = Net.Graph.create ~directed:true ();
+    a_memo = Hashtbl.create 16;
+    a_scratch = Net.Graph.scratch ();
+    a_subclusters = None;
+  }
+
+let subcluster_lookup ?arena members switch_graph =
+  let table =
+    match arena with
+    | None -> subcluster_table members switch_graph
+    | Some a -> (
+      let v = Net.Graph.version switch_graph in
+      match a.a_subclusters with
+      | Some (g, v', ms, table) when g == switch_graph && v' = v && Net.Asn.Set.equal ms members
+        -> table
+      | Some _ | None ->
+        let table = subcluster_table members switch_graph in
+        a.a_subclusters <- Some (switch_graph, v, members, table);
+        table)
+  in
+  fun asn -> Hashtbl.find_opt table (Net.Asn.to_int asn)
+
+let compute ?arena ~members ~switch_graph ~(routes : exit_route list) ~originators () =
+  let subcluster_of = subcluster_lookup ?arena members switch_graph in
   (* Best candidate per directed edge, with the realizing kind. *)
-  let edges : (int * int, float * edge_kind) Hashtbl.t = Hashtbl.create 64 in
+  let edges : (int * int, float * edge_kind) Hashtbl.t =
+    match arena with
+    | Some a ->
+      Hashtbl.clear a.a_edges;
+      a.a_edges
+    | None -> Hashtbl.create 64
+  in
   let consider u v w kind =
     match Hashtbl.find_opt edges (u, v) with
     | Some (w', _) when w' <= w -> ()
@@ -129,13 +175,29 @@ let compute ~members ~switch_graph ~(routes : exit_route list) ~originators () =
     routes;
   (* Dijkstra from the destination over reversed edges: pred in the
      reversed run is each node's successor toward the destination. *)
-  let reversed = Net.Graph.create ~directed:true () in
+  let reversed =
+    match arena with
+    | Some a ->
+      Net.Graph.clear a.a_reversed;
+      a.a_reversed
+    | None -> Net.Graph.create ~directed:true ()
+  in
   Net.Graph.add_node reversed dest_id;
   Net.Asn.Set.iter (fun m -> Net.Graph.add_node reversed (Net.Asn.to_int m)) members;
   Hashtbl.iter (fun (u, v) (w, _) -> Net.Graph.add_edge ~w reversed v u) edges;
-  let dist, succ = Net.Graph.dijkstra reversed dest_id in
+  let dist, succ =
+    match arena with
+    | Some a -> Net.Graph.dijkstra_reuse a.a_scratch reversed dest_id
+    | None -> Net.Graph.dijkstra reversed dest_id
+  in
   (* Read decisions off the successor tree, memoizing AS paths. *)
-  let memo : (int, Net.Asn.t list * Bgp.Policy.route_provenance) Hashtbl.t = Hashtbl.create 16 in
+  let memo : (int, Net.Asn.t list * Bgp.Policy.route_provenance) Hashtbl.t =
+    match arena with
+    | Some a ->
+      Hashtbl.clear a.a_memo;
+      a.a_memo
+    | None -> Hashtbl.create 16
+  in
   let rec path_of m =
     match Hashtbl.find_opt memo m with
     | Some r -> r

@@ -29,7 +29,16 @@ val classify_path :
 (** Whether an AS path re-enters the cluster; if so, the legacy segment up
     to and including the first member, and that member. *)
 
+type arena
+(** Reusable working state for {!compute}: edge/memo tables, the reversed
+    graph, Dijkstra scratch, and the sub-cluster table cached on the
+    switch graph's {!Net.Graph.version}.  One arena serves any number of
+    sequential computations; results never alias arena storage. *)
+
+val create_arena : unit -> arena
+
 val compute :
+  ?arena:arena ->
   members:Net.Asn.Set.t ->
   switch_graph:Net.Graph.t ->
   routes:exit_route list ->

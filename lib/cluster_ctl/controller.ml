@@ -34,6 +34,7 @@ type stats = {
   mutable updates_in : int;
   mutable recompute_batches : int;
   mutable prefixes_recomputed : int;
+  mutable recompute_skipped : int;
   mutable flow_mods : int;
   mutable announces : int;
   mutable withdraws : int;
@@ -45,12 +46,38 @@ type telemetry = {
   updates_in_c : Engine.Metrics.Counter.t;
   recompute_c : Engine.Metrics.Counter.t;
   prefixes_recomputed_c : Engine.Metrics.Counter.t;
+  recompute_skipped_c : Engine.Metrics.Counter.t;
   dijkstra_runs_c : Engine.Metrics.Counter.t;
   flow_mods_c : Engine.Metrics.Counter.t;
   announce_c : Engine.Metrics.Counter.t;
   withdraw_c : Engine.Metrics.Counter.t;
   decision_changes_c : Engine.Metrics.Counter.t;
 }
+
+(* Everything [recompute_prefix] reads for one prefix.  When these match
+   the previous run's inputs, [As_graph.compute] — deterministic — would
+   reproduce the previous decisions, the flow diff would be empty and the
+   speaker would deduplicate every announcement, so the run is skipped
+   outright.  The RIB slice is kept in canonical (member, neighbor) order
+   by [upsert_route], so plain list equality is a faithful comparison. *)
+type fingerprint = {
+  fp_routes : As_graph.exit_route list;
+  fp_originators : Net.Asn.Set.t;
+  fp_graph_version : int;
+}
+
+let exit_route_equal (a : As_graph.exit_route) (b : As_graph.exit_route) =
+  Net.Asn.equal a.As_graph.member b.As_graph.member
+  && Net.Asn.equal a.As_graph.neighbor b.As_graph.neighbor
+  && a.As_graph.rel = b.As_graph.rel
+  && Bgp.Attrs.wire_equal a.As_graph.attrs b.As_graph.attrs
+  && a.As_graph.attrs.Bgp.Attrs.local_pref = b.As_graph.attrs.Bgp.Attrs.local_pref
+
+let fingerprint_equal a b =
+  a.fp_graph_version = b.fp_graph_version
+  && Net.Asn.Set.equal a.fp_originators b.fp_originators
+  && List.compare_lengths a.fp_routes b.fp_routes = 0
+  && List.for_all2 exit_route_equal a.fp_routes b.fp_routes
 
 type t = {
   sim : Engine.Sim.t;
@@ -63,13 +90,15 @@ type t = {
   addr_of_member : Net.Asn.t -> Net.Ipv4.addr;
   policy_of : member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Policy.t;
   switch_graph : Net.Graph.t;
+  arena : As_graph.arena;
   mutable rib : As_graph.exit_route list Pm.t;
   mutable originated : Net.Asn.Set.t Pm.t;
   mutable installed : Sdn.Flow.action Net.Asn.Map.t Pm.t;
   mutable decisions : As_graph.decision Net.Asn.Map.t Pm.t;
+  mutable fingerprints : fingerprint Pm.t;
   mutable recompute : Recompute.t option; (* set right after creation *)
   mutable on_decision_change :
-    (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) list;
+    (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) array;
   stats : stats;
   tm : telemetry;
 }
@@ -96,7 +125,10 @@ let known_prefixes t =
   let s = Pm.fold (fun p _ acc -> Net.Ipv4.Prefix_set.add p acc) t.decisions s in
   Net.Ipv4.Prefix_set.elements s
 
-let subscribe_decision_change t f = t.on_decision_change <- t.on_decision_change @ [ f ]
+(* Rebuild-on-subscribe (rare) so notification (hot) is a plain array
+   iteration — never the quadratic [subscribers @ [f]] pattern. *)
+let subscribe_decision_change t f =
+  t.on_decision_change <- Array.append t.on_decision_change [| f |]
 
 (* --- Announcement construction ---------------------------------------- *)
 
@@ -141,14 +173,29 @@ let sync_session t ~member ~neighbor prefix decision_map =
 (* --- Recomputation ------------------------------------------------------ *)
 
 let recompute_prefix t prefix =
+  let originators = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
+  let fp =
+    {
+      fp_routes = rib_routes t prefix;
+      fp_originators = originators;
+      fp_graph_version = Net.Graph.version t.switch_graph;
+    }
+  in
+  match Pm.find_opt prefix t.fingerprints with
+  | Some prev when fingerprint_equal prev fp ->
+    (* Unchanged inputs: the deterministic pipeline would reproduce the
+       previous decisions, flow rules and announcements verbatim. *)
+    t.stats.recompute_skipped <- t.stats.recompute_skipped + 1;
+    Engine.Metrics.Counter.inc t.tm.recompute_skipped_c
+  | Some _ | None ->
+  t.fingerprints <- Pm.add prefix fp t.fingerprints;
   t.stats.prefixes_recomputed <- t.stats.prefixes_recomputed + 1;
   Engine.Metrics.Counter.inc t.tm.prefixes_recomputed_c;
   (* As_graph.compute runs exactly one Dijkstra over the switch graph. *)
   Engine.Metrics.Counter.inc t.tm.dijkstra_runs_c;
-  let originators = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
   let desired =
-    As_graph.compute ~members:t.members ~switch_graph:t.switch_graph
-      ~routes:(rib_routes t prefix) ~originators ()
+    As_graph.compute ~arena:t.arena ~members:t.members ~switch_graph:t.switch_graph
+      ~routes:fp.fp_routes ~originators ()
   in
   (* Notify decision changes (convergence instrumentation). *)
   let previous = decisions_for t prefix in
@@ -170,7 +217,7 @@ let recompute_prefix t prefix =
         log t "decision %a %a: %a" Net.Ipv4.pp_prefix prefix Net.Asn.pp member
           (Fmt.option ~none:(Fmt.any "unreachable") As_graph.pp_decision)
           new_d;
-        List.iter (fun f -> f prefix member new_d) t.on_decision_change
+        Array.iter (fun f -> f prefix member new_d) t.on_decision_change
       end)
     t.members;
   t.decisions <- Pm.add prefix desired t.decisions;
@@ -339,7 +386,10 @@ let handle_packet_in t ~switch_asn ~in_port:_ (packet : Net.Packet.t) =
           let installed =
             Option.value (Pm.find_opt prefix t.installed) ~default:Net.Asn.Map.empty
           in
-          t.installed <- Pm.add prefix (Net.Asn.Map.add switch_asn action installed) t.installed
+          t.installed <- Pm.add prefix (Net.Asn.Map.add switch_asn action installed) t.installed;
+          (* [installed] changed outside recomputation: the next recompute
+             must not be skipped on stale inputs. *)
+          t.fingerprints <- Pm.remove prefix t.fingerprints
         end;
         ignore
           (t.send_switch ~member:switch_asn (Sdn.Openflow.Packet_out { out_port = port; packet }))
@@ -361,7 +411,10 @@ let handle_openflow t msg =
     let prefix = rule.Sdn.Flow.match_prefix in
     (match Pm.find_opt prefix t.installed with
     | Some installed ->
-      t.installed <- Pm.add prefix (Net.Asn.Map.remove switch_asn installed) t.installed
+      t.installed <- Pm.add prefix (Net.Asn.Map.remove switch_asn installed) t.installed;
+      (* The rule must be reinstallable by the next recomputation even if
+         its routing inputs are unchanged. *)
+      t.fingerprints <- Pm.remove prefix t.fingerprints
     | None -> ())
   | Sdn.Openflow.Bgp_relay _ | Sdn.Openflow.Packet_out _ | Sdn.Openflow.Flow_mod _ ->
     log t "unexpected openflow message: %a" Sdn.Openflow.pp msg
@@ -414,6 +467,9 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
       recompute_c = counter ~help:"batch recomputation runs" "controller_recompute_total";
       prefixes_recomputed_c =
         counter ~help:"per-prefix recomputations" "controller_prefixes_recomputed_total";
+      recompute_skipped_c =
+        counter ~help:"dirty prefixes skipped because their inputs were unchanged"
+          "controller_recompute_skipped_total";
       dijkstra_runs_c =
         counter ~help:"shortest-path runs over the switch graph"
           "controller_dijkstra_runs_total";
@@ -438,17 +494,20 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
       addr_of_member;
       policy_of;
       switch_graph;
+      arena = As_graph.create_arena ();
       rib = Pm.empty;
       originated = Pm.empty;
       installed = Pm.empty;
       decisions = Pm.empty;
+      fingerprints = Pm.empty;
       recompute = None;
-      on_decision_change = [];
+      on_decision_change = [||];
       stats =
         {
           updates_in = 0;
           recompute_batches = 0;
           prefixes_recomputed = 0;
+          recompute_skipped = 0;
           flow_mods = 0;
           announces = 0;
           withdraws = 0;

@@ -17,6 +17,10 @@ type stats = {
   mutable updates_in : int;
   mutable recompute_batches : int;
   mutable prefixes_recomputed : int;
+  mutable recompute_skipped : int;
+      (** dirty prefixes whose inputs (RIB slice, originators, switch-graph
+          version) were unchanged: the deterministic pipeline would have
+          reproduced the previous outputs, so the run was elided *)
   mutable flow_mods : int;
   mutable announces : int;
   mutable withdraws : int;

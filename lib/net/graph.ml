@@ -1,21 +1,45 @@
 (* Weighted graph over integer node ids.
 
    Used for physical topologies, the controller's switch graph and the
-   per-prefix AS topology graph.  Adjacency lists are kept sorted by node
-   id so traversal order — and therefore every algorithm built on top — is
-   deterministic. *)
+   per-prefix AS topology graph.  Adjacency is a map per node (so edge
+   insertion is O(log degree) — a clique no longer pays a quadratic
+   rebuild per node) with a memoized sorted neighbor list, so traversal
+   order — and therefore every algorithm built on top — stays
+   deterministic and hot loops still iterate a plain list.
 
-type t = {
-  adj : (int, (int * float) list) Hashtbl.t;
-  directed : bool;
-  mutable nedges : int;
+   Every structural mutation bumps [version]; callers that cache derived
+   structures (the controller's sub-cluster table) key them on it. *)
+
+module Int_map = Map.Make (Int)
+
+type entry = {
+  mutable out : float Int_map.t; (* neighbor -> weight *)
+  mutable sorted : (int * float) list option; (* memoized [Int_map.bindings out] *)
 }
 
-let create ?(directed = false) () = { adj = Hashtbl.create 64; directed; nedges = 0 }
+type t = {
+  adj : (int, entry) Hashtbl.t;
+  directed : bool;
+  mutable nedges : int;
+  mutable version : int;
+}
+
+let create ?(directed = false) () =
+  { adj = Hashtbl.create 64; directed; nedges = 0; version = 0 }
 
 let is_directed t = t.directed
 
-let add_node t v = if not (Hashtbl.mem t.adj v) then Hashtbl.replace t.adj v []
+let version t = t.version
+
+let touch t = t.version <- t.version + 1
+
+let fresh_entry () = { out = Int_map.empty; sorted = Some [] }
+
+let add_node t v =
+  if not (Hashtbl.mem t.adj v) then begin
+    Hashtbl.replace t.adj v (fresh_entry ());
+    touch t
+  end
 
 let mem_node t v = Hashtbl.mem t.adj v
 
@@ -26,52 +50,77 @@ let node_count t = Hashtbl.length t.adj
 
 let edge_count t = t.nedges
 
-let neighbors t v = match Hashtbl.find_opt t.adj v with None -> [] | Some l -> l
+let neighbors t v =
+  match Hashtbl.find_opt t.adj v with
+  | None -> []
+  | Some e -> (
+    match e.sorted with
+    | Some l -> l
+    | None ->
+      let l = Int_map.bindings e.out in
+      e.sorted <- Some l;
+      l)
 
 let succ t v = List.map fst (neighbors t v)
 
-let degree t v = List.length (neighbors t v)
+let degree t v =
+  match Hashtbl.find_opt t.adj v with None -> 0 | Some e -> Int_map.cardinal e.out
 
 let weight t u v =
-  List.find_map (fun (w, wt) -> if w = v then Some wt else None) (neighbors t u)
+  match Hashtbl.find_opt t.adj u with
+  | None -> None
+  | Some e -> Int_map.find_opt v e.out
 
 let mem_edge t u v = Option.is_some (weight t u v)
 
-(* Insert (v, w) into a sorted adjacency list, replacing any existing entry
-   for v.  Returns the new list and whether an entry existed. *)
-let rec insert_sorted v w = function
-  | [] -> ([ (v, w) ], false)
-  | (x, _) :: rest when x = v -> ((v, w) :: rest, true)
-  | (x, xw) :: rest when x < v ->
-    let rest', existed = insert_sorted v w rest in
-    ((x, xw) :: rest', existed)
-  | l -> ((v, w) :: l, false)
+let entry t v =
+  match Hashtbl.find_opt t.adj v with
+  | Some e -> e
+  | None ->
+    let e = fresh_entry () in
+    Hashtbl.replace t.adj v e;
+    e
 
+(* True when the half-edge is new or its weight changed. *)
 let add_half t u v w =
-  add_node t u;
-  add_node t v;
-  let l, existed = insert_sorted v w (neighbors t u) in
-  Hashtbl.replace t.adj u l;
-  existed
+  let e = entry t u in
+  ignore (entry t v);
+  match Int_map.find_opt v e.out with
+  | Some old when Float.equal old w -> false
+  | _ ->
+    e.out <- Int_map.add v w e.out;
+    e.sorted <- None;
+    true
 
 let add_edge ?(w = 1.0) t u v =
   if u = v then invalid_arg "Graph.add_edge: self-loop";
-  let existed = add_half t u v w in
-  if not t.directed then ignore (add_half t v u w);
-  if not existed then t.nedges <- t.nedges + 1
+  let existed = mem_edge t u v in
+  let changed = add_half t u v w in
+  let changed = (if not t.directed then add_half t v u w else false) || changed in
+  if not existed then t.nedges <- t.nedges + 1;
+  (* Re-adding an existing edge with its existing weight is a no-op and
+     keeps [version] stable, so redundant PORT_STATUS events stay
+     skippable for version-keyed caches. *)
+  if changed then touch t
 
 let remove_half t u v =
   match Hashtbl.find_opt t.adj u with
   | None -> false
-  | Some l ->
-    let l' = List.filter (fun (x, _) -> x <> v) l in
-    Hashtbl.replace t.adj u l';
-    List.length l' <> List.length l
+  | Some e ->
+    if Int_map.mem v e.out then begin
+      e.out <- Int_map.remove v e.out;
+      e.sorted <- None;
+      true
+    end
+    else false
 
 let remove_edge t u v =
   let existed = remove_half t u v in
   if not t.directed then ignore (remove_half t v u);
-  if existed then t.nedges <- t.nedges - 1
+  if existed then begin
+    t.nedges <- t.nedges - 1;
+    touch t
+  end
 
 let remove_node t v =
   if Hashtbl.mem t.adj v then begin
@@ -79,19 +128,27 @@ let remove_node t v =
     Hashtbl.remove t.adj v;
     let removed_in = ref 0 in
     Hashtbl.iter
-      (fun u l ->
-        let l' = List.filter (fun (x, _) -> x <> v) l in
-        if List.length l' <> List.length l then incr removed_in;
-        Hashtbl.replace t.adj u l')
+      (fun _ e ->
+        if Int_map.mem v e.out then begin
+          e.out <- Int_map.remove v e.out;
+          e.sorted <- None;
+          incr removed_in
+        end)
       t.adj;
     if t.directed then t.nedges <- t.nedges - out_degree - !removed_in
-    else t.nedges <- t.nedges - out_degree
+    else t.nedges <- t.nedges - out_degree;
+    touch t
   end
+
+let clear t =
+  Hashtbl.reset t.adj;
+  t.nedges <- 0;
+  touch t
 
 let edges t =
   let all =
     Hashtbl.fold
-      (fun u l acc -> List.fold_left (fun acc (v, w) -> (u, v, w) :: acc) acc l)
+      (fun u e acc -> Int_map.fold (fun v w acc -> (u, v, w) :: acc) e.out acc)
       t.adj []
   in
   let all = if t.directed then all else List.filter (fun (u, v, _) -> u < v) all in
@@ -99,19 +156,41 @@ let edges t =
 
 let copy t =
   let g = create ~directed:t.directed () in
-  Hashtbl.iter (fun v l -> Hashtbl.replace g.adj v l) t.adj;
+  Hashtbl.iter (fun v e -> Hashtbl.replace g.adj v { out = e.out; sorted = e.sorted }) t.adj;
   g.nedges <- t.nedges;
+  g.version <- t.version;
   g
 
-(* Dijkstra from [src]; infinite-distance nodes are absent from the result. *)
-let dijkstra t src =
-  let dist : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let pred : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let cmp (d1, s1, _) (d2, s2, _) =
-    let c = Float.compare d1 d2 in
-    if c <> 0 then c else Int.compare s1 s2
-  in
-  let heap = Engine.Heap.create ~dummy:(0.0, 0, 0) cmp in
+(* --- Dijkstra ----------------------------------------------------------- *)
+
+(* Heap elements are (distance, insertion sequence, node): the sequence
+   number makes pop order — and hence tie-breaking — deterministic. *)
+let heap_cmp (d1, s1, _) (d2, s2, _) =
+  let c = Float.compare d1 d2 in
+  if c <> 0 then c else Int.compare s1 s2
+
+(* Reusable state so per-prefix sweeps don't reallocate tables and heap
+   storage on every run (the controller's hottest loop). *)
+type scratch = {
+  s_dist : (int, float) Hashtbl.t;
+  s_pred : (int, int) Hashtbl.t;
+  s_heap : (float * int * int) Engine.Heap.t;
+}
+
+let scratch () =
+  {
+    s_dist = Hashtbl.create 64;
+    s_pred = Hashtbl.create 64;
+    s_heap = Engine.Heap.create ~dummy:(0.0, 0, 0) heap_cmp;
+  }
+
+(* Dijkstra from [src]; infinite-distance nodes are absent from the result.
+   The returned tables belong to [s] and are overwritten by its next use. *)
+let dijkstra_reuse s t src =
+  let dist = s.s_dist and pred = s.s_pred and heap = s.s_heap in
+  Hashtbl.clear dist;
+  Hashtbl.clear pred;
+  Engine.Heap.clear heap;
   let seq = ref 0 in
   let push d v =
     Engine.Heap.push heap (d, !seq, v);
@@ -144,6 +223,8 @@ let dijkstra t src =
   in
   loop ();
   (dist, pred)
+
+let dijkstra t src = dijkstra_reuse (scratch ()) t src
 
 let distance t src dst =
   let dist, _ = dijkstra t src in

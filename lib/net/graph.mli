@@ -8,6 +8,15 @@ val create : ?directed:bool -> unit -> t
 
 val is_directed : t -> bool
 
+val version : t -> int
+(** Monotone structural-mutation counter: bumped by every
+    [add_node]/[add_edge]/[remove_edge]/[remove_node]/[clear] that changes
+    the graph.  Cache derived structures keyed on it. *)
+
+val clear : t -> unit
+(** Remove every node and edge (bumps the version); the value stays
+    usable, so scratch graphs can be rebuilt without reallocating. *)
+
 val add_node : t -> int -> unit
 
 val mem_node : t -> int -> bool
@@ -46,6 +55,18 @@ val copy : t -> t
 val dijkstra : t -> int -> (int, float) Hashtbl.t * (int, int) Hashtbl.t
 (** [dijkstra t src] is [(dist, pred)]; unreachable nodes are absent.
     @raise Invalid_argument on negative edge weights. *)
+
+type scratch
+(** Reusable Dijkstra working state (distance/predecessor tables and the
+    priority queue), for callers that run many single-source computations
+    back to back — the controller's per-prefix sweep. *)
+
+val scratch : unit -> scratch
+
+val dijkstra_reuse : scratch -> t -> int -> (int, float) Hashtbl.t * (int, int) Hashtbl.t
+(** Like {!dijkstra} but allocation-lean: the returned tables belong to the
+    scratch and are overwritten by its next use — read them before running
+    again, or copy what must survive. *)
 
 val distance : t -> int -> int -> float option
 

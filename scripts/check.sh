@@ -24,4 +24,7 @@ dune runtest
 step "smoke (instrumented run + metrics validation)"
 dune build @smoke
 
+step "bench smoke (quick sweep + JSON baseline validation)"
+dune build @bench-smoke
+
 printf '\nall checks passed\n'

@@ -34,6 +34,7 @@ let () =
       ("cluster.speaker", Test_speaker.suite);
       ("cluster.reactive", Test_reactive.suite);
       ("cluster.controller", Test_controller.suite);
+      ("cluster.incremental", Test_incremental.suite);
       ("framework.addressing", Test_addressing.suite);
       ("framework.network", Test_network.suite);
       ("framework.convergence", Test_convergence.suite);
