@@ -8,6 +8,7 @@ type event = { time : Engine.Time.t; peer : Net.Asn.t; prefix : Net.Ipv4.prefix;
 
 type t = {
   sim : Engine.Sim.t;
+  node : Engine.Node.t;
   asn : Net.Asn.t;
   node_id : int;
   router_id : Net.Ipv4.addr;
@@ -17,19 +18,40 @@ type t = {
   mutable event_count : int;
 }
 
+type Engine.Node.blob += Collector_state of event list * int
+
 let create ~sim ~asn ~node_id ~router_id ~send =
-  {
-    sim;
-    asn;
-    node_id;
-    router_id;
-    send_raw = send;
-    peer_of_node = Hashtbl.create 16;
-    events = [];
-    event_count = 0;
-  }
+  let node = Engine.Node.create ~kind:"collector" sim ~name:"collector" in
+  let t =
+    {
+      sim;
+      node;
+      asn;
+      node_id;
+      router_id;
+      send_raw = send;
+      peer_of_node = Hashtbl.create 16;
+      events = [];
+      event_count = 0;
+    }
+  in
+  (* A crashed collector loses its event log — the monitoring feed has a
+     gap, like a real route collector outage. *)
+  Engine.Node.on_crash node (fun () ->
+      t.events <- [];
+      t.event_count <- 0);
+  Engine.Node.set_snapshot node (fun () -> Collector_state (t.events, t.event_count));
+  Engine.Node.set_restore node (function
+    | Collector_state (events, count) ->
+      t.events <- events;
+      t.event_count <- count
+    | _ -> invalid_arg "Collector.restore: foreign snapshot blob");
+  Engine.Node.start node;
+  t
 
 let asn t = t.asn
+
+let node t = t.node
 
 let node_id t = t.node_id
 

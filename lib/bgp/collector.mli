@@ -17,6 +17,10 @@ val create :
 
 val asn : t -> Net.Asn.t
 
+val node : t -> Engine.Node.t
+(** The runtime node; a crash loses the event log (a real collector
+    outage leaves the same gap in the monitoring feed). *)
+
 val node_id : t -> int
 
 val add_peer : t -> peer_asn:Net.Asn.t -> peer_node:int -> unit

@@ -98,3 +98,27 @@ let enqueue_withdraw t prefix =
 let reset t =
   t.pending <- Pm.empty;
   Engine.Timer.cancel t.timer
+
+(* Checkpointing.  The jitter stream position travels with the pending
+   set so a restored run draws the same MRAI intervals the original
+   would have. *)
+type state = {
+  s_pending : (Net.Ipv4.prefix * pending) list;
+  s_due : Engine.Time.t option;
+  s_rng : Engine.Rng.t;
+}
+
+let state t =
+  {
+    s_pending = Pm.bindings t.pending;
+    s_due = Engine.Timer.due t.timer;
+    s_rng = Engine.Rng.copy t.rng;
+  }
+
+let restore t st =
+  Engine.Rng.assign ~from:st.s_rng t.rng;
+  t.pending <-
+    List.fold_left (fun acc (prefix, p) -> Pm.add prefix p acc) Pm.empty st.s_pending;
+  match st.s_due with
+  | Some at -> Engine.Timer.start_at t.timer at
+  | None -> Engine.Timer.cancel t.timer

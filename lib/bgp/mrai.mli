@@ -29,3 +29,13 @@ val is_throttled : t -> bool
 
 val reset : t -> unit
 (** Drop pending changes and stop the timer (session reset). *)
+
+type state
+(** Opaque checkpoint of the pending set, armed expiry and jitter-stream
+    position. *)
+
+val state : t -> state
+
+val restore : t -> state -> unit
+(** Reinstall [state] into an instance created with the same config:
+    re-arms the timer at its recorded absolute expiry. *)

@@ -72,6 +72,17 @@ module Adj_in = struct
   let all_prefixes t = Pm.fold (fun p _ acc -> p :: acc) t.by_prefix [] |> List.rev
 
   let size t = t.count
+
+  let entries t =
+    Net.Asn.Map.fold
+      (fun peer m acc -> Pm.fold (fun _ r acc -> (peer, r) :: acc) m acc)
+      t.by_peer []
+    |> List.rev
+
+  let clear t =
+    t.by_peer <- Net.Asn.Map.empty;
+    t.by_prefix <- Pm.empty;
+    t.count <- 0
 end
 
 module Loc = struct
@@ -90,6 +101,8 @@ module Loc = struct
   let prefixes t = List.map fst (entries t)
 
   let size t = Pm.cardinal t.best
+
+  let clear t = t.best <- Pm.empty
 end
 
 module Adj_out = struct
@@ -120,4 +133,9 @@ module Adj_out = struct
     dropped
 
   let size t = Net.Asn.Map.fold (fun _ m acc -> acc + Pm.cardinal m) t.by_peer 0
+
+  let entries t =
+    Net.Asn.Map.bindings t.by_peer |> List.map (fun (peer, m) -> (peer, Pm.bindings m))
+
+  let clear t = t.by_peer <- Net.Asn.Map.empty
 end

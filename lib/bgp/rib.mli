@@ -24,6 +24,12 @@ module Adj_in : sig
   val all_prefixes : t -> Net.Ipv4.prefix list
 
   val size : t -> int
+
+  val entries : t -> (Net.Asn.t * Route.t) list
+  (** Every (peer, route) pair, ascending (peer, prefix) — the checkpoint
+      dump; replay through {!set} to rebuild. *)
+
+  val clear : t -> unit
 end
 
 module Loc : sig
@@ -42,6 +48,8 @@ module Loc : sig
   val prefixes : t -> Net.Ipv4.prefix list
 
   val size : t -> int
+
+  val clear : t -> unit
 end
 
 module Adj_out : sig
@@ -60,4 +68,9 @@ module Adj_out : sig
   val drop_peer : t -> peer:Net.Asn.t -> Net.Ipv4.prefix list
 
   val size : t -> int
+
+  val entries : t -> (Net.Asn.t * (Net.Ipv4.prefix * Attrs.t) list) list
+  (** Per-peer advertised sets, ascending peer order (checkpoint dump). *)
+
+  val clear : t -> unit
 end

@@ -45,6 +45,7 @@ type peer = {
 
 type t = {
   sim : Engine.Sim.t;
+  node : Engine.Node.t;
   rng : Engine.Rng.t;
   asn : Net.Asn.t;
   node_id : int;
@@ -58,6 +59,11 @@ type t = {
   adj_out : Rib.Adj_out.t;
   mutable originated : Attrs.t Pm.t;
   mutable busy_until : Engine.Time.t;
+  (* Updates accepted but not yet processed by the serialized bgpd:
+     (finish instant, peer, update) in processing order.  The scheduler
+     event for each entry pops the head, so the queue is the explicit,
+     checkpointable form of what used to live in captured closures. *)
+  pending_updates : (Engine.Time.t * Net.Asn.t * Message.update) Queue.t;
   damping : Damping.t option;
   stats : stats;
   tm : telemetry;
@@ -68,7 +74,10 @@ let name t = Net.Asn.to_string t.asn
 
 let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp" fmt
 
-let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
+(* [create] is completed by [hook_lifecycle] at the bottom of this file
+   (the crash/restart/snapshot hooks need the session machinery defined
+   in between). *)
+let create_unhooked ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
   let m = Engine.Sim.metrics sim in
   let labels = [ ("node", Net.Asn.to_string asn) ] in
   let counter ?help name = Engine.Metrics.counter m ?help ~labels name in
@@ -87,11 +96,17 @@ let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
       best_changes_c = counter ~help:"Loc-RIB best-path changes" "bgp_best_changes_total";
     }
   in
+  (* The split from the root stream happens exactly where it always did,
+     keeping every later subsystem's draws byte-identical; the node only
+     borrows the stream for checkpointing. *)
+  let rng = Engine.Rng.split (Engine.Sim.rng sim) in
+  let node = Engine.Node.create ~kind:"router" ~rng sim ~name:(Net.Asn.to_string asn) in
   let t =
     {
       damping = Option.map Damping.create damping;
       sim;
-      rng = Engine.Rng.split (Engine.Sim.rng sim);
+      node;
+      rng;
       asn;
       node_id;
       router_id;
@@ -104,6 +119,7 @@ let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
       adj_out = Rib.Adj_out.create ();
       originated = Pm.empty;
       busy_until = Engine.Time.zero;
+      pending_updates = Queue.create ();
       stats =
         {
           msgs_in = 0;
@@ -129,6 +145,8 @@ let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
   t
 
 let asn t = t.asn
+
+let node t = t.node
 
 let node_id t = t.node_id
 
@@ -370,6 +388,7 @@ let start_liveness t peer =
         in
         timer_ref := Some timer;
         peer.keepalive <- Some timer;
+        Engine.Node.own_timer t.node timer;
         timer
     in
     let hold =
@@ -387,6 +406,7 @@ let start_liveness t peer =
               session_down t peer.peer_asn)
         in
         peer.hold <- Some timer;
+        Engine.Node.own_timer t.node timer;
         timer
     in
     Engine.Timer.start keepalive interval;
@@ -435,9 +455,8 @@ let note_flap t peer_asn prefix event =
       (* a hair past the reuse instant so the decayed penalty is safely
          at-or-below the threshold despite floating-point rounding *)
       let recheck = Engine.Time.add reuse_at (Engine.Time.ms 10) in
-      ignore
-        (Engine.Sim.schedule_at ~category:"bgp.damping" t.sim recheck (fun () ->
-             run_decision t prefix)))
+      Engine.Node.schedule_at ~category:"bgp.damping" t.node recheck (fun () ->
+          run_decision t prefix))
 
 let process_update t peer_asn (u : Message.update) =
   match find_peer t peer_asn with
@@ -516,9 +535,122 @@ let handle_message t ~from msg =
       let start = Engine.Time.max now t.busy_until in
       let finish = Engine.Time.add start (Config.processing_delay t.config t.rng) in
       t.busy_until <- finish;
-      ignore
-        (Engine.Sim.schedule_at ~category:"bgp.process" t.sim finish (fun () ->
-             process_update t peer_asn u)))
+      (* Finish instants are non-decreasing and events at the same instant
+         fire in scheduling order, so each event pops exactly the entry it
+         was scheduled for.  A crash clears the queue and bumps the node
+         epoch, which voids the orphaned events. *)
+      Queue.push (finish, peer_asn, u) t.pending_updates;
+      Engine.Node.schedule_at ~category:"bgp.process" t.node finish (fun () ->
+          match Queue.take_opt t.pending_updates with
+          | Some (_, peer, u) -> process_update t peer u
+          | None -> ()))
+
+(* --- Lifecycle and checkpointing --------------------------------------- *)
+
+type checkpoint = {
+  ck_rng : Engine.Rng.t;
+  ck_busy : Engine.Time.t;
+  ck_adj_in : (Net.Asn.t * Route.t) list;
+  ck_loc : Route.t list;
+  ck_adj_out : (Net.Asn.t * (Net.Ipv4.prefix * Attrs.t) list) list;
+  ck_originated : (Net.Ipv4.prefix * Attrs.t) list;
+  ck_peers : (Net.Asn.t * bool * bool * Mrai.state) list;
+  ck_pending : (Engine.Time.t * Net.Asn.t * Message.update) list;
+}
+
+type Engine.Node.blob += Router_state of checkpoint
+
+let snapshot t =
+  Router_state
+    {
+      ck_rng = Engine.Rng.copy t.rng;
+      ck_busy = t.busy_until;
+      ck_adj_in = Rib.Adj_in.entries t.adj_in;
+      ck_loc = List.map snd (Rib.Loc.entries t.loc);
+      ck_adj_out = Rib.Adj_out.entries t.adj_out;
+      ck_originated = Pm.bindings t.originated;
+      ck_peers =
+        List.map
+          (fun (asn, p) -> (asn, p.established, p.open_sent, Mrai.state p.mrai))
+          (Net.Asn.Map.bindings t.peers);
+      ck_pending = List.of_seq (Queue.to_seq t.pending_updates);
+    }
+
+(* Restores into a freshly built router with the same peers/config.  Loc
+   entries are written directly ([on_best_change] subscribers are NOT
+   replayed — the framework rebuilds FIBs from its own checkpoint). *)
+let restore t = function
+  | Router_state ck ->
+    Engine.Rng.assign ~from:ck.ck_rng t.rng;
+    t.busy_until <- ck.ck_busy;
+    Rib.Adj_in.clear t.adj_in;
+    List.iter (fun (peer, r) -> Rib.Adj_in.set t.adj_in ~peer r) ck.ck_adj_in;
+    Rib.Loc.clear t.loc;
+    List.iter (Rib.Loc.set t.loc) ck.ck_loc;
+    Rib.Adj_out.clear t.adj_out;
+    List.iter
+      (fun (peer, entries) ->
+        List.iter (fun (prefix, attrs) -> Rib.Adj_out.set t.adj_out ~peer prefix attrs) entries)
+      ck.ck_adj_out;
+    t.originated <-
+      List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty ck.ck_originated;
+    List.iter
+      (fun (asn, established, open_sent, mrai_state) ->
+        match find_peer t asn with
+        | None -> ()
+        | Some peer ->
+          peer.established <- established;
+          peer.open_sent <- open_sent;
+          Mrai.restore peer.mrai mrai_state;
+          if established then start_liveness t peer)
+      ck.ck_peers;
+    Queue.clear t.pending_updates;
+    List.iter
+      (fun (finish, peer, u) ->
+        Queue.push (finish, peer, u) t.pending_updates;
+        Engine.Node.schedule_at ~category:"bgp.process" t.node finish (fun () ->
+            match Queue.take_opt t.pending_updates with
+            | Some (_, peer, u) -> process_update t peer u
+            | None -> ()))
+      ck.ck_pending
+  | _ -> invalid_arg "Router.restore: foreign snapshot blob"
+
+(* Crash: lose all volatile bgpd state.  [originated] survives — it is the
+   router's configuration, not learned state.  Owned timers and scheduled
+   events are voided by the node runtime itself. *)
+let on_crashed t =
+  Queue.clear t.pending_updates;
+  t.busy_until <- Engine.Time.zero;
+  Net.Asn.Map.iter
+    (fun _ peer ->
+      peer.established <- false;
+      peer.open_sent <- false;
+      Mrai.reset peer.mrai)
+    t.peers;
+  Rib.Adj_in.clear t.adj_in;
+  Rib.Loc.clear t.loc;
+  Rib.Adj_out.clear t.adj_out
+
+(* Restart: re-originate configured prefixes, then resync every session.
+   The NOTIFICATION makes the live peer run its session-down path (it
+   flushes routes learned from us and stops treating the old session as
+   open), so the OPEN that follows is answered like a cold start. *)
+let on_restarted t =
+  run_decisions t (List.map fst (Pm.bindings t.originated));
+  Net.Asn.Map.iter
+    (fun _ peer ->
+      ignore (send_message t peer (Message.Notification "peer restarted"));
+      open_session t peer.peer_asn)
+    t.peers
+
+let create ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
+  let t = create_unhooked ?damping ~sim ~asn ~node_id ~router_id ~config ~send () in
+  Engine.Node.on_crash t.node (fun () -> on_crashed t);
+  Engine.Node.on_start t.node (fun ~first -> if not first then on_restarted t);
+  Engine.Node.set_snapshot t.node (fun () -> snapshot t);
+  Engine.Node.set_restore t.node (restore t);
+  Engine.Node.start t.node;
+  t
 
 (* Test/diagnostic accessors. *)
 

@@ -32,6 +32,12 @@ val name : t -> string
 
 val asn : t -> Net.Asn.t
 
+val node : t -> Engine.Node.t
+(** The runtime node: lifecycle (crash/restart), mailbox port target,
+    snapshot/restore.  A crash loses all learned state but keeps
+    [originate]d prefixes (configuration); a restart re-originates them
+    and re-opens every session with a NOTIFICATION-then-OPEN exchange. *)
+
 val node_id : t -> int
 
 val router_id : t -> Net.Ipv4.addr

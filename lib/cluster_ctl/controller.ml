@@ -81,6 +81,7 @@ let fingerprint_equal a b =
 
 type t = {
   sim : Engine.Sim.t;
+  node : Engine.Node.t;
   config : config;
   members : Net.Asn.Set.t;
   speaker : Speaker.t;
@@ -104,6 +105,8 @@ type t = {
 }
 
 let log t fmt = Engine.Sim.logf t.sim ~node:"controller" ~category:"controller" fmt
+
+let node t = t.node
 
 let members t = Net.Asn.Set.elements t.members
 
@@ -447,6 +450,81 @@ let recompute_info t =
   | Some r -> (Recompute.batches r, Recompute.marks r)
   | None -> (0, 0)
 
+(* A member switch restarted with an empty flow table: forget what we
+   think is installed there and mark everything dirty, so the next batch
+   re-pushes its rules (announcements are deduplicated by the speaker). *)
+let resync_member t member =
+  if Net.Asn.Set.mem member t.members then begin
+    t.installed <- Pm.map (Net.Asn.Map.remove member) t.installed;
+    t.fingerprints <- Pm.empty;
+    List.iter (mark_dirty t) (known_prefixes t)
+  end
+
+(* --- Lifecycle and checkpointing ----------------------------------------- *)
+
+type checkpoint = {
+  co_rib : (Net.Ipv4.prefix * As_graph.exit_route list) list;
+  co_originated : (Net.Ipv4.prefix * Net.Asn.Set.t) list;
+  co_installed : (Net.Ipv4.prefix * Sdn.Flow.action Net.Asn.Map.t) list;
+  co_decisions : (Net.Ipv4.prefix * As_graph.decision Net.Asn.Map.t) list;
+  co_graph_edges : (int * int * float) list;
+  co_recompute : Recompute.state option;
+}
+
+type Engine.Node.blob += Controller_state of checkpoint
+
+let snapshot t =
+  Controller_state
+    {
+      co_rib = Pm.bindings t.rib;
+      co_originated = Pm.bindings t.originated;
+      co_installed = Pm.bindings t.installed;
+      co_decisions = Pm.bindings t.decisions;
+      co_graph_edges = Net.Graph.edges t.switch_graph;
+      co_recompute = Option.map Recompute.state t.recompute;
+    }
+
+(* Fingerprints are deliberately NOT captured: the restored graph's
+   version counter restarts, so a kept fingerprint could never match
+   again anyway.  Dropping them costs at most one redundant (and
+   deterministic) recomputation per prefix, whose outputs the flow diff
+   and the speaker's Adj-RIB-Out deduplicate away. *)
+let restore t = function
+  | Controller_state ck ->
+    let of_bindings bs = List.fold_left (fun acc (p, v) -> Pm.add p v acc) Pm.empty bs in
+    t.rib <- of_bindings ck.co_rib;
+    t.originated <- of_bindings ck.co_originated;
+    t.installed <- of_bindings ck.co_installed;
+    t.decisions <- of_bindings ck.co_decisions;
+    t.fingerprints <- Pm.empty;
+    List.iter
+      (fun (u, v, _) -> Net.Graph.remove_edge t.switch_graph u v)
+      (Net.Graph.edges t.switch_graph);
+    List.iter
+      (fun (u, v, w) -> Net.Graph.add_edge ~w t.switch_graph u v)
+      ck.co_graph_edges;
+    (match (t.recompute, ck.co_recompute) with
+    | Some r, Some st -> Recompute.restore r st
+    | _ -> ())
+  | _ -> invalid_arg "Controller.restore: foreign snapshot blob"
+
+(* Crash: the POX application dies.  Learned state (RIB, decisions,
+   installed-rule shadow, fingerprints) is lost; [originated] is retained
+   as configuration; the switch graph is retained because its physical
+   edges still exist — a real controller would re-learn them from
+   PORT_STATUS on reconnect. *)
+let on_crashed t =
+  t.rib <- Pm.empty;
+  t.installed <- Pm.empty;
+  t.decisions <- Pm.empty;
+  t.fingerprints <- Pm.empty;
+  Option.iter Recompute.reset t.recompute
+
+(* Restart: re-run the pipeline for configured originations.  External
+   routes reappear as the speaker's sessions re-establish and resync. *)
+let on_restarted t =
+  Pm.iter (fun prefix _ -> mark_dirty t prefix) t.originated
+
 (* --- Construction --------------------------------------------------------- *)
 
 let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn ~asn_of_node
@@ -485,6 +563,7 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
   let t =
     {
       sim;
+      node = Engine.Node.create ~kind:"controller" sim ~name:"controller";
       config;
       members;
       speaker;
@@ -523,4 +602,9 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
   Speaker.set_handlers speaker
     ~on_update:(fun ~member ~neighbor u -> on_external_update t ~member ~neighbor u)
     ~on_session:(fun ~member ~neighbor ~up -> on_session_change t ~member ~neighbor ~up);
+  Engine.Node.on_crash t.node (fun () -> on_crashed t);
+  Engine.Node.on_start t.node (fun ~first -> if not first then on_restarted t);
+  Engine.Node.set_snapshot t.node (fun () -> snapshot t);
+  Engine.Node.set_restore t.node (restore t);
+  Engine.Node.start t.node;
   t

@@ -43,6 +43,12 @@ val create :
   t
 (** Registers itself as the speaker's update/session handler. *)
 
+val node : t -> Engine.Node.t
+(** The runtime node: a crash loses the RIB, decisions and installed-rule
+    shadow but keeps originations (configuration) and the switch graph; a
+    restart re-runs the pipeline for originated prefixes, and external
+    routes return as the speaker's sessions resync. *)
+
 val members : t -> Net.Asn.t list
 
 val stats : t -> stats
@@ -73,3 +79,8 @@ val flush_recompute : t -> unit
 
 val recompute_info : t -> int * int
 (** (batches, marks) of the delayed-recomputation scheduler. *)
+
+val resync_member : t -> Net.Asn.t -> unit
+(** A member switch restarted with an empty flow table: forget its
+    installed rules and mark every known prefix dirty so the next batch
+    re-pushes them. *)

@@ -18,6 +18,16 @@ val mark_dirty_many : t -> Net.Ipv4.prefix list -> unit
 val flush_now : t -> unit
 (** Recompute everything dirty immediately (cancels the pending timer). *)
 
+val reset : t -> unit
+(** Forget the dirty set and cancel the pending batch (controller crash). *)
+
+type state
+(** Opaque checkpoint of the dirty set and armed expiry. *)
+
+val state : t -> state
+
+val restore : t -> state -> unit
+
 val pending : t -> int
 
 val batches : t -> int

@@ -34,6 +34,7 @@ type stats = {
 
 type t = {
   sim : Engine.Sim.t;
+  node : Engine.Node.t;
   rng : Engine.Rng.t;
   send_relay : member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> bool;
   sessions : (session_key, session) Hashtbl.t;
@@ -46,10 +47,13 @@ type t = {
 
 let log t fmt = Engine.Sim.logf t.sim ~node:"speaker" ~category:"speaker" fmt
 
-let create ~sim ~send_relay =
+(* [create] is completed by [hook_lifecycle] at the bottom of this file. *)
+let create_unhooked ~sim ~send_relay =
+  let rng = Engine.Rng.split (Engine.Sim.rng sim) in
   {
     sim;
-    rng = Engine.Rng.split (Engine.Sim.rng sim);
+    node = Engine.Node.create ~kind:"speaker" ~rng sim ~name:"speaker";
+    rng;
     send_relay;
     sessions = Hashtbl.create 32;
     session_order = [];
@@ -57,6 +61,8 @@ let create ~sim ~send_relay =
     on_session = (fun ~member:_ ~neighbor:_ ~up:_ -> ());
     stats = { updates_in = 0; updates_out = 0; opens = 0 };
   }
+
+let node t = t.node
 
 let set_handlers t ~on_update ~on_session =
   t.on_update <- on_update;
@@ -201,3 +207,89 @@ let withdraw t ~member ~neighbor prefix =
 
 let advertised t ~member ~neighbor prefix =
   Option.bind (find t ~member ~neighbor) (fun s -> Pm.find_opt prefix s.adj_out)
+
+(* --- Lifecycle and checkpointing --------------------------------------- *)
+
+type session_ck = {
+  sk_member : Net.Asn.t;
+  sk_neighbor : Net.Asn.t;
+  sk_established : bool;
+  sk_open_sent : bool;
+  sk_adj_out : (Net.Ipv4.prefix * Bgp.Attrs.t) list;
+  sk_mrai : Bgp.Mrai.state option;
+}
+
+type Engine.Node.blob += Speaker_state of Engine.Rng.t * session_ck list
+
+let snapshot t =
+  let sessions =
+    List.filter_map
+      (fun key ->
+        Option.map
+          (fun s ->
+            {
+              sk_member = s.member;
+              sk_neighbor = s.neighbor;
+              sk_established = s.established;
+              sk_open_sent = s.open_sent;
+              sk_adj_out = Pm.bindings s.adj_out;
+              sk_mrai = Option.map Bgp.Mrai.state s.mrai;
+            })
+          (Hashtbl.find_opt t.sessions key))
+      t.session_order
+  in
+  Speaker_state (Engine.Rng.copy t.rng, sessions)
+
+let restore t = function
+  | Speaker_state (rng, sessions) ->
+    Engine.Rng.assign ~from:rng t.rng;
+    List.iter
+      (fun sk ->
+        match find t ~member:sk.sk_member ~neighbor:sk.sk_neighbor with
+        | None -> ()
+        | Some s ->
+          s.established <- sk.sk_established;
+          s.open_sent <- sk.sk_open_sent;
+          s.adj_out <-
+            List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty sk.sk_adj_out;
+          (match (s.mrai, sk.sk_mrai) with
+          | Some m, Some st -> Bgp.Mrai.restore m st
+          | _ -> ()))
+      sessions
+  | _ -> invalid_arg "Speaker.restore: foreign snapshot blob"
+
+(* A crashed speaker silently loses every session (the ExaBGP process
+   died); peers only find out when the restart's NOTIFICATION reaches
+   them.  The controller is not notified here — when the speaker crashes
+   alone the framework decides, and when the whole cluster head crashes
+   the controller loses its RIB anyway. *)
+let on_crashed t =
+  Hashtbl.iter
+    (fun _ s ->
+      s.established <- false;
+      s.open_sent <- false;
+      s.adj_out <- Pm.empty;
+      Option.iter Bgp.Mrai.reset s.mrai)
+    t.sessions
+
+(* Restart: NOTIFICATION-then-OPEN on every configured session, so the
+   remote router tears the old session down (flushing our stale routes)
+   and answers the OPEN like a cold start. *)
+let on_restarted t =
+  List.iter
+    (fun (member, neighbor) ->
+      match find t ~member ~neighbor with
+      | None -> ()
+      | Some s ->
+        ignore (send_wire t s (Bgp.Message.Notification "speaker restarted"));
+        open_session t ~member ~neighbor)
+    t.session_order
+
+let create ~sim ~send_relay =
+  let t = create_unhooked ~sim ~send_relay in
+  Engine.Node.on_crash t.node (fun () -> on_crashed t);
+  Engine.Node.on_start t.node (fun ~first -> if not first then on_restarted t);
+  Engine.Node.set_snapshot t.node (fun () -> snapshot t);
+  Engine.Node.set_restore t.node (restore t);
+  Engine.Node.start t.node;
+  t

@@ -17,6 +17,11 @@ val create :
 (** [send_relay] forwards a wire message toward the neighbor via the
     member's border switch. *)
 
+val node : t -> Engine.Node.t
+(** The runtime node: a crash silently loses every session's state; a
+    restart re-opens each configured session with a NOTIFICATION-then-OPEN
+    exchange so remote routers flush and resync. *)
+
 val set_handlers :
   t ->
   on_update:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.update -> unit) ->

@@ -1,0 +1,233 @@
+(* The node actor runtime.
+
+   Every emulated component (router, switch, speaker, controller,
+   collector) sits on one of these: a lifecycle state machine, a bounded
+   ingress mailbox with drop accounting, owned timers that die with the
+   node, epoch-guarded event scheduling, and snapshot/restore hooks for
+   whole-network checkpointing.
+
+   Two invariants keep the runtime behaviour-preserving for runs that
+   never crash a node:
+
+   - Delivery through a port drains the mailbox synchronously, so a
+     message is processed at the same instant (and in the same order)
+     as the direct handler call it replaces.  The queue only holds more
+     than one message during re-entrant delivery, which the previous
+     closure wiring could not express at all.
+
+   - Metric series (mailbox drops, lifecycle transitions) are registered
+     lazily on first increment, so a run that never drops or crashes
+     exports byte-identical metrics to the pre-runtime code. *)
+
+type lifecycle = Created | Up | Down
+
+type blob = ..
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  kind : string;
+  rng : Rng.t option;
+  mailbox_capacity : int;
+  mailbox : (unit -> unit) Queue.t;
+  mutable draining : bool;
+  mutable lifecycle : lifecycle;
+  mutable epoch : int;
+  mutable timers : Timer.t list; (* reverse adoption order *)
+  mutable start_hooks : (first:bool -> unit) list; (* reverse order *)
+  mutable crash_hooks : (unit -> unit) list; (* reverse order *)
+  mutable snapshot_hook : (unit -> blob) option;
+  mutable restore_hook : (blob -> unit) option;
+  mutable dropped : int;
+  mutable processed : int;
+  mutable crashes : int;
+  mutable drop_counter : Metrics.Counter.t option;
+}
+
+type 'msg port = { node : t; handler : from:int -> 'msg -> unit }
+
+let create ?(kind = "node") ?rng ?(mailbox_capacity = 4096) sim ~name =
+  if mailbox_capacity <= 0 then invalid_arg "Node.create: mailbox_capacity must be positive";
+  {
+    sim;
+    name;
+    kind;
+    rng;
+    mailbox_capacity;
+    mailbox = Queue.create ();
+    draining = false;
+    lifecycle = Created;
+    epoch = 0;
+    timers = [];
+    start_hooks = [];
+    crash_hooks = [];
+    snapshot_hook = None;
+    restore_hook = None;
+    dropped = 0;
+    processed = 0;
+    crashes = 0;
+    drop_counter = None;
+  }
+
+let sim t = t.sim
+let name t = t.name
+let kind t = t.kind
+let lifecycle t = t.lifecycle
+let is_up t = t.lifecycle = Up
+let epoch t = t.epoch
+let rng t = t.rng
+let mailbox_depth t = Queue.length t.mailbox
+let mailbox_dropped t = t.dropped
+let processed t = t.processed
+let crashes t = t.crashes
+
+let pp_lifecycle fmt = function
+  | Created -> Format.pp_print_string fmt "created"
+  | Up -> Format.pp_print_string fmt "up"
+  | Down -> Format.pp_print_string fmt "down"
+
+(* Lazily registered so crash-free runs export unchanged metrics. *)
+let bump_lifecycle_counter t transition =
+  let c =
+    Metrics.counter (Sim.metrics t.sim)
+      ~help:"node lifecycle transitions"
+      ~labels:[ ("kind", t.kind); ("transition", transition) ]
+      "node_lifecycle_transitions_total"
+  in
+  Metrics.Counter.inc c
+
+let bump_drop_counter t =
+  let c =
+    match t.drop_counter with
+    | Some c -> c
+    | None ->
+        let c =
+          Metrics.counter (Sim.metrics t.sim)
+            ~help:"messages refused by full node mailboxes"
+            ~labels:[ ("kind", t.kind) ]
+            "node_mailbox_dropped_total"
+        in
+        t.drop_counter <- Some c;
+        c
+  in
+  Metrics.Counter.inc c
+
+let on_start t f = t.start_hooks <- f :: t.start_hooks
+let on_crash t f = t.crash_hooks <- f :: t.crash_hooks
+let set_snapshot t f = t.snapshot_hook <- Some f
+let set_restore t f = t.restore_hook <- Some f
+
+let start t =
+  match t.lifecycle with
+  | Up -> ()
+  | (Created | Down) as prev ->
+      t.lifecycle <- Up;
+      let first = prev = Created in
+      if not first then bump_lifecycle_counter t "start";
+      List.iter (fun f -> f ~first) (List.rev t.start_hooks)
+
+let crash t =
+  match t.lifecycle with
+  | Created | Down -> ()
+  | Up ->
+      t.lifecycle <- Down;
+      t.epoch <- t.epoch + 1;
+      t.crashes <- t.crashes + 1;
+      bump_lifecycle_counter t "crash";
+      List.iter Timer.cancel t.timers;
+      Queue.clear t.mailbox;
+      t.draining <- false;
+      Sim.logf t.sim ~node:t.name ~category:"node" ~level:Trace.Warn "crash (epoch %d)"
+        t.epoch;
+      List.iter (fun f -> f ()) (List.rev t.crash_hooks)
+
+let restart t =
+  crash t;
+  start t
+
+let own_timer t timer = t.timers <- timer :: t.timers
+
+let timer ?category t ~name ~callback =
+  let tm = Timer.create ?category t.sim ~name ~callback in
+  own_timer t tm;
+  tm
+
+let owned_timers t = List.rev t.timers
+
+let guarded t f =
+  let epoch_at_schedule = t.epoch in
+  fun () -> if t.epoch = epoch_at_schedule && is_up t then f ()
+
+let schedule_at ?category t at f =
+  ignore (Sim.schedule_at ?category t.sim at (guarded t f))
+
+let schedule_after ?category t span f =
+  ignore (Sim.schedule_after ?category t.sim span (guarded t f))
+
+(* Mailbox.  Enqueue then drain: with no re-entrancy this is exactly one
+   synchronous handler call; under re-entrant delivery the outer drain
+   loop processes queued messages in arrival order. *)
+let drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        while not (Queue.is_empty t.mailbox) do
+          let work = Queue.pop t.mailbox in
+          t.processed <- t.processed + 1;
+          work ()
+        done)
+  end
+
+let port node ~handler = { node; handler }
+let port_node p = p.node
+
+let deliver p ~from msg =
+  let t = p.node in
+  if not (is_up t) then false
+  else if Queue.length t.mailbox >= t.mailbox_capacity then begin
+    t.dropped <- t.dropped + 1;
+    bump_drop_counter t;
+    false
+  end
+  else begin
+    Queue.push (fun () -> p.handler ~from msg) t.mailbox;
+    drain t;
+    true
+  end
+
+(* Snapshot / restore. *)
+
+type state = {
+  s_lifecycle : lifecycle;
+  s_epoch : int;
+  s_timers : (string * Time.t) list;
+  s_blob : blob option;
+}
+
+let state t =
+  let timers =
+    List.filter_map
+      (fun tm -> match Timer.due tm with Some at -> Some (Timer.name tm, at) | None -> None)
+      (owned_timers t)
+  in
+  {
+    s_lifecycle = t.lifecycle;
+    s_epoch = t.epoch;
+    s_timers = timers;
+    s_blob = Option.map (fun f -> f ()) t.snapshot_hook;
+  }
+
+let restore_state t st =
+  t.lifecycle <- st.s_lifecycle;
+  t.epoch <- st.s_epoch;
+  List.iter
+    (fun (name, at) ->
+      match List.find_opt (fun tm -> Timer.name tm = name) (owned_timers t) with
+      | Some tm -> Timer.start_at tm at
+      | None -> ())
+    st.s_timers;
+  match (st.s_blob, t.restore_hook) with
+  | Some blob, Some f -> f blob
+  | _ -> ()

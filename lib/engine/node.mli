@@ -1,0 +1,150 @@
+(** The node actor runtime: the uniform lifecycle every emulated
+    component (BGP router, SDN switch, cluster speaker/controller, route
+    collector) runs on.
+
+    A node owns:
+    - a lifecycle state machine [Created -> Up -> Down -> Up -> ...] with
+      [crash]/[restart] transitions and registered hooks;
+    - a bounded ingress mailbox of pending work, with drop accounting
+      (typed views of the mailbox are created with {!port});
+    - its timers, auto-cancelled when the node crashes;
+    - epoch-guarded scheduling: events scheduled through the node are
+      silently discarded if the node crashed after they were scheduled;
+    - an optional per-node RNG stream (supplied by the component so the
+      split order from the root RNG is unchanged by this runtime);
+    - [snapshot]/[restore] hooks returning an opaque in-memory state blob,
+      the basis of whole-network checkpointing.
+
+    The runtime is deliberately behaviour-preserving: when no lifecycle
+    action is taken, delivery through a port is the same synchronous
+    handler call a raw closure would have made, no extra RNG draws are
+    taken and no metric series are registered until a drop or lifecycle
+    transition actually happens. *)
+
+type lifecycle = Created | Up | Down
+
+type blob = ..
+(** Component state blobs are in-memory values: each component extends
+    this type with its own constructor. *)
+
+type t
+
+val create :
+  ?kind:string ->
+  ?rng:Rng.t ->
+  ?mailbox_capacity:int ->
+  Sim.t ->
+  name:string ->
+  t
+(** [kind] labels the component family ("router", "switch", "speaker",
+    "controller", "collector"); [rng] is the component's already-split
+    stream (never split here — split order must stay byte-identical);
+    [mailbox_capacity] bounds queued-but-unprocessed deliveries
+    (default 4096). *)
+
+val sim : t -> Sim.t
+
+val name : t -> string
+
+val kind : t -> string
+
+val lifecycle : t -> lifecycle
+
+val is_up : t -> bool
+
+val epoch : t -> int
+(** Incremented by every crash; epoch-guarded events compare against it. *)
+
+val rng : t -> Rng.t option
+
+(** {1 Lifecycle} *)
+
+val on_start : t -> (first:bool -> unit) -> unit
+(** Hook run on [Created -> Up] ([first = true]) and on every restart
+    ([first = false]); registration order is execution order. *)
+
+val on_crash : t -> (unit -> unit) -> unit
+(** Hook run on [Up -> Down], after owned timers are cancelled and the
+    mailbox is flushed. *)
+
+val start : t -> unit
+(** [Created | Down -> Up]; no-op when already up. *)
+
+val crash : t -> unit
+(** [Up -> Down]: bump the epoch, cancel owned timers, discard the
+    mailbox, run the crash hooks.  No-op unless up.  While down, port
+    deliveries are refused and guarded events do not fire. *)
+
+val restart : t -> unit
+(** [crash] (if up) followed by [start]: the component's restart hooks
+    see a process that lost all volatile state. *)
+
+(** {1 Owned timers} *)
+
+val timer : ?category:string -> t -> name:string -> callback:(unit -> unit) -> Timer.t
+(** Create a timer owned by this node (cancelled on crash, captured by
+    {!state}). *)
+
+val own_timer : t -> Timer.t -> unit
+(** Adopt an externally created timer. *)
+
+val owned_timers : t -> Timer.t list
+(** In adoption order. *)
+
+(** {1 Epoch-guarded scheduling} *)
+
+val schedule_after : ?category:string -> t -> Time.span -> (unit -> unit) -> unit
+
+val schedule_at : ?category:string -> t -> Time.t -> (unit -> unit) -> unit
+(** Like {!Sim.schedule_at} but the action is skipped if the node crashed
+    (epoch changed) or is down when the event fires. *)
+
+(** {1 Mailbox and typed ports} *)
+
+type 'msg port
+(** A typed ingress into the node's mailbox. *)
+
+val port : t -> handler:(from:int -> 'msg -> unit) -> 'msg port
+
+val port_node : 'msg port -> t
+
+val deliver : 'msg port -> from:int -> 'msg -> bool
+(** Enqueue and (unless re-entrant) immediately process one message.
+    [false] when the node is not up ([`node down`]) or the mailbox is
+    full ([`queue overflow`] — counted in [node_mailbox_dropped_total]
+    and visible via {!mailbox_dropped}). *)
+
+val mailbox_depth : t -> int
+(** Messages enqueued but not yet processed (non-zero only during
+    re-entrant processing). *)
+
+val mailbox_dropped : t -> int
+
+val processed : t -> int
+(** Messages the node has processed over its lifetime. *)
+
+val crashes : t -> int
+
+(** {1 Snapshot / restore} *)
+
+val set_snapshot : t -> (unit -> blob) -> unit
+
+val set_restore : t -> (blob -> unit) -> unit
+
+type state = {
+  s_lifecycle : lifecycle;
+  s_epoch : int;
+  s_timers : (string * Time.t) list;  (** armed owned timers: (name, due) *)
+  s_blob : blob option;  (** the component hook's opaque state *)
+}
+
+val state : t -> state
+(** Capture lifecycle, armed owned timers and the component blob. *)
+
+val restore_state : t -> state -> unit
+(** Reinstall a captured state into a freshly constructed node: sets the
+    lifecycle {e without} running start/crash hooks, re-arms owned timers
+    by name at their recorded absolute expiry (unknown names are
+    ignored), then hands the blob to the restore hook. *)
+
+val pp_lifecycle : Format.formatter -> lifecycle -> unit

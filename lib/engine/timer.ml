@@ -1,7 +1,9 @@
 (* Restartable one-shot timer on top of the scheduler.
 
    This is the shape both BGP MRAI timers and the controller's delayed
-   recomputation need: arm, coalesce while armed, cancel, fire once. *)
+   recomputation need: arm, coalesce while armed, cancel, fire once.
+   The armed deadline is remembered ([due]) so node checkpoints can
+   capture and re-arm timers at their original absolute expiry. *)
 
 type t = {
   sim : Sim.t;
@@ -9,11 +11,12 @@ type t = {
   category : string;
   callback : unit -> unit;
   mutable armed : Sim.handle option;
+  mutable deadline : Time.t option;
   mutable fires : int;
 }
 
 let create ?(category = "timer") sim ~name ~callback =
-  { sim; name; category; callback; armed = None; fires = 0 }
+  { sim; name; category; callback; armed = None; deadline = None; fires = 0 }
 
 let is_armed t =
   match t.armed with
@@ -22,18 +25,25 @@ let is_armed t =
 
 let cancel t =
   (match t.armed with Some h -> Sim.cancel h | None -> ());
-  t.armed <- None
+  t.armed <- None;
+  t.deadline <- None
 
 let fire t () =
   t.armed <- None;
+  t.deadline <- None;
   t.fires <- t.fires + 1;
   t.callback ()
 
-let start t span =
+let start_at t at =
   cancel t;
-  t.armed <- Some (Sim.schedule_after ~category:t.category t.sim span (fire t))
+  t.deadline <- Some at;
+  t.armed <- Some (Sim.schedule_at ~category:t.category t.sim at (fire t))
+
+let start t span = start_at t (Time.add (Sim.now t.sim) span)
 
 let start_if_idle t span = if not (is_armed t) then start t span
+
+let due t = if is_armed t then t.deadline else None
 
 let fires t = t.fires
 

@@ -10,12 +10,20 @@ val create : ?category:string -> Sim.t -> name:string -> callback:(unit -> unit)
 val start : t -> Time.span -> unit
 (** (Re)arm the timer: any pending expiry is cancelled first. *)
 
+val start_at : t -> Time.t -> unit
+(** Arm at an absolute instant (checkpoint restore re-arms timers at
+    their original expiry this way).
+    @raise Invalid_argument if the instant is in the past. *)
+
 val start_if_idle : t -> Time.span -> unit
 (** Arm only if not already armed — coalesces bursts of triggers. *)
 
 val cancel : t -> unit
 
 val is_armed : t -> bool
+
+val due : t -> Time.t option
+(** Absolute expiry instant while armed, [None] otherwise. *)
 
 val fires : t -> int
 (** Number of times the timer has fired. *)

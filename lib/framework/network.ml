@@ -24,6 +24,7 @@ type data_stats = { mutable forwarded : int; mutable dropped : int; mutable deli
 type t = {
   sim : Engine.Sim.t;
   net : Payload.t Net.Netsim.t;
+  seed : int; (* construction seed, recorded for checkpointing *)
   spec : Topology.Spec.t;
   plan : Addressing.plan;
   config : Config.t;
@@ -64,6 +65,31 @@ let routers t = t.routers
 let router t asn = Net.Asn.Map.find_opt asn t.routers
 
 let switch t asn = Net.Asn.Map.find_opt asn t.switches
+
+let seed t = t.seed
+
+(* --- Node registry ------------------------------------------------------ *)
+
+(* The runtime node behind an AS (router or switch) or the collector; the
+   registry is the fabric's attachment table, so Network itself holds no
+   duplicate component bookkeeping. *)
+let runtime_node t asn =
+  if Net.Asn.equal asn collector_asn then
+    Net.Netsim.attached_node t.net collector_node
+  else if Topology.Spec.mem t.spec asn then
+    Net.Netsim.attached_node t.net (Net.Asn.to_int asn)
+  else None
+
+(* Every runtime node, fabric id order (controller at [ctrl_node],
+   collector at [collector_node] first), plus the speaker, which has no
+   fabric node of its own (it shares [ctrl_node] with the controller). *)
+let runtime_nodes t =
+  let fabric =
+    List.filter_map (Net.Netsim.attached_node t.net) (Net.Netsim.node_ids t.net)
+  in
+  match t.speaker with
+  | Some sp -> fabric @ [ Cluster_ctl.Speaker.node sp ]
+  | None -> fabric
 
 let asns t = Topology.Spec.asns t.spec
 
@@ -367,6 +393,7 @@ let create ?(config = Config.default) ~seed spec =
     {
       sim;
       net;
+      seed;
       spec;
       plan;
       config;
@@ -412,59 +439,77 @@ let create ?(config = Config.default) ~seed spec =
       exported := (t.data_stats.forwarded, t.data_stats.delivered, t.data_stats.dropped);
       Engine.Metrics.Gauge.set warn_g
         (float_of_int (Engine.Trace.warn_count (Engine.Sim.trace sim))));
-  (* Message handlers. *)
+  (* Ingress: every fabric node's deliveries go through its component's
+     runtime-node mailbox, so a crashed component refuses traffic at the
+     fabric boundary (counted as [node_down] drops) instead of having a
+     stale closure poke dead state. *)
   Net.Asn.Map.iter
     (fun asn router ->
-      Net.Netsim.set_handler net (Net.Asn.to_int asn) (fun ~from msg ->
-          match msg with
-          | Payload.Bgp m -> Bgp.Router.handle_message router ~from m
-          | Payload.Data p -> forward_legacy t asn p
-          | Payload.Openflow _ -> ()))
+      Net.Netsim.attach net (Net.Asn.to_int asn)
+        (Engine.Node.port (Bgp.Router.node router) ~handler:(fun ~from msg ->
+             match msg with
+             | Payload.Bgp m -> Bgp.Router.handle_message router ~from m
+             | Payload.Data p -> forward_legacy t asn p
+             | Payload.Openflow _ -> ())))
     routers;
   Net.Asn.Map.iter
     (fun asn sw ->
-      Net.Netsim.set_handler net (Net.Asn.to_int asn) (fun ~from msg ->
-          match msg with
-          | Payload.Bgp m -> Sdn.Switch.handle_bgp sw ~from m
-          | Payload.Data p -> Sdn.Switch.handle_data sw ~from p
-          | Payload.Openflow c ->
-            if from = ctrl_node then Sdn.Switch.handle_control sw c);
-      ignore asn)
+      Net.Netsim.attach net (Net.Asn.to_int asn)
+        (Engine.Node.port (Sdn.Switch.node sw) ~handler:(fun ~from msg ->
+             match msg with
+             | Payload.Bgp m -> Sdn.Switch.handle_bgp sw ~from m
+             | Payload.Data p -> Sdn.Switch.handle_data sw ~from p
+             | Payload.Openflow c ->
+               if from = ctrl_node then Sdn.Switch.handle_control sw c)))
     switches;
-  Net.Netsim.set_handler net collector_node (fun ~from msg ->
-      match msg with
-      | Payload.Bgp m -> Bgp.Collector.handle_message collector ~from m
-      | Payload.Data _ | Payload.Openflow _ -> ());
+  Net.Netsim.attach net collector_node
+    (Engine.Node.port (Bgp.Collector.node collector) ~handler:(fun ~from msg ->
+         match msg with
+         | Payload.Bgp m -> Bgp.Collector.handle_message collector ~from m
+         | Payload.Data _ | Payload.Openflow _ -> ()));
   (match controller with
   | Some ctrl ->
-    Net.Netsim.set_handler net ctrl_node (fun ~from:_ msg ->
-        match msg with
-        | Payload.Openflow m -> Cluster_ctl.Controller.handle_openflow ctrl m
-        | Payload.Bgp _ | Payload.Data _ -> ())
+    (* The cluster head: the controller's runtime node gates the shared
+       fabric node, so a controller crash also silences the speaker's
+       relayed BGP (they are one emulated process, see
+       {!crash_controller}). *)
+    Net.Netsim.attach net ctrl_node
+      (Engine.Node.port (Cluster_ctl.Controller.node ctrl) ~handler:(fun ~from:_ msg ->
+           match msg with
+           | Payload.Openflow m -> Cluster_ctl.Controller.handle_openflow ctrl m
+           | Payload.Bgp _ | Payload.Data _ -> ()))
   | None -> ());
+  (* A router crash also loses its kernel forwarding state. *)
+  Net.Asn.Map.iter
+    (fun asn router ->
+      let fib = Net.Asn.Map.find asn fibs in
+      Engine.Node.on_crash (Bgp.Router.node router) (fun () -> Net.Fib.clear fib))
+    routers;
   (* Link watchers: session lifecycle for legacy routers, PORT_STATUS for
      switches. *)
   Net.Asn.Map.iter
     (fun asn router ->
+      (* Detection delays run on the router's node: if it crashes while
+         the timer is pending, the epoch guard discards the stale event. *)
+      let node = Bgp.Router.node router in
       Net.Netsim.set_link_watcher net (Net.Asn.to_int asn) (fun ~link ~peer ~up ->
           match asn_of_node t peer with
           | None -> ()
           | Some peer_asn ->
             if up then
-              ignore
-                (Engine.Sim.schedule_after sim config.Config.bgp.Bgp.Config.session_open_delay
-                   (fun () ->
-                     if Net.Link.is_up link then Bgp.Router.open_session router peer_asn))
+              Engine.Node.schedule_after node
+                config.Config.bgp.Bgp.Config.session_open_delay (fun () ->
+                  if Net.Link.is_up link then Bgp.Router.open_session router peer_asn)
             else
-              ignore
-                (Engine.Sim.schedule_after sim
-                   config.Config.bgp.Bgp.Config.session_down_detect (fun () ->
-                     if not (Net.Link.is_up link) then Bgp.Router.session_down router peer_asn))))
+              Engine.Node.schedule_after node
+                config.Config.bgp.Bgp.Config.session_down_detect (fun () ->
+                  if not (Net.Link.is_up link) then Bgp.Router.session_down router peer_asn)))
     routers;
   Net.Asn.Map.iter
     (fun _ sw ->
       Net.Netsim.set_link_watcher net (Sdn.Switch.node_id sw) (fun ~link:_ ~peer ~up ->
-          if peer <> ctrl_node then Sdn.Switch.port_change sw ~peer ~up))
+          if peer <> ctrl_node && Engine.Node.is_up (Sdn.Switch.node sw) then
+            Sdn.Switch.port_change sw ~peer ~up))
     switches;
   t
 
@@ -504,6 +549,48 @@ let recover_link t a b =
   if not (Net.Netsim.recover_link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b)) then
     invalid_arg
       (Fmt.str "Network.recover_link: no link %a<->%a" Net.Asn.pp a Net.Asn.pp b)
+
+(* --- Component lifecycle (crash / restart) ------------------------------ *)
+
+let unknown_as op asn = invalid_arg (Fmt.str "Network.%s: unknown AS %a" op Net.Asn.pp asn)
+
+let crash_node t asn =
+  match Net.Asn.Map.find_opt asn t.routers with
+  | Some r -> Engine.Node.crash (Bgp.Router.node r)
+  | None -> (
+    match Net.Asn.Map.find_opt asn t.switches with
+    | Some sw -> Engine.Node.crash (Sdn.Switch.node sw)
+    | None -> unknown_as "crash_node" asn)
+
+let restart_node t asn =
+  match Net.Asn.Map.find_opt asn t.routers with
+  | Some r -> Engine.Node.restart (Bgp.Router.node r)
+  | None -> (
+    match Net.Asn.Map.find_opt asn t.switches with
+    | Some sw ->
+      Engine.Node.restart (Sdn.Switch.node sw);
+      (* the switch came back with an empty flow table, so the
+         controller's installed-rule shadow is stale until it re-pushes *)
+      Option.iter (fun c -> Cluster_ctl.Controller.resync_member c asn) t.controller
+    | None -> unknown_as "restart_node" asn)
+
+(* The cluster head is one emulated host running both processes: crashing
+   it takes the controller and the speaker down together. *)
+let crash_controller t =
+  match (t.controller, t.speaker) with
+  | Some ctrl, Some sp ->
+    Engine.Node.crash (Cluster_ctl.Controller.node ctrl);
+    Engine.Node.crash (Cluster_ctl.Speaker.node sp)
+  | _ -> invalid_arg "Network.crash_controller: no SDN cluster in this topology"
+
+let restart_controller t =
+  match (t.controller, t.speaker) with
+  | Some ctrl, Some sp ->
+    (* controller first, so the speaker's session resync finds a live
+       update handler behind [on_update] *)
+    Engine.Node.restart (Cluster_ctl.Controller.node ctrl);
+    Engine.Node.restart (Cluster_ctl.Speaker.node sp)
+  | _ -> invalid_arg "Network.restart_controller: no SDN cluster in this topology"
 
 (* Dynamically add an inter-AS peering mid-experiment — the framework's
    "dynamically changing the topology" objective.  [rel] is expressed as
@@ -600,3 +687,122 @@ let forwarding_at t asn (addr : Net.Ipv4.addr) =
         | Some node -> Next node
         | None -> No_route)
       | None -> No_route)
+
+(* --- Whole-network checkpointing ---------------------------------------- *)
+
+(* A checkpoint is the construction recipe (seed + spec + config) plus
+   everything that diverged since: link states, every runtime node's
+   captured state (lifecycle, armed timers, component blob), the fabric's
+   loss RNG position and in-flight messages, and the framework-owned data
+   planes.  Restoring rebuilds the network from the recipe and overwrites
+   the divergent state — the restored simulator's clock restarts at zero,
+   with captured events re-scheduled at their original absolute instants.
+
+   Known limits (see DESIGN.md "Node runtime"): telemetry counters are
+   not carried over, flow-rule idle/hard timeouts and damping re-check
+   events are not re-armed, and same-instant event ties across the
+   checkpoint boundary follow restore re-scheduling order. *)
+
+type checkpoint = {
+  ck_seed : int;
+  ck_spec : Topology.Spec.t;
+  ck_config : Config.t;
+  ck_time : Engine.Time.t;
+  ck_links : (Net.Link.id * bool) list;
+  ck_routers : (Net.Asn.t * Engine.Node.state) list;
+  ck_switches : (Net.Asn.t * Engine.Node.state) list;
+  ck_collector : Engine.Node.state;
+  ck_controller : Engine.Node.state option;
+  ck_speaker : Engine.Node.state option;
+  ck_net_rng : Engine.Rng.t;
+  ck_in_flight : Payload.t Net.Netsim.in_flight list;
+  ck_fibs : (Net.Asn.t * (Net.Ipv4.prefix * int) list) list;
+  ck_locals : (Net.Asn.t * Net.Ipv4.prefix list) list;
+}
+
+let checkpoint_time ck = ck.ck_time
+
+let checkpoint t =
+  if Hashtbl.length t.rel_overrides > 0 then
+    invalid_arg "Network.checkpoint: runtime-added peerings are not checkpointable";
+  {
+    ck_seed = t.seed;
+    ck_spec = t.spec;
+    ck_config = t.config;
+    ck_time = Engine.Sim.now t.sim;
+    ck_links =
+      List.map (fun l -> (Net.Link.id l, Net.Link.is_up l)) (Net.Netsim.links t.net);
+    ck_routers =
+      List.map
+        (fun (asn, r) -> (asn, Engine.Node.state (Bgp.Router.node r)))
+        (Net.Asn.Map.bindings t.routers);
+    ck_switches =
+      List.map
+        (fun (asn, sw) -> (asn, Engine.Node.state (Sdn.Switch.node sw)))
+        (Net.Asn.Map.bindings t.switches);
+    ck_collector = Engine.Node.state (Bgp.Collector.node t.collector);
+    ck_controller =
+      Option.map (fun c -> Engine.Node.state (Cluster_ctl.Controller.node c)) t.controller;
+    ck_speaker =
+      Option.map (fun s -> Engine.Node.state (Cluster_ctl.Speaker.node s)) t.speaker;
+    ck_net_rng = Engine.Rng.copy (Net.Netsim.rng t.net);
+    ck_in_flight = Net.Netsim.in_flight t.net;
+    ck_fibs =
+      List.map (fun (asn, fib) -> (asn, Net.Fib.entries fib)) (Net.Asn.Map.bindings t.fibs);
+    ck_locals =
+      Hashtbl.fold
+        (fun asn s acc -> (asn, Net.Ipv4.Prefix_set.elements !s) :: acc)
+        t.local_prefixes []
+      |> List.sort (fun (a, _) (b, _) -> Net.Asn.compare a b);
+  }
+
+let restore ck =
+  let t = create ~config:ck.ck_config ~seed:ck.ck_seed ck.ck_spec in
+  (* Link states first, silently: watchers must not see these as runtime
+     transitions. *)
+  List.iter
+    (fun (id, up) ->
+      match Net.Netsim.link_by_id t.net id with
+      | Some link -> Net.Link.set_up_internal link up
+      | None -> ())
+    ck.ck_links;
+  (* Component states; each restore re-arms that component's timers and
+     re-schedules its pending work at the captured absolute instants. *)
+  List.iter
+    (fun (asn, st) ->
+      match Net.Asn.Map.find_opt asn t.routers with
+      | Some r -> Engine.Node.restore_state (Bgp.Router.node r) st
+      | None -> ())
+    ck.ck_routers;
+  List.iter
+    (fun (asn, st) ->
+      match Net.Asn.Map.find_opt asn t.switches with
+      | Some sw -> Engine.Node.restore_state (Sdn.Switch.node sw) st
+      | None -> ())
+    ck.ck_switches;
+  Engine.Node.restore_state (Bgp.Collector.node t.collector) ck.ck_collector;
+  (match (t.controller, ck.ck_controller) with
+  | Some c, Some st -> Engine.Node.restore_state (Cluster_ctl.Controller.node c) st
+  | _ -> ());
+  (match (t.speaker, ck.ck_speaker) with
+  | Some s, Some st -> Engine.Node.restore_state (Cluster_ctl.Speaker.node s) st
+  | _ -> ());
+  (* The wire: loss-RNG position, then the captured in-flight messages. *)
+  Engine.Rng.assign ~from:ck.ck_net_rng (Net.Netsim.rng t.net);
+  List.iter (Net.Netsim.inject_in_flight t.net) ck.ck_in_flight;
+  (* Framework-owned data planes. *)
+  List.iter
+    (fun (asn, entries) ->
+      match Net.Asn.Map.find_opt asn t.fibs with
+      | None -> ()
+      | Some fib ->
+        Net.Fib.clear fib;
+        List.iter (fun (p, v) -> Net.Fib.insert fib p v) entries)
+    ck.ck_fibs;
+  List.iter
+    (fun (asn, prefixes) ->
+      let s = local_set t asn in
+      s := Net.Ipv4.Prefix_set.of_list prefixes)
+    ck.ck_locals;
+  (* No [start]: sessions are already open per the captured states. *)
+  t

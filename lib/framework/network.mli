@@ -23,7 +23,18 @@ val start : t -> unit
 
 val sim : t -> Engine.Sim.t
 
+val seed : t -> int
+(** The construction seed (recorded for checkpointing). *)
+
 val fabric : t -> Payload.t Net.Netsim.t
+
+val runtime_node : t -> Net.Asn.t -> Engine.Node.t option
+(** The runtime node behind an AS (its router or switch) or, for
+    {!collector_asn}, the collector. *)
+
+val runtime_nodes : t -> Engine.Node.t list
+(** Every runtime node in fabric-id order, plus the cluster speaker
+    (which shares {!ctrl_node} with the controller). *)
 
 val spec : t -> Topology.Spec.t
 
@@ -72,6 +83,26 @@ val fail_link : t -> Net.Asn.t -> Net.Asn.t -> unit
 
 val recover_link : t -> Net.Asn.t -> Net.Asn.t -> unit
 
+val crash_node : t -> Net.Asn.t -> unit
+(** Crash the AS's component process (router or switch): volatile state
+    is lost (RIBs and FIB, or the flow table), owned timers are
+    cancelled, pending fabric deliveries are refused until restart.
+    @raise Invalid_argument for an unknown AS. *)
+
+val restart_node : t -> Net.Asn.t -> unit
+(** Restart after {!crash_node}: a router re-announces its originations
+    and re-opens every session with a NOTIFICATION-then-OPEN exchange; a
+    switch comes back empty and the controller re-pushes its rules. *)
+
+val crash_controller : t -> unit
+(** Crash the cluster head — controller and speaker together (they are
+    one emulated host).  @raise Invalid_argument without an SDN cluster. *)
+
+val restart_controller : t -> unit
+(** Restart the cluster head: the controller re-runs its pipeline for
+    originated prefixes and external routes return as the speaker
+    resyncs its sessions. *)
+
 val add_peering :
   ?rel:Topology.Spec.rel -> ?delay:Engine.Time.span -> t -> Net.Asn.t -> Net.Asn.t -> unit
 (** Add a new inter-AS peering at runtime ([Open] relationship by
@@ -114,3 +145,24 @@ type forwarding = Local | Next of int | No_route
 val forwarding_at : t -> Net.Asn.t -> Net.Ipv4.addr -> forwarding
 (** The AS's current forwarding decision for an address (FIB for legacy,
     flow table for SDN members). *)
+
+(* --- Whole-network checkpointing --- *)
+
+type checkpoint
+(** An in-memory snapshot: the construction recipe (seed, spec, config)
+    plus link states, every runtime node's captured state, the wire
+    (in-flight messages and the loss-RNG position) and the framework's
+    data planes.  See DESIGN.md "Node runtime" for what is (and is not)
+    captured. *)
+
+val checkpoint : t -> checkpoint
+(** @raise Invalid_argument when peerings were added at runtime
+    ({!add_peering} state is not checkpointable). *)
+
+val checkpoint_time : checkpoint -> Engine.Time.t
+
+val restore : checkpoint -> t
+(** Rebuild a network from a checkpoint.  The restored simulator's clock
+    restarts at zero with captured events re-scheduled at their original
+    absolute instants; do not call {!start} on the result — sessions are
+    already open per the captured states. *)

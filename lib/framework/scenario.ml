@@ -7,6 +7,8 @@ type action =
   | Withdraw of Net.Asn.t * Net.Ipv4.prefix option
   | Fail_link of Net.Asn.t * Net.Asn.t
   | Recover_link of Net.Asn.t * Net.Asn.t
+  | Crash_node of Net.Asn.t
+  | Restart_node of Net.Asn.t
   | Ping of Net.Asn.t * Net.Asn.t
   | Note of string
 
@@ -35,6 +37,8 @@ let pp_action ppf = function
       p
   | Fail_link (a, b) -> Fmt.pf ppf "fail-link %a %a" Net.Asn.pp a Net.Asn.pp b
   | Recover_link (a, b) -> Fmt.pf ppf "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Crash_node asn -> Fmt.pf ppf "crash %a" Net.Asn.pp asn
+  | Restart_node asn -> Fmt.pf ppf "restart %a" Net.Asn.pp asn
   | Ping (a, b) -> Fmt.pf ppf "ping %a -> %a" Net.Asn.pp a Net.Asn.pp b
   | Note s -> Fmt.pf ppf "note %S" s
 
@@ -45,6 +49,8 @@ let pp_action ppf = function
      @0.5  announce AS65001
      @2.0  announce AS65002 100.99.0.0/24
      @10.0 fail-link AS65001 AS65002
+     @15.0 crash AS65003
+     @18.0 restart AS65003
      @20.0 recover-link AS65001 AS65002
      @25.0 ping AS65002 AS65001
      @30.0 withdraw AS65001
@@ -61,6 +67,8 @@ let render_action = function
       (match p with Some p -> " " ^ Net.Ipv4.prefix_to_string p | None -> "")
   | Fail_link (a, b) -> Fmt.str "fail-link %a %a" Net.Asn.pp a Net.Asn.pp b
   | Recover_link (a, b) -> Fmt.str "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Crash_node asn -> Fmt.str "crash %a" Net.Asn.pp asn
+  | Restart_node asn -> Fmt.str "restart %a" Net.Asn.pp asn
   | Ping (a, b) -> Fmt.str "ping %a %a" Net.Asn.pp a Net.Asn.pp b
   | Note s -> Fmt.str "note %s" s
 
@@ -116,9 +124,14 @@ let parse_line lineno line =
           | Error e -> fail e)
         | "fail-link", Some a, Some b -> Ok (Some (at seconds (Fail_link (a, b))))
         | "recover-link", Some a, Some b -> Ok (Some (at seconds (Recover_link (a, b))))
+        | "crash", Some a, _ -> Ok (Some (at seconds (Crash_node a)))
+        | "restart", Some a, _ -> Ok (Some (at seconds (Restart_node a)))
         | "ping", Some a, Some b -> Ok (Some (at seconds (Ping (a, b))))
         | "note", _, _ -> Ok (Some (at seconds (Note (String.concat " " args))))
-        | ("announce" | "withdraw" | "fail-link" | "recover-link" | "ping"), _, _ ->
+        | ( ("announce" | "withdraw" | "fail-link" | "recover-link" | "crash" | "restart"
+            | "ping"),
+            _,
+            _ ) ->
           fail "bad or missing AS number"
         | other, _, _ -> fail (Fmt.str "unknown action %S" other)))
     | _ -> fail "expected: @SECONDS ACTION ..."
@@ -160,6 +173,8 @@ let run exp scenario =
         | Withdraw (asn, p) -> Network.withdraw network asn (prefix_for asn p)
         | Fail_link (a, b) -> Network.fail_link network a b
         | Recover_link (a, b) -> Network.recover_link network a b
+        | Crash_node asn -> Network.crash_node network asn
+        | Restart_node asn -> Network.restart_node network asn
         | Ping (src, dst) ->
           let plan = Network.plan network in
           Network.inject network ~src

@@ -6,6 +6,8 @@ type action =
   | Withdraw of Net.Asn.t * Net.Ipv4.prefix option
   | Fail_link of Net.Asn.t * Net.Asn.t
   | Recover_link of Net.Asn.t * Net.Asn.t
+  | Crash_node of Net.Asn.t  (** crash the AS's router or switch process *)
+  | Restart_node of Net.Asn.t
   | Ping of Net.Asn.t * Net.Asn.t
   | Note of string
 

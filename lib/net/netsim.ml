@@ -3,18 +3,50 @@
    Parametric in the message payload so the protocol layers (BGP, OpenFlow,
    data packets) define their own message types without this module
    depending on them.  Messages in flight when their link fails are dropped
-   at delivery time, like frames on a cut wire. *)
+   at delivery time, like frames on a cut wire.
+
+   Receivers are attached either as a raw handler closure (legacy, kept for
+   tests) or as an [Engine.Node] port, which adds lifecycle awareness: a
+   down node's traffic is dropped with reason [Node_down] instead of being
+   handed to stale state.
+
+   Every silent drop is accounted per reason under
+   [net_messages_dropped_total{reason=...}]; the unlabeled aggregate series
+   is kept (registered eagerly, as before) so existing dashboards and the
+   byte-identical export guarantee for drop-free runs are preserved — the
+   labeled children only appear once a drop of that reason happens. *)
 
 type 'a handler = from:int -> 'a -> unit
 
 type link_watcher = link:Link.t -> peer:int -> up:bool -> unit
 
+type 'a sink = Handler of 'a handler | Port of 'a Engine.Node.port
+
+type drop_reason = Link_down | Loss | Queue | No_handler | Node_down
+
+let drop_reason_label = function
+  | Link_down -> "link_down"
+  | Loss -> "loss"
+  | Queue -> "queue"
+  | No_handler -> "no_handler"
+  | Node_down -> "node_down"
+
 type 'a node = {
   id : int;
   name : string;
-  mutable handler : 'a handler option;
+  mutable sink : 'a sink option;
   mutable link_watcher : link_watcher option;
 }
+
+type 'a flight = {
+  f_id : int;
+  f_src : int;
+  f_dst : int;
+  f_at : Engine.Time.t;
+  f_payload : 'a;
+}
+
+type 'a in_flight = { src : int; dst : int; deliver_at : Engine.Time.t; payload : 'a }
 
 type 'a t = {
   sim : Engine.Sim.t;
@@ -23,9 +55,13 @@ type 'a t = {
   links : (Link.id, Link.t) Hashtbl.t;
   by_pair : (int * int, Link.id) Hashtbl.t;
   mutable next_link_id : int;
+  flights : (int, 'a flight) Hashtbl.t;
+  mutable next_flight_id : int;
   sent_c : Engine.Metrics.Counter.t;
   delivered_c : Engine.Metrics.Counter.t;
   dropped_c : Engine.Metrics.Counter.t;
+  dropped_by : (drop_reason, Engine.Metrics.Counter.t) Hashtbl.t;
+  drop_counts : (drop_reason, int) Hashtbl.t;
 }
 
 let create sim =
@@ -37,6 +73,8 @@ let create sim =
     links = Hashtbl.create 64;
     by_pair = Hashtbl.create 64;
     next_link_id = 0;
+    flights = Hashtbl.create 64;
+    next_flight_id = 0;
     sent_c =
       Engine.Metrics.counter m ~help:"messages accepted onto a link" "net_messages_sent_total";
     delivered_c =
@@ -46,15 +84,19 @@ let create sim =
       Engine.Metrics.counter m
         ~help:"messages lost to link failure, loss, queue overflow or no handler"
         "net_messages_dropped_total";
+    dropped_by = Hashtbl.create 8;
+    drop_counts = Hashtbl.create 8;
   }
 
 let sim t = t.sim
+
+let rng t = t.rng
 
 let pair u v = if u < v then (u, v) else (v, u)
 
 let add_node t ~id ~name =
   if Hashtbl.mem t.nodes id then invalid_arg (Fmt.str "Netsim.add_node: duplicate id %d" id);
-  Hashtbl.replace t.nodes id { id; name; handler = None; link_watcher = None }
+  Hashtbl.replace t.nodes id { id; name; sink = None; link_watcher = None }
 
 let node t id =
   match Hashtbl.find_opt t.nodes id with
@@ -68,7 +110,12 @@ let node_name t id = (node t id).name
 let node_ids t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort Int.compare
 
-let set_handler t id h = (node t id).handler <- Some h
+let set_handler t id h = (node t id).sink <- Some (Handler h)
+
+let attach t id port = (node t id).sink <- Some (Port port)
+
+let attached_node t id =
+  match (node t id).sink with Some (Port p) -> Some (Engine.Node.port_node p) | _ -> None
 
 let set_link_watcher t id w = (node t id).link_watcher <- Some w
 
@@ -129,22 +176,62 @@ let recover_link_between t u v =
     true
   | None -> false
 
-let drop t link =
+(* The per-reason children are registered on first drop of that reason so
+   drop-free runs export exactly the series they always did. *)
+let drop t link reason =
   Link.note_dropped link;
-  Engine.Metrics.Counter.inc t.dropped_c
+  Engine.Metrics.Counter.inc t.dropped_c;
+  let labelled =
+    match Hashtbl.find_opt t.dropped_by reason with
+    | Some c -> c
+    | None ->
+      let c =
+        Engine.Metrics.counter (Engine.Sim.metrics t.sim)
+          ~help:"messages lost to link failure, loss, queue overflow or no handler"
+          ~labels:[ ("reason", drop_reason_label reason) ]
+          "net_messages_dropped_total"
+      in
+      Hashtbl.replace t.dropped_by reason c;
+      c
+  in
+  Engine.Metrics.Counter.inc labelled;
+  Hashtbl.replace t.drop_counts reason
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.drop_counts reason))
+
+let drops t reason = Option.value ~default:0 (Hashtbl.find_opt t.drop_counts reason)
 
 let deliver t link ~src ~dst payload () =
-  if not (Link.is_up link) then drop t link
+  if not (Link.is_up link) then drop t link Link_down
   else if Link.loss link > 0.0 && Engine.Rng.chance t.rng (Link.loss link) then
-    drop t link
+    drop t link Loss
   else begin
-    match (node t dst).handler with
-    | None -> drop t link
-    | Some h ->
+    match (node t dst).sink with
+    | None -> drop t link No_handler
+    | Some (Handler h) ->
       Link.note_delivered link;
       Engine.Metrics.Counter.inc t.delivered_c;
       h ~from:src payload
+    | Some (Port p) ->
+      if not (Engine.Node.is_up (Engine.Node.port_node p)) then drop t link Node_down
+      else begin
+        Link.note_delivered link;
+        Engine.Metrics.Counter.inc t.delivered_c;
+        if not (Engine.Node.deliver p ~from:src payload) then drop t link Queue
+      end
   end
+
+(* Each scheduled delivery is tracked in [flights] until it fires, so a
+   checkpoint can capture the wire contents ([in_flight]) and a restore
+   can put them back ([inject_in_flight]). *)
+let schedule_flight t link ~src ~dst deliver_at payload =
+  let id = t.next_flight_id in
+  t.next_flight_id <- id + 1;
+  Hashtbl.replace t.flights id
+    { f_id = id; f_src = src; f_dst = dst; f_at = deliver_at; f_payload = payload };
+  ignore
+    (Engine.Sim.schedule_at ~category:"net.deliver" t.sim deliver_at (fun () ->
+         Hashtbl.remove t.flights id;
+         deliver t link ~src ~dst payload ()))
 
 (* [size_bits] matters only on bandwidth-limited links, where it adds
    serialization delay and FIFO queuing (drop-tail when the direction's
@@ -156,14 +243,23 @@ let send ?(size_bits = 8 * 64) t ~src ~dst payload =
   | Some link -> (
     match Link.admit link ~now:(Engine.Sim.now t.sim) ~dst ~size_bits with
     | None ->
-      drop t link;
+      drop t link Queue;
       true (* accepted by the sender, lost in the queue *)
     | Some delivery_at ->
       Engine.Metrics.Counter.inc t.sent_c;
-      ignore
-        (Engine.Sim.schedule_at ~category:"net.deliver" t.sim delivery_at
-           (deliver t link ~src ~dst payload));
+      schedule_flight t link ~src ~dst delivery_at payload;
       true)
+
+let in_flight t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.flights []
+  |> List.sort (fun a b -> Int.compare a.f_id b.f_id)
+  |> List.map (fun f ->
+         { src = f.f_src; dst = f.f_dst; deliver_at = f.f_at; payload = f.f_payload })
+
+let inject_in_flight t { src; dst; deliver_at; payload } =
+  match link_between t src dst with
+  | None -> invalid_arg (Fmt.str "Netsim.inject_in_flight: no link %d<->%d" src dst)
+  | Some link -> schedule_flight t link ~src ~dst deliver_at payload
 
 (* Current topology restricted to links that are up. *)
 let up_graph t =

@@ -5,11 +5,24 @@ type 'a handler = from:int -> 'a -> unit
 
 type link_watcher = link:Link.t -> peer:int -> up:bool -> unit
 
+type drop_reason = Link_down | Loss | Queue | No_handler | Node_down
+(** Why a delivery was silently dropped: link down at delivery time,
+    probabilistic loss, queue overflow (link drop-tail or node mailbox),
+    no receiver attached, or receiver node crashed. *)
+
+val drop_reason_label : drop_reason -> string
+(** The [reason] label value used on
+    [net_messages_dropped_total{reason=...}]. *)
+
 type 'a t
 
 val create : Engine.Sim.t -> 'a t
 
 val sim : 'a t -> Engine.Sim.t
+
+val rng : 'a t -> Engine.Rng.t
+(** The fabric's loss-decision stream (checkpointing captures its
+    position). *)
 
 val add_node : 'a t -> id:int -> name:string -> unit
 (** @raise Invalid_argument on duplicate ids. *)
@@ -22,7 +35,16 @@ val node_ids : 'a t -> int list
 (** Sorted ascending. *)
 
 val set_handler : 'a t -> int -> 'a handler -> unit
-(** Install the node's message handler (nodes without one drop traffic). *)
+(** Install a raw handler closure (nodes without any sink drop traffic).
+    Lifecycle-blind — prefer {!attach}. *)
+
+val attach : 'a t -> int -> 'a Engine.Node.port -> unit
+(** Attach an [Engine.Node] mailbox port as the node's sink: deliveries to
+    a crashed node are dropped (reason [Node_down]) and mailbox overflow
+    is dropped (reason [Queue]) instead of being handed to stale state. *)
+
+val attached_node : 'a t -> int -> Engine.Node.t option
+(** The runtime node behind a {!attach}ed sink, if any. *)
 
 val set_link_watcher : 'a t -> int -> link_watcher -> unit
 (** Called when an adjacent link changes state. *)
@@ -64,6 +86,20 @@ val send : ?size_bits:int -> 'a t -> src:int -> dst:int -> 'a -> bool
     between the nodes.  [size_bits] (default 512) only matters on
     bandwidth-limited links; a drop-tail loss still returns [true] — the
     sender cannot tell. *)
+
+val drops : 'a t -> drop_reason -> int
+(** Messages dropped for [reason] since creation. *)
+
+type 'a in_flight = { src : int; dst : int; deliver_at : Engine.Time.t; payload : 'a }
+
+val in_flight : 'a t -> 'a in_flight list
+(** Messages on the wire (sent, not yet delivered), in send order —
+    the wire contents a checkpoint must capture. *)
+
+val inject_in_flight : 'a t -> 'a in_flight -> unit
+(** Re-schedule a captured delivery at its original absolute instant
+    (restore path).
+    @raise Invalid_argument if no link joins the endpoints. *)
 
 val up_graph : 'a t -> Graph.t
 (** Snapshot of the topology restricted to links that are currently up. *)

@@ -18,6 +18,7 @@ type stats = {
 
 type t = {
   sim : Engine.Sim.t;
+  node : Engine.Node.t;
   asn : Net.Asn.t;
   node_id : int;
   table : Flow_table.t;
@@ -33,10 +34,17 @@ type t = {
 
 let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"switch" fmt
 
+type Engine.Node.blob += Switch_state of Flow.rule list
+
 let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~node_of_asn
     ~is_local ~deliver_local =
+  let node =
+    Engine.Node.create ~kind:"switch" sim ~name:(Fmt.str "sw-%a" Net.Asn.pp asn)
+  in
+  let t =
   {
     sim;
+    node;
     asn;
     node_id;
     table =
@@ -60,8 +68,30 @@ let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~n
         flow_mods = 0;
       };
   }
+  in
+  (* A crashed switch loses its flow table; the controller re-installs
+     rules when the framework resyncs the member on restart. *)
+  Engine.Node.on_crash node (fun () -> Flow_table.clear t.table);
+  (* Rule records are mutable ([packets], [last_used]) and the
+     checkpointed run keeps running, so both directions copy.  Timeout
+     enforcement is not re-armed on restore — a documented checkpoint
+     limitation (rules outlive their recorded idle/hard deadlines). *)
+  Engine.Node.set_snapshot node (fun () ->
+      Switch_state (List.map (fun (r : Flow.rule) -> { r with packets = r.packets })
+          (Flow_table.rules t.table)));
+  Engine.Node.set_restore node (function
+    | Switch_state rules ->
+      Flow_table.clear t.table;
+      List.iter
+        (fun (r : Flow.rule) -> Flow_table.add t.table { r with packets = r.packets })
+        rules
+    | _ -> invalid_arg "Switch.restore: foreign snapshot blob");
+  Engine.Node.start node;
+  t
 
 let asn t = t.asn
+
+let node t = t.node
 
 let node_id t = t.node_id
 
@@ -83,9 +113,8 @@ let arm_timeouts t (rule : Flow.rule) =
   rule.Flow.last_used <- Engine.Sim.now t.sim;
   Option.iter
     (fun span ->
-      ignore
-        (Engine.Sim.schedule_after ~category:"sdn.timeout" t.sim span (fun () ->
-             expire t rule Openflow.Hard_timeout)))
+      Engine.Node.schedule_after ~category:"sdn.timeout" t.node span (fun () ->
+          expire t rule Openflow.Hard_timeout))
     rule.Flow.hard_timeout;
   Option.iter
     (fun span ->
@@ -95,10 +124,10 @@ let arm_timeouts t (rule : Flow.rule) =
           if Engine.Time.(idle_deadline <= Engine.Sim.now t.sim) then
             expire t rule Openflow.Idle_timeout
           else
-            ignore (Engine.Sim.schedule_at ~category:"sdn.timeout" t.sim idle_deadline check)
+            Engine.Node.schedule_at ~category:"sdn.timeout" t.node idle_deadline check
         end
       in
-      ignore (Engine.Sim.schedule_after ~category:"sdn.timeout" t.sim span check))
+      Engine.Node.schedule_after ~category:"sdn.timeout" t.node span check)
     rule.Flow.idle_timeout
 
 let handle_data t ~from (packet : Net.Packet.t) =

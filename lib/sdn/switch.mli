@@ -28,6 +28,10 @@ val create :
 
 val asn : t -> Net.Asn.t
 
+val node : t -> Engine.Node.t
+(** The runtime node; a crash empties the flow table (the controller
+    re-installs rules when the member is resynced on restart). *)
+
 val node_id : t -> int
 
 val table : t -> Flow_table.t

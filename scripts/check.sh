@@ -24,6 +24,9 @@ dune runtest
 step "smoke (instrumented run + metrics validation)"
 dune build @smoke
 
+step "chaos smoke (cluster-head crash/restart + reconvergence)"
+dune build @chaos-smoke
+
 step "bench smoke (quick sweep + JSON baseline validation)"
 dune build @bench-smoke
 

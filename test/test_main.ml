@@ -9,6 +9,7 @@ let () =
       ("engine.stats", Test_stats.suite);
       ("engine.sim", Test_sim.suite);
       ("engine.metrics", Test_metrics.suite);
+      ("engine.node", Test_node_runtime.suite);
       ("net.ipv4", Test_ipv4.suite);
       ("net.graph", Test_graph.suite);
       ("net.fib", Test_fib.suite);

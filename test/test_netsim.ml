@@ -173,6 +173,83 @@ let test_directions_independent () =
   Alcotest.(check (option int)) "a->b" (Some 18_000) (Option.map Time.to_us !at_2);
   Alcotest.(check (option int)) "b->a" (Some 18_000) (Option.map Time.to_us !at_1)
 
+(* --- Drop-reason accounting (net_messages_dropped_total{reason=...}) ---- *)
+
+let test_drop_reason_link_down () =
+  let sim, net = setup () in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  let link = Netsim.add_link ~delay:(Time.ms 10) net 1 2 in
+  Netsim.set_handler net 2 (fun ~from:_ _ -> ());
+  ignore (Netsim.send net ~src:1 ~dst:2 "doomed");
+  ignore (Sim.schedule_at sim (Time.ms 5) (fun () -> Netsim.set_link_up net link false));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "link_down counted" 1 (Netsim.drops net Netsim.Link_down);
+  Alcotest.(check int) "no other reasons" 0 (Netsim.drops net Netsim.Loss)
+
+let test_drop_reason_loss () =
+  let sim, net = setup () in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  ignore (Netsim.add_link ~loss:1.0 net 1 2);
+  Netsim.set_handler net 2 (fun ~from:_ _ -> ());
+  ignore (Netsim.send net ~src:1 ~dst:2 "lost");
+  ignore (Sim.run sim);
+  Alcotest.(check int) "loss counted" 1 (Netsim.drops net Netsim.Loss)
+
+let test_drop_reason_queue () =
+  let sim = Sim.create () in
+  let net : int Netsim.t = Netsim.create sim in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  ignore
+    (Netsim.add_link ~delay:(Time.ms 1) ~bandwidth_bps:1_000_000 ~queue_limit:2 net 1 2);
+  Netsim.set_handler net 2 (fun ~from:_ _ -> ());
+  for i = 1 to 6 do
+    ignore (Netsim.send ~size_bits:8000 net ~src:1 ~dst:2 i)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "drop-tail counted as queue" true (Netsim.drops net Netsim.Queue > 0)
+
+let test_drop_reason_no_handler () =
+  let sim, net = setup () in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  ignore (Netsim.add_link net 1 2);
+  ignore (Netsim.send net ~src:1 ~dst:2 "void");
+  ignore (Sim.run sim);
+  Alcotest.(check int) "no_handler counted" 1 (Netsim.drops net Netsim.No_handler)
+
+let test_drop_reason_node_down () =
+  let sim, net = setup () in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  ignore (Netsim.add_link ~delay:(Time.ms 10) net 1 2);
+  let got = ref 0 in
+  let receiver = Node.create ~kind:"test" sim ~name:"b" in
+  Node.start receiver;
+  Netsim.attach net 2 (Node.port receiver ~handler:(fun ~from:_ _ -> incr got));
+  Alcotest.(check bool) "attached node visible" true (Netsim.attached_node net 2 <> None);
+  ignore (Netsim.send net ~src:1 ~dst:2 "too late");
+  ignore (Sim.schedule_at sim (Time.ms 5) (fun () -> Node.crash receiver));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "not processed" 0 !got;
+  Alcotest.(check int) "node_down counted" 1 (Netsim.drops net Netsim.Node_down)
+
+let test_drop_reason_metric_labels () =
+  let sim, net = setup () in
+  Netsim.add_node net ~id:1 ~name:"a";
+  Netsim.add_node net ~id:2 ~name:"b";
+  ignore (Netsim.add_link net 1 2);
+  ignore (Netsim.send net ~src:1 ~dst:2 "void");
+  ignore (Sim.run sim);
+  let snap = Metrics.snapshot (Sim.metrics sim) ~at:(Sim.now sim) in
+  Alcotest.(check (option (float 0.))) "labeled series exported" (Some 1.0)
+    (Metrics.value snap ~labels:[ ("reason", "no_handler") ] "net_messages_dropped_total");
+  (* the unlabeled aggregate keeps counting every reason *)
+  Alcotest.(check (option (float 0.))) "aggregate series" (Some 1.0)
+    (Metrics.value snap "net_messages_dropped_total")
+
 let suite =
   [
     Alcotest.test_case "delivery with delay" `Quick test_delivery_with_delay;
@@ -188,4 +265,10 @@ let suite =
     Alcotest.test_case "lossy link" `Quick test_lossy_link;
     Alcotest.test_case "duplicate guards" `Quick test_duplicate_guards;
     Alcotest.test_case "up graph" `Quick test_up_graph;
+    Alcotest.test_case "drop reason: link down" `Quick test_drop_reason_link_down;
+    Alcotest.test_case "drop reason: loss" `Quick test_drop_reason_loss;
+    Alcotest.test_case "drop reason: queue" `Quick test_drop_reason_queue;
+    Alcotest.test_case "drop reason: no handler" `Quick test_drop_reason_no_handler;
+    Alcotest.test_case "drop reason: node down" `Quick test_drop_reason_node_down;
+    Alcotest.test_case "drop reason: metric labels" `Quick test_drop_reason_metric_labels;
   ]

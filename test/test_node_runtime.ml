@@ -1,0 +1,248 @@
+(* Engine.Node actor runtime: lifecycle, mailboxes, epoch guards, owned
+   timers, and whole-network checkpoint/restore equivalence. *)
+
+open Engine
+
+let asn = Topology.Artificial.asn
+
+let cfg = Framework.Config.fast_test
+
+(* --- Lifecycle ---------------------------------------------------------- *)
+
+let test_lifecycle_and_hooks () =
+  let sim = Sim.create ~seed:1 () in
+  let n = Node.create ~kind:"test" sim ~name:"n0" in
+  let log = ref [] in
+  Node.on_start n (fun ~first -> log := (if first then "start-first" else "start") :: !log);
+  Node.on_crash n (fun () -> log := "crash" :: !log);
+  Alcotest.(check bool) "created, not up" false (Node.is_up n);
+  Node.start n;
+  Alcotest.(check bool) "up after start" true (Node.is_up n);
+  Alcotest.(check int) "epoch 0" 0 (Node.epoch n);
+  Node.start n;
+  (* idempotent *)
+  Node.crash n;
+  Alcotest.(check bool) "down after crash" false (Node.is_up n);
+  Alcotest.(check int) "epoch bumped" 1 (Node.epoch n);
+  Alcotest.(check int) "crash counted" 1 (Node.crashes n);
+  Node.crash n;
+  (* no-op while down *)
+  Alcotest.(check int) "crash idempotent while down" 1 (Node.crashes n);
+  Node.restart n;
+  Alcotest.(check bool) "up after restart" true (Node.is_up n);
+  Alcotest.(check (list string)) "hook order"
+    [ "start-first"; "crash"; "start" ]
+    (List.rev !log)
+
+let test_epoch_guard () =
+  let sim = Sim.create ~seed:2 () in
+  let n = Node.create sim ~name:"g" in
+  Node.start n;
+  let fired = ref [] in
+  Node.schedule_at n (Time.ms 3) (fun () -> fired := "before" :: !fired);
+  Node.schedule_at n (Time.ms 10) (fun () -> fired := "stale" :: !fired);
+  ignore (Sim.schedule_at sim (Time.ms 5) (fun () -> Node.crash n));
+  ignore (Sim.schedule_at sim (Time.ms 6) (fun () -> Node.restart n));
+  (* scheduled before the crash -> voided by the epoch bump, even though
+     the node is up again when the event fires *)
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "pre-crash event fired, stale one voided" [ "before" ]
+    (List.rev !fired);
+  Node.schedule_after n (Time.ms 1) (fun () -> fired := "fresh" :: !fired);
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "post-restart scheduling works" [ "before"; "fresh" ]
+    (List.rev !fired)
+
+let test_mailbox_order_and_overflow () =
+  let sim = Sim.create ~seed:3 () in
+  let n = Node.create ~mailbox_capacity:2 sim ~name:"mb" in
+  Node.start n;
+  let seen = ref [] in
+  let port = ref None in
+  let handler ~from:_ msg =
+    seen := msg :: !seen;
+    if msg = "first" then begin
+      (* re-entrant deliveries queue behind the draining message *)
+      Alcotest.(check bool) "re-entrant enqueue" true
+        (Node.deliver (Option.get !port) ~from:0 "a");
+      Alcotest.(check bool) "re-entrant enqueue" true
+        (Node.deliver (Option.get !port) ~from:0 "b");
+      Alcotest.(check bool) "overflow refused" false
+        (Node.deliver (Option.get !port) ~from:0 "c")
+    end
+  in
+  let p = Node.port n ~handler in
+  port := Some p;
+  Alcotest.(check bool) "delivered" true (Node.deliver p ~from:0 "first");
+  Alcotest.(check (list string)) "arrival order" [ "first"; "a"; "b" ] (List.rev !seen);
+  Alcotest.(check int) "drop accounted" 1 (Node.mailbox_dropped n);
+  Alcotest.(check int) "processed" 3 (Node.processed n);
+  Node.crash n;
+  Alcotest.(check bool) "down node refuses" false (Node.deliver p ~from:0 "x")
+
+let test_crash_cancels_owned_timers () =
+  let sim = Sim.create ~seed:4 () in
+  let n = Node.create sim ~name:"t" in
+  Node.start n;
+  let fired = ref false in
+  let tm = Node.timer n ~name:"tick" ~callback:(fun () -> fired := true) in
+  Timer.start tm (Time.ms 10);
+  ignore (Sim.schedule_at sim (Time.ms 5) (fun () -> Node.crash n));
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "timer cancelled by crash" false !fired;
+  Alcotest.(check bool) "disarmed" false (Timer.is_armed tm)
+
+(* --- Component crash/restart through the framework ---------------------- *)
+
+let test_router_crash_restart_reconverges () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:11 (Topology.Artificial.clique 4) in
+  let net = Framework.Experiment.network exp in
+  let prefix = Framework.Experiment.announce exp (asn 0) in
+  ignore (Framework.Experiment.settle exp);
+  let r1 = Option.get (Framework.Network.router net (asn 1)) in
+  Alcotest.(check bool) "route present pre-crash" true (Bgp.Router.best r1 prefix <> None);
+  Framework.Network.crash_node net (asn 1);
+  Alcotest.(check bool) "volatile RIB lost" true (Bgp.Router.loc_entries r1 = []);
+  let host0 = (Framework.Network.plan net).Framework.Addressing.host_addr (asn 0) in
+  Alcotest.(check bool) "FIB cleared with the crash" true
+    (Framework.Network.forwarding_at net (asn 1) host0 = Framework.Network.No_route);
+  Framework.Network.restart_node net (asn 1);
+  ignore (Framework.Experiment.settle exp);
+  Alcotest.(check bool) "session re-established" true
+    (Bgp.Router.peer_established r1 (asn 0));
+  Alcotest.(check bool) "route relearned" true (Bgp.Router.best r1 prefix <> None);
+  Alcotest.(check bool) "FIB repopulated" true
+    (Framework.Network.forwarding_at net (asn 1) host0 <> Framework.Network.No_route)
+
+let hybrid_spec n members =
+  let spec = Topology.Artificial.clique n in
+  let asns = Topology.Spec.asns spec in
+  Topology.Spec.with_sdn spec (List.filteri (fun i _ -> i >= n - members) asns)
+
+let test_controller_crash_restart_reconverges () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:12 (hybrid_spec 6 3) in
+  let net = Framework.Experiment.network exp in
+  let prefix = Framework.Experiment.announce exp (asn 0) in
+  ignore (Framework.Experiment.settle exp);
+  let member = asn 5 in
+  Alcotest.(check bool) "member reachable pre-crash" true
+    (Framework.Experiment.reachable exp ~src:member ~dst:(asn 0));
+  Framework.Network.crash_controller net;
+  let ctrl = Option.get (Framework.Network.controller net) in
+  Alcotest.(check bool) "controller RIB lost" true
+    (Cluster_ctl.Controller.rib_routes ctrl prefix = []);
+  Framework.Network.restart_controller net;
+  ignore (Framework.Experiment.settle exp);
+  Alcotest.(check bool) "routes back after cluster-head restart" true
+    (Cluster_ctl.Controller.rib_routes ctrl prefix <> []);
+  Alcotest.(check bool) "member reachable again" true
+    (Framework.Experiment.reachable exp ~src:member ~dst:(asn 0))
+
+(* --- Checkpoint / restore equivalence ----------------------------------- *)
+
+(* Everything observable that convergence produces: per-router Loc-RIBs,
+   per-switch flow tables, and the collector's full event dump (which is
+   what FIG2 convergence times are computed from). *)
+let fingerprint net =
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun a ->
+      match Framework.Network.router net a with
+      | Some r ->
+        List.iter
+          (fun (p, route) ->
+            Buffer.add_string buf
+              (Fmt.str "%a loc %a %a\n" Net.Asn.pp a Net.Ipv4.pp_prefix p Bgp.Route.pp route))
+          (Bgp.Router.loc_entries r)
+      | None -> (
+        match Framework.Network.switch net a with
+        | Some sw ->
+          List.iter
+            (fun rule ->
+              Buffer.add_string buf (Fmt.str "%a flow %a\n" Net.Asn.pp a Sdn.Flow.pp rule))
+            (Sdn.Flow_table.entries_sorted (Sdn.Switch.table sw))
+        | None -> ()))
+    (Framework.Network.asns net);
+  Buffer.add_string buf (Bgp.Collector.dump (Framework.Network.collector net));
+  Buffer.contents buf
+
+(* Drive a fresh 16-AS hybrid clique to the mid-convergence instant: an
+   announced prefix settles, then a withdrawal is cut off [mid] after it
+   starts propagating. *)
+let drive_to_mid seed =
+  let net = Framework.Network.create ~config:cfg ~seed (hybrid_spec 16 4) in
+  Framework.Network.start net;
+  let origin = asn 0 in
+  let prefix = (Framework.Network.plan net).Framework.Addressing.origin_prefix origin in
+  Framework.Network.originate net origin prefix;
+  let settled = Framework.Network.settle net in
+  Framework.Network.withdraw net origin prefix;
+  let mid = Time.add settled (Time.ms 20) in
+  Framework.Network.run_until net mid;
+  (net, prefix, mid)
+
+let test_checkpoint_restore_byte_identical () =
+  let seed = 77 in
+  (* Reference: the uninterrupted run. *)
+  let net_a, prefix, mid = drive_to_mid seed in
+  let quiesced_a = Framework.Network.settle net_a in
+  let fp_a = fingerprint net_a in
+  let conv_a =
+    Bgp.Collector.last_update_for (Framework.Network.collector net_a) prefix
+  in
+  (* The same run, checkpointed mid-convergence and restored into a
+     fresh simulator. *)
+  let net_b, _, mid_b = drive_to_mid seed in
+  Alcotest.(check int) "identical mid instant" (Time.to_us mid) (Time.to_us mid_b);
+  let ck = Framework.Network.checkpoint net_b in
+  Alcotest.(check int) "checkpoint stamped at mid" (Time.to_us mid)
+    (Time.to_us (Framework.Network.checkpoint_time ck));
+  let net_c = Framework.Network.restore ck in
+  let quiesced_c = Framework.Network.settle net_c in
+  let conv_c =
+    Bgp.Collector.last_update_for (Framework.Network.collector net_c) prefix
+  in
+  (* The withdrawal was genuinely still converging at the checkpoint. *)
+  (match conv_a with
+  | Some t -> Alcotest.(check bool) "checkpoint taken mid-convergence" true Time.(mid < t)
+  | None -> Alcotest.fail "no collector activity for the withdrawn prefix");
+  Alcotest.(check int) "quiescence instants identical" (Time.to_us quiesced_a)
+    (Time.to_us quiesced_c);
+  Alcotest.(check (option int)) "final collector update identical"
+    (Option.map Time.to_us conv_a) (Option.map Time.to_us conv_c);
+  Alcotest.(check string) "RIBs, flow tables and collector dump byte-identical" fp_a
+    (fingerprint net_c)
+
+(* Restoring must also commute with *further* lifecycle actions: crash a
+   router after the restore point in both worlds and compare again. *)
+let test_checkpoint_then_crash_equivalent () =
+  let seed = 78 in
+  let continue_with_crash net =
+    Framework.Network.crash_node net (asn 3);
+    ignore (Framework.Network.settle net);
+    Framework.Network.restart_node net (asn 3);
+    ignore (Framework.Network.settle net);
+    fingerprint net
+  in
+  let net_a, _, _ = drive_to_mid seed in
+  let fp_a = continue_with_crash net_a in
+  let net_b, _, _ = drive_to_mid seed in
+  let net_c = Framework.Network.restore (Framework.Network.checkpoint net_b) in
+  let fp_c = continue_with_crash net_c in
+  Alcotest.(check string) "crash after restore matches crash after continue" fp_a fp_c
+
+let suite =
+  [
+    Alcotest.test_case "lifecycle and hooks" `Quick test_lifecycle_and_hooks;
+    Alcotest.test_case "epoch guard" `Quick test_epoch_guard;
+    Alcotest.test_case "mailbox order and overflow" `Quick test_mailbox_order_and_overflow;
+    Alcotest.test_case "crash cancels owned timers" `Quick test_crash_cancels_owned_timers;
+    Alcotest.test_case "router crash/restart reconverges" `Quick
+      test_router_crash_restart_reconverges;
+    Alcotest.test_case "controller crash/restart reconverges" `Quick
+      test_controller_crash_restart_reconverges;
+    Alcotest.test_case "checkpoint/restore byte-identical" `Quick
+      test_checkpoint_restore_byte_identical;
+    Alcotest.test_case "checkpoint then crash equivalent" `Quick
+      test_checkpoint_then_crash_equivalent;
+  ]

@@ -70,9 +70,60 @@ let test_ping_action () =
   ignore (Framework.Scenario.run exp scenario);
   Alcotest.(check bool) "echo and reply delivered" true (!delivered >= 2)
 
+let test_crash_restart_actions () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:34 (Topology.Artificial.clique 4) in
+  let t0 = Engine.Time.to_sec_f (Framework.Experiment.now exp) in
+  let scenario =
+    Framework.Scenario.make ~title:"chaos"
+      [
+        Framework.Scenario.at (t0 +. 0.1) (Framework.Scenario.Announce (asn 0, None));
+        Framework.Scenario.at (t0 +. 10.0) (Framework.Scenario.Crash_node (asn 1));
+        Framework.Scenario.at (t0 +. 12.0) (Framework.Scenario.Restart_node (asn 1));
+      ]
+  in
+  ignore (Framework.Scenario.run exp scenario);
+  let net = Framework.Experiment.network exp in
+  let r1 = Option.get (Framework.Network.router net (asn 1)) in
+  let prefix = Framework.Experiment.default_prefix exp (asn 0) in
+  Alcotest.(check bool) "session back after restart" true
+    (Bgp.Router.peer_established r1 (asn 0));
+  Alcotest.(check bool) "route relearned after restart" true
+    (Bgp.Router.best r1 prefix <> None)
+
+let test_text_round_trip () =
+  let text =
+    "# scenario: chaos\n@1.000 announce AS65000\n@10.000 crash AS65001\n\
+     @12.000 restart AS65001\n@15.000 fail-link AS65000 AS65001\n"
+  in
+  match Framework.Scenario.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> (
+    let kinds =
+      List.map
+        (fun (s : Framework.Scenario.step) ->
+          match s.action with
+          | Framework.Scenario.Crash_node _ -> "crash"
+          | Framework.Scenario.Restart_node _ -> "restart"
+          | Framework.Scenario.Announce _ -> "announce"
+          | Framework.Scenario.Fail_link _ -> "fail-link"
+          | _ -> "other")
+        (Framework.Scenario.steps sc)
+    in
+    Alcotest.(check (list string)) "parsed actions"
+      [ "announce"; "crash"; "restart"; "fail-link" ]
+      kinds;
+    (* render -> parse -> render must be a fixed point *)
+    let rendered = Framework.Scenario.render sc in
+    match Framework.Scenario.parse_string rendered with
+    | Error e -> Alcotest.fail e
+    | Ok sc2 ->
+      Alcotest.(check string) "round trip" rendered (Framework.Scenario.render sc2))
+
 let suite =
   [
     Alcotest.test_case "ordered execution" `Quick test_actions_execute_in_order;
     Alcotest.test_case "link actions" `Quick test_link_actions;
     Alcotest.test_case "ping action" `Quick test_ping_action;
+    Alcotest.test_case "crash/restart actions" `Quick test_crash_restart_actions;
+    Alcotest.test_case "text round trip" `Quick test_text_round_trip;
   ]
