@@ -23,7 +23,11 @@
    `--check FILE` validates such a baseline and exits.
    `--metrics-out FILE` exports the TELEMETRY run's timeline (format by
    extension: .prom/.txt Prometheus, .csv CSV, else JSONL);
-   `--metrics-interval S` sets its sampling period in simulated seconds. *)
+   `--metrics-interval S` sets its sampling period in simulated seconds.
+   `--jobs N` (default: recommended cores, capped) additionally runs the
+   FIG2 and PLACEMENT sweeps on an N-domain `Engine.Pool`, asserts the
+   parallel results equal the sequential ones, and records per-section
+   `wall_par_s`/`speedup` plus `meta.jobs` in the baseline. *)
 
 (* Minimal JSON value + writer + parser: just enough to emit the bench
    baseline and validate it back (`--check`) without a json dependency. *)
@@ -247,14 +251,52 @@ let out_path = flag_value "--out"
 
 let check_path = flag_value "--check"
 
+(* Worker domains for the parallel sweep sections.  0/absent = auto
+   (recommended domain count, capped); 1 disables the parallel pass. *)
+let jobs =
+  match flag_value "--jobs" with
+  | None -> Engine.Pool.recommended_jobs ()
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some 0 -> Engine.Pool.recommended_jobs ()
+    | Some v when v >= 1 -> v
+    | _ -> Fmt.failwith "--jobs: expected a non-negative integer, got %S" s)
+
 (* Per-section wall-clock, accumulated in run order for the JSON baseline. *)
 let sections_wall : (string * float) list ref = ref []
+
+(* Sections also measured on the domain pool: name -> (wall at jobs=N,
+   speedup = sequential wall / parallel wall). *)
+let sections_par : (string * (float * float)) list ref = ref []
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   sections_wall := (name, Unix.gettimeofday () -. t0) :: !sections_wall;
   r
+
+(* Run a sweep section at jobs=1 (the baseline wall_s, comparable across
+   PRs) and again at jobs=N, requiring bit-identical results — the
+   deterministic speedup accounting.  Returns the sequential result. *)
+let timed_speedup name ~seq ~par ~equal =
+  let t0 = Unix.gettimeofday () in
+  let r_seq = seq () in
+  let wall_seq = Unix.gettimeofday () -. t0 in
+  sections_wall := (name, wall_seq) :: !sections_wall;
+  if jobs > 1 then begin
+    let t0 = Unix.gettimeofday () in
+    let r_par = par () in
+    let wall_par = Unix.gettimeofday () -. t0 in
+    if not (equal r_seq r_par) then begin
+      Fmt.epr "FATAL: %s: jobs=%d result differs from the sequential run@." name jobs;
+      exit 1
+    end;
+    let speedup = wall_seq /. wall_par in
+    sections_par := (name, (wall_par, speedup)) :: !sections_par;
+    Fmt.pr "%s: jobs=1 %.3f s, jobs=%d %.3f s, speedup %.2fx (results identical)@." name
+      wall_seq jobs wall_par speedup
+  end;
+  r_seq
 
 (* `--check FILE`: validate a previously written baseline and exit.  Keeps
    the CI smoke alias honest — the emitted file must parse and carry the
@@ -281,20 +323,61 @@ let check_baseline path =
     | Some v -> v
     | None -> fail (Fmt.str "missing %S field" name)
   in
-  (match field "meta" with Json.Obj (_ :: _) -> () | _ -> fail "\"meta\" is not a non-empty object");
+  let meta =
+    match field "meta" with
+    | Json.Obj (_ :: _ as kvs) -> kvs
+    | _ -> fail "\"meta\" is not a non-empty object"
+  in
+  (* [jobs] arrived with the parallel runner (PR 5); pre-PR5 baselines
+     (e.g. BENCH_pr3.json) simply lack it — both must validate. *)
+  let meta_jobs =
+    match List.assoc_opt "jobs" meta with
+    | None -> None
+    | Some (Json.Num v) when v >= 1.0 -> Some (int_of_float v)
+    | Some _ -> fail "\"meta.jobs\" is not a number >= 1"
+  in
   let nonempty_arr name =
     match field name with
     | Json.Arr (_ :: _ as items) ->
       List.iter
         (function Json.Obj _ -> () | _ -> fail (Fmt.str "%S entry is not an object" name))
         items;
-      List.length items
+      items
     | _ -> fail (Fmt.str "%S is not a non-empty array" name)
   in
-  let nsections = nonempty_arr "sections" in
-  let nmicro = nonempty_arr "micro" in
+  let sections = nonempty_arr "sections" in
+  (* Optional per-section parallel fields: when one of wall_par_s/speedup
+     is present both must be, be finite and be consistent with wall_s. *)
+  let nspeedup =
+    List.fold_left
+      (fun acc section ->
+        let kvs = match section with Json.Obj kvs -> kvs | _ -> [] in
+        let num k =
+          match List.assoc_opt k kvs with
+          | Some (Json.Num v) when Float.is_finite v && v > 0.0 -> Some v
+          | Some _ -> fail (Fmt.str "section field %S is not a positive number" k)
+          | None -> None
+        in
+        match (num "wall_par_s", num "speedup") with
+        | None, None -> acc
+        | Some _, None | None, Some _ ->
+          fail "sections must carry wall_par_s and speedup together"
+        | Some wall_par, Some speedup ->
+          (match num "wall_s" with
+          | Some wall when Float.abs ((wall /. wall_par) -. speedup) > 0.05 *. speedup ->
+            fail "section speedup is inconsistent with wall_s / wall_par_s"
+          | _ -> ());
+          acc + 1)
+      0 sections
+  in
+  if nspeedup > 0 && meta_jobs = None then
+    fail "sections carry speedup fields but \"meta.jobs\" is missing";
+  let nmicro = List.length (nonempty_arr "micro") in
   (match field "headline" with Json.Obj _ -> () | _ -> fail "\"headline\" is not an object");
-  Fmt.pr "%s: ok (%d sections, %d micro benchmarks)@." path nsections nmicro;
+  Fmt.pr "%s: ok (%d sections%s, %d micro benchmarks%s)@." path (List.length sections)
+    (if nspeedup > 0 then Fmt.str ", %d with speedup" nspeedup else "")
+    nmicro
+    (match meta_jobs with Some j -> Fmt.str ", jobs=%d" j | None -> ", pre-jobs baseline");
   exit 0
 
 let () = Option.iter check_baseline check_path
@@ -312,6 +395,9 @@ let n = if quick then 8 else 16
 let runs = if quick then 3 else 10
 
 let config = Framework.Config.default
+
+(* One pool for every parallel pass; [None] when running sequentially. *)
+let pool = if jobs > 1 then Some (Engine.Pool.create ~jobs) else None
 
 let section name = Fmt.pr "@.===== %s =====@." name
 
@@ -332,7 +418,12 @@ let print_trend s =
 
 let fig2 () =
   section (Fmt.str "FIG2: withdrawal convergence, %d-AS clique, %d runs/point" n runs);
-  let s = Framework.Experiments.fig2_withdrawal ~n ~runs ~config () in
+  let s =
+    timed_speedup "fig2"
+      ~seq:(fun () -> Framework.Experiments.fig2_withdrawal ~n ~runs ~config ())
+      ~par:(fun () -> Framework.Experiments.fig2_withdrawal ?pool ~n ~runs ~config ())
+      ~equal:Framework.Experiments.equal_series
+  in
   print_series s;
   print_trend s;
   s
@@ -456,17 +547,23 @@ let ablation_damping () =
 
 let placement () =
   section "PLACEMENT: which ASes to centralize (Internet-like topology, withdrawal)";
-  List.iter
-    (fun placement ->
-      let s =
-        Framework.Experiments.placement_sweep
+  let compute ?pool () =
+    List.map
+      (fun placement ->
+        Framework.Experiments.placement_sweep ?pool
           ~runs:(if quick then 2 else 5)
           ~ks:(if quick then [ 0; 4; 8 ] else [ 0; 2; 4; 6; 8 ])
-          ~config ~placement ()
-      in
-      print_series s)
-    [ Framework.Experiments.Top_degree; Framework.Experiments.Random_choice;
-      Framework.Experiments.Stubs_first ]
+          ~config ~placement ())
+      [ Framework.Experiments.Top_degree; Framework.Experiments.Random_choice;
+        Framework.Experiments.Stubs_first ]
+  in
+  let ss =
+    timed_speedup "placement"
+      ~seq:(fun () -> compute ())
+      ~par:(fun () -> compute ?pool ())
+      ~equal:(fun a b -> List.for_all2 Framework.Experiments.equal_series a b)
+  in
+  List.iter print_series ss
 
 let churn_load () =
   section "CHURN-LOAD: withdrawal convergence under background flapping (per-peer MRAI coupling)";
@@ -574,28 +671,24 @@ let micro () =
     !counter
   in
   (* One Test.make per experiment regenerator (scaled-down instances). *)
-  let t_fig2 =
-    Test.make ~name:"fig2_withdrawal_point"
-      (Staged.stage (fun () ->
-           Framework.Experiments.clique_run ~n:6 ~sdn:2
-             ~event:Framework.Experiments.Withdrawal ~seed:(fresh ()) ~config:fast ()))
+  let run_fig2 () =
+    Framework.Experiments.clique_run ~n:6 ~sdn:2 ~event:Framework.Experiments.Withdrawal
+      ~seed:(fresh ()) ~config:fast ()
   in
-  let t_announce =
-    Test.make ~name:"announcement_point"
-      (Staged.stage (fun () ->
-           Framework.Experiments.clique_run ~n:6 ~sdn:2
-             ~event:Framework.Experiments.Announcement ~seed:(fresh ()) ~config:fast ()))
+  let run_announce () =
+    Framework.Experiments.clique_run ~n:6 ~sdn:2 ~event:Framework.Experiments.Announcement
+      ~seed:(fresh ()) ~config:fast ()
   in
-  let t_failover =
-    Test.make ~name:"failover_point"
-      (Staged.stage (fun () ->
-           Framework.Experiments.failover_run ~n:5 ~sdn:2 ~seed:(fresh ()) ~config:fast ()))
+  let run_failover () =
+    Framework.Experiments.failover_run ~n:5 ~sdn:2 ~seed:(fresh ()) ~config:fast ()
   in
-  let t_subcluster =
-    Test.make ~name:"subcluster_resilience"
-      (Staged.stage (fun () ->
-           Framework.Experiments.subcluster_resilience ~seed:(fresh ()) ~config:fast ()))
+  let run_subcluster () =
+    Framework.Experiments.subcluster_resilience ~seed:(fresh ()) ~config:fast ()
   in
+  let t_fig2 = Test.make ~name:"fig2_withdrawal_point" (Staged.stage run_fig2) in
+  let t_announce = Test.make ~name:"announcement_point" (Staged.stage run_announce) in
+  let t_failover = Test.make ~name:"failover_point" (Staged.stage run_failover) in
+  let t_subcluster = Test.make ~name:"subcluster_resilience" (Staged.stage run_subcluster) in
   (* Core algorithm benchmarks. *)
   let t_as_graph =
     let members = Net.Asn.Set.of_list (List.init 8 (fun i -> Net.Asn.of_int (65010 + i))) in
@@ -684,8 +777,28 @@ let micro () =
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
+  (* Warm up the experiment regenerators before sampling: their first
+     iterations fault in code paths and take the initial major-GC spikes,
+     which previously dragged several fits below r^2 = 0.7 (e.g.
+     fib_lookup_256 at 0.62 and as_graph_compute_8members at 0.65 in
+     BENCH_pr3.json). *)
+  List.iter
+    (fun f ->
+      for _ = 1 to 3 do
+        f ()
+      done)
+    [
+      (fun () -> ignore (run_fig2 ()));
+      (fun () -> ignore (run_announce ()));
+      (fun () -> ignore (run_failover ()));
+      (fun () -> ignore (run_subcluster ()));
+    ];
+  (* [start] is the minimum-runs floor per sample; a longer [quota] in
+     full mode buys enough samples for a stable OLS fit. *)
   let cfg =
-    Benchmark.cfg ~limit:300 ~quota:(Time.second (if quick then 0.25 else 0.5)) ~kde:None ()
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~start:3 ~stabilize:true ~kde:None ()
   in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -711,8 +824,15 @@ let micro () =
         else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
         else Fmt.str "%.0f ns" ns
       in
-      Fmt.pr "%-40s %14s %8.3f@." name time r2)
+      Fmt.pr "%-40s %14s %8.3f%s@." name time r2
+        (if Float.is_nan r2 || r2 >= 0.8 then "" else "   WARNING: noisy fit"))
     rows;
+  let noisy = List.filter (fun (_, _, r2) -> (not (Float.is_nan r2)) && r2 < 0.8) rows in
+  if noisy <> [] then begin
+    Fmt.pr "@.WARNING: %d micro-benchmark fit(s) below r^2 = 0.8:@." (List.length noisy);
+    List.iter (fun (name, _, r2) -> Fmt.pr "  %-40s r^2 = %.3f@." name r2) noisy;
+    Fmt.pr "treat their ns_per_run as indicative only; do not commit them as a baseline@."
+  end;
   rows
 
 (* --- machine-readable baseline ------------------------------------------ *)
@@ -738,12 +858,20 @@ let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows =
               ("quick", Json.Bool quick);
               ("n", Json.Num (float_of_int n));
               ("runs", Json.Num (float_of_int runs));
+              ("jobs", Json.Num (float_of_int jobs));
             ] );
         ( "sections",
           Json.Arr
             (List.rev_map
                (fun (name, wall) ->
-                 Json.Obj [ ("name", Json.Str name); ("wall_s", Json.num wall) ])
+                 let par =
+                   match List.assoc_opt name !sections_par with
+                   | Some (wall_par, speedup) ->
+                     [ ("wall_par_s", Json.num wall_par); ("speedup", Json.num speedup) ]
+                   | None -> []
+                 in
+                 Json.Obj
+                   ((("name", Json.Str name) :: ("wall_s", Json.num wall) :: par)))
                !sections_wall) );
         ( "fig2",
           Json.Arr
@@ -773,8 +901,9 @@ let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows =
   Fmt.pr "baseline written to %s@." path
 
 let () =
-  Fmt.pr "hybridsdn bench harness (n=%d, runs=%d%s)@." n runs (if quick then ", quick" else "");
-  let fig2_series = timed "fig2" fig2 in
+  Fmt.pr "hybridsdn bench harness (n=%d, runs=%d, jobs=%d%s)@." n runs jobs
+    (if quick then ", quick" else "");
+  let fig2_series = fig2 () in
   timed "rounds" rounds;
   ignore (timed "announce" announce);
   ignore (timed "failover" failover);
@@ -784,12 +913,16 @@ let () =
   timed "ablation_speaker_mrai" ablation_speaker_mrai;
   timed "ablation_damping" ablation_damping;
   timed "scaling" scaling;
-  timed "placement" placement;
+  placement ();
   timed "churn_load" churn_load;
   timed "table_size" table_size;
   timed "subcluster" subcluster;
   timed "churn" (fun () -> churn fig2_series);
   let telemetry_tdown, headline = timed "telemetry" telemetry in
+  (* Join the pool before the micro-benchmarks: idle worker domains
+     still participate in stop-the-world minor collections and would
+     add noise to nanosecond-scale sampling. *)
+  Option.iter Engine.Pool.shutdown pool;
   let micro_rows = timed "micro" micro in
   Option.iter
     (fun path -> write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows)

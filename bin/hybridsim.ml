@@ -79,6 +79,26 @@ let with_sdn_tail spec k =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sweep execution: each (x, seed) run executes on its own domain \
+           and results are collected in deterministic order, so output is identical for any \
+           N. 0 (default) picks the recommended domain count (capped at 8); 1 runs \
+           sequentially.")
+
+(* 0 = auto.  Sweeps accept any positive value; domains beyond the core
+   count just time-share. *)
+let resolve_jobs jobs =
+  if jobs < 0 then Error "--jobs must be >= 0"
+  else Ok (if jobs = 0 then Engine.Pool.recommended_jobs () else jobs)
+
+let with_optional_pool jobs f =
+  if jobs <= 1 then f None else Engine.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let mrai_arg =
   Arg.(
     value
@@ -145,19 +165,130 @@ let write_snapshot path snap =
 (* --- fig2 ----------------------------------------------------------------- *)
 
 let fig2_cmd =
-  let run n runs seed mrai =
-    let config = config_of_mrai mrai in
-    let s = Framework.Experiments.fig2_withdrawal ~n ~runs ~seed ~config () in
-    Fmt.pr "%a@.@.%s@." Framework.Experiments.pp_series s
-      (Framework.Visualize.series_to_ascii s);
-    let intercept, slope, r2 = Framework.Experiments.median_trend s in
-    Fmt.pr "linear fit of medians: y = %.2f %+.2f*x  r^2=%.3f@." intercept slope r2
+  let run n runs seed mrai jobs =
+    match resolve_jobs jobs with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs ->
+      let config = config_of_mrai mrai in
+      let s =
+        with_optional_pool jobs (fun pool ->
+            Framework.Experiments.fig2_withdrawal ?pool ~n ~runs ~seed ~config ())
+      in
+      Fmt.pr "%a@.@.%s@." Framework.Experiments.pp_series s
+        (Framework.Visualize.series_to_ascii s);
+      let intercept, slope, r2 = Framework.Experiments.median_trend s in
+      Fmt.pr "linear fit of medians: y = %.2f %+.2f*x  r^2=%.3f@." intercept slope r2;
+      `Ok ()
   in
   let n = Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc:"Clique size.") in
   let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"R" ~doc:"Runs per point.") in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Reproduce Fig. 2: withdrawal convergence vs SDN fraction.")
-    Term.(const run $ n $ runs $ seed_arg $ mrai_arg)
+    Term.(ret (const run $ n $ runs $ seed_arg $ mrai_arg $ jobs_arg))
+
+(* --- sweep ---------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run kind n runs seed mrai jobs verify csv =
+    let result =
+      let* jobs = resolve_jobs jobs in
+      let* build =
+        match String.lowercase_ascii (String.trim kind) with
+        | "fig2" | "withdraw" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.fig2_withdrawal ?pool ~n ~runs ~seed
+                ~config:(config_of_mrai mrai) ())
+        | "announce" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.announcement_sweep ?pool ~n ~runs ~seed
+                ~config:(config_of_mrai mrai) ())
+        | "failover" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.failover_sweep ?pool ~n ~runs ~seed
+                ~config:(config_of_mrai mrai) ())
+        | "scaling" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.scaling_sweep ?pool ~runs ~seed
+                ~config:(config_of_mrai mrai) ())
+        | "placement" | "placement:top-degree" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.placement_sweep ?pool ~runs ~seed
+                ~config:(config_of_mrai mrai) ~placement:Framework.Experiments.Top_degree ())
+        | "placement:random" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.placement_sweep ?pool ~runs ~seed
+                ~config:(config_of_mrai mrai) ~placement:Framework.Experiments.Random_choice
+                ())
+        | "placement:stubs" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.placement_sweep ?pool ~runs ~seed
+                ~config:(config_of_mrai mrai) ~placement:Framework.Experiments.Stubs_first ())
+        | k ->
+          Error
+            (Fmt.str
+               "unknown sweep %S (fig2|announce|failover|scaling|placement[:top-degree| \
+                :random|:stubs])"
+               k)
+      in
+      let t0 = Unix.gettimeofday () in
+      let s = with_optional_pool jobs (fun pool -> build ?pool ()) in
+      let wall = Unix.gettimeofday () -. t0 in
+      Fmt.pr "%a@.@.%s@." Framework.Experiments.pp_series s
+        (Framework.Visualize.series_to_ascii s);
+      Fmt.pr "jobs: %d  wall: %.2f s@." jobs wall;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Framework.Experiments.series_to_csv s);
+          close_out oc;
+          Fmt.pr "csv written to %s@." path)
+        csv;
+      if verify then begin
+        (* the parallel-vs-sequential differential: rerun on jobs=1 and
+           require deep structural equality *)
+        let vjobs = max 2 jobs in
+        let seq = build () in
+        let par =
+          if jobs > 1 then s
+          else Engine.Pool.with_pool ~jobs:vjobs (fun pool -> build ~pool ())
+        in
+        if Framework.Experiments.equal_series seq par then begin
+          Fmt.pr "deterministic: jobs=%d result identical to sequential@." vjobs;
+          Ok ()
+        end
+        else Error (Fmt.str "parallel (jobs=%d) result differs from sequential run" vjobs)
+      end
+      else Ok ()
+    in
+    match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
+  in
+  let kind =
+    Arg.(
+      value
+      & opt string "fig2"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"fig2, announce, failover, scaling, or placement[:top-degree|:random|:stubs].")
+  in
+  let n = Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc:"Clique size.") in
+  let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"R" ~doc:"Runs per point.") in
+  let verify =
+    Arg.(
+      value
+      & flag
+      & info [ "verify" ]
+          ~doc:
+            "Differential mode: also run the sweep sequentially and fail unless the \
+             parallel result is structurally identical.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Write per-run results as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a full experiment sweep, optionally across a pool of worker domains.")
+    Term.(
+      ret (const run $ kind $ n $ runs $ seed_arg $ mrai_arg $ jobs_arg $ verify $ csv))
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -430,6 +561,7 @@ let () =
        (Cmd.group info
           [
             fig2_cmd;
+            sweep_cmd;
             run_cmd;
             topo_cmd;
             dot_cmd;

@@ -5,7 +5,16 @@
     canonicalized (sorted by key) at registration and snapshots are
     sorted by (name, labels), so identical seeds yield byte-identical
     exports.  Registration is idempotent: the same (name, labels) pair
-    always returns the same handle. *)
+    always returns the same handle.
+
+    Domain-safety: registries are deliberately unsynchronized — there is
+    no process-global registry precisely so parallel sweeps ({!Pool})
+    can give every run its own.  The ownership rule: one registry
+    belongs to one sim, and one sim to one domain at a time.  Passing a
+    registry (or handles minted from it) to another domain while the
+    owning sim still runs is a data race.  {!snapshot}s, by contrast,
+    are immutable and safe to move across domains — that is how sweep
+    results carry telemetry back to the submitting domain. *)
 
 type t
 

@@ -1,7 +1,13 @@
 (** Deterministic splittable PRNG (SplitMix64).
 
     Split a dedicated stream per subsystem so random draws in one module
-    never perturb another module's stream. *)
+    never perturb another module's stream.
+
+    Domain-safety: a generator is unsynchronized mutable state.  The
+    ownership rule is the engine-wide one — one simulation's state
+    belongs to one domain at a time.  Never share a [t] between domains
+    ({!Pool} tasks must each [create] or [split] their own); concurrent
+    draws would race and destroy determinism silently. *)
 
 type t
 

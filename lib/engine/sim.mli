@@ -1,7 +1,14 @@
 (** Deterministic discrete-event scheduler.
 
     Events fire in (time, insertion sequence) order; with the splittable
-    {!Rng} this makes runs bit-reproducible for a given seed. *)
+    {!Rng} this makes runs bit-reproducible for a given seed.
+
+    Domain-safety: a sim — and everything reachable from it ({!rng},
+    {!trace}, {!metrics}, queued events) — is owned by exactly one
+    domain at a time.  {!Pool}-driven sweeps respect this by building a
+    fresh sim inside each task; the one accidental-sharing hazard is
+    capturing a [t] (or its registry) in a closure submitted to the
+    pool, which this module cannot detect — don't. *)
 
 type t
 

@@ -1,5 +1,10 @@
 (** Structured event log, renderable to Quagga-like text lines for the
-    log-analysis tooling. *)
+    log-analysis tooling.
+
+    Domain-safety: a trace buffer is unsynchronized mutable state owned
+    by its simulation — one sim, one domain at a time.  Parallel sweeps
+    ({!Pool}) are safe because every run builds its own sim and thus its
+    own trace; never hand one [t] to two domains. *)
 
 type level = Debug | Info | Warn
 

@@ -47,21 +47,20 @@ let clique_run ~n ~sdn ~event ~seed ~config () =
   let origin = Topology.Artificial.asn 0 in
   let prefix = Experiment.default_prefix exp origin in
   let collector = Network.collector (Experiment.network exp) in
+  (* For withdrawals, [collector_updates] counts only the measured
+     (post-announcement) phase, not the bootstrap announcement's churn. *)
+  let baseline = ref 0 in
   let measured =
     match event with
     | Announcement ->
       Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin))
     | Withdrawal ->
       ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
-      let before = Bgp.Collector.event_count collector in
-      let m =
-        Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
-      in
-      ignore before;
-      m
+      baseline := Bgp.Collector.event_count collector;
+      Experiment.measure exp ~prefix (fun () -> ignore (Experiment.withdraw exp origin))
     | Failover -> invalid_arg "Experiments.clique_run: use failover_run"
   in
-  let collector_updates = Bgp.Collector.event_count collector in
+  let collector_updates = Bgp.Collector.event_count collector - !baseline in
   {
     seconds = Experiment.convergence_seconds measured;
     changes = measured.Convergence.changes;
@@ -131,21 +130,48 @@ let failover_run ~n ~sdn ~seed ~config () =
 
 (* --- Sweeps --------------------------------------------------------------- *)
 
-let sweep_points ~runs ~seed ~run_at xs =
-  List.map
-    (fun x ->
-      let results = List.init runs (fun i -> run_at ~x ~seed:(seed + (1000 * i))) in
-      { x; results; box = box_of results })
-    xs
+let take_drop k xs =
+  let rec go k acc xs =
+    if k = 0 then (List.rev acc, xs)
+    else match xs with [] -> (List.rev acc, []) | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go k [] xs
+
+(* The parallel experiment runner every sweep and ablation goes through.
+
+   The (x, trial) grid is flattened into one task list and dispatched
+   through [pool] when given; each task builds its own [Experiment]
+   (and thus its own [Sim]/[Metrics]/[Rng]/[Trace]) so nothing mutable
+   crosses a domain boundary.  Results come back from [Engine.Pool.map]
+   in submission order, and are regrouped per x here — so the output is
+   bit-identical to the sequential run whatever the pool's scheduling.
+   Without a pool (or with [jobs = 1]) this is plain [List.map]: the
+   sequential path is unchanged. *)
+let sweep_points ?pool ~runs ~seed ~run_at xs =
+  let tasks = List.concat_map (fun x -> List.init runs (fun i -> (x, seed + (1000 * i)))) xs in
+  let eval (x, seed) = run_at ~x ~seed in
+  let results =
+    match pool with
+    | Some pool -> Engine.Pool.map pool eval tasks
+    | None -> List.map eval tasks
+  in
+  let rec regroup xs results =
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      let mine, others = take_drop runs results in
+      { x; results = mine; box = box_of mine } :: regroup rest others
+  in
+  regroup xs results
 
 let default_fractions n =
   (* 0, 2, 4, ... n-2 SDN members out of n, as in Fig. 2. *)
   List.init ((n / 2) - 0) (fun i -> 2 * i) |> List.filter (fun k -> k <= n - 2)
 
 (* Fig. 2: withdrawal convergence vs SDN fraction. *)
-let fig2_withdrawal ?(n = 16) ?(runs = 10) ?(seed = 7) ?(config = Config.default) () =
+let fig2_withdrawal ?pool ?(n = 16) ?(runs = 10) ?(seed = 7) ?(config = Config.default) () =
   let points =
-    sweep_points ~runs ~seed
+    sweep_points ?pool ~runs ~seed
       ~run_at:(fun ~x ~seed ->
         clique_run ~n ~sdn:(int_of_float x) ~event:Withdrawal ~seed ~config ())
       (List.map float_of_int (default_fractions n))
@@ -153,9 +179,9 @@ let fig2_withdrawal ?(n = 16) ?(runs = 10) ?(seed = 7) ?(config = Config.default
   { label = Fmt.str "fig2-withdrawal-clique%d" n; points }
 
 (* §4: announcement experiments — smaller reductions. *)
-let announcement_sweep ?(n = 16) ?(runs = 10) ?(seed = 11) ?(config = Config.default) () =
+let announcement_sweep ?pool ?(n = 16) ?(runs = 10) ?(seed = 11) ?(config = Config.default) () =
   let points =
-    sweep_points ~runs ~seed
+    sweep_points ?pool ~runs ~seed
       ~run_at:(fun ~x ~seed ->
         clique_run ~n ~sdn:(int_of_float x) ~event:Announcement ~seed ~config ())
       (List.map float_of_int (default_fractions n))
@@ -163,9 +189,9 @@ let announcement_sweep ?(n = 16) ?(runs = 10) ?(seed = 11) ?(config = Config.def
   { label = Fmt.str "announcement-clique%d" n; points }
 
 (* §4: fail-over experiments — smaller reductions. *)
-let failover_sweep ?(n = 16) ?(runs = 10) ?(seed = 13) ?(config = Config.default) () =
+let failover_sweep ?pool ?(n = 16) ?(runs = 10) ?(seed = 13) ?(config = Config.default) () =
   let points =
-    sweep_points ~runs ~seed
+    sweep_points ?pool ~runs ~seed
       ~run_at:(fun ~x ~seed -> failover_run ~n ~sdn:(int_of_float x) ~seed ~config ())
       (List.map float_of_int (default_fractions n))
   in
@@ -173,69 +199,59 @@ let failover_sweep ?(n = 16) ?(runs = 10) ?(seed = 13) ?(config = Config.default
 
 (* Ablation A1: the controller's delayed-recomputation interval, at a
    fixed 50% deployment. *)
-let ablation_recompute_delay ?(n = 16) ?(runs = 10) ?(seed = 17) ?(config = Config.default)
-    ?(delays_ms = [ 0; 500; 2000; 8000 ]) () =
+let ablation_recompute_delay ?pool ?(n = 16) ?(runs = 10) ?(seed = 17)
+    ?(config = Config.default) ?(delays_ms = [ 0; 500; 2000; 8000 ]) () =
   let points =
-    List.map
-      (fun delay_ms ->
-        let config = Config.with_recompute_delay config (Engine.Time.ms delay_ms) in
-        let results =
-          List.init runs (fun i ->
-              clique_run ~n ~sdn:(n / 2) ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
-        in
-        { x = float_of_int delay_ms; results; box = box_of results })
-      delays_ms
+    sweep_points ?pool ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        let config = Config.with_recompute_delay config (Engine.Time.ms (int_of_float x)) in
+        clique_run ~n ~sdn:(n / 2) ~event:Withdrawal ~seed ~config ())
+      (List.map float_of_int delays_ms)
   in
   { label = Fmt.str "ablation-recompute-delay-clique%d" n; points }
 
 (* Ablation A3: MRAI sensitivity of the 0%-SDN baseline and of a 50%
    deployment. *)
-let ablation_mrai ?(n = 16) ?(runs = 10) ?(seed = 19) ?(config = Config.default)
+let ablation_mrai ?pool ?(n = 16) ?(runs = 10) ?(seed = 19) ?(config = Config.default)
     ?(mrai_s = [ 5; 15; 30 ]) ~sdn () =
   let points =
-    List.map
-      (fun mrai ->
-        let config = Config.with_mrai config (Engine.Time.sec mrai) in
-        let results =
-          List.init runs (fun i ->
-              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
-        in
-        { x = float_of_int mrai; results; box = box_of results })
-      mrai_s
+    sweep_points ?pool ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        let config = Config.with_mrai config (Engine.Time.sec (int_of_float x)) in
+        clique_run ~n ~sdn ~event:Withdrawal ~seed ~config ())
+      (List.map float_of_int mrai_s)
   in
   { label = Fmt.str "ablation-mrai-clique%d-sdn%d" n sdn; points }
 
-(* Ablation A4: RFC-style MRAI (withdrawals exempt) vs Quagga-style. *)
-let ablation_wrate ?(n = 16) ?(runs = 10) ?(seed = 23) ?(config = Config.default) ~sdn () =
+(* Ablation A4: RFC-style MRAI (withdrawals exempt, x=0) vs Quagga-style
+   (x=1). *)
+let ablation_wrate ?pool ?(n = 16) ?(runs = 10) ?(seed = 23) ?(config = Config.default) ~sdn ()
+    =
   let points =
-    List.map
-      (fun (x, wrate) ->
-        let config = { config with Config.bgp = { config.Config.bgp with Bgp.Config.mrai_on_withdrawals = wrate } } in
-        let results =
-          List.init runs (fun i ->
-              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
+    sweep_points ?pool ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        let wrate = x > 0.5 in
+        let config =
+          { config with Config.bgp = { config.Config.bgp with Bgp.Config.mrai_on_withdrawals = wrate } }
         in
-        { x; results; box = box_of results })
-      [ (0.0, false); (1.0, true) ]
+        clique_run ~n ~sdn ~event:Withdrawal ~seed ~config ())
+      [ 0.0; 1.0 ]
   in
   { label = Fmt.str "ablation-wrate-clique%d-sdn%d" n sdn; points }
 
 (* Scaling: withdrawal convergence vs clique size at a fixed deployment
    fraction — does the linear-in-(legacy count) behaviour persist as the
    network grows? *)
-let scaling_sweep ?(sizes = [ 8; 12; 16; 20; 24 ]) ?(fraction = 0.5) ?(runs = 5) ?(seed = 37)
-    ?(config = Config.default) () =
+let scaling_sweep ?pool ?(sizes = [ 8; 12; 16; 20; 24 ]) ?(fraction = 0.5) ?(runs = 5)
+    ?(seed = 37) ?(config = Config.default) () =
   let points =
-    List.map
-      (fun n ->
+    sweep_points ?pool ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        let n = int_of_float x in
         let sdn = int_of_float (float_of_int n *. fraction) in
         let sdn = min sdn (n - 2) in
-        let results =
-          List.init runs (fun i ->
-              clique_run ~n ~sdn ~event:Withdrawal ~seed:(seed + (1000 * i)) ~config ())
-        in
-        { x = float_of_int n; results; box = box_of results })
-      sizes
+        clique_run ~n ~sdn ~event:Withdrawal ~seed ~config ())
+      (List.map float_of_int sizes)
   in
   { label = Fmt.str "scaling-withdrawal-f%.2f" fraction; points }
 
@@ -329,21 +345,18 @@ let placement_run ~spec ~k ~placement ~origin ~seed ~config () =
     metrics = Experiment.final_metrics exp;
   }
 
-(* Sweep k for one strategy on an Internet-like topology. *)
-let placement_sweep ?(tier1 = 3) ?(tier2 = 8) ?(stubs = 20) ?(ks = [ 0; 2; 4; 6; 8 ])
+(* Sweep k for one strategy on an Internet-like topology.  The spec is
+   generated once and shared read-only across (possibly parallel) runs;
+   each run derives its own members/Experiment from it. *)
+let placement_sweep ?pool ?(tier1 = 3) ?(tier2 = 8) ?(stubs = 20) ?(ks = [ 0; 2; 4; 6; 8 ])
     ?(runs = 5) ?(seed = 53) ?(config = Config.default) ~placement () =
   let spec = Topology.Caida.generate ~tier1 ~tier2 ~stubs (Engine.Rng.create seed) in
   let origin = List.hd (Topology.Caida.stub_asns ~tier1 ~tier2 ~stubs) in
   let points =
-    List.map
-      (fun k ->
-        let results =
-          List.init runs (fun i ->
-              placement_run ~spec ~k ~placement ~origin ~seed:(seed + 1 + (1000 * i)) ~config
-                ())
-        in
-        { x = float_of_int k; results; box = box_of results })
-      ks
+    sweep_points ?pool ~runs ~seed:(seed + 1)
+      ~run_at:(fun ~x ~seed ->
+        placement_run ~spec ~k:(int_of_float x) ~placement ~origin ~seed ~config ())
+      (List.map float_of_int ks)
   in
   { label = Fmt.str "placement-%s" (placement_to_string placement); points }
 
@@ -506,6 +519,17 @@ let subcluster_resilience ?(seed = 29) ?(config = Config.default) () =
   ignore (Experiment.measure exp ~prefix (fun () -> Experiment.recover_link exp b c));
   let reachable_after_recovery = Experiment.reachable exp ~src:a ~dst:d in
   { reachable_before; reachable_after_split; reachable_after_recovery; used_legacy_bridge }
+
+(* --- Equality ------------------------------------------------------------
+
+   Structural equality of sweep outputs — the parallel-vs-sequential
+   differential check.  [Stdlib.compare] is used (rather than [=]) so
+   NaN fields (restore_mean/restore_max on non-failover runs, unmeasured
+   seconds) compare equal to themselves. *)
+
+let equal_run_result (a : run_result) (b : run_result) = Stdlib.compare a b = 0
+
+let equal_series (a : series) (b : series) = Stdlib.compare a b = 0
 
 (* --- Rendering ------------------------------------------------------------ *)
 

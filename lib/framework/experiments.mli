@@ -1,6 +1,14 @@
 (** Canned experiments reproducing the paper's evaluation, parameterized
     so tests can run scaled-down instances of the bench's exact code
-    paths. *)
+    paths.
+
+    Every sweep takes an optional [?pool] ({!Engine.Pool.t}): when given,
+    the independent [(x, trial)] runs of the sweep are dispatched across
+    the pool's domains.  Each run owns its whole mutable world (its
+    [Experiment], and through it its [Sim], [Metrics] registry, [Rng]
+    streams and [Trace]), and results are collected in deterministic
+    (x, trial-index) order — so parallel output is bit-identical to the
+    sequential run ([?pool] absent, or [jobs = 1]). *)
 
 type event_kind = Withdrawal | Announcement | Failover
 
@@ -10,6 +18,9 @@ type run_result = {
   seconds : float;  (** convergence time of the measured event *)
   changes : int;  (** control-plane best-route changes during it *)
   collector_updates : int;
+      (** updates seen by the route collector during the measured event
+          (for withdrawal runs: the withdrawal phase only, excluding the
+          bootstrap announcement) *)
   restore_mean : float;  (** mean per-AS data-plane restoration (failover) *)
   restore_max : float;
   metrics : Engine.Metrics.snapshot;  (** whole-stack telemetry at run end *)
@@ -29,24 +40,50 @@ val failover_run : n:int -> sdn:int -> seed:int -> config:Config.t -> unit -> ru
 (** Primary-link failure with a longer backup chain; also measures per-AS
     data-plane restoration. *)
 
-val fig2_withdrawal : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+val fig2_withdrawal :
+  ?pool:Engine.Pool.t -> ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
 (** The paper's Fig. 2 sweep: withdrawal convergence vs SDN fraction. *)
 
-val announcement_sweep : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+val announcement_sweep :
+  ?pool:Engine.Pool.t -> ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
 
-val failover_sweep : ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
+val failover_sweep :
+  ?pool:Engine.Pool.t -> ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> unit -> series
 
 val ablation_recompute_delay :
-  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> ?delays_ms:int list -> unit -> series
+  ?pool:Engine.Pool.t ->
+  ?n:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  ?delays_ms:int list ->
+  unit ->
+  series
 
 val ablation_mrai :
-  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> ?mrai_s:int list -> sdn:int -> unit -> series
+  ?pool:Engine.Pool.t ->
+  ?n:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  ?mrai_s:int list ->
+  sdn:int ->
+  unit ->
+  series
 
 val ablation_wrate :
-  ?n:int -> ?runs:int -> ?seed:int -> ?config:Config.t -> sdn:int -> unit -> series
+  ?pool:Engine.Pool.t ->
+  ?n:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  sdn:int ->
+  unit ->
+  series
 (** RFC-exempt (x=0) vs Quagga-paced (x=1) withdrawals. *)
 
 val scaling_sweep :
+  ?pool:Engine.Pool.t ->
   ?sizes:int list ->
   ?fraction:float ->
   ?runs:int ->
@@ -85,6 +122,7 @@ val placement_run :
   run_result
 
 val placement_sweep :
+  ?pool:Engine.Pool.t ->
   ?tier1:int ->
   ?tier2:int ->
   ?stubs:int ->
@@ -132,6 +170,14 @@ type subcluster_result = {
 val subcluster_resilience : ?seed:int -> ?config:Config.t -> unit -> subcluster_result
 (** Two SDN islands lose their intra-cluster bridge and must reach each
     other over the legacy world (the paper's design goal 3). *)
+
+val equal_run_result : run_result -> run_result -> bool
+(** Structural equality, NaN-tolerant ([Stdlib.compare]-based). *)
+
+val equal_series : series -> series -> bool
+(** Deep structural equality of a whole sweep — per-run results, metrics
+    snapshots and boxplots included; the parallel-vs-sequential
+    differential check. *)
 
 val pp_series : Format.formatter -> series -> unit
 

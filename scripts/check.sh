@@ -27,6 +27,9 @@ dune build @smoke
 step "chaos smoke (cluster-head crash/restart + reconvergence)"
 dune build @chaos-smoke
 
+step "parallel smoke (multi-domain sweep == sequential differential)"
+dune build @par-smoke
+
 step "bench smoke (quick sweep + JSON baseline validation)"
 dune build @bench-smoke
 

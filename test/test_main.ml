@@ -10,6 +10,7 @@ let () =
       ("engine.sim", Test_sim.suite);
       ("engine.metrics", Test_metrics.suite);
       ("engine.node", Test_node_runtime.suite);
+      ("engine.pool", Test_parallel.suite);
       ("net.ipv4", Test_ipv4.suite);
       ("net.graph", Test_graph.suite);
       ("net.fib", Test_fib.suite);

@@ -1,0 +1,173 @@
+(* Engine.Pool + the parallel experiment runner: the differential
+   guarantee is that a sweep executed on a domain pool (jobs >= 2) is
+   structurally identical — per-run seconds/changes/collector_updates,
+   metrics snapshots, boxplots — to the same sweep run sequentially. *)
+
+let cfg = Framework.Config.fast_test
+
+(* --- Engine.Pool unit tests ---------------------------------------------- *)
+
+let test_pool_order () =
+  Engine.Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let got = Engine.Pool.map pool (fun i -> i * i) xs in
+      Alcotest.(check (list int)) "input order preserved" (List.map (fun i -> i * i) xs) got)
+
+let test_pool_jobs1_bypass () =
+  Engine.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Engine.Pool.jobs pool);
+      let got = Engine.Pool.map pool succ [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "sequential map" [ 2; 3; 4 ] got)
+
+let test_pool_exception () =
+  Engine.Pool.with_pool ~jobs:2 (fun pool ->
+      (match
+         Engine.Pool.map pool
+           (fun i -> if i mod 3 = 1 then failwith (Fmt.str "boom %d" i) else i)
+           (List.init 9 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        (* lowest failing index (1) wins deterministically *)
+        Alcotest.(check string) "lowest-index failure" "boom 1" msg);
+      (* the pool survives a failed batch *)
+      let got = Engine.Pool.map pool succ [ 10; 20 ] in
+      Alcotest.(check (list int)) "reusable after failure" [ 11; 21 ] got)
+
+let test_pool_reuse () =
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Engine.Pool.map pool (fun i -> i + 1) (List.init 17 Fun.id) in
+      let b = Engine.Pool.map pool (fun i -> i * 2) (List.init 31 Fun.id) in
+      Alcotest.(check (list int)) "first batch" (List.init 17 (fun i -> i + 1)) a;
+      Alcotest.(check (list int)) "second batch" (List.init 31 (fun i -> i * 2)) b;
+      Alcotest.(check (list int)) "empty batch" [] (Engine.Pool.map pool Fun.id []))
+
+let test_pool_map_reduce () =
+  Engine.Pool.with_pool ~jobs:3 (fun pool ->
+      let got =
+        Engine.Pool.map_reduce pool
+          ~map:(fun i -> Fmt.str "%d" i)
+          ~reduce:(fun acc s -> acc ^ s)
+          ~init:"" (List.init 10 Fun.id)
+      in
+      Alcotest.(check string) "deterministic fold order" "0123456789" got)
+
+let test_pool_guards () =
+  (match Engine.Pool.create ~jobs:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 must raise");
+  let pool = Engine.Pool.create ~jobs:2 in
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool;
+  (* idempotent *)
+  match Engine.Pool.map pool Fun.id [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "map after shutdown must raise"
+
+(* --- Parallel-vs-sequential sweep differentials -------------------------- *)
+
+let check_differential name (seq : Framework.Experiments.series)
+    (par : Framework.Experiments.series) =
+  (* targeted projections first, for readable failures *)
+  let proj f s =
+    List.concat_map
+      (fun (p : Framework.Experiments.point) -> List.map f p.Framework.Experiments.results)
+      s.Framework.Experiments.points
+  in
+  Alcotest.(check (list (float 0.0)))
+    (name ^ ": seconds")
+    (proj (fun r -> r.Framework.Experiments.seconds) seq)
+    (proj (fun r -> r.Framework.Experiments.seconds) par);
+  Alcotest.(check (list int))
+    (name ^ ": changes")
+    (proj (fun r -> r.Framework.Experiments.changes) seq)
+    (proj (fun r -> r.Framework.Experiments.changes) par);
+  Alcotest.(check (list int))
+    (name ^ ": collector_updates")
+    (proj (fun r -> r.Framework.Experiments.collector_updates) seq)
+    (proj (fun r -> r.Framework.Experiments.collector_updates) par);
+  let boxes s =
+    List.map
+      (fun (p : Framework.Experiments.point) ->
+        p.Framework.Experiments.box.Engine.Stats.median)
+      s.Framework.Experiments.points
+  in
+  Alcotest.(check (list (float 0.0))) (name ^ ": box medians") (boxes seq) (boxes par);
+  (* then the full structural check: metrics snapshots included *)
+  Alcotest.(check bool)
+    (name ^ ": deep structural equality")
+    true
+    (Framework.Experiments.equal_series seq par)
+
+let with_jobs jobs f = Engine.Pool.with_pool ~jobs f
+
+let test_fig2_differential () =
+  let seq = Framework.Experiments.fig2_withdrawal ~n:6 ~runs:2 ~seed:3 ~config:cfg () in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun pool ->
+          let par =
+            Framework.Experiments.fig2_withdrawal ~pool ~n:6 ~runs:2 ~seed:3 ~config:cfg ()
+          in
+          check_differential (Fmt.str "fig2 jobs=%d" jobs) seq par))
+    [ 2; 3; 4 ]
+
+let test_announcement_differential () =
+  let seq = Framework.Experiments.announcement_sweep ~n:6 ~runs:2 ~seed:5 ~config:cfg () in
+  with_jobs 3 (fun pool ->
+      let par =
+        Framework.Experiments.announcement_sweep ~pool ~n:6 ~runs:2 ~seed:5 ~config:cfg ()
+      in
+      check_differential "announce jobs=3" seq par)
+
+let test_failover_differential () =
+  let seq = Framework.Experiments.failover_sweep ~n:6 ~runs:2 ~seed:9 ~config:cfg () in
+  with_jobs 2 (fun pool ->
+      let par =
+        Framework.Experiments.failover_sweep ~pool ~n:6 ~runs:2 ~seed:9 ~config:cfg ()
+      in
+      check_differential "failover jobs=2" seq par)
+
+let test_placement_differential () =
+  let sweep ?pool () =
+    Framework.Experiments.placement_sweep ?pool ~tier1:2 ~tier2:4 ~stubs:8 ~ks:[ 0; 2 ]
+      ~runs:2 ~seed:53 ~config:cfg ~placement:Framework.Experiments.Top_degree ()
+  in
+  let seq = sweep () in
+  with_jobs 4 (fun pool ->
+      let par = sweep ~pool () in
+      check_differential "placement jobs=4" seq par)
+
+let test_ablation_differential () =
+  let sweep ?pool () =
+    Framework.Experiments.ablation_recompute_delay ?pool ~n:6 ~runs:2 ~seed:11 ~config:cfg
+      ~delays_ms:[ 0; 1000 ] ()
+  in
+  let seq = sweep () in
+  with_jobs 2 (fun pool -> check_differential "ablation jobs=2" seq (sweep ~pool ()));
+  (* a jobs=1 pool must be indistinguishable from no pool at all *)
+  with_jobs 1 (fun pool -> check_differential "ablation jobs=1" seq (sweep ~pool ()))
+
+let test_scaling_differential () =
+  let sweep ?pool () =
+    Framework.Experiments.scaling_sweep ?pool ~sizes:[ 5; 7 ] ~fraction:0.4 ~runs:2 ~seed:43
+      ~config:cfg ()
+  in
+  let seq = sweep () in
+  with_jobs 3 (fun pool -> check_differential "scaling jobs=3" seq (sweep ~pool ()))
+
+let suite =
+  [
+    Alcotest.test_case "pool: order preservation" `Quick test_pool_order;
+    Alcotest.test_case "pool: jobs=1 bypass" `Quick test_pool_jobs1_bypass;
+    Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "pool: map_reduce order" `Quick test_pool_map_reduce;
+    Alcotest.test_case "pool: guards" `Quick test_pool_guards;
+    Alcotest.test_case "fig2 parallel == sequential" `Slow test_fig2_differential;
+    Alcotest.test_case "announce parallel == sequential" `Slow test_announcement_differential;
+    Alcotest.test_case "failover parallel == sequential" `Slow test_failover_differential;
+    Alcotest.test_case "placement parallel == sequential" `Slow test_placement_differential;
+    Alcotest.test_case "ablation parallel == sequential" `Quick test_ablation_differential;
+    Alcotest.test_case "scaling parallel == sequential" `Slow test_scaling_differential;
+  ]
