@@ -553,6 +553,59 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the disjoint sub-cluster resilience demo.")
     Term.(const run $ seed_arg)
 
+let chaos_cmd =
+  let run seed runs no_fallback minimize =
+    let fallback = not no_fallback in
+    let report = Framework.Chaos.run_campaign ~fallback ~seed ~runs () in
+    print_string (Framework.Chaos.render_report report);
+    let failing =
+      List.filter
+        (fun (r : Framework.Chaos.run_result) ->
+          r.Framework.Chaos.violations <> [] || not r.Framework.Chaos.quiesced)
+        report.Framework.Chaos.results
+    in
+    if minimize then
+      List.iter
+        (fun (r : Framework.Chaos.run_result) ->
+          let s = Framework.Chaos.minimize ~fallback ~seed r.Framework.Chaos.schedule in
+          Fmt.pr "minimal reproducer for run %d: %a@."
+            r.Framework.Chaos.schedule.Framework.Chaos.index
+            Fmt.(list ~sep:(any "; ") Framework.Chaos.pp_event)
+            s.Framework.Chaos.events)
+        failing;
+    if failing <> [] then exit 1
+  in
+  let runs =
+    Arg.(
+      value
+      & opt int 25
+      & info [ "runs" ] ~docv:"R" ~doc:"Fault schedules to generate and execute.")
+  in
+  let no_fallback =
+    Arg.(
+      value
+      & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Disable the switches' legacy fallback mode (the pre-hardening behavior: \
+             members blackhole unknown traffic while the controller is down).")
+  in
+  let minimize =
+    Arg.(
+      value
+      & flag
+      & info [ "minimize" ]
+          ~doc:"Greedily shrink each failing schedule to a minimal reproducer.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos campaign: randomized fault schedules against the hybrid \
+          clique, with an invariant oracle (no loops, no stale flow rules, session/RIB \
+          consistency, checkpoint idempotency) at every quiescent point.  Output is \
+          bit-identical for a given seed.")
+    Term.(const run $ seed_arg $ runs $ no_fallback $ minimize)
+
 let () =
   let doc = "hybrid BGP-SDN emulation framework" in
   let info = Cmd.info "hybridsim" ~version:Core.version ~doc in
@@ -568,5 +621,6 @@ let () =
             scenario_cmd;
             export_quagga_cmd;
             demo_cmd;
+            chaos_cmd;
             metrics_cmd;
           ]))

@@ -67,8 +67,12 @@ let handle_message t ~from msg =
   | Some peer -> (
     match msg with
     | Message.Open _ ->
-      (* Auto-respond so routers' session FSM completes. *)
-      ignore (t.send_raw ~dst:from (Message.Open { asn = t.asn; router_id = t.router_id }))
+      (* Auto-respond so routers' session FSM completes.  Hold time 0:
+         the collector never emits keepalives, so it must opt the session
+         out of liveness supervision. *)
+      ignore
+        (t.send_raw ~dst:from
+           (Message.Open { asn = t.asn; router_id = t.router_id; hold_time = 0 }))
     | Message.Keepalive | Message.Notification _ -> ()
     | Message.Update u ->
       List.iter (fun prefix -> record t ~peer ~prefix Withdraw) u.Message.withdrawn;

@@ -24,6 +24,10 @@ type t = {
          quiet-period waiting (Convergence.wait_quiet) instead of queue
          exhaustion.  Enable to detect silent failures (e.g. total loss
          on a link that never reports down). *)
+  reconnect : Session.backoff option;
+      (* Exponential-backoff retry of unanswered OPENs.  Off by default:
+         a bounded retry schedule still extends queue drain, and most
+         experiments rely on the link watcher to re-open sessions. *)
 }
 
 and keepalive = { interval : Engine.Time.span; hold_time : Engine.Time.span }
@@ -48,9 +52,12 @@ let default =
     session_down_detect = Engine.Time.ms 500;
     session_open_delay = Engine.Time.sec 1;
     keepalives = None;
+    reconnect = None;
   }
 
 let with_keepalives ?(keepalive = default_keepalive) t = { t with keepalives = Some keepalive }
+
+let with_reconnect ?(backoff = Session.default_backoff) t = { t with reconnect = Some backoff }
 
 let with_mrai t span = { t with mrai = span }
 

@@ -13,6 +13,8 @@ type t = {
   keepalives : keepalive option;
       (** KEEPALIVE/hold-timer liveness; off by default — with keepalives
           on, detect convergence via quiet periods, not queue drain. *)
+  reconnect : Session.backoff option;
+      (** exponential-backoff retry of unanswered OPENs; off by default *)
 }
 
 and keepalive = { interval : Engine.Time.span; hold_time : Engine.Time.span }
@@ -21,6 +23,8 @@ val default_keepalive : keepalive
 (** Quagga defaults: 60 s keepalive, 180 s hold. *)
 
 val with_keepalives : ?keepalive:keepalive -> t -> t
+
+val with_reconnect : ?backoff:Session.backoff -> t -> t
 
 val default : t
 (** MRAI 30 s jittered [0.75,1.0] applied to withdrawals too (Quagga

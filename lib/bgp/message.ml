@@ -6,7 +6,9 @@ type update = {
 }
 
 type t =
-  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr }
+  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr; hold_time : int }
+      (* proposed hold time in whole seconds; 0 disables liveness (RFC
+         4271 permits 0 = "no keepalives on this session") *)
   | Keepalive
   | Update of update
   | Notification of string
@@ -20,8 +22,8 @@ let is_empty_update u = u.announced = [] && u.withdrawn = []
 let update_size u = List.length u.announced + List.length u.withdrawn
 
 let pp ppf = function
-  | Open { asn; router_id } ->
-    Fmt.pf ppf "OPEN %a rid=%a" Net.Asn.pp asn Net.Ipv4.pp_addr router_id
+  | Open { asn; router_id; hold_time } ->
+    Fmt.pf ppf "OPEN %a rid=%a hold=%ds" Net.Asn.pp asn Net.Ipv4.pp_addr router_id hold_time
   | Keepalive -> Fmt.string ppf "KEEPALIVE"
   | Update { announced; withdrawn } ->
     Fmt.pf ppf "UPDATE +[%a] -[%a]"

@@ -6,7 +6,8 @@ type update = {
 }
 
 type t =
-  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr }
+  | Open of { asn : Net.Asn.t; router_id : Net.Ipv4.addr; hold_time : int }
+      (** proposed hold time in whole seconds; 0 disables liveness *)
   | Keepalive
   | Update of update
   | Notification of string

@@ -30,6 +30,7 @@ type telemetry = {
   withdrawals_received : Engine.Metrics.Counter.t;
   decision_runs_c : Engine.Metrics.Counter.t;
   best_changes_c : Engine.Metrics.Counter.t;
+  hold_expirations : Engine.Metrics.Counter.t;
 }
 
 type peer = {
@@ -38,6 +39,8 @@ type peer = {
   policy : Policy.t;
   mutable established : bool;
   mutable open_sent : bool;
+  mutable peer_hold : int; (* hold time (s) the peer proposed in its OPEN; 0 = none *)
+  mutable retry_attempt : int; (* reconnect backoff position *)
   mrai : Mrai.t;
   mutable keepalive : Engine.Timer.t option; (* periodic KEEPALIVE emission *)
   mutable hold : Engine.Timer.t option; (* liveness: reset by any inbound message *)
@@ -94,6 +97,8 @@ let create_unhooked ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
           "bgp_withdrawals_received_total";
       decision_runs_c = counter ~help:"decision process invocations" "bgp_decision_runs_total";
       best_changes_c = counter ~help:"Loc-RIB best-path changes" "bgp_best_changes_total";
+      hold_expirations =
+        counter ~help:"sessions torn down by hold-timer expiry" "bgp_hold_expirations_total";
     }
   in
   (* The split from the root stream happens exactly where it always did,
@@ -166,6 +171,11 @@ let peer_asns t = List.map fst (Net.Asn.Map.bindings t.peers)
 let peer_established t peer_asn =
   match find_peer t peer_asn with Some p -> p.established | None -> false
 
+let session_state t peer_asn =
+  match find_peer t peer_asn with
+  | None -> Session.Idle
+  | Some p -> Session.of_flags ~open_sent:p.open_sent ~established:p.established
+
 let send_message t peer msg =
   let sent = t.send_raw ~dst:peer.peer_node msg in
   if sent then begin
@@ -195,11 +205,23 @@ let add_peer t ~peer_asn ~peer_node ~policy =
       ~send:send_update
   in
   let peer =
-    { peer_asn; peer_node; policy; established = false; open_sent = false; mrai;
-      keepalive = None; hold = None }
+    { peer_asn; peer_node; policy; established = false; open_sent = false; peer_hold = 0;
+      retry_attempt = 0; mrai; keepalive = None; hold = None }
   in
   t.peers <- Net.Asn.Map.add peer_asn peer t.peers;
-  Hashtbl.replace t.peer_of_node peer_node peer_asn
+  Hashtbl.replace t.peer_of_node peer_node peer_asn;
+  (* Session-state gauge, sampled at scrape time. *)
+  let m = Engine.Sim.metrics t.sim in
+  let state_gauge =
+    Engine.Metrics.gauge m ~help:"BGP session FSM state (0=idle, 1=connect, 2=established)"
+      ~labels:[ ("node", Net.Asn.to_string t.asn); ("peer", Net.Asn.to_string peer_asn) ]
+      "bgp_session_state"
+  in
+  Engine.Metrics.on_collect m (fun () ->
+      Engine.Metrics.Gauge.set state_gauge
+        (float_of_int
+           (Session.to_int
+              (Session.of_flags ~open_sent:peer.open_sent ~established:peer.established))))
 
 (* --- Decision process and export ------------------------------------- *)
 
@@ -350,6 +372,27 @@ let stop_liveness peer =
   Option.iter Engine.Timer.cancel peer.keepalive;
   Option.iter Engine.Timer.cancel peer.hold
 
+(* The hold time (whole seconds) we propose in our OPENs; 0 when
+   keepalives are off — RFC 4271 lets either side disable liveness. *)
+let our_hold_secs t =
+  match t.config.Config.keepalives with
+  | None -> 0
+  | Some { Config.hold_time; _ } ->
+    let s = int_of_float (Engine.Time.to_sec_f hold_time) in
+    max 1 s
+
+(* RFC 4271 §4.2 negotiation: the session hold time is the smaller of the
+   two proposals, and 0 on either side disables liveness entirely. *)
+let negotiated_hold t peer =
+  let ours = our_hold_secs t in
+  if ours = 0 || peer.peer_hold = 0 then None
+  else Some (Engine.Time.sec (min ours peer.peer_hold))
+
+let send_open t peer =
+  ignore
+    (send_message t peer
+       (Message.Open { asn = t.asn; router_id = t.router_id; hold_time = our_hold_secs t }))
+
 let session_down t peer_asn =
   match find_peer t peer_asn with
   | None -> ()
@@ -365,11 +408,19 @@ let session_down t peer_asn =
       run_decisions t dropped_in
     end
 
-(* KEEPALIVE emission + hold-timer supervision (when configured). *)
-let start_liveness t peer =
-  match t.config.Config.keepalives with
-  | None -> ()
-  | Some { Config.interval; hold_time } ->
+(* KEEPALIVE emission + hold-timer supervision.  Armed only when both
+   sides proposed a non-zero hold time; the emission interval is jittered
+   per cycle (Quagga jitters keepalives the same way it jitters MRAI) and
+   clamped to a third of the negotiated hold so three losses are needed
+   to kill a healthy session. *)
+let rec start_liveness t peer =
+  match (t.config.Config.keepalives, negotiated_hold t peer) with
+  | None, _ | _, None -> ()
+  | Some { Config.interval; _ }, Some hold_time ->
+    let interval =
+      Engine.Time.min interval (Engine.Time.span_scale hold_time (1.0 /. 3.0))
+    in
+    let jittered () = Engine.Rng.jitter_span t.rng interval ~lo:0.75 ~hi:1.0 in
     let keepalive =
       match peer.keepalive with
       | Some timer -> timer
@@ -378,7 +429,7 @@ let start_liveness t peer =
         let emit () =
           if peer.established then begin
             ignore (send_message t peer Message.Keepalive);
-            Option.iter (fun timer -> Engine.Timer.start timer interval) !timer_ref
+            Option.iter (fun timer -> Engine.Timer.start timer (jittered ())) !timer_ref
           end
         in
         let timer =
@@ -398,43 +449,76 @@ let start_liveness t peer =
         let timer =
           Engine.Timer.create ~category:"bgp.liveness" t.sim
             ~name:(Fmt.str "%a-hold-%a" Net.Asn.pp t.asn Net.Asn.pp peer.peer_asn)
-            ~callback:(fun () ->
-              Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp"
-                ~level:Engine.Trace.Warn "hold timer expired for %a" Net.Asn.pp
-                peer.peer_asn;
-              ignore (send_message t peer (Message.Notification "hold timer expired"));
-              session_down t peer.peer_asn)
+            ~callback:(fun () -> hold_expired t peer)
         in
         peer.hold <- Some timer;
         Engine.Node.own_timer t.node timer;
         timer
     in
-    Engine.Timer.start keepalive interval;
+    Engine.Timer.start keepalive (jittered ());
     Engine.Timer.start hold hold_time
 
-(* Any inbound traffic proves the peer alive. *)
-let touch_hold t peer =
-  match (t.config.Config.keepalives, peer.hold) with
-  | Some { Config.hold_time; _ }, Some hold when peer.established ->
-    Engine.Timer.start hold hold_time
-  | _, _ -> ()
+and hold_expired t peer =
+  Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"bgp"
+    ~level:Engine.Trace.Warn "hold timer expired for %a" Net.Asn.pp peer.peer_asn;
+  Engine.Metrics.Counter.inc t.tm.hold_expirations;
+  ignore (send_message t peer (Message.Notification "hold timer expired"));
+  session_down t peer.peer_asn;
+  (* The neighbor may be rebooting rather than gone: retry the session on
+     the backoff schedule (an eventual NOTIFICATION+OPEN from the peer's
+     own restart path also re-establishes, whichever comes first). *)
+  match t.config.Config.reconnect with
+  | None -> ()
+  | Some backoff ->
+    let delay = Session.delay backoff t.rng ~attempt:0 in
+    Engine.Node.schedule_after ~category:"bgp.reconnect" t.node delay (fun () ->
+        if not (peer.established || peer.open_sent) then open_session t peer.peer_asn)
 
-let establish t peer =
-  if not peer.established then begin
-    peer.established <- true;
-    log t "session %a established" Net.Asn.pp peer.peer_asn;
-    start_liveness t peer;
-    sync_peer t peer
-  end
+(* Deterministic exponential-backoff retry of an unanswered OPEN.  The
+   chain stops when the session establishes, when the session-down path
+   resets the flags (link reported down), or when the attempt budget is
+   exhausted (the peer's own restart OPEN can still revive the session). *)
+and schedule_retry t peer =
+  match t.config.Config.reconnect with
+  | None -> ()
+  | Some backoff ->
+    let attempt = peer.retry_attempt in
+    if attempt < backoff.Session.max_attempts then begin
+      let delay = Session.delay backoff t.rng ~attempt in
+      Engine.Node.schedule_after ~category:"bgp.reconnect" t.node delay (fun () ->
+          if peer.open_sent && not peer.established then begin
+            peer.retry_attempt <- attempt + 1;
+            log t "reconnect %a: retry %d" Net.Asn.pp peer.peer_asn (attempt + 1);
+            send_open t peer;
+            schedule_retry t peer
+          end)
+    end
 
-let open_session t peer_asn =
+and open_session t peer_asn =
   match find_peer t peer_asn with
   | None -> invalid_arg (Fmt.str "Router.open_session: unknown peer %a" Net.Asn.pp peer_asn)
   | Some peer ->
     if not peer.open_sent then begin
       peer.open_sent <- true;
-      ignore (send_message t peer (Message.Open { asn = t.asn; router_id = t.router_id }))
+      peer.retry_attempt <- 0;
+      send_open t peer;
+      schedule_retry t peer
     end
+
+let establish t peer =
+  if not peer.established then begin
+    peer.established <- true;
+    peer.retry_attempt <- 0;
+    log t "session %a established" Net.Asn.pp peer.peer_asn;
+    start_liveness t peer;
+    sync_peer t peer
+  end
+
+(* Any inbound traffic proves the peer alive. *)
+let touch_hold t peer =
+  match (negotiated_hold t peer, peer.hold) with
+  | Some hold_time, Some hold when peer.established -> Engine.Timer.start hold hold_time
+  | _, _ -> ()
 
 let start t = List.iter (fun (_, p) -> open_session t p.peer_asn) (Net.Asn.Map.bindings t.peers)
 
@@ -511,13 +595,14 @@ let handle_message t ~from msg =
   | Some peer_asn -> (
     Option.iter (fun peer -> touch_hold t peer) (find_peer t peer_asn);
     match msg with
-    | Message.Open _ -> (
+    | Message.Open { hold_time; _ } -> (
       match find_peer t peer_asn with
       | None -> ()
       | Some peer ->
+        peer.peer_hold <- hold_time;
         if not peer.open_sent then begin
           peer.open_sent <- true;
-          ignore (send_message t peer (Message.Open { asn = t.asn; router_id = t.router_id }))
+          send_open t peer
         end;
         establish t peer)
     | Message.Keepalive -> ()
@@ -554,7 +639,7 @@ type checkpoint = {
   ck_loc : Route.t list;
   ck_adj_out : (Net.Asn.t * (Net.Ipv4.prefix * Attrs.t) list) list;
   ck_originated : (Net.Ipv4.prefix * Attrs.t) list;
-  ck_peers : (Net.Asn.t * bool * bool * Mrai.state) list;
+  ck_peers : (Net.Asn.t * bool * bool * int * int * Mrai.state) list;
   ck_pending : (Engine.Time.t * Net.Asn.t * Message.update) list;
 }
 
@@ -571,7 +656,8 @@ let snapshot t =
       ck_originated = Pm.bindings t.originated;
       ck_peers =
         List.map
-          (fun (asn, p) -> (asn, p.established, p.open_sent, Mrai.state p.mrai))
+          (fun (asn, p) ->
+            (asn, p.established, p.open_sent, p.peer_hold, p.retry_attempt, Mrai.state p.mrai))
           (Net.Asn.Map.bindings t.peers);
       ck_pending = List.of_seq (Queue.to_seq t.pending_updates);
     }
@@ -595,12 +681,14 @@ let restore t = function
     t.originated <-
       List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty ck.ck_originated;
     List.iter
-      (fun (asn, established, open_sent, mrai_state) ->
+      (fun (asn, established, open_sent, peer_hold, retry_attempt, mrai_state) ->
         match find_peer t asn with
         | None -> ()
         | Some peer ->
           peer.established <- established;
           peer.open_sent <- open_sent;
+          peer.peer_hold <- peer_hold;
+          peer.retry_attempt <- retry_attempt;
           Mrai.restore peer.mrai mrai_state;
           if established then start_liveness t peer)
       ck.ck_peers;
@@ -625,6 +713,8 @@ let on_crashed t =
     (fun _ peer ->
       peer.established <- false;
       peer.open_sent <- false;
+      peer.peer_hold <- 0;
+      peer.retry_attempt <- 0;
       Mrai.reset peer.mrai)
     t.peers;
   Rib.Adj_in.clear t.adj_in;

@@ -54,6 +54,10 @@ val peer_asns : t -> Net.Asn.t list
 
 val peer_established : t -> Net.Asn.t -> bool
 
+val session_state : t -> Net.Asn.t -> Session.state
+(** Derived FSM state of the session toward [peer] ([Idle] for an
+    unknown peer). *)
+
 val open_session : t -> Net.Asn.t -> unit
 (** Send an OPEN toward the peer (idempotent). *)
 

@@ -1,0 +1,59 @@
+(* Per-peer BGP session finite-state machine.
+
+   The emulation keeps a deliberately collapsed version of the RFC 4271
+   FSM: the TCP-level states (Connect/Active/OpenSent/OpenConfirm) fold
+   into a single [Connect] state because the fabric either delivers the
+   OPEN or it does not — there is no half-open TCP handshake to model.
+   The observable states are
+
+     Idle ──open──▶ Connect ──OPEN rcvd──▶ Established
+       ▲               │  ▲                      │
+       └───────────────┘  └──backoff retry       │
+       ◀──────── hold expiry / NOTIFICATION ─────┘
+
+   The router stores the two booleans it always stored ([open_sent],
+   [established]); this module derives the FSM state from them and owns
+   the deterministic exponential-backoff schedule used to retry a
+   [Connect] that never completes. *)
+
+type state = Idle | Connect | Established
+
+let of_flags ~open_sent ~established =
+  if established then Established else if open_sent then Connect else Idle
+
+let to_string = function
+  | Idle -> "idle"
+  | Connect -> "connect"
+  | Established -> "established"
+
+(* Stable numeric encoding for the bgp_session_state gauge. *)
+let to_int = function Idle -> 0 | Connect -> 1 | Established -> 2
+
+let pp ppf s = Fmt.string ppf (to_string s)
+
+(* Exponential-backoff schedule for session reconnects (Quagga's
+   connect-retry with the usual doubling). *)
+type backoff = {
+  retry_initial : Engine.Time.span;
+  retry_multiplier : float;
+  retry_max : Engine.Time.span;
+  max_attempts : int;  (** give up (stay Idle) after this many retries *)
+}
+
+let default_backoff =
+  {
+    retry_initial = Engine.Time.sec 1;
+    retry_multiplier = 2.0;
+    retry_max = Engine.Time.sec 32;
+    max_attempts = 6;
+  }
+
+(* Delay before retry [attempt] (0-based): initial * multiplier^attempt,
+   capped at [retry_max], multiplicatively jittered in [0.75, 1.0] from
+   the supplied stream — deterministic for a fixed seed. *)
+let delay b rng ~attempt =
+  let scaled =
+    Engine.Time.span_scale b.retry_initial (b.retry_multiplier ** float_of_int attempt)
+  in
+  let base = Engine.Time.min scaled b.retry_max in
+  Engine.Rng.jitter_span rng base ~lo:0.75 ~hi:1.0

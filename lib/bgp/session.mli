@@ -1,0 +1,31 @@
+(** Per-peer BGP session FSM (collapsed RFC 4271 states) and the
+    deterministic exponential-backoff reconnect schedule. *)
+
+type state = Idle | Connect | Established
+
+val of_flags : open_sent:bool -> established:bool -> state
+(** Derive the FSM state from the router's session flags: [Established]
+    dominates, an unanswered OPEN is [Connect], otherwise [Idle]. *)
+
+val to_string : state -> string
+
+val to_int : state -> int
+(** Stable encoding for metrics gauges: Idle = 0, Connect = 1,
+    Established = 2. *)
+
+val pp : Format.formatter -> state -> unit
+
+type backoff = {
+  retry_initial : Engine.Time.span;
+  retry_multiplier : float;
+  retry_max : Engine.Time.span;
+  max_attempts : int;
+}
+
+val default_backoff : backoff
+(** 1 s initial, doubling, capped at 32 s, at most 6 retries. *)
+
+val delay : backoff -> Engine.Rng.t -> attempt:int -> Engine.Time.span
+(** Delay before retry [attempt] (0-based): [retry_initial *
+    retry_multiplier^attempt] capped at [retry_max], jittered
+    multiplicatively in [0.75, 1.0] from [rng]. *)

@@ -83,13 +83,13 @@ let wrap ~msg_type body =
 
 (* --- Encoding -------------------------------------------------------------- *)
 
-let encode_open ~asn ~router_id =
+let encode_open ~asn ~router_id ~hold_time =
   let buf = Buffer.create 32 in
   u8 buf 4 (* version *);
   let asn_int = Net.Asn.to_int asn in
   (* 2-octet field carries AS_TRANS when the ASN does not fit *)
   u16 buf (if asn_int > 0xFFFF then 23456 else asn_int);
-  u16 buf 180 (* hold time *);
+  u16 buf (hold_time land 0xFFFF);
   u32_of_addr buf router_id;
   (* optional parameter: capability 65 (4-octet AS) *)
   let cap = Buffer.create 8 in
@@ -200,7 +200,7 @@ let group_by_attrs announced =
   List.map (fun (attrs, prefixes) -> (attrs, List.rev !prefixes)) !groups
 
 let encode = function
-  | Message.Open { asn; router_id } -> [ encode_open ~asn ~router_id ]
+  | Message.Open { asn; router_id; hold_time } -> [ encode_open ~asn ~router_id ~hold_time ]
   | Message.Keepalive -> [ wrap ~msg_type:t_keepalive Bytes.empty ]
   | Message.Notification reason ->
     let buf = Buffer.create 16 in
@@ -281,7 +281,7 @@ let decode_open c =
   if version <> 4 then Error (Bad_version version)
   else
     let* as2 = read_u16 c in
-    let* _hold = read_u16 c in
+    let* hold = read_u16 c in
     let* rid = read_u32 c in
     let router_id = Net.Ipv4.addr_of_int32 (Int32.of_int rid) in
     let* opt_len = read_u8 c in
@@ -313,7 +313,7 @@ let decode_open c =
     let* asn4 = scan None in
     let asn_int = match asn4 with Some v -> v | None -> as2 in
     if asn_int <= 0 then Error (Malformed "ASN")
-    else Ok (Message.Open { asn = Net.Asn.of_int asn_int; router_id })
+    else Ok (Message.Open { asn = Net.Asn.of_int asn_int; router_id; hold_time = hold })
 
 let decode_attrs c =
   let origin = ref Attrs.Igp in

@@ -83,6 +83,8 @@ type t = {
   sim : Engine.Sim.t;
   node : Engine.Node.t;
   config : config;
+  flow_idle_timeout : Engine.Time.span option;
+  flow_hard_timeout : Engine.Time.span option;
   members : Net.Asn.Set.t;
   speaker : Speaker.t;
   send_switch : member:Net.Asn.t -> Sdn.Openflow.t -> bool;
@@ -98,6 +100,9 @@ type t = {
   mutable decisions : As_graph.decision Net.Asn.Map.t Pm.t;
   mutable fingerprints : fingerprint Pm.t;
   mutable recompute : Recompute.t option; (* set right after creation *)
+  mutable resyncing : Net.Asn.Set.t;
+      (* members owed a RESYNC_DONE once the next recompute batch has
+         reinstalled their flow state (fallback-exit handshake) *)
   mutable on_decision_change :
     (Net.Ipv4.prefix -> Net.Asn.t -> As_graph.decision option -> unit) array;
   stats : stats;
@@ -227,8 +232,8 @@ let recompute_prefix t prefix =
   (* Program the data plane. *)
   let installed = Option.value (Pm.find_opt prefix t.installed) ~default:Net.Asn.Map.empty in
   let changes, new_installed =
-    Flow_compiler.diff ~prefix ~node_of_asn:t.node_of_asn ~members:(members t) ~installed
-      ~desired
+    Flow_compiler.diff ?idle_timeout:t.flow_idle_timeout ?hard_timeout:t.flow_hard_timeout
+      ~prefix ~node_of_asn:t.node_of_asn ~members:(members t) ~installed ~desired ()
   in
   (* Reactive mode installs rules only on demand: recomputation refreshes
      or deletes rules already on a switch but never pushes new ones. *)
@@ -255,10 +260,25 @@ let recompute_prefix t prefix =
     (fun (member, neighbor) -> sync_session t ~member ~neighbor prefix desired)
     (Speaker.sessions t.speaker)
 
+(* Close the fallback-exit handshake: the batch that just ran reinstalled
+   the flow state of every member awaiting resync, so release them from
+   legacy fallback mode. *)
+let flush_resyncing t =
+  if not (Net.Asn.Set.is_empty t.resyncing) then begin
+    let pending = t.resyncing in
+    t.resyncing <- Net.Asn.Set.empty;
+    Net.Asn.Set.iter
+      (fun member ->
+        log t "resync done -> %a" Net.Asn.pp member;
+        ignore (t.send_switch ~member Sdn.Openflow.Resync_done))
+      pending
+  end
+
 let recompute_batch t prefixes =
   t.stats.recompute_batches <- t.stats.recompute_batches + 1;
   Engine.Metrics.Counter.inc t.tm.recompute_c;
-  List.iter (recompute_prefix t) prefixes
+  List.iter (recompute_prefix t) prefixes;
+  flush_resyncing t
 
 let mark_dirty t prefix =
   match t.recompute with
@@ -407,6 +427,10 @@ let handle_openflow t msg =
   | Sdn.Openflow.Bgp_relay { member; neighbor; direction = Sdn.Openflow.To_speaker; payload } ->
     Speaker.handle_relay t.speaker ~member ~neighbor payload
   | Sdn.Openflow.Hello -> ()
+  | Sdn.Openflow.Echo_request { switch_asn } ->
+    (* Heartbeat probe from a member switch: answering proves the control
+       plane is alive and keeps the switch out of fallback mode. *)
+    ignore (t.send_switch ~member:switch_asn Sdn.Openflow.Echo_reply)
   | Sdn.Openflow.Flow_removed { switch_asn; rule; reason = _ } ->
     (* A timed-out rule is gone from the switch: forget it so a later
        PACKET_IN (reactive) or recomputation (proactive) reinstalls it. *)
@@ -417,9 +441,13 @@ let handle_openflow t msg =
       t.installed <- Pm.add prefix (Net.Asn.Map.remove switch_asn installed) t.installed;
       (* The rule must be reinstallable by the next recomputation even if
          its routing inputs are unchanged. *)
-      t.fingerprints <- Pm.remove prefix t.fingerprints
+      t.fingerprints <- Pm.remove prefix t.fingerprints;
+      (* Proactive mode promises complete tables: expiry alone (no routing
+         input changed) must still trigger the reinstall. *)
+      if t.config.proactive then mark_dirty t prefix
     | None -> ())
-  | Sdn.Openflow.Bgp_relay _ | Sdn.Openflow.Packet_out _ | Sdn.Openflow.Flow_mod _ ->
+  | Sdn.Openflow.Bgp_relay _ | Sdn.Openflow.Packet_out _ | Sdn.Openflow.Flow_mod _
+  | Sdn.Openflow.Echo_reply | Sdn.Openflow.Resync_done ->
     log t "unexpected openflow message: %a" Sdn.Openflow.pp msg
 
 (* --- Origination --------------------------------------------------------- *)
@@ -457,7 +485,10 @@ let resync_member t member =
   if Net.Asn.Set.mem member t.members then begin
     t.installed <- Pm.map (Net.Asn.Map.remove member) t.installed;
     t.fingerprints <- Pm.empty;
-    List.iter (mark_dirty t) (known_prefixes t)
+    t.resyncing <- Net.Asn.Set.add member t.resyncing;
+    match known_prefixes t with
+    | [] -> flush_resyncing t (* nothing to reinstall: release immediately *)
+    | prefixes -> List.iter (mark_dirty t) prefixes
   end
 
 (* --- Lifecycle and checkpointing ----------------------------------------- *)
@@ -469,6 +500,7 @@ type checkpoint = {
   co_decisions : (Net.Ipv4.prefix * As_graph.decision Net.Asn.Map.t) list;
   co_graph_edges : (int * int * float) list;
   co_recompute : Recompute.state option;
+  co_resyncing : Net.Asn.Set.t;
 }
 
 type Engine.Node.blob += Controller_state of checkpoint
@@ -482,6 +514,7 @@ let snapshot t =
       co_decisions = Pm.bindings t.decisions;
       co_graph_edges = Net.Graph.edges t.switch_graph;
       co_recompute = Option.map Recompute.state t.recompute;
+      co_resyncing = t.resyncing;
     }
 
 (* Fingerprints are deliberately NOT captured: the restored graph's
@@ -497,6 +530,7 @@ let restore t = function
     t.installed <- of_bindings ck.co_installed;
     t.decisions <- of_bindings ck.co_decisions;
     t.fingerprints <- Pm.empty;
+    t.resyncing <- ck.co_resyncing;
     List.iter
       (fun (u, v, _) -> Net.Graph.remove_edge t.switch_graph u v)
       (Net.Graph.edges t.switch_graph);
@@ -518,17 +552,23 @@ let on_crashed t =
   t.installed <- Pm.empty;
   t.decisions <- Pm.empty;
   t.fingerprints <- Pm.empty;
+  t.resyncing <- Net.Asn.Set.empty;
   Option.iter Recompute.reset t.recompute
 
 (* Restart: re-run the pipeline for configured originations.  External
-   routes reappear as the speaker's sessions re-establish and resync. *)
+   routes reappear as the speaker's sessions re-establish and resync.
+   Every member is owed a RESYNC_DONE (they degraded to fallback while we
+   were dead); it goes out with the first recompute batch, or at once
+   when there is nothing to reinstall. *)
 let on_restarted t =
-  Pm.iter (fun prefix _ -> mark_dirty t prefix) t.originated
+  t.resyncing <- t.members;
+  if Pm.is_empty t.originated then flush_resyncing t
+  else Pm.iter (fun prefix _ -> mark_dirty t prefix) t.originated
 
 (* --- Construction --------------------------------------------------------- *)
 
-let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn ~asn_of_node
-    ~addr_of_member ~policy_of ~intra_links =
+let create ?flow_idle_timeout ?flow_hard_timeout ~sim ~config ~members:member_list ~speaker
+    ~send_switch ~node_of_asn ~asn_of_node ~addr_of_member ~policy_of ~intra_links () =
   let members = Net.Asn.Set.of_list member_list in
   let switch_graph = Net.Graph.create () in
   List.iter (fun m -> Net.Graph.add_node switch_graph (Net.Asn.to_int m)) member_list;
@@ -565,6 +605,8 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
       sim;
       node = Engine.Node.create ~kind:"controller" sim ~name:"controller";
       config;
+      flow_idle_timeout;
+      flow_hard_timeout;
       members;
       speaker;
       send_switch;
@@ -580,6 +622,7 @@ let create ~sim ~config ~members:member_list ~speaker ~send_switch ~node_of_asn 
       decisions = Pm.empty;
       fingerprints = Pm.empty;
       recompute = None;
+      resyncing = Net.Asn.Set.empty;
       on_decision_change = [||];
       stats =
         {

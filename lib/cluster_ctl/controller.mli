@@ -30,6 +30,8 @@ type stats = {
 type t
 
 val create :
+  ?flow_idle_timeout:Engine.Time.span ->
+  ?flow_hard_timeout:Engine.Time.span ->
   sim:Engine.Sim.t ->
   config:config ->
   members:Net.Asn.t list ->
@@ -40,8 +42,13 @@ val create :
   addr_of_member:(Net.Asn.t -> Net.Ipv4.addr) ->
   policy_of:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Policy.t) ->
   intra_links:(Net.Asn.t * Net.Asn.t) list ->
+  unit ->
   t
-(** Registers itself as the speaker's update/session handler. *)
+(** Registers itself as the speaker's update/session handler.
+    [flow_idle_timeout]/[flow_hard_timeout] stamp every proactively pushed
+    flow rule, so installed rules decay at the switch when the controller
+    dies and stops refreshing them (the FLOW_REMOVED notification marks
+    the prefix dirty so a live controller immediately reinstalls). *)
 
 val node : t -> Engine.Node.t
 (** The runtime node: a crash loses the RIB, decisions and installed-rule

@@ -25,8 +25,9 @@ type change = {
 (* [installed]: what each member's switch currently has for this prefix.
    [desired]: the new decisions.  Returns the per-member FLOW_MODs and the
    new installed state. *)
-let diff ~prefix ~node_of_asn ~(members : Net.Asn.t list)
-    ~(installed : Sdn.Flow.action Net.Asn.Map.t) ~(desired : As_graph.decision Net.Asn.Map.t) =
+let diff ?idle_timeout ?hard_timeout ~prefix ~node_of_asn ~(members : Net.Asn.t list)
+    ~(installed : Sdn.Flow.action Net.Asn.Map.t) ~(desired : As_graph.decision Net.Asn.Map.t)
+    () =
   let priority = Net.Ipv4.prefix_len prefix in
   let changes = ref [] in
   let new_installed = ref Net.Asn.Map.empty in
@@ -44,7 +45,11 @@ let diff ~prefix ~node_of_asn ~(members : Net.Asn.t list)
         | Some w, Some h when Sdn.Flow.action_equal w h -> []
         | Some w, (Some _ | None) ->
           [ Sdn.Openflow.Flow_mod
-              { command = Sdn.Openflow.Add; rule = Sdn.Flow.make ~priority ~match_prefix:prefix w } ]
+              {
+                command = Sdn.Openflow.Add;
+                rule =
+                  Sdn.Flow.make ?idle_timeout ?hard_timeout ~priority ~match_prefix:prefix w;
+              } ]
         | None, Some h ->
           [ Sdn.Openflow.Flow_mod
               { command = Sdn.Openflow.Delete;

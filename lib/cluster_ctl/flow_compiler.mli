@@ -7,12 +7,16 @@ val action_of_decision :
 type change = { member : Net.Asn.t; mods : Sdn.Openflow.t list }
 
 val diff :
+  ?idle_timeout:Engine.Time.span ->
+  ?hard_timeout:Engine.Time.span ->
   prefix:Net.Ipv4.prefix ->
   node_of_asn:(Net.Asn.t -> int option) ->
   members:Net.Asn.t list ->
   installed:Sdn.Flow.action Net.Asn.Map.t ->
   desired:As_graph.decision Net.Asn.Map.t ->
+  unit ->
   change list * Sdn.Flow.action Net.Asn.Map.t
 (** Returns the per-member FLOW_MODs and the new installed-state map.
     [Deliver_local] decisions install nothing (the switch's local-prefix
-    check delivers those packets). *)
+    check delivers those packets).  [idle_timeout]/[hard_timeout] stamp
+    every added rule so it decays at the switch unless refreshed. *)

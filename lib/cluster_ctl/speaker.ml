@@ -22,8 +22,11 @@ type session = {
   member_addr : Net.Ipv4.addr;
   mutable established : bool;
   mutable open_sent : bool;
+  mutable peer_hold : int; (* hold time (s) the neighbor proposed; 0 = none *)
   mutable adj_out : Bgp.Attrs.t Pm.t;
   mrai : Bgp.Mrai.t option;
+  mutable keepalive : Engine.Timer.t option;
+  mutable hold : Engine.Timer.t option;
 }
 
 type stats = {
@@ -36,6 +39,7 @@ type t = {
   sim : Engine.Sim.t;
   node : Engine.Node.t;
   rng : Engine.Rng.t;
+  liveness : Bgp.Config.keepalive option;
   send_relay : member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> bool;
   sessions : (session_key, session) Hashtbl.t;
   mutable session_order : session_key list; (* deterministic iteration *)
@@ -43,23 +47,30 @@ type t = {
     member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.update -> unit;
   mutable on_session : member:Net.Asn.t -> neighbor:Net.Asn.t -> up:bool -> unit;
   stats : stats;
+  hold_expirations : Engine.Metrics.Counter.t;
 }
 
 let log t fmt = Engine.Sim.logf t.sim ~node:"speaker" ~category:"speaker" fmt
 
 (* [create] is completed by [hook_lifecycle] at the bottom of this file. *)
-let create_unhooked ~sim ~send_relay =
+let create_unhooked ?liveness ~sim ~send_relay () =
   let rng = Engine.Rng.split (Engine.Sim.rng sim) in
   {
     sim;
     node = Engine.Node.create ~kind:"speaker" ~rng sim ~name:"speaker";
     rng;
+    liveness;
     send_relay;
     sessions = Hashtbl.create 32;
     session_order = [];
     on_update = (fun ~member:_ ~neighbor:_ _ -> ());
     on_session = (fun ~member:_ ~neighbor:_ ~up:_ -> ());
     stats = { updates_in = 0; updates_out = 0; opens = 0 };
+    hold_expirations =
+      Engine.Metrics.counter (Engine.Sim.metrics sim)
+        ~help:"sessions torn down by hold-timer expiry"
+        ~labels:[ ("node", "speaker") ]
+        "bgp_hold_expirations_total";
   }
 
 let node t = t.node
@@ -110,12 +121,30 @@ let add_session ?(mrai_config : Bgp.Config.t option) t ~member ~neighbor ~member
       mrai_config
   in
   let s =
-    { member; neighbor; member_addr; established = false; open_sent = false;
-      adj_out = Pm.empty; mrai }
+    { member; neighbor; member_addr; established = false; open_sent = false; peer_hold = 0;
+      adj_out = Pm.empty; mrai; keepalive = None; hold = None }
   in
   self := Some s;
   Hashtbl.replace t.sessions key s;
   t.session_order <- t.session_order @ [ key ]
+
+(* The hold time (whole seconds) the speaker proposes; 0 (liveness off)
+   opts sessions out of keepalive supervision entirely. *)
+let our_hold_secs t =
+  match t.liveness with
+  | None -> 0
+  | Some { Bgp.Config.hold_time; _ } -> max 1 (int_of_float (Engine.Time.to_sec_f hold_time))
+
+let negotiated_hold t (s : session) =
+  let ours = our_hold_secs t in
+  if ours = 0 || s.peer_hold = 0 then None else Some (Engine.Time.sec (min ours s.peer_hold))
+
+let send_open t (s : session) =
+  t.stats.opens <- t.stats.opens + 1;
+  ignore
+    (send_wire t s
+       (Bgp.Message.Open
+          { asn = s.member; router_id = s.member_addr; hold_time = our_hold_secs t }))
 
 let open_session t ~member ~neighbor =
   match find t ~member ~neighbor with
@@ -125,20 +154,15 @@ let open_session t ~member ~neighbor =
   | Some s ->
     if not s.open_sent then begin
       s.open_sent <- true;
-      t.stats.opens <- t.stats.opens + 1;
-      ignore
-        (send_wire t s (Bgp.Message.Open { asn = s.member; router_id = s.member_addr }))
+      send_open t s
     end
 
 let open_all t =
   List.iter (fun (member, neighbor) -> open_session t ~member ~neighbor) t.session_order
 
-let establish t (s : session) =
-  if not s.established then begin
-    s.established <- true;
-    log t "session %a/%a established" Net.Asn.pp s.member Net.Asn.pp s.neighbor;
-    t.on_session ~member:s.member ~neighbor:s.neighbor ~up:true
-  end
+let stop_liveness (s : session) =
+  Option.iter Engine.Timer.cancel s.keepalive;
+  Option.iter Engine.Timer.cancel s.hold
 
 let session_down t ~member ~neighbor =
   match find t ~member ~neighbor with
@@ -149,22 +173,89 @@ let session_down t ~member ~neighbor =
       s.open_sent <- false;
       s.adj_out <- Pm.empty;
       Option.iter Bgp.Mrai.reset s.mrai;
+      stop_liveness s;
       log t "session %a/%a down" Net.Asn.pp member Net.Asn.pp neighbor;
       t.on_session ~member ~neighbor ~up:false
     end
+
+(* Per-session KEEPALIVE emission + hold supervision, mirroring
+   Router.start_liveness (negotiated hold, jittered emission). *)
+let start_liveness t (s : session) =
+  match (t.liveness, negotiated_hold t s) with
+  | None, _ | _, None -> ()
+  | Some { Bgp.Config.interval; _ }, Some hold_time ->
+    let interval =
+      Engine.Time.min interval (Engine.Time.span_scale hold_time (1.0 /. 3.0))
+    in
+    let jittered () = Engine.Rng.jitter_span t.rng interval ~lo:0.75 ~hi:1.0 in
+    let keepalive =
+      match s.keepalive with
+      | Some timer -> timer
+      | None ->
+        let timer_ref = ref None in
+        let emit () =
+          if s.established then begin
+            ignore (send_wire t s Bgp.Message.Keepalive);
+            Option.iter (fun timer -> Engine.Timer.start timer (jittered ())) !timer_ref
+          end
+        in
+        let timer =
+          Engine.Timer.create ~category:"speaker.liveness" t.sim
+            ~name:(Fmt.str "speaker-keepalive-%a-%a" Net.Asn.pp s.member Net.Asn.pp s.neighbor)
+            ~callback:emit
+        in
+        timer_ref := Some timer;
+        s.keepalive <- Some timer;
+        Engine.Node.own_timer t.node timer;
+        timer
+    in
+    let hold =
+      match s.hold with
+      | Some timer -> timer
+      | None ->
+        let timer =
+          Engine.Timer.create ~category:"speaker.liveness" t.sim
+            ~name:(Fmt.str "speaker-hold-%a-%a" Net.Asn.pp s.member Net.Asn.pp s.neighbor)
+            ~callback:(fun () ->
+              Engine.Sim.logf t.sim ~node:"speaker" ~category:"speaker"
+                ~level:Engine.Trace.Warn "hold timer expired on %a/%a" Net.Asn.pp s.member
+                Net.Asn.pp s.neighbor;
+              Engine.Metrics.Counter.inc t.hold_expirations;
+              ignore (send_wire t s (Bgp.Message.Notification "hold timer expired"));
+              session_down t ~member:s.member ~neighbor:s.neighbor)
+        in
+        s.hold <- Some timer;
+        Engine.Node.own_timer t.node timer;
+        timer
+    in
+    Engine.Timer.start keepalive (jittered ());
+    Engine.Timer.start hold hold_time
+
+let establish t (s : session) =
+  if not s.established then begin
+    s.established <- true;
+    log t "session %a/%a established" Net.Asn.pp s.member Net.Asn.pp s.neighbor;
+    start_liveness t s;
+    t.on_session ~member:s.member ~neighbor:s.neighbor ~up:true
+  end
+
+let touch_hold t (s : session) =
+  match (negotiated_hold t s, s.hold) with
+  | Some hold_time, Some hold when s.established -> Engine.Timer.start hold hold_time
+  | _, _ -> ()
 
 (* A BGP message relayed in from a border switch. *)
 let handle_relay t ~member ~neighbor (msg : Bgp.Message.t) =
   match find t ~member ~neighbor with
   | None -> log t "relay for unknown session %a/%a" Net.Asn.pp member Net.Asn.pp neighbor
   | Some s -> (
+    touch_hold t s;
     match msg with
-    | Bgp.Message.Open _ ->
+    | Bgp.Message.Open { hold_time; _ } ->
+      s.peer_hold <- hold_time;
       if not s.open_sent then begin
         s.open_sent <- true;
-        t.stats.opens <- t.stats.opens + 1;
-        ignore
-          (send_wire t s (Bgp.Message.Open { asn = s.member; router_id = s.member_addr }))
+        send_open t s
       end;
       establish t s
     | Bgp.Message.Keepalive -> ()
@@ -215,6 +306,7 @@ type session_ck = {
   sk_neighbor : Net.Asn.t;
   sk_established : bool;
   sk_open_sent : bool;
+  sk_peer_hold : int;
   sk_adj_out : (Net.Ipv4.prefix * Bgp.Attrs.t) list;
   sk_mrai : Bgp.Mrai.state option;
 }
@@ -232,6 +324,7 @@ let snapshot t =
               sk_neighbor = s.neighbor;
               sk_established = s.established;
               sk_open_sent = s.open_sent;
+              sk_peer_hold = s.peer_hold;
               sk_adj_out = Pm.bindings s.adj_out;
               sk_mrai = Option.map Bgp.Mrai.state s.mrai;
             })
@@ -250,11 +343,13 @@ let restore t = function
         | Some s ->
           s.established <- sk.sk_established;
           s.open_sent <- sk.sk_open_sent;
+          s.peer_hold <- sk.sk_peer_hold;
           s.adj_out <-
             List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty sk.sk_adj_out;
           (match (s.mrai, sk.sk_mrai) with
           | Some m, Some st -> Bgp.Mrai.restore m st
-          | _ -> ()))
+          | _ -> ());
+          if s.established then start_liveness t s)
       sessions
   | _ -> invalid_arg "Speaker.restore: foreign snapshot blob"
 
@@ -268,6 +363,7 @@ let on_crashed t =
     (fun _ s ->
       s.established <- false;
       s.open_sent <- false;
+      s.peer_hold <- 0;
       s.adj_out <- Pm.empty;
       Option.iter Bgp.Mrai.reset s.mrai)
     t.sessions
@@ -285,8 +381,8 @@ let on_restarted t =
         open_session t ~member ~neighbor)
     t.session_order
 
-let create ~sim ~send_relay =
-  let t = create_unhooked ~sim ~send_relay in
+let create ?liveness ~sim ~send_relay () =
+  let t = create_unhooked ?liveness ~sim ~send_relay () in
   Engine.Node.on_crash t.node (fun () -> on_crashed t);
   Engine.Node.on_start t.node (fun ~first -> if not first then on_restarted t);
   Engine.Node.set_snapshot t.node (fun () -> snapshot t);

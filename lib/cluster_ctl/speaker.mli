@@ -11,11 +11,15 @@ type stats = {
 }
 
 val create :
+  ?liveness:Bgp.Config.keepalive ->
   sim:Engine.Sim.t ->
   send_relay:(member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> bool) ->
+  unit ->
   t
 (** [send_relay] forwards a wire message toward the neighbor via the
-    member's border switch. *)
+    member's border switch.  [liveness] enables per-session KEEPALIVE
+    emission and hold-timer supervision (negotiated per RFC 4271: the
+    session hold time is the minimum of both proposals, 0 disables). *)
 
 val node : t -> Engine.Node.t
 (** The runtime node: a crash silently loses every session's state; a

@@ -1,0 +1,90 @@
+(** Seeded chaos campaigns: randomized fault schedules executed against a
+    fresh network, an invariant oracle at every quiescent point, and
+    greedy minimization of failing schedules.  Everything is driven by
+    deterministic RNG streams, so a campaign report (and its MD5 digest)
+    is bit-identical across invocations of the same seed. *)
+
+type fault =
+  | Crash of Net.Asn.t  (** crash the AS's router/switch, restart at heal *)
+  | Link_down of Net.Asn.t * Net.Asn.t
+  | Link_flap of Net.Asn.t * Net.Asn.t * int  (** n 1 s fail/recover cycles *)
+  | Loss_burst of Net.Asn.t * Net.Asn.t
+      (** 100% loss while the link still reports up: only KEEPALIVE/hold
+          liveness can detect it *)
+  | Ctrl_partition of Net.Asn.t
+      (** a member's control channel goes down, its data links stay up *)
+  | Head_crash  (** the cluster head: controller + speaker together *)
+
+type event = { at : Engine.Time.t; heal_at : Engine.Time.t; fault : fault }
+
+type schedule = { index : int; events : event list }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val default_spec : unit -> Topology.Spec.t
+(** The 8-AS clique with a 3-member SDN sub-cluster. *)
+
+val generate : spec:Topology.Spec.t -> rng:Engine.Rng.t -> int -> schedule
+(** Draw a random fault schedule (1–4 faults, disjoint targets, injected
+    in [8 s, 14 s], fully healed). *)
+
+(* --- Invariant oracle --- *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_invariants : Network.t -> violation list
+(** Interrogate a (quiescent) network: no forwarding loops, no flow rule
+    pointing at a crashed node or down link, RIB contents consistent with
+    session FSM state, and checkpoint→restore digest idempotency. *)
+
+val render_state : Network.t -> string
+(** The deterministic control/data-plane rendering behind
+    {!state_digest} (no wall-clock fields, no traffic counters). *)
+
+val state_digest : Network.t -> string
+(** MD5 hex digest of {!render_state}. *)
+
+(* --- Execution --- *)
+
+type run_result = {
+  schedule : schedule;
+  quiesced : bool;  (** control plane went quiet before the 180 s limit *)
+  violations : violation list;
+  digest : string;  (** {!state_digest} at the quiescent point *)
+}
+
+val execute :
+  ?fallback:bool -> ?spec:Topology.Spec.t -> seed:int -> schedule -> run_result
+(** Run one schedule: build the network ({!Config.failure_test}; with
+    [~fallback:false] the switches' legacy fallback is disabled),
+    converge, inject, heal, wait for quiet, check invariants. *)
+
+val run_one : ?fallback:bool -> ?spec:Topology.Spec.t -> seed:int -> int -> run_result
+(** [run_one ~seed i] generates schedule [i] of the campaign and
+    {!execute}s it. *)
+
+val minimize : ?fallback:bool -> ?spec:Topology.Spec.t -> seed:int -> schedule -> schedule
+(** Greedily drop faults while the schedule still produces a violation:
+    the result is a locally minimal reproducer.  Returns the input
+    schedule unchanged when it does not fail. *)
+
+(* --- Campaign --- *)
+
+type report = {
+  seed : int;
+  runs : int;
+  fallback : bool;
+  results : run_result list;
+  campaign_digest : string;  (** MD5 over all rendered results *)
+}
+
+val run_campaign :
+  ?fallback:bool -> ?spec:Topology.Spec.t -> seed:int -> runs:int -> unit -> report
+
+val render_result : run_result -> string
+
+val render_report : report -> string

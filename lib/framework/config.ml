@@ -16,6 +16,16 @@ type t = {
          sender (encode -> byte stream -> decode), exactly as a TCP
          transport would carry it; semantic UPDATEs that split into
          several wire messages are delivered as such *)
+  speaker_liveness : Bgp.Config.keepalive option;
+      (* KEEPALIVE/hold timers on the cluster speaker's external sessions
+         (None = sessions never hold-expire, the pre-liveness behaviour) *)
+  switch_liveness : Sdn.Switch.liveness option;
+      (* member switches heartbeat the controller and degrade into a
+         legacy-BGP fallback route when the control plane goes silent *)
+  flow_idle_timeout : Engine.Time.span option;
+  flow_hard_timeout : Engine.Time.span option;
+      (* stamp proactively installed flow rules so stale forwarding state
+         decays at the switch when the controller stops refreshing it *)
 }
 
 let default =
@@ -28,6 +38,10 @@ let default =
     collector_link_delay = Engine.Time.ms 1;
     control_link_delay = Engine.Time.ms 1;
     wire_transport = false;
+    speaker_liveness = None;
+    switch_liveness = None;
+    flow_idle_timeout = None;
+    flow_hard_timeout = None;
   }
 
 let with_mrai t span = { t with bgp = Bgp.Config.with_mrai t.bgp span }
@@ -52,4 +66,22 @@ let fast_test =
     controller =
       { Cluster_ctl.Controller.default_config with
         Cluster_ctl.Controller.recompute_delay = Engine.Time.ms 200 };
+  }
+
+(* Every failure-detection mechanism armed with second-scale timers:
+   silent failures hold-expire within ~6 s, switches degrade to legacy
+   fallback after ~3 s of control silence, and stale flow rules decay
+   within 45 s.  The base is [fast_test] so whole failure/recovery
+   scenarios fit in under a simulated minute. *)
+let failure_test =
+  let liveness =
+    { Bgp.Config.interval = Engine.Time.sec 2; hold_time = Engine.Time.sec 6 }
+  in
+  {
+    fast_test with
+    bgp = Bgp.Config.with_reconnect (Bgp.Config.with_keepalives ~keepalive:liveness fast_test.bgp);
+    speaker_liveness = Some liveness;
+    switch_liveness =
+      Some { Sdn.Switch.echo_interval = Engine.Time.sec 1; fail_after = Engine.Time.sec 3 };
+    flow_hard_timeout = Some (Engine.Time.sec 45);
   }

@@ -14,6 +14,15 @@ type t = {
   wire_transport : bool;
       (** pass every BGP message through the RFC 4271 binary codec at the
           sender, as a TCP transport would *)
+  speaker_liveness : Bgp.Config.keepalive option;
+      (** KEEPALIVE/hold timers on the cluster speaker's external sessions
+          ([None] = sessions never hold-expire) *)
+  switch_liveness : Sdn.Switch.liveness option;
+      (** member switches heartbeat the controller and degrade into a
+          legacy-BGP fallback route when the control plane goes silent *)
+  flow_idle_timeout : Engine.Time.span option;
+  flow_hard_timeout : Engine.Time.span option;
+      (** decay timeouts stamped on proactively installed flow rules *)
 }
 
 val default : t
@@ -22,6 +31,13 @@ val default : t
 
 val fast_test : t
 (** Second-scale timers for unit tests. *)
+
+val failure_test : t
+(** [fast_test] with the whole failure-detection stack armed: router and
+    speaker KEEPALIVE 2 s / hold 6 s, OPEN-retry backoff, switch echo 1 s
+    with fallback after 3 s of control silence, 45 s flow hard timeout.
+    Scenarios with this config never drain the event queue — detect
+    convergence with quiet-period waiting. *)
 
 val with_mrai : t -> Engine.Time.span -> t
 

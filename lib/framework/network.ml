@@ -330,7 +330,9 @@ let create ?(config = Config.default) ~seed spec =
              (Sdn.Openflow.Bgp_relay
                 { member; neighbor; direction = Sdn.Openflow.To_neighbor; payload = msg }))
       in
-      let speaker = Cluster_ctl.Speaker.create ~sim ~send_relay in
+      let speaker =
+        Cluster_ctl.Speaker.create ?liveness:config.Config.speaker_liveness ~sim ~send_relay ()
+      in
       (* One speaker session per external peering of each member (legacy
          neighbors, members of *other* sub-networks are still neighbors on
          the wire but handled intra-cluster, and the collector). *)
@@ -356,7 +358,8 @@ let create ?(config = Config.default) ~seed spec =
           (Topology.Spec.links spec)
       in
       let controller =
-        Cluster_ctl.Controller.create ~sim
+        Cluster_ctl.Controller.create ?flow_idle_timeout:config.Config.flow_idle_timeout
+          ?flow_hard_timeout:config.Config.flow_hard_timeout ~sim
           ~config:config.Config.controller ~members:sdn ~speaker
           ~send_switch:(fun ~member msg ->
             Net.Netsim.send net ~src:ctrl_node ~dst:(Net.Asn.to_int member)
@@ -365,14 +368,33 @@ let create ?(config = Config.default) ~seed spec =
           ~asn_of_node:(fun node -> asn_of_node (the ()) node)
           ~addr_of_member:plan.Addressing.router_addr
           ~policy_of:(fun ~member ~neighbor -> policy_for (the ()) ~me:member ~neighbor)
-          ~intra_links
+          ~intra_links ()
+      in
+      (* Fallback egress for a degraded member: its lowest-numbered legacy
+         neighbor whose link is still up (deterministic, re-picked by the
+         switch when the chosen port dies). *)
+      let link_is_up a b =
+        match Net.Netsim.link_between net (Net.Asn.to_int a) (Net.Asn.to_int b) with
+        | Some l -> Net.Link.is_up l
+        | None -> false
+      in
+      let fallback_port_for member () =
+        Topology.Spec.neighbors spec member
+        |> List.filter (fun n -> (not (is_sdn n)) && link_is_up member n)
+        |> List.sort Net.Asn.compare
+        |> function
+        | [] -> None
+        | n :: _ -> Some (Net.Asn.to_int n)
       in
       let switches =
         List.fold_left
           (fun acc member ->
             let node_id = Net.Asn.to_int member in
             let sw =
-              Sdn.Switch.create ~sim ~asn:member ~node_id
+              Sdn.Switch.create ?liveness:config.Config.switch_liveness
+                ~fallback_port:(fallback_port_for member)
+                ~on_relay_drop:(fun () -> Net.Netsim.note_drop net Net.Netsim.Session_down)
+                ~sim ~asn:member ~node_id
                 ~send_control:(fun msg ->
                   Net.Netsim.send net ~src:node_id ~dst:ctrl_node (Payload.Openflow msg))
                 ~send_data:(fun ~dst pkt ->
@@ -382,6 +404,7 @@ let create ?(config = Config.default) ~seed spec =
                 ~node_of_asn:(fun asn -> node_of_asn (the ()) asn)
                 ~is_local:(fun addr -> is_local_addr (the ()) member addr)
                 ~deliver_local:(fun pkt -> deliver_local (the ()) member pkt)
+                ()
             in
             Net.Asn.Map.add member sw acc)
           Net.Asn.Map.empty sdn
@@ -549,6 +572,30 @@ let recover_link t a b =
   if not (Net.Netsim.recover_link_between t.net (Net.Asn.to_int a) (Net.Asn.to_int b)) then
     invalid_arg
       (Fmt.str "Network.recover_link: no link %a<->%a" Net.Asn.pp a Net.Asn.pp b)
+
+(* Partition one member from the cluster head (the control channel only:
+   data-plane links are untouched, so the member's fallback route still
+   carries traffic). *)
+let fail_ctrl_link t member =
+  if not (Net.Netsim.fail_link_between t.net (Net.Asn.to_int member) ctrl_node) then
+    invalid_arg (Fmt.str "Network.fail_ctrl_link: %a has no control link" Net.Asn.pp member)
+
+let recover_ctrl_link t member =
+  if not (Net.Netsim.recover_link_between t.net (Net.Asn.to_int member) ctrl_node) then
+    invalid_arg
+      (Fmt.str "Network.recover_ctrl_link: %a has no control link" Net.Asn.pp member)
+
+let ctrl_link_up t member =
+  match Net.Netsim.link_between t.net (Net.Asn.to_int member) ctrl_node with
+  | Some link -> Net.Link.is_up link
+  | None -> false
+
+(* Bring every failed link (AS-AS, control and collector) back up —
+   chaos-schedule epilogue. *)
+let heal_all_links t =
+  List.iter
+    (fun link -> if not (Net.Link.is_up link) then Net.Netsim.set_link_up t.net link true)
+    (Net.Netsim.links t.net)
 
 (* --- Component lifecycle (crash / restart) ------------------------------ *)
 

@@ -83,6 +83,21 @@ val fail_link : t -> Net.Asn.t -> Net.Asn.t -> unit
 
 val recover_link : t -> Net.Asn.t -> Net.Asn.t -> unit
 
+val fail_ctrl_link : t -> Net.Asn.t -> unit
+(** Partition a member switch from the cluster head: only the control
+    channel goes down, data-plane links are untouched (with
+    {!Config.t.switch_liveness} set, the member degrades onto its legacy
+    fallback route).  @raise Invalid_argument when the AS has no control
+    link. *)
+
+val recover_ctrl_link : t -> Net.Asn.t -> unit
+
+val ctrl_link_up : t -> Net.Asn.t -> bool
+
+val heal_all_links : t -> unit
+(** Bring every failed link (AS-AS, control, collector) back up —
+    chaos-schedule epilogue. *)
+
 val crash_node : t -> Net.Asn.t -> unit
 (** Crash the AS's component process (router or switch): volatile state
     is lost (RIBs and FIB, or the flow table), owned timers are

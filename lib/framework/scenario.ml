@@ -9,6 +9,10 @@ type action =
   | Recover_link of Net.Asn.t * Net.Asn.t
   | Crash_node of Net.Asn.t
   | Restart_node of Net.Asn.t
+  | Partition of Net.Asn.t * Net.Asn.t option
+      (* cut the link to another AS, or (None) the member's control channel *)
+  | Flap of Net.Asn.t * Net.Asn.t * int (* n fail/recover cycles, 1 s period *)
+  | Heal (* bring every failed link back up *)
   | Ping of Net.Asn.t * Net.Asn.t
   | Note of string
 
@@ -39,6 +43,10 @@ let pp_action ppf = function
   | Recover_link (a, b) -> Fmt.pf ppf "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
   | Crash_node asn -> Fmt.pf ppf "crash %a" Net.Asn.pp asn
   | Restart_node asn -> Fmt.pf ppf "restart %a" Net.Asn.pp asn
+  | Partition (a, Some b) -> Fmt.pf ppf "partition %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Partition (a, None) -> Fmt.pf ppf "partition %a ctrl" Net.Asn.pp a
+  | Flap (a, b, n) -> Fmt.pf ppf "flap %a %a %d" Net.Asn.pp a Net.Asn.pp b n
+  | Heal -> Fmt.string ppf "heal"
   | Ping (a, b) -> Fmt.pf ppf "ping %a -> %a" Net.Asn.pp a Net.Asn.pp b
   | Note s -> Fmt.pf ppf "note %S" s
 
@@ -69,6 +77,10 @@ let render_action = function
   | Recover_link (a, b) -> Fmt.str "recover-link %a %a" Net.Asn.pp a Net.Asn.pp b
   | Crash_node asn -> Fmt.str "crash %a" Net.Asn.pp asn
   | Restart_node asn -> Fmt.str "restart %a" Net.Asn.pp asn
+  | Partition (a, Some b) -> Fmt.str "partition %a %a" Net.Asn.pp a Net.Asn.pp b
+  | Partition (a, None) -> Fmt.str "partition %a ctrl" Net.Asn.pp a
+  | Flap (a, b, n) -> Fmt.str "flap %a %a %d" Net.Asn.pp a Net.Asn.pp b n
+  | Heal -> "heal"
   | Ping (a, b) -> Fmt.str "ping %a %a" Net.Asn.pp a Net.Asn.pp b
   | Note s -> Fmt.str "note %s" s
 
@@ -126,10 +138,26 @@ let parse_line lineno line =
         | "recover-link", Some a, Some b -> Ok (Some (at seconds (Recover_link (a, b))))
         | "crash", Some a, _ -> Ok (Some (at seconds (Crash_node a)))
         | "restart", Some a, _ -> Ok (Some (at seconds (Restart_node a)))
+        | "partition", Some a, _ -> (
+          match args with
+          | [ _; b ] when String.lowercase_ascii b = "ctrl" ->
+            Ok (Some (at seconds (Partition (a, None))))
+          | _ -> (
+            match asn2 () with
+            | Some b -> Ok (Some (at seconds (Partition (a, Some b))))
+            | None -> fail "expected: partition AS (AS|ctrl)"))
+        | "flap", Some a, Some b -> (
+          match args with
+          | [ _; _; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n > 0 -> Ok (Some (at seconds (Flap (a, b, n))))
+            | _ -> fail (Fmt.str "bad flap count %S" n))
+          | _ -> fail "expected: flap AS AS COUNT")
+        | "heal", _, _ -> Ok (Some (at seconds Heal))
         | "ping", Some a, Some b -> Ok (Some (at seconds (Ping (a, b))))
         | "note", _, _ -> Ok (Some (at seconds (Note (String.concat " " args))))
         | ( ("announce" | "withdraw" | "fail-link" | "recover-link" | "crash" | "restart"
-            | "ping"),
+            | "partition" | "flap" | "ping"),
             _,
             _ ) ->
           fail "bad or missing AS number"
@@ -175,6 +203,27 @@ let run exp scenario =
         | Recover_link (a, b) -> Network.recover_link network a b
         | Crash_node asn -> Network.crash_node network asn
         | Restart_node asn -> Network.restart_node network asn
+        | Partition (a, Some b) -> Network.fail_link network a b
+        | Partition (a, None) -> Network.fail_ctrl_link network a
+        | Flap (a, b, n) ->
+          (* n fail/recover cycles on a 1 s period: down for 500 ms, up
+             for 500 ms (the last recovery leaves the link up). *)
+          let down = Engine.Time.ms 500 and period = Engine.Time.sec 1 in
+          Network.fail_link network a b;
+          for i = 0 to n - 1 do
+            let base =
+              Engine.Time.add (Engine.Sim.now sim)
+                (Engine.Time.span_scale period (float_of_int i))
+            in
+            ignore
+              (Engine.Sim.schedule_at sim (Engine.Time.add base down) (fun () ->
+                   Network.recover_link network a b));
+            if i < n - 1 then
+              ignore
+                (Engine.Sim.schedule_at sim (Engine.Time.add base period) (fun () ->
+                     Network.fail_link network a b))
+          done
+        | Heal -> Network.heal_all_links network
         | Ping (src, dst) ->
           let plan = Network.plan network in
           Network.inject network ~src

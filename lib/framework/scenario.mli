@@ -8,6 +8,13 @@ type action =
   | Recover_link of Net.Asn.t * Net.Asn.t
   | Crash_node of Net.Asn.t  (** crash the AS's router or switch process *)
   | Restart_node of Net.Asn.t
+  | Partition of Net.Asn.t * Net.Asn.t option
+      (** cut the link to another AS, or ([None], written [ctrl] in the
+          text format) the member's control channel to the cluster head *)
+  | Flap of Net.Asn.t * Net.Asn.t * int
+      (** n fail/recover cycles on the link, 1 s period (500 ms down,
+          500 ms up; ends recovered) *)
+  | Heal  (** bring every failed link back up *)
   | Ping of Net.Asn.t * Net.Asn.t
   | Note of string
 

@@ -22,7 +22,7 @@ type link_watcher = link:Link.t -> peer:int -> up:bool -> unit
 
 type 'a sink = Handler of 'a handler | Port of 'a Engine.Node.port
 
-type drop_reason = Link_down | Loss | Queue | No_handler | Node_down
+type drop_reason = Link_down | Loss | Queue | No_handler | Node_down | Session_down
 
 let drop_reason_label = function
   | Link_down -> "link_down"
@@ -30,6 +30,7 @@ let drop_reason_label = function
   | Queue -> "queue"
   | No_handler -> "no_handler"
   | Node_down -> "node_down"
+  | Session_down -> "session_down"
 
 type 'a node = {
   id : int;
@@ -177,9 +178,11 @@ let recover_link_between t u v =
   | None -> false
 
 (* The per-reason children are registered on first drop of that reason so
-   drop-free runs export exactly the series they always did. *)
-let drop t link reason =
-  Link.note_dropped link;
+   drop-free runs export exactly the series they always did.  [note_drop]
+   is the link-less entry point: protocol layers use it to account drops
+   that never reach a wire (e.g. BGP relays discarded while a session or
+   its controller channel is down). *)
+let note_drop t reason =
   Engine.Metrics.Counter.inc t.dropped_c;
   let labelled =
     match Hashtbl.find_opt t.dropped_by reason with
@@ -197,6 +200,10 @@ let drop t link reason =
   Engine.Metrics.Counter.inc labelled;
   Hashtbl.replace t.drop_counts reason
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.drop_counts reason))
+
+let drop t link reason =
+  Link.note_dropped link;
+  note_drop t reason
 
 let drops t reason = Option.value ~default:0 (Hashtbl.find_opt t.drop_counts reason)
 

@@ -5,10 +5,12 @@ type 'a handler = from:int -> 'a -> unit
 
 type link_watcher = link:Link.t -> peer:int -> up:bool -> unit
 
-type drop_reason = Link_down | Loss | Queue | No_handler | Node_down
+type drop_reason = Link_down | Loss | Queue | No_handler | Node_down | Session_down
 (** Why a delivery was silently dropped: link down at delivery time,
     probabilistic loss, queue overflow (link drop-tail or node mailbox),
-    no receiver attached, or receiver node crashed. *)
+    no receiver attached, receiver node crashed, or discarded by a
+    protocol layer because the session/control channel it belongs to is
+    down (accounted via {!note_drop}). *)
 
 val drop_reason_label : drop_reason -> string
 (** The [reason] label value used on
@@ -89,6 +91,10 @@ val send : ?size_bits:int -> 'a t -> src:int -> dst:int -> 'a -> bool
 
 val drops : 'a t -> drop_reason -> int
 (** Messages dropped for [reason] since creation. *)
+
+val note_drop : 'a t -> drop_reason -> unit
+(** Account a drop that never reached a wire (protocol-layer discard,
+    e.g. a BGP relay thrown away while its session is down). *)
 
 type 'a in_flight = { src : int; dst : int; deliver_at : Engine.Time.t; payload : 'a }
 

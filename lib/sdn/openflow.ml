@@ -11,6 +11,11 @@ type relay_direction = To_speaker | To_neighbor
 
 type t =
   | Hello
+  | Echo_request of { switch_asn : Net.Asn.t } (* switch -> controller heartbeat probe *)
+  | Echo_reply (* controller -> switch: the control plane is alive *)
+  | Resync_done
+      (* controller -> switch after a restart: the flow table has been
+         atomically reinstalled; leave legacy fallback mode *)
   | Packet_in of { switch_asn : Net.Asn.t; in_port : Flow.port; packet : Net.Packet.t }
   | Packet_out of { out_port : Flow.port; packet : Net.Packet.t }
   | Flow_mod of { command : flow_mod_command; rule : Flow.rule }
@@ -25,6 +30,9 @@ type t =
 
 let pp ppf = function
   | Hello -> Fmt.string ppf "HELLO"
+  | Echo_request { switch_asn } -> Fmt.pf ppf "ECHO_REQUEST %a" Net.Asn.pp switch_asn
+  | Echo_reply -> Fmt.string ppf "ECHO_REPLY"
+  | Resync_done -> Fmt.string ppf "RESYNC_DONE"
   | Packet_in { switch_asn; in_port; packet } ->
     Fmt.pf ppf "PACKET_IN %a port=%d %a" Net.Asn.pp switch_asn in_port Net.Packet.pp packet
   | Packet_out { out_port; packet } ->

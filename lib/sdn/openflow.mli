@@ -9,6 +9,12 @@ type relay_direction = To_speaker | To_neighbor
 
 type t =
   | Hello
+  | Echo_request of { switch_asn : Net.Asn.t }
+      (** switch → controller heartbeat probe *)
+  | Echo_reply  (** controller → switch: the control plane is alive *)
+  | Resync_done
+      (** controller → switch after a restart: flow state reinstalled,
+          leave legacy fallback mode *)
   | Packet_in of { switch_asn : Net.Asn.t; in_port : Flow.port; packet : Net.Packet.t }
   | Packet_out of { out_port : Flow.port; packet : Net.Packet.t }
   | Flow_mod of { command : flow_mod_command; rule : Flow.rule }

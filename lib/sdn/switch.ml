@@ -5,7 +5,23 @@
    neighbors are not processed locally — the switch encapsulates them
    toward the cluster BGP speaker (BGP_RELAY), and relays the speaker's
    messages back out to the neighbors, exactly the control-plane relaying
-   the paper describes. *)
+   the paper describes.
+
+   Failure domain: when [liveness] is configured the switch probes the
+   controller with ECHO_REQUESTs and, after [fail_after] of control-plane
+   silence, degrades into legacy fallback mode — a lowest-priority
+   default route toward a surviving legacy neighbor (the OSHI-style
+   "legacy plane stays live" answer to controller death).  Installed
+   flow rules keep expiring on their idle/hard timeouts, so stale SDN
+   paths decay onto the fallback route instead of blackholing.  The
+   switch leaves fallback only on the controller's RESYNC_DONE, sent
+   after the restarted controller has replayed speaker state and
+   reinstalled the member's flows. *)
+
+type liveness = {
+  echo_interval : Engine.Time.span;  (* ECHO_REQUEST probe period *)
+  fail_after : Engine.Time.span;  (* control silence before fallback *)
+}
 
 type stats = {
   mutable forwarded : int;
@@ -14,6 +30,7 @@ type stats = {
   mutable relayed_in : int;
   mutable relayed_out : int;
   mutable flow_mods : int;
+  mutable relay_drops : int; (* BGP relays discarded while degraded *)
 }
 
 type t = {
@@ -22,6 +39,9 @@ type t = {
   asn : Net.Asn.t;
   node_id : int;
   table : Flow_table.t;
+  liveness : liveness option;
+  fallback_port : unit -> Flow.port option;
+  on_relay_drop : unit -> unit;
   send_control : Openflow.t -> bool;
   send_data : dst:int -> Net.Packet.t -> bool;
   send_bgp : dst:int -> Bgp.Message.t -> bool;
@@ -30,14 +50,115 @@ type t = {
   is_local : Net.Ipv4.addr -> bool;
   deliver_local : Net.Packet.t -> unit;
   stats : stats;
+  mutable last_ctrl_seen : Engine.Time.t;
+  mutable fallback : Flow.rule option; (* the installed legacy default route *)
+  mutable supervise : Engine.Timer.t option;
+  mutable failovers_c : Engine.Metrics.Counter.t option; (* lazy *)
+  expired_by : (string, Engine.Metrics.Counter.t) Hashtbl.t; (* lazy, by reason *)
 }
 
 let log t fmt = Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"switch" fmt
 
-type Engine.Node.blob += Switch_state of Flow.rule list
+(* rules, index of the fallback rule within them (if active), last
+   control-plane contact. *)
+type Engine.Node.blob +=
+  | Switch_state of Flow.rule list * int option * Engine.Time.t
 
-let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~node_of_asn
-    ~is_local ~deliver_local =
+let prefix_all = Net.Ipv4.prefix (Net.Ipv4.addr_of_octets 0 0 0 0) 0
+
+(* Registered on first failover so failure-free runs export exactly the
+   series they always did. *)
+let count_failover t =
+  let c =
+    match t.failovers_c with
+    | Some c -> c
+    | None ->
+      let c =
+        Engine.Metrics.counter (Engine.Sim.metrics t.sim)
+          ~help:"switch transitions into legacy fallback mode"
+          ~labels:[ ("node", Net.Asn.to_string t.asn) ]
+          "controller_failovers_total"
+      in
+      t.failovers_c <- Some c;
+      c
+  in
+  Engine.Metrics.Counter.inc c
+
+let count_expired t reason =
+  let label =
+    match reason with Openflow.Idle_timeout -> "idle" | Openflow.Hard_timeout -> "hard"
+  in
+  let c =
+    match Hashtbl.find_opt t.expired_by label with
+    | Some c -> c
+    | None ->
+      let c =
+        Engine.Metrics.counter (Engine.Sim.metrics t.sim)
+          ~help:"flow rules removed by timeout"
+          ~labels:[ ("node", Net.Asn.to_string t.asn); ("reason", label) ]
+          "flow_rules_expired_total"
+      in
+      Hashtbl.replace t.expired_by label c;
+      c
+  in
+  Engine.Metrics.Counter.inc c
+
+(* --- Legacy fallback ---------------------------------------------------- *)
+
+let fallback_active t = Option.is_some t.fallback
+
+let install_fallback t port =
+  let rule = Flow.make ~priority:0 ~match_prefix:prefix_all (Flow.Output port) in
+  Flow_table.add t.table rule;
+  t.fallback <- Some rule;
+  log t "fallback route -> port %d" port
+
+let enter_fallback t =
+  if not (fallback_active t) then begin
+    Engine.Sim.logf t.sim ~node:(Net.Asn.to_string t.asn) ~category:"switch"
+      ~level:Engine.Trace.Warn "controller unreachable: entering legacy fallback";
+    count_failover t;
+    match t.fallback_port () with
+    | Some port -> install_fallback t port
+    | None -> log t "no legacy neighbor available for fallback"
+  end
+
+let exit_fallback t =
+  match t.fallback with
+  | None -> ()
+  | Some rule ->
+    ignore (Flow_table.remove_physical t.table rule);
+    t.fallback <- None;
+    log t "leaving legacy fallback (controller resynced)"
+
+(* The fallback port died: re-pick a surviving legacy neighbor. *)
+let repick_fallback t =
+  match t.fallback with
+  | None -> ()
+  | Some rule ->
+    ignore (Flow_table.remove_physical t.table rule);
+    t.fallback <- None;
+    (match t.fallback_port () with
+    | Some port -> install_fallback t port
+    | None -> log t "no legacy neighbor left for fallback")
+
+let start_supervision t =
+  match (t.liveness, t.supervise) with
+  | None, _ | _, None -> ()
+  | Some { echo_interval; _ }, Some timer -> Engine.Timer.start timer echo_interval
+
+let supervise_tick t =
+  match t.liveness with
+  | None -> ()
+  | Some { echo_interval; fail_after } ->
+    ignore (t.send_control (Openflow.Echo_request { switch_asn = t.asn }));
+    let silent = Engine.Time.diff (Engine.Sim.now t.sim) t.last_ctrl_seen in
+    if Engine.Time.(silent >= fail_after) then enter_fallback t;
+    Option.iter (fun timer -> Engine.Timer.start timer echo_interval) t.supervise
+
+let create ?liveness ?(fallback_port = fun () -> None) ?(on_relay_drop = fun () -> ())
+    ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~node_of_asn
+    ~is_local ~deliver_local () =
   let node =
     Engine.Node.create ~kind:"switch" sim ~name:(Fmt.str "sw-%a" Net.Asn.pp asn)
   in
@@ -51,6 +172,9 @@ let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~n
       Flow_table.create ~metrics:(Engine.Sim.metrics sim)
         ~labels:[ ("node", Net.Asn.to_string asn) ]
         ();
+    liveness;
+    fallback_port;
+    on_relay_drop;
     send_control;
     send_data;
     send_bgp;
@@ -66,25 +190,62 @@ let create ~sim ~asn ~node_id ~send_control ~send_data ~send_bgp ~asn_of_node ~n
         relayed_in = 0;
         relayed_out = 0;
         flow_mods = 0;
+        relay_drops = 0;
       };
+    last_ctrl_seen = Engine.Sim.now sim;
+    fallback = None;
+    supervise = None;
+    failovers_c = None;
+    expired_by = Hashtbl.create 2;
   }
   in
+  (* The supervision timer exists eagerly (even before start) so a
+     checkpoint can re-arm it by name on restore. *)
+  (match liveness with
+  | None -> ()
+  | Some _ ->
+    t.supervise <-
+      Some
+        (Engine.Node.timer ~category:"sdn.liveness" node
+           ~name:(Fmt.str "sw-%a-supervise" Net.Asn.pp asn)
+           ~callback:(fun () -> supervise_tick t)));
   (* A crashed switch loses its flow table; the controller re-installs
      rules when the framework resyncs the member on restart. *)
-  Engine.Node.on_crash node (fun () -> Flow_table.clear t.table);
+  Engine.Node.on_crash node (fun () ->
+      Flow_table.clear t.table;
+      t.fallback <- None);
+  Engine.Node.on_start node (fun ~first:_ ->
+      t.last_ctrl_seen <- Engine.Sim.now sim;
+      start_supervision t);
   (* Rule records are mutable ([packets], [last_used]) and the
      checkpointed run keeps running, so both directions copy.  Timeout
      enforcement is not re-armed on restore — a documented checkpoint
      limitation (rules outlive their recorded idle/hard deadlines). *)
   Engine.Node.set_snapshot node (fun () ->
-      Switch_state (List.map (fun (r : Flow.rule) -> { r with packets = r.packets })
-          (Flow_table.rules t.table)));
+      let rules = Flow_table.rules t.table in
+      let fb_index =
+        match t.fallback with
+        | None -> None
+        | Some fb ->
+          let rec idx i = function
+            | [] -> None
+            | r :: rest -> if r == fb then Some i else idx (i + 1) rest
+          in
+          idx 0 rules
+      in
+      Switch_state
+        ( List.map (fun (r : Flow.rule) -> { r with packets = r.packets }) rules,
+          fb_index,
+          t.last_ctrl_seen ));
   Engine.Node.set_restore node (function
-    | Switch_state rules ->
+    | Switch_state (rules, fb_index, last_ctrl_seen) ->
       Flow_table.clear t.table;
-      List.iter
-        (fun (r : Flow.rule) -> Flow_table.add t.table { r with packets = r.packets })
-        rules
+      let copies =
+        List.map (fun (r : Flow.rule) -> { r with packets = r.packets }) rules
+      in
+      List.iter (Flow_table.add t.table) copies;
+      t.fallback <- Option.bind fb_index (fun i -> List.nth_opt copies i);
+      t.last_ctrl_seen <- last_ctrl_seen
     | _ -> invalid_arg "Switch.restore: foreign snapshot blob");
   Engine.Node.start node;
   t
@@ -106,8 +267,10 @@ let packet_in t ~in_port packet =
 (* Timeout enforcement.  Timers hold the physical rule record, so a
    same-key replacement installed later is untouched by the old timers. *)
 let expire t rule reason =
-  if Flow_table.remove_physical t.table rule then
+  if Flow_table.remove_physical t.table rule then begin
+    count_expired t reason;
     ignore (t.send_control (Openflow.Flow_removed { switch_asn = t.asn; rule; reason }))
+  end
 
 let arm_timeouts t (rule : Flow.rule) =
   rule.Flow.last_used <- Engine.Sim.now t.sim;
@@ -152,20 +315,34 @@ let handle_data t ~from (packet : Net.Packet.t) =
         (* Table miss (or explicit punt): controller decides. *)
         packet_in t ~in_port:from packet)
 
-(* BGP from an external neighbor: encapsulate toward the speaker. *)
+(* BGP from an external neighbor: encapsulate toward the speaker.  The
+   relay is always attempted — even while degraded — so that a restarted
+   controller's session handshakes complete before RESYNC_DONE arrives;
+   only a dead control *link* (send refused) discards here, accounted as
+   [session_down] via [on_relay_drop].  (Relays sent while the controller
+   node is down are dropped at delivery and accounted as [node_down].) *)
 let handle_bgp t ~from msg =
   match t.asn_of_node from with
   | None -> log t "bgp from unknown node %d dropped" from
   | Some neighbor ->
     t.stats.relayed_in <- t.stats.relayed_in + 1;
-    ignore
-      (t.send_control
-         (Openflow.Bgp_relay
-            { member = t.asn; neighbor; direction = Openflow.To_speaker; payload = msg }))
+    if
+      not
+        (t.send_control
+           (Openflow.Bgp_relay
+              { member = t.asn; neighbor; direction = Openflow.To_speaker; payload = msg }))
+    then begin
+      t.stats.relay_drops <- t.stats.relay_drops + 1;
+      t.on_relay_drop ();
+      log t "bgp relay from %a dropped (control channel down)" Net.Asn.pp neighbor
+    end
 
 let handle_control t msg =
+  t.last_ctrl_seen <- Engine.Sim.now t.sim;
   match msg with
   | Openflow.Hello -> ignore (t.send_control Openflow.Hello)
+  | Openflow.Echo_reply -> () (* liveness already refreshed above *)
+  | Openflow.Resync_done -> exit_fallback t
   | Openflow.Flow_mod { command; rule } -> begin
     t.stats.flow_mods <- t.stats.flow_mods + 1;
     match command with
@@ -187,9 +364,14 @@ let handle_control t msg =
     | None -> log t "relay to unknown neighbor %a dropped" Net.Asn.pp neighbor
   end
   | Openflow.Bgp_relay _ | Openflow.Packet_in _ | Openflow.Port_status _
-  | Openflow.Flow_removed _ ->
+  | Openflow.Flow_removed _ | Openflow.Echo_request _ ->
     log t "unexpected control message: %a" Openflow.pp msg
 
-(* Adjacent link changed state: report to the controller. *)
+(* Adjacent link changed state: report to the controller, and re-pick the
+   legacy fallback route when its egress just died. *)
 let port_change t ~peer ~up =
+  (match t.fallback with
+  | Some { Flow.action = Flow.Output port; _ } when (not up) && port = peer ->
+    repick_fallback t
+  | _ -> ());
   ignore (t.send_control (Openflow.Port_status { switch_asn = t.asn; port = peer; up }))

@@ -1,6 +1,13 @@
 (** An OpenFlow switch acting as a cluster member's border device: flow
     forwarding, PACKET_IN on miss, and BGP relaying between external
-    neighbors and the cluster BGP speaker. *)
+    neighbors and the cluster BGP speaker.  With [liveness] configured it
+    heartbeats the controller and degrades into a legacy-BGP fallback
+    route when the control plane goes silent. *)
+
+type liveness = {
+  echo_interval : Engine.Time.span;  (** ECHO_REQUEST probe period *)
+  fail_after : Engine.Time.span;  (** control silence before fallback *)
+}
 
 type stats = {
   mutable forwarded : int;
@@ -9,11 +16,16 @@ type stats = {
   mutable relayed_in : int;
   mutable relayed_out : int;
   mutable flow_mods : int;
+  mutable relay_drops : int;
+      (** BGP relays discarded because the control channel refused them *)
 }
 
 type t
 
 val create :
+  ?liveness:liveness ->
+  ?fallback_port:(unit -> Flow.port option) ->
+  ?on_relay_drop:(unit -> unit) ->
   sim:Engine.Sim.t ->
   asn:Net.Asn.t ->
   node_id:int ->
@@ -24,7 +36,12 @@ val create :
   node_of_asn:(Net.Asn.t -> int option) ->
   is_local:(Net.Ipv4.addr -> bool) ->
   deliver_local:(Net.Packet.t -> unit) ->
+  unit ->
   t
+(** [fallback_port] picks the legacy neighbor the fallback default route
+    points at (consulted on failover and when the chosen port dies);
+    [on_relay_drop] accounts BGP relays discarded because the control
+    channel is down (wired to [Netsim.note_drop Session_down]). *)
 
 val asn : t -> Net.Asn.t
 
@@ -38,6 +55,10 @@ val table : t -> Flow_table.t
 
 val stats : t -> stats
 
+val fallback_active : t -> bool
+(** Whether the switch is currently degraded onto its legacy default
+    route. *)
+
 val handle_data : t -> from:int -> Net.Packet.t -> unit
 (** Forward a data packet (TTL decrement, flow lookup, PACKET_IN on miss). *)
 
@@ -45,7 +66,8 @@ val handle_bgp : t -> from:int -> Bgp.Message.t -> unit
 (** Encapsulate an external neighbor's BGP message toward the speaker. *)
 
 val handle_control : t -> Openflow.t -> unit
-(** Process a message from the controller (FLOW_MOD, PACKET_OUT, relay). *)
+(** Process a message from the controller (FLOW_MOD, PACKET_OUT, relay,
+    ECHO_REPLY, RESYNC_DONE). *)
 
 val port_change : t -> peer:int -> up:bool -> unit
 (** Report an adjacent link state change as PORT_STATUS. *)

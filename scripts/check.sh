@@ -24,8 +24,11 @@ dune runtest
 step "smoke (instrumented run + metrics validation)"
 dune build @smoke
 
-step "chaos smoke (cluster-head crash/restart + reconvergence)"
+step "chaos smoke (cluster-head crash/restart + graceful degradation)"
 dune build @chaos-smoke
+
+step "chaos campaign (25 seeded fault schedules through the invariant oracle)"
+dune build @chaos-campaign
 
 step "parallel smoke (multi-domain sweep == sequential differential)"
 dune build @par-smoke

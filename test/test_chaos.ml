@@ -1,0 +1,142 @@
+(* Framework.Chaos: campaign determinism, the invariant oracle's teeth,
+   graceful degradation vs. blackholing, and schedule minimization. *)
+
+let asn = Topology.Artificial.asn
+
+let quiet_cfg = Framework.Config.failure_test
+
+(* A converged hybrid clique on the chaos engine's own default spec. *)
+let converged_net ?(config = quiet_cfg) ?(seed = 7) () =
+  let net = Framework.Network.create ~config ~seed (Framework.Chaos.default_spec ()) in
+  let conv = Framework.Convergence.attach net in
+  Framework.Network.start net;
+  let plan = Framework.Network.plan net in
+  List.iter
+    (fun a -> Framework.Network.originate net a (plan.Framework.Addressing.origin_prefix a))
+    [ asn 0; asn 1 ];
+  (match
+     Framework.Convergence.wait_quiet ~quiet:(Engine.Time.sec 3)
+       ~max_wait:(Engine.Time.sec 60) conv
+   with
+  | `Quiet _ -> ()
+  | `Timeout _ -> Alcotest.fail "setup never converged");
+  (net, conv)
+
+(* --- Campaign determinism ----------------------------------------------- *)
+
+let test_campaign_deterministic () =
+  let campaign () = Framework.Chaos.run_campaign ~seed:2014 ~runs:50 () in
+  let a = campaign () and b = campaign () in
+  Alcotest.(check string) "same seed, same campaign digest"
+    a.Framework.Chaos.campaign_digest b.Framework.Chaos.campaign_digest;
+  Alcotest.(check int) "zero violating runs" 0
+    (List.length
+       (List.filter
+          (fun (r : Framework.Chaos.run_result) -> r.Framework.Chaos.violations <> [])
+          a.Framework.Chaos.results));
+  Alcotest.(check bool) "every run quiesced" true
+    (List.for_all
+       (fun (r : Framework.Chaos.run_result) -> r.Framework.Chaos.quiesced)
+       a.Framework.Chaos.results);
+  let c = Framework.Chaos.run_campaign ~seed:2015 ~runs:50 () in
+  Alcotest.(check bool) "different seed, different campaign" true
+    (a.Framework.Chaos.campaign_digest <> c.Framework.Chaos.campaign_digest)
+
+let test_schedules_vary_and_heal () =
+  let rng = Engine.Rng.create 99 in
+  let spec = Framework.Chaos.default_spec () in
+  let schedules = List.init 20 (Framework.Chaos.generate ~spec ~rng) in
+  Alcotest.(check bool) "every schedule injects at least one fault" true
+    (List.for_all
+       (fun (s : Framework.Chaos.schedule) -> s.Framework.Chaos.events <> [])
+       schedules);
+  Alcotest.(check bool) "every fault heals after injection" true
+    (List.for_all
+       (fun (s : Framework.Chaos.schedule) ->
+         List.for_all
+           (fun (e : Framework.Chaos.event) ->
+             Engine.Time.(e.Framework.Chaos.heal_at > e.Framework.Chaos.at))
+           s.Framework.Chaos.events)
+       schedules);
+  (* not all schedules draw the same fault mix *)
+  let rendered =
+    List.map
+      (fun (s : Framework.Chaos.schedule) ->
+        Fmt.str "%a" Fmt.(list Framework.Chaos.pp_event) s.Framework.Chaos.events)
+      schedules
+  in
+  Alcotest.(check bool) "schedules differ" true
+    (List.length (List.sort_uniq String.compare rendered) > 10)
+
+(* --- The oracle has teeth ----------------------------------------------- *)
+
+let test_oracle_catches_stale_flow_rule () =
+  let net, _ = converged_net () in
+  Alcotest.(check (list string)) "clean before injection" []
+    (List.map
+       (fun (v : Framework.Chaos.violation) -> v.Framework.Chaos.invariant)
+       (Framework.Chaos.check_invariants net));
+  (* Crash a legacy AS, then plant a rule on a live member switch that
+     still forwards to the corpse — the stale-flow bug the oracle exists
+     to catch. *)
+  let victim = asn 7 in
+  Framework.Network.crash_node net victim;
+  let sw = Option.get (Framework.Network.switch net (asn 2)) in
+  Sdn.Flow_table.add (Sdn.Switch.table sw)
+    (Sdn.Flow.make ~priority:99
+       ~match_prefix:(Option.get (Net.Ipv4.prefix_of_string "100.99.0.0/24"))
+       (Sdn.Flow.Output (Net.Asn.to_int victim)));
+  let violations = Framework.Chaos.check_invariants net in
+  Alcotest.(check bool) "stale flow rule detected" true
+    (List.exists
+       (fun (v : Framework.Chaos.violation) ->
+         v.Framework.Chaos.invariant = "no-stale-flow-rule")
+       violations)
+
+(* --- Graceful degradation vs. blackholing ------------------------------- *)
+
+let reach_during_head_outage ~fallback =
+  let config =
+    if fallback then quiet_cfg else { quiet_cfg with Framework.Config.switch_liveness = None }
+  in
+  let net, _ = converged_net ~config () in
+  let plan = Framework.Network.plan net in
+  Framework.Network.crash_controller net;
+  (* announced while the head is down: only the legacy plane can carry it *)
+  Framework.Network.originate net (asn 5) (plan.Framework.Addressing.origin_prefix (asn 5));
+  Framework.Network.run_until net
+    (Engine.Time.add (Framework.Network.now net) (Engine.Time.sec 8));
+  Framework.Monitor.reachable net ~src:(asn 2) ~dst:(asn 5)
+
+let test_fallback_retains_reachability () =
+  Alcotest.(check bool) "member reaches the mid-outage announcement" true
+    (reach_during_head_outage ~fallback:true)
+
+let test_no_fallback_blackholes () =
+  Alcotest.(check bool) "member blackholes without fallback" false
+    (reach_during_head_outage ~fallback:false)
+
+(* --- Minimization ------------------------------------------------------- *)
+
+let test_minimize_keeps_passing_schedule () =
+  let rng = Engine.Rng.create 3 in
+  let schedule = Framework.Chaos.generate ~spec:(Framework.Chaos.default_spec ()) ~rng 0 in
+  let result = Framework.Chaos.execute ~seed:2014 schedule in
+  Alcotest.(check (list string)) "schedule passes" []
+    (List.map
+       (fun (v : Framework.Chaos.violation) -> v.Framework.Chaos.detail)
+       result.Framework.Chaos.violations);
+  let minimized = Framework.Chaos.minimize ~seed:2014 schedule in
+  Alcotest.(check int) "passing schedule left untouched"
+    (List.length schedule.Framework.Chaos.events)
+    (List.length minimized.Framework.Chaos.events)
+
+let suite =
+  [
+    Alcotest.test_case "50-run campaign deterministic" `Slow test_campaign_deterministic;
+    Alcotest.test_case "schedules vary and always heal" `Quick test_schedules_vary_and_heal;
+    Alcotest.test_case "oracle catches a stale flow rule" `Quick test_oracle_catches_stale_flow_rule;
+    Alcotest.test_case "fallback retains reachability" `Quick test_fallback_retains_reachability;
+    Alcotest.test_case "no-fallback blackholes" `Quick test_no_fallback_blackholes;
+    Alcotest.test_case "minimize keeps a passing schedule" `Quick test_minimize_keeps_passing_schedule;
+  ]

@@ -24,7 +24,7 @@ let announce_update prefix =
 let test_open_autoresponse () =
   let _, collector, sent = setup () in
   Bgp.Collector.handle_message collector ~from:1
-    (Bgp.Message.Open { asn = Net.Asn.of_int 65001; router_id = nh });
+    (Bgp.Message.Open { asn = Net.Asn.of_int 65001; router_id = nh; hold_time = 0 });
   match !sent with
   | [ (1, Bgp.Message.Open _) ] -> ()
   | _ -> Alcotest.fail "collector must respond to OPEN with OPEN"

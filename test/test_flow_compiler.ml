@@ -27,6 +27,7 @@ let diff ~installed ~desired ~members =
       (List.fold_left
          (fun acc (m, d) -> Net.Asn.Map.add (asn m) d acc)
          Net.Asn.Map.empty desired)
+    ()
 
 let mods_of changes member =
   List.concat_map

@@ -27,6 +27,7 @@ let () =
       ("bgp.wire_transport", Test_wire_transport.suite);
       ("bgp.damping", Test_damping.suite);
       ("bgp.liveness", Test_liveness.suite);
+      ("bgp.session", Test_session.suite);
       ("bgp.collector", Test_collector.suite);
       ("sdn.flow_table", Test_flow_table.suite);
       ("sdn.switch", Test_switch.suite);
@@ -44,6 +45,7 @@ let () =
       ("framework.logparse", Test_logparse.suite);
       ("framework.visualize", Test_visualize.suite);
       ("framework.scenario", Test_scenario.suite);
+      ("framework.chaos", Test_chaos.suite);
       ("framework.experiments", Test_experiments.suite);
       ("formats", Test_formats.suite);
       ("framework.looking_glass", Test_looking_glass.suite);

@@ -24,7 +24,7 @@ let test_update_constructor () =
 let test_rendering () =
   let render m = Fmt.str "%a" Bgp.Message.pp m in
   Alcotest.(check bool) "open mentions asn" true
-    (let s = render (Bgp.Message.Open { asn = Net.Asn.of_int 65001; router_id = nh }) in
+    (let s = render (Bgp.Message.Open { asn = Net.Asn.of_int 65001; router_id = nh; hold_time = 180 }) in
      Astring_like.contains s "AS65001");
   Alcotest.(check string) "keepalive" "KEEPALIVE" (render Bgp.Message.Keepalive);
   Alcotest.(check bool) "notification carries reason" true

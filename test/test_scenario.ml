@@ -119,9 +119,77 @@ let test_text_round_trip () =
     | Ok sc2 ->
       Alcotest.(check string) "round trip" rendered (Framework.Scenario.render sc2))
 
+let test_failure_domain_round_trip () =
+  (* the failure-domain verbs: partition (AS and ctrl forms), flap, heal *)
+  let text =
+    "@1.000 partition AS65001 AS65002\n@2.000 partition AS65003 ctrl\n\
+     @3.000 flap AS65001 AS65004 3\n@9.000 heal\n"
+  in
+  match Framework.Scenario.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> (
+    (match Framework.Scenario.steps sc with
+    | [ s1; s2; s3; s4 ] ->
+      (match s1.Framework.Scenario.action with
+      | Framework.Scenario.Partition (_, Some _) -> ()
+      | _ -> Alcotest.fail "expected AS partition");
+      (match s2.Framework.Scenario.action with
+      | Framework.Scenario.Partition (a, None) ->
+        Alcotest.(check int) "ctrl partition target" 65003 (Net.Asn.to_int a)
+      | _ -> Alcotest.fail "expected ctrl partition");
+      (match s3.Framework.Scenario.action with
+      | Framework.Scenario.Flap (_, _, n) -> Alcotest.(check int) "flap count" 3 n
+      | _ -> Alcotest.fail "expected flap");
+      (match s4.Framework.Scenario.action with
+      | Framework.Scenario.Heal -> ()
+      | _ -> Alcotest.fail "expected heal")
+    | _ -> Alcotest.fail "expected four steps");
+    let rendered = Framework.Scenario.render sc in
+    match Framework.Scenario.parse_string rendered with
+    | Error e -> Alcotest.fail e
+    | Ok sc2 ->
+      Alcotest.(check string) "round trip" rendered (Framework.Scenario.render sc2))
+
+let test_bad_failure_domain_lines () =
+  List.iter
+    (fun line ->
+      match Framework.Scenario.parse_string line with
+      | Ok _ -> Alcotest.fail (line ^ " must not parse")
+      | Error _ -> ())
+    [
+      "@1.0 partition AS65001";
+      "@1.0 flap AS65001 AS65002 0";
+      "@1.0 flap AS65001 AS65002 many";
+      "@1.0 partition nonsense ctrl";
+    ]
+
+let test_partition_flap_heal_execute () =
+  let exp = Framework.Experiment.create ~config:cfg ~seed:35 (Topology.Artificial.ring 4) in
+  let t0 = Engine.Time.to_sec_f (Framework.Experiment.now exp) in
+  let scenario =
+    Framework.Scenario.make ~title:"failure-domain"
+      [
+        Framework.Scenario.at (t0 +. 0.1) (Framework.Scenario.Announce (asn 0, None));
+        Framework.Scenario.at (t0 +. 5.0) (Framework.Scenario.Partition (asn 0, Some (asn 1)));
+        Framework.Scenario.at (t0 +. 6.0) (Framework.Scenario.Flap (asn 2, asn 3, 2));
+        Framework.Scenario.at (t0 +. 20.0) Framework.Scenario.Heal;
+      ]
+  in
+  ignore (Framework.Scenario.run exp scenario);
+  let net = Framework.Experiment.network exp in
+  (* heal brought the partitioned link back; the flap ended recovered *)
+  Alcotest.(check bool) "partitioned link healed" true (Framework.Network.link_up net (asn 0) (asn 1));
+  Alcotest.(check bool) "flapped link ends up" true (Framework.Network.link_up net (asn 2) (asn 3));
+  let r0 = Option.get (Framework.Network.router net (asn 0)) in
+  Alcotest.(check bool) "session re-established after heal" true
+    (Bgp.Router.peer_established r0 (asn 1))
+
 let suite =
   [
     Alcotest.test_case "ordered execution" `Quick test_actions_execute_in_order;
+    Alcotest.test_case "failure-domain verbs round trip" `Quick test_failure_domain_round_trip;
+    Alcotest.test_case "bad failure-domain lines rejected" `Quick test_bad_failure_domain_lines;
+    Alcotest.test_case "partition/flap/heal execute" `Quick test_partition_flap_heal_execute;
     Alcotest.test_case "link actions" `Quick test_link_actions;
     Alcotest.test_case "ping action" `Quick test_ping_action;
     Alcotest.test_case "crash/restart actions" `Quick test_crash_restart_actions;

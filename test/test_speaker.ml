@@ -17,6 +17,7 @@ let setup () =
     Cluster_ctl.Speaker.create ~sim ~send_relay:(fun ~member ~neighbor msg ->
         wire := (member, neighbor, msg) :: !wire;
         true)
+      ()
   in
   let updates = ref [] and sessions = ref [] in
   Cluster_ctl.Speaker.set_handlers speaker
@@ -25,7 +26,7 @@ let setup () =
   Cluster_ctl.Speaker.add_session speaker ~member ~neighbor ~member_addr:nh;
   (speaker, wire, updates, sessions)
 
-let open_msg = Bgp.Message.Open { asn = neighbor; router_id = nh }
+let open_msg = Bgp.Message.Open { asn = neighbor; router_id = nh; hold_time = 0 }
 
 let update_msg =
   Bgp.Message.Update

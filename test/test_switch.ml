@@ -35,6 +35,7 @@ let setup ?(local_prefix = "100.64.10.0/24") () =
       ~node_of_asn:(fun asn -> Some (Net.Asn.to_int asn))
       ~is_local:(fun addr -> Net.Ipv4.mem addr (p local_prefix))
       ~deliver_local:(fun pkt -> local := pkt :: !local)
+      ()
   in
   (switch, { switch; control; data; bgp; local })
 
@@ -145,6 +146,7 @@ let setup_timed () =
       ~node_of_asn:(fun asn -> Some (Net.Asn.to_int asn))
       ~is_local:(fun _ -> false)
       ~deliver_local:(fun pkt -> local := pkt :: !local)
+      ()
   in
   (sim, switch, control)
 

@@ -28,20 +28,21 @@ let test_keepalive_roundtrip () =
   | _ -> Alcotest.fail "one message expected"
 
 let test_open_roundtrip_small_asn () =
-  let msg = Bgp.Message.Open { asn = asn 65001; router_id = nh } in
+  let msg = Bgp.Message.Open { asn = asn 65001; router_id = nh; hold_time = 180 } in
   match Bgp.Wire.encode msg with
   | [ bytes ] -> (
     match decode_one bytes with
-    | Bgp.Message.Open { asn = a; router_id } ->
+    | Bgp.Message.Open { asn = a; router_id; hold_time } ->
       Alcotest.(check int) "asn" 65001 (Net.Asn.to_int a);
-      Alcotest.(check bool) "router id" true (Net.Ipv4.equal_addr router_id nh)
+      Alcotest.(check bool) "router id" true (Net.Ipv4.equal_addr router_id nh);
+      Alcotest.(check int) "hold time survives the wire" 180 hold_time
     | _ -> Alcotest.fail "expected OPEN")
   | _ -> Alcotest.fail "one message expected"
 
 let test_open_roundtrip_4byte_asn () =
   (* an ASN above 65535 must survive via the 4-octet-AS capability *)
   let big = asn 4_200_000_000 in
-  let msg = Bgp.Message.Open { asn = big; router_id = nh } in
+  let msg = Bgp.Message.Open { asn = big; router_id = nh; hold_time = 90 } in
   match Bgp.Wire.encode msg with
   | [ bytes ] -> (
     (* the 2-octet field must carry AS_TRANS *)
