@@ -653,10 +653,58 @@ let telemetry () =
   Fmt.pr "%a@." Engine.Sim.pp_profile sim;
   Option.iter
     (fun sink ->
-      let count = Framework.Telemetry.finish sink in
-      Fmt.pr "metrics: %d snapshots written to %s@." count (Option.get metrics_out))
+      match Framework.Telemetry.finish sink with
+      | Ok count ->
+        Fmt.pr "metrics: %d snapshots written to %s@." count (Option.get metrics_out)
+      | Error msg -> Fmt.epr "metrics: write failed: %s@." msg)
     sink;
   (tdown, headline)
+
+(* --- causal tracing overhead -------------------------------------------- *)
+
+(* The same seeded clique withdrawal run three ways: tracing disabled
+   (the engine default), the always-on Ring flight recorder (the
+   framework default) and Full retention (`hybridsim trace`).  Best-of-k
+   host wall clock per mode; the ring/full ratios against disabled land
+   in the baseline headline so later PRs can watch the overhead claim.
+   The simulated result must be bit-identical across modes — trace ids
+   come from a dedicated RNG stream and must never perturb the run. *)
+let causal_overhead () =
+  section "TRACE-OVERHEAD: same seeded withdrawal, tracing disabled vs ring vs full";
+  let reps = if quick then 3 else 5 in
+  let sdn = n / 2 in
+  let run mode =
+    let config = { config with Framework.Config.causal = mode } in
+    let best = ref infinity in
+    let seconds = ref nan in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Framework.Experiments.clique_run ~n ~sdn ~event:Framework.Experiments.Withdrawal
+          ~seed:67 ~config ()
+      in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      seconds := r.Framework.Experiments.seconds
+    done;
+    (!best, !seconds)
+  in
+  let wall_off, secs_off = run Engine.Causal.Disabled in
+  let wall_ring, secs_ring = run (Engine.Causal.Ring 4096) in
+  let wall_full, secs_full = run Engine.Causal.Full in
+  if not (secs_off = secs_ring && secs_off = secs_full) then begin
+    Fmt.epr "FATAL: tracing mode changed the simulated result (%.6f / %.6f / %.6f)@."
+      secs_off secs_ring secs_full;
+    exit 1
+  end;
+  let ring_ratio = wall_ring /. wall_off in
+  let full_ratio = wall_full /. wall_off in
+  Fmt.pr "%-12s %12s %8s@." "mode" "wall_best_s" "ratio";
+  Fmt.pr "%-12s %12.4f %8.2f@." "disabled" wall_off 1.0;
+  Fmt.pr "%-12s %12.4f %8.2f@." "ring:4096" wall_ring ring_ratio;
+  Fmt.pr "%-12s %12.4f %8.2f@." "full" wall_full full_ratio;
+  Fmt.pr "simulated Tdown identical across modes: %.6f s (clique:%d sdn:%d, best of %d)@."
+    secs_off n sdn reps;
+  [ ("trace_overhead_ring_ratio", ring_ratio); ("trace_overhead_full_ratio", full_ratio) ]
 
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -919,6 +967,8 @@ let () =
   timed "subcluster" subcluster;
   timed "churn" (fun () -> churn fig2_series);
   let telemetry_tdown, headline = timed "telemetry" telemetry in
+  let overhead_rows = timed "trace_overhead" causal_overhead in
+  let headline = headline @ overhead_rows in
   (* Join the pool before the micro-benchmarks: idle worker domains
      still participate in stop-the-world minor collections and would
      add noise to nanosecond-scale sampling. *)

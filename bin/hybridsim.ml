@@ -145,8 +145,9 @@ let telemetry_of exp metrics_out interval =
 let finish_telemetry tele =
   Option.iter
     (fun t ->
-      let n = Framework.Telemetry.finish t in
-      Fmt.pr "metrics: %d snapshots written@." n)
+      match Framework.Telemetry.finish t with
+      | Ok n -> Fmt.pr "metrics: %d snapshots written@." n
+      | Error msg -> Fmt.epr "metrics: write failed: %s@." msg)
     tele
 
 (* For runs that only expose a final snapshot (no live sim access). *)
@@ -510,6 +511,151 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Inspect and validate metrics export files.")
     Term.(ret (const run $ check))
 
+(* --- trace ------------------------------------------------------------------- *)
+
+(* Chrome trace-event files are a single JSON object with a "traceEvents"
+   array; JSONL exports are one object per line.  Both are checked with
+   the same self-contained JSON validator the metrics formats use. *)
+let validate_trace_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let is_jsonl = Filename.check_suffix (String.lowercase_ascii path) ".jsonl" in
+  if is_jsonl then begin
+    let lines =
+      String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go i = function
+      | [] -> Ok (List.length lines)
+      | l :: rest ->
+        if Framework.Telemetry.json_valid (String.trim l) then go (i + 1) rest
+        else Error (Fmt.str "line %d: invalid JSON" i)
+    in
+    go 1 lines
+  end
+  else begin
+    let body = String.trim text in
+    if not (Framework.Telemetry.json_valid body) then Error "invalid JSON"
+    else begin
+      (* Count the events so "OK" reports something useful. *)
+      let occurrences sub =
+        let n = String.length sub and total = ref 0 in
+        for i = 0 to String.length body - n do
+          if String.sub body i n = sub then incr total
+        done;
+        !total
+      in
+      if occurrences "\"traceEvents\"" = 0 then
+        Error "missing \"traceEvents\" array (not a Chrome trace-event file)"
+      else Ok (occurrences "\"ph\":")
+    end
+  end
+
+let trace_cmd =
+  let run topo sdn event seed mrai out critical check =
+    match check with
+    | Some path -> (
+      match validate_trace_file path with
+      | Ok n ->
+        Fmt.pr "%s: OK — %d events@." path n;
+        `Ok ()
+      | Error msg -> `Error (false, Fmt.str "%s: %s" path msg))
+    | None -> (
+      let result =
+        let* spec = parse_topo ~seed topo in
+        let* spec = with_sdn_tail spec sdn in
+        let config =
+          { (config_of_mrai mrai) with Framework.Config.causal = Engine.Causal.Full }
+        in
+        match String.lowercase_ascii event with
+        | ("withdraw" | "announce") as event ->
+          let exp = Framework.Experiment.create ~config ~seed spec in
+          let origin = List.hd (Topology.Spec.asns spec) in
+          let measured =
+            if event = "announce" then Core.measure_announcement exp origin
+            else Core.measure_withdrawal exp origin
+          in
+          let sim = Framework.Experiment.sim exp in
+          let causal = Engine.Sim.causal sim in
+          Fmt.pr "topology: %s (%d ASes, %d SDN)@." (Topology.Spec.title spec)
+            (Topology.Spec.node_count spec)
+            (List.length (Topology.Spec.sdn_asns spec));
+          Fmt.pr "event: %s at %a@." event Net.Asn.pp origin;
+          Fmt.pr "convergence: %.6f s@."
+            (Framework.Experiment.convergence_seconds measured);
+          Fmt.pr "trace: id=%d, %d spans@." (Engine.Causal.trace_id causal)
+            (Engine.Causal.total causal);
+          let prefix = Framework.Experiment.default_prefix exp origin in
+          let label = Net.Ipv4.prefix_to_string prefix in
+          (match Engine.Causal.convergence_leaf ~label causal with
+          | None -> Fmt.pr "no data-plane write found for %s@." label
+          | Some leaf ->
+            let a = Engine.Causal.attribute causal leaf in
+            Fmt.pr "@[<v>%a@]@." Engine.Causal.pp_attribution a;
+            if critical then
+              List.iter
+                (fun s -> Fmt.pr "  %s@." (Engine.Causal.render_line s))
+                (Engine.Causal.path_to_root causal leaf));
+          Option.iter
+            (fun path ->
+              let content =
+                if Filename.check_suffix (String.lowercase_ascii path) ".jsonl" then
+                  Engine.Causal.to_jsonl causal
+                else Engine.Causal.to_chrome causal
+              in
+              let oc = open_out path in
+              output_string oc content;
+              close_out oc;
+              Fmt.pr "trace: written to %s@." path)
+            out;
+          Ok ()
+        | e -> Error (Fmt.str "unknown event %S (withdraw|announce)" e)
+      in
+      match result with
+      | Ok () -> `Ok ()
+      | Error msg -> `Error (false, msg))
+  in
+  let topo =
+    Arg.(value & opt string "clique:8" & info [ "topo" ] ~docv:"SPEC" ~doc:"Topology spec.")
+  in
+  let sdn = Arg.(value & opt int 0 & info [ "sdn" ] ~docv:"K" ~doc:"SDN member count.") in
+  let event =
+    Arg.(value & opt string "withdraw" & info [ "event" ] ~docv:"EVENT"
+           ~doc:"withdraw or announce.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:
+            "Write the span export: .jsonl for one span per line, anything else for \
+             Chrome trace-event JSON (open in Perfetto or chrome://tracing).")
+  in
+  let critical =
+    Arg.(
+      value
+      & flag
+      & info [ "critical-path" ]
+          ~doc:"Also print every span on the convergence critical path.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"PATH"
+          ~doc:"Validate a trace export (Chrome JSON or .jsonl) instead of running.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a convergence experiment with full causal tracing: per-seed-deterministic \
+          span trees from each action down to the last FIB/flow-table write, a \
+          critical-path attribution table, and Perfetto-loadable exports.")
+    Term.(
+      ret (const run $ topo $ sdn $ event $ seed_arg $ mrai_arg $ out $ critical $ check))
+
 (* --- export-quagga ----------------------------------------------------------- *)
 
 let export_quagga_cmd =
@@ -623,4 +769,5 @@ let () =
             demo_cmd;
             chaos_cmd;
             metrics_cmd;
+            trace_cmd;
           ]))

@@ -181,6 +181,9 @@ let sync_session t ~member ~neighbor prefix decision_map =
 (* --- Recomputation ------------------------------------------------------ *)
 
 let recompute_prefix t prefix =
+  if Engine.Causal.enabled (Engine.Sim.causal t.sim) then
+    Engine.Sim.annotate t.sim ~category:"ctrl.recompute" ~node:"controller"
+      ~label:(Net.Ipv4.prefix_to_string prefix) ();
   let originators = Option.value (Pm.find_opt prefix t.originated) ~default:Net.Asn.Set.empty in
   let fp =
     {

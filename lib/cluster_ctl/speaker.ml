@@ -265,6 +265,9 @@ let handle_relay t ~member ~neighbor (msg : Bgp.Message.t) =
     | Bgp.Message.Update u ->
       if s.established then begin
         t.stats.updates_in <- t.stats.updates_in + 1;
+        if Engine.Causal.enabled (Engine.Sim.causal t.sim) then
+          Engine.Sim.annotate t.sim ~category:"speaker.relay" ~node:"speaker"
+            ~label:(Net.Asn.to_string neighbor) ();
         t.on_update ~member ~neighbor u
       end)
 

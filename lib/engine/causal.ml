@@ -1,0 +1,361 @@
+(* Deterministic causal span tracing.  See causal.mli for the contract.
+
+   The store is either a fixed ring (span id [i] lives in slot
+   [i mod capacity]; a slot is valid iff its occupant's id is within the
+   newest [capacity] ids) or a growable array indexed directly by id.
+   Ids are dense sequence numbers, so no RNG draw happens per span — the
+   only randomness is the run's trace id, minted once at [create] from a
+   dedicated stream so the sim root RNG's draw order is untouched. *)
+
+type mode = Disabled | Ring of int | Full
+
+type span = {
+  id : int;
+  parent : int;
+  category : string;
+  node : string;
+  label : string;
+  queued_at : Time.t;
+  mutable fired_at : Time.t;
+  mutable closed : bool;
+}
+
+let dummy =
+  {
+    id = -1;
+    parent = -1;
+    category = "";
+    node = "";
+    label = "";
+    queued_at = Time.zero;
+    fired_at = Time.zero;
+    closed = false;
+  }
+
+type t = {
+  mode : mode;
+  trace_id : int;
+  capacity : int; (* ring slots; 0 when Disabled or Full *)
+  mutable arr : span array;
+  mutable next_id : int; (* = total spans ever opened *)
+  mutable current : int; (* span of the event now executing, -1 at top *)
+}
+
+(* The trace id comes from a stream keyed off the seed xor "caus" so it
+   is stable per seed yet independent of every other subsystem stream. *)
+let mint_trace_id seed =
+  let rng = Rng.create (seed lxor 0x6361_7573) in
+  Int64.to_int (Rng.next_int64 rng) land 0x3FFF_FFFF_FFFF
+
+let create ?(mode = Disabled) ~seed () =
+  let capacity = match mode with Ring n -> Stdlib.max 1 n | _ -> 0 in
+  let arr =
+    match mode with
+    | Disabled -> [||]
+    | Ring _ -> Array.make capacity dummy
+    | Full -> Array.make 1024 dummy
+  in
+  { mode; trace_id = mint_trace_id seed; capacity; arr; next_id = 0; current = -1 }
+
+let mode t = t.mode
+
+let enabled t = t.mode <> Disabled
+
+let trace_id t = t.trace_id
+
+let total t = t.next_id
+
+let stored t =
+  match t.mode with
+  | Disabled -> 0
+  | Ring _ -> Stdlib.min t.next_id t.capacity
+  | Full -> t.next_id
+
+let slot t id = match t.mode with Ring _ -> id mod t.capacity | _ -> id
+
+let find t id =
+  if id < 0 || id >= t.next_id then None
+  else
+    match t.mode with
+    | Disabled -> None
+    | Full -> Some t.arr.(id)
+    | Ring _ -> if id < t.next_id - t.capacity then None else Some t.arr.(slot t id)
+
+let spans t =
+  let n = stored t in
+  let first = t.next_id - n in
+  List.init n (fun i -> t.arr.(slot t (first + i)))
+
+let find_last t pred =
+  let n = stored t in
+  let first = t.next_id - n in
+  let rec scan i =
+    if i < first then None
+    else
+      let s = t.arr.(slot t i) in
+      if pred s then Some s else scan (i - 1)
+  in
+  scan (t.next_id - 1)
+
+let grow_if_needed t =
+  if t.mode = Full && t.next_id >= Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) dummy in
+    Array.blit t.arr 0 bigger 0 (Array.length t.arr);
+    t.arr <- bigger
+  end
+
+let open_span t ~parent ~category ~node ~label ~queued_at ~fired_at ~closed =
+  grow_if_needed t;
+  let id = t.next_id in
+  let s = { id; parent; category; node; label; queued_at; fired_at; closed } in
+  t.arr.(slot t id) <- s;
+  t.next_id <- id + 1;
+  id
+
+let on_schedule t ~category ~queued_at =
+  if t.mode = Disabled then -1
+  else
+    open_span t ~parent:t.current ~category ~node:"" ~label:"" ~queued_at
+      ~fired_at:queued_at ~closed:false
+
+let on_execute t id ~fired_at =
+  if id >= 0 then begin
+    (match find t id with
+    | Some s ->
+        s.fired_at <- fired_at;
+        s.closed <- true
+    | None -> ());
+    (* Even an evicted span remains the causal parent of whatever its
+       action schedules: children record the id regardless. *)
+    t.current <- id
+  end
+
+let current t = t.current
+
+let clear_current t = t.current <- -1
+
+let annotate t ~category ?(node = "") ?(label = "") ~at () =
+  if t.mode <> Disabled then
+    ignore
+      (open_span t ~parent:t.current ~category ~node ~label ~queued_at:at
+         ~fired_at:at ~closed:true)
+
+let with_span t ~category ?(node = "") ?(label = "") ~at f =
+  if t.mode = Disabled then f ()
+  else begin
+    let id =
+      open_span t ~parent:t.current ~category ~node ~label ~queued_at:at
+        ~fired_at:at ~closed:true
+    in
+    let saved = t.current in
+    t.current <- id;
+    Fun.protect ~finally:(fun () -> t.current <- saved) f
+  end
+
+(* Critical path *)
+
+type bucket =
+  | Propagation
+  | Mrai_hold
+  | Session_backoff
+  | Recompute
+  | Flow_install
+  | Mailbox
+  | Other
+
+let bucket_of_category = function
+  | "net.deliver" | "link" | "data" -> Propagation
+  | "bgp.mrai" -> Mrai_hold
+  | "bgp.liveness" | "bgp.reconnect" | "bgp.damping" | "speaker.liveness"
+  | "sdn.liveness" ->
+      Session_backoff
+  | "ctrl.recompute" | "ctrl.update" | "controller" -> Recompute
+  | "flow.install" | "flow.remove" | "sdn.timeout" | "switch" -> Flow_install
+  | "node" | "node.deliver" | "bgp.process" -> Mailbox
+  | _ -> Other
+
+let bucket_to_string = function
+  | Propagation -> "propagation"
+  | Mrai_hold -> "mrai_hold"
+  | Session_backoff -> "session_backoff"
+  | Recompute -> "recompute"
+  | Flow_install -> "flow_install"
+  | Mailbox -> "mailbox"
+  | Other -> "other"
+
+let bucket_rank = function
+  | Propagation -> 0
+  | Mrai_hold -> 1
+  | Session_backoff -> 2
+  | Recompute -> 3
+  | Flow_install -> 4
+  | Mailbox -> 5
+  | Other -> 6
+
+let all_buckets =
+  [ Propagation; Mrai_hold; Session_backoff; Recompute; Flow_install; Mailbox; Other ]
+
+let path_to_root t leaf =
+  let rec up acc s =
+    if s.parent < 0 then s :: acc
+    else
+      match find t s.parent with
+      | Some p -> up (s :: acc) p
+      | None -> s :: acc (* ancestor evicted from the ring *)
+  in
+  up [] leaf
+
+type attribution_row = { bucket : bucket; seconds : float; hops : int }
+
+type attribution = {
+  rows : attribution_row list;
+  total_seconds : float;
+  depth : int;
+}
+
+let attribute t leaf =
+  let path = path_to_root t leaf in
+  let head = List.hd path in
+  let total_seconds = Time.to_sec_f (Time.diff leaf.fired_at head.queued_at) in
+  let secs = Array.make 7 0.0 and hops = Array.make 7 0 in
+  List.iter
+    (fun s ->
+      let i = bucket_rank (bucket_of_category s.category) in
+      secs.(i) <- secs.(i) +. Time.to_sec_f (Time.diff s.fired_at s.queued_at);
+      hops.(i) <- hops.(i) + 1)
+    path;
+  let rows =
+    List.filter_map
+      (fun b ->
+        let i = bucket_rank b in
+        if hops.(i) = 0 then None
+        else Some { bucket = b; seconds = secs.(i); hops = hops.(i) })
+      all_buckets
+  in
+  let rows =
+    List.stable_sort
+      (fun a b ->
+        match Stdlib.compare b.seconds a.seconds with
+        | 0 -> Stdlib.compare (bucket_rank a.bucket) (bucket_rank b.bucket)
+        | c -> c)
+      rows
+  in
+  { rows; total_seconds; depth = List.length path }
+
+let is_dataplane_write s =
+  match s.category with
+  | "fib.write" | "flow.install" | "flow.remove" -> true
+  | _ -> false
+
+let convergence_leaf ?label t =
+  find_last t (fun s ->
+      is_dataplane_write s
+      && match label with None -> true | Some l -> String.equal s.label l)
+
+let pp_attribution ppf a =
+  Format.fprintf ppf "critical path: depth %d, total %.6fs@," a.depth
+    a.total_seconds;
+  List.iter
+    (fun r ->
+      let pct =
+        if a.total_seconds > 0.0 then 100.0 *. r.seconds /. a.total_seconds
+        else 0.0
+      in
+      Format.fprintf ppf "  %-16s %12.6fs  %5.1f%%  %d hop%s@,"
+        (bucket_to_string r.bucket) r.seconds pct r.hops
+        (if r.hops = 1 then "" else "s"))
+    a.rows
+
+(* Exporters.  Both render only closed spans (a span left open belongs
+   to a cancelled event) so the output is a pure deterministic function
+   of the retained store. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Thread lanes: one per emitting node, numbered by first appearance so
+   the mapping is deterministic.  Anonymous engine events share lane 0. *)
+let lane_table spans_list =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Hashtbl.add tbl "" 0;
+  order := [ "" ];
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem tbl s.node) then begin
+        Hashtbl.add tbl s.node (Hashtbl.length tbl);
+        order := s.node :: !order
+      end)
+    spans_list;
+  (tbl, List.rev !order)
+
+let to_chrome t =
+  let closed = List.filter (fun s -> s.closed) (spans t) in
+  let lanes, order = lane_table closed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  List.iter
+    (fun node ->
+      sep ();
+      let name = if node = "" then "engine" else node in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (Hashtbl.find lanes node) (json_escape name)))
+    order;
+  List.iter
+    (fun s ->
+      sep ();
+      let ts = Time.to_us s.queued_at in
+      let dur = Time.to_us s.fired_at - ts in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d,\"label\":\"%s\",\"trace\":%d}}"
+           (json_escape s.category) (json_escape s.category) ts dur
+           (Hashtbl.find lanes s.node) s.id s.parent (json_escape s.label)
+           t.trace_id))
+    closed;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      if s.closed then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"trace\":%d,\"span\":%d,\"parent\":%d,\"category\":\"%s\",\"node\":\"%s\",\"label\":\"%s\",\"queued_us\":%d,\"fired_us\":%d}\n"
+             t.trace_id s.id s.parent (json_escape s.category)
+             (json_escape s.node) (json_escape s.label)
+             (Time.to_us s.queued_at) (Time.to_us s.fired_at)))
+    (spans t);
+  Buffer.contents buf
+
+let render_line s =
+  let wait = Time.to_us s.fired_at - Time.to_us s.queued_at in
+  Printf.sprintf "%012d #%d<-%d %s%s%s (wait %dus)" (Time.to_us s.fired_at)
+    s.id s.parent s.category
+    (if s.node = "" then "" else " " ^ s.node)
+    (if s.label = "" then "" else " [" ^ s.label ^ "]")
+    wait
+
+let flight_lines t =
+  List.filter_map (fun s -> if s.closed then Some (render_line s) else None) (spans t)

@@ -15,6 +15,7 @@ type event = {
   fire_at : Time.t;
   seq : int;
   category : string;
+  span : int; (* causal span id, -1 when tracing is disabled *)
   mutable cancelled : bool;
   action : unit -> unit;
 }
@@ -32,6 +33,7 @@ type t = {
   queue : event Heap.t;
   rng : Rng.t;
   trace : Trace.t;
+  causal : Causal.t;
   metrics : Metrics.t;
   mutable profiling : bool;
   profile : (string, prof_cell) Hashtbl.t;
@@ -46,9 +48,16 @@ let compare_event a b =
   if c <> 0 then c else compare a.seq b.seq
 
 let dummy_event =
-  { fire_at = Time.zero; seq = -1; category = ""; cancelled = true; action = ignore }
+  {
+    fire_at = Time.zero;
+    seq = -1;
+    category = "";
+    span = -1;
+    cancelled = true;
+    action = ignore;
+  }
 
-let create ?(seed = 0) ?(trace = true) ?(profiling = false) () =
+let create ?(seed = 0) ?(trace = true) ?(causal = Causal.Disabled) ?(profiling = false) () =
   let metrics = Metrics.create () in
   {
     now = Time.zero;
@@ -57,6 +66,7 @@ let create ?(seed = 0) ?(trace = true) ?(profiling = false) () =
     queue = Heap.create ~capacity:1024 ~dummy:dummy_event compare_event;
     rng = Rng.create seed;
     trace = Trace.create ~enabled:trace ();
+    causal = Causal.create ~mode:causal ~seed ();
     metrics;
     profiling;
     profile = Hashtbl.create 16;
@@ -73,6 +83,14 @@ let now t = t.now
 let rng t = t.rng
 
 let trace t = t.trace
+
+let causal t = t.causal
+
+let annotate t ~category ?node ?label () =
+  Causal.annotate t.causal ~category ?node ?label ~at:t.now ()
+
+let with_span t ~category ?node ?label f =
+  Causal.with_span t.causal ~category ?node ?label ~at:t.now f
 
 let metrics t = t.metrics
 
@@ -109,7 +127,8 @@ let schedule_at ?(category = "event") t fire_at action =
   if Time.(fire_at < t.now) then
     invalid_arg
       (Fmt.str "Sim.schedule_at: %a is in the past (now %a)" Time.pp fire_at Time.pp t.now);
-  let ev = { fire_at; seq = t.next_seq; category; cancelled = false; action } in
+  let span = Causal.on_schedule t.causal ~category ~queued_at:t.now in
+  let ev = { fire_at; seq = t.next_seq; category; span; cancelled = false; action } in
   t.next_seq <- t.next_seq + 1;
   Metrics.Counter.inc
     (category_counter t.scheduled_by t.metrics "sim_events_scheduled_total" category);
@@ -131,11 +150,7 @@ let cancelled ev = ev.cancelled
 
 let note_reaped t = Metrics.Counter.inc t.reaped
 
-let execute t ev =
-  t.now <- ev.fire_at;
-  t.executed <- t.executed + 1;
-  Metrics.Counter.inc
-    (category_counter t.executed_by t.metrics "sim_events_executed_total" ev.category);
+let run_action t ev =
   if t.profiling then begin
     let t0 = Sys.time () in
     ev.action ();
@@ -152,6 +167,19 @@ let execute t ev =
     cell.p_seconds <- cell.p_seconds +. dt
   end
   else ev.action ()
+
+let execute t ev =
+  t.now <- ev.fire_at;
+  t.executed <- t.executed + 1;
+  Metrics.Counter.inc
+    (category_counter t.executed_by t.metrics "sim_events_executed_total" ev.category);
+  if Causal.enabled t.causal then begin
+    Causal.on_execute t.causal ev.span ~fired_at:ev.fire_at;
+    Fun.protect
+      ~finally:(fun () -> Causal.clear_current t.causal)
+      (fun () -> run_action t ev)
+  end
+  else run_action t ev
 
 (* Run one event; returns false when the queue is exhausted. *)
 let rec step t =

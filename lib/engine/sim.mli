@@ -15,7 +15,11 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int -> ?trace:bool -> ?profiling:bool -> unit -> t
+val create :
+  ?seed:int -> ?trace:bool -> ?causal:Causal.mode -> ?profiling:bool -> unit -> t
+(** [causal] (default {!Causal.Disabled}) selects the causal-tracing mode:
+    disabled costs nothing per event, [Ring n] keeps a bounded flight
+    recorder, [Full] retains every span for export and analysis. *)
 
 val now : t -> Time.t
 
@@ -23,6 +27,22 @@ val rng : t -> Rng.t
 (** The root RNG; split per subsystem rather than drawing directly. *)
 
 val trace : t -> Trace.t
+
+val causal : t -> Causal.t
+(** The per-simulation causal span store (one per sim, same domain
+    ownership rule as {!trace} and {!metrics}).  Every scheduled event
+    opens a span parented under the event executing at schedule time. *)
+
+val annotate : t -> category:string -> ?node:string -> ?label:string -> unit -> unit
+(** Record a zero-length causal marker (e.g. a FIB write) at the current
+    simulated time, as a child of the currently executing event's span.
+    No-op when tracing is disabled. *)
+
+val with_span :
+  t -> category:string -> ?node:string -> ?label:string -> (unit -> 'a) -> 'a
+(** Run a thunk under a labelled span so the events it schedules are
+    parented under it — used to root a tree per scenario action.
+    Just calls the thunk when tracing is disabled. *)
 
 val metrics : t -> Metrics.t
 (** The per-simulation metrics registry.  Every subsystem holding a [Sim.t]

@@ -2,7 +2,11 @@
 
    The original framework grep-analyses Quagga log files; we keep structured
    records and can render them to similar text lines, so the log-analysis
-   tooling (framework.Logparse) has a faithful input format. *)
+   tooling (framework.Logparse) has a faithful input format.
+
+   Bounded traces use an exact circular buffer: with [capacity = n] the
+   log retains precisely the [n] newest records, each insertion O(1).
+   Unbounded traces (capacity 0) use a doubling array. *)
 
 type level = Debug | Info | Warn
 
@@ -14,17 +18,23 @@ type record = {
   message : string;
 }
 
+let dummy =
+  { time = Time.zero; node = ""; category = ""; level = Debug; message = "" }
+
 type t = {
-  mutable records : record list; (* newest first *)
+  mutable arr : record array;
+  mutable start : int; (* index of the oldest retained record *)
   mutable count : int;
   mutable total : int; (* records ever seen, eviction-proof *)
   mutable warns : int; (* Warn-level records ever seen *)
   mutable enabled : bool;
-  mutable capacity : int; (* 0 = unbounded *)
+  capacity : int; (* 0 = unbounded *)
 }
 
 let create ?(enabled = true) ?(capacity = 0) () =
-  { records = []; count = 0; total = 0; warns = 0; enabled; capacity }
+  let capacity = Stdlib.max 0 capacity in
+  let initial = if capacity > 0 then capacity else 64 in
+  { arr = Array.make initial dummy; start = 0; count = 0; total = 0; warns = 0; enabled; capacity }
 
 let set_enabled t flag = t.enabled <- flag
 
@@ -32,17 +42,28 @@ let enabled t = t.enabled
 
 let record t ~time ~node ~category ?(level = Info) message =
   if t.enabled then begin
-    t.records <- { time; node; category; level; message } :: t.records;
-    t.count <- t.count + 1;
+    let r = { time; node; category; level; message } in
     t.total <- t.total + 1;
     if level = Warn then t.warns <- t.warns + 1;
-    if t.capacity > 0 && t.count > t.capacity then begin
-      (* Drop the oldest half, but always retain at least the newest
-         record — at capacity 1 the eviction would otherwise empty the
-         log entirely.  Amortized O(1) per record. *)
-      let keep = Stdlib.max 1 (t.capacity / 2) in
-      t.records <- List.filteri (fun i _ -> i < keep) t.records;
-      t.count <- keep
+    if t.capacity > 0 then
+      if t.count < t.capacity then begin
+        t.arr.((t.start + t.count) mod t.capacity) <- r;
+        t.count <- t.count + 1
+      end
+      else begin
+        (* Full ring: the slot at [start] holds the oldest record —
+           overwrite it and rotate. *)
+        t.arr.(t.start) <- r;
+        t.start <- (t.start + 1) mod t.capacity
+      end
+    else begin
+      if t.count = Array.length t.arr then begin
+        let bigger = Array.make (2 * t.count) dummy in
+        Array.blit t.arr 0 bigger 0 t.count;
+        t.arr <- bigger
+      end;
+      t.arr.(t.count) <- r;
+      t.count <- t.count + 1
     end
   end
 
@@ -52,10 +73,14 @@ let total t = t.total
 
 let warn_count t = t.warns
 
-let records t = List.rev t.records
+let get t i =
+  if t.capacity > 0 then t.arr.((t.start + i) mod t.capacity) else t.arr.(i)
+
+let records t = List.init t.count (get t)
 
 let clear t =
-  t.records <- [];
+  Array.fill t.arr 0 (Array.length t.arr) dummy;
+  t.start <- 0;
   t.count <- 0
 
 let filter ?node ?category ?since t =
@@ -75,9 +100,11 @@ let render_line r =
 let to_lines t = List.map render_line (records t)
 
 let last_time_matching t pred =
-  (* records are newest-first, so the first match is the latest. *)
-  let rec find = function
-    | [] -> None
-    | r :: rest -> if pred r then Some r.time else find rest
+  (* Scan newest to oldest so the first match is the latest. *)
+  let rec find i =
+    if i < 0 then None
+    else
+      let r = get t i in
+      if pred r then Some r.time else find (i - 1)
   in
-  find t.records
+  find (t.count - 1)

@@ -19,8 +19,9 @@ type record = {
 type t
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
-(** [capacity] bounds retained records (0 = unbounded); when exceeded the
-    oldest half is dropped. *)
+(** [capacity] bounds retained records: an exact ring that keeps
+    precisely the [capacity] newest records, evicting one oldest record
+    per insertion once full (0 = unbounded). *)
 
 val set_enabled : t -> bool -> unit
 

@@ -160,19 +160,30 @@ let generate ~spec ~rng index =
 
 let apply_fault net (e : event) =
   let sim = Network.sim net in
-  let sched time fn = ignore (Engine.Sim.schedule_at sim time fn) in
+  let label = Fmt.str "%a" pp_fault e.fault in
+  (* Each injection/heal event carries its own category and a marker span
+     labelled with the fault, so a flight-recorder dump shows which fault
+     every causal subtree hangs off. *)
+  let sched ~category time fn =
+    ignore
+      (Engine.Sim.schedule_at ~category sim time (fun () ->
+           Engine.Sim.annotate sim ~category ~label ();
+           fn ()))
+  in
+  let fault time fn = sched ~category:"chaos.fault" time fn in
+  let heal time fn = sched ~category:"chaos.heal" time fn in
   match e.fault with
   | Crash a ->
-    sched e.at (fun () -> Network.crash_node net a);
-    sched e.heal_at (fun () -> Network.restart_node net a)
+    fault e.at (fun () -> Network.crash_node net a);
+    heal e.heal_at (fun () -> Network.restart_node net a)
   | Link_down (a, b) ->
-    sched e.at (fun () -> Network.fail_link net a b);
-    sched e.heal_at (fun () -> Network.recover_link net a b)
+    fault e.at (fun () -> Network.fail_link net a b);
+    heal e.heal_at (fun () -> Network.recover_link net a b)
   | Link_flap (a, b, cycles) ->
     for i = 0 to cycles - 1 do
       let base = Engine.Time.add e.at (Engine.Time.sec i) in
-      sched base (fun () -> Network.fail_link net a b);
-      sched
+      fault base (fun () -> Network.fail_link net a b);
+      heal
         (Engine.Time.add base (Engine.Time.ms 500))
         (fun () -> Network.recover_link net a b)
     done
@@ -183,14 +194,14 @@ let apply_fault net (e : event) =
     | None -> invalid_arg "Chaos: loss burst on a non-existent link"
     | Some link ->
       let original = Net.Link.loss link in
-      sched e.at (fun () -> Net.Link.set_loss link 1.0);
-      sched e.heal_at (fun () -> Net.Link.set_loss link original))
+      fault e.at (fun () -> Net.Link.set_loss link 1.0);
+      heal e.heal_at (fun () -> Net.Link.set_loss link original))
   | Ctrl_partition m ->
-    sched e.at (fun () -> Network.fail_ctrl_link net m);
-    sched e.heal_at (fun () -> Network.recover_ctrl_link net m)
+    fault e.at (fun () -> Network.fail_ctrl_link net m);
+    heal e.heal_at (fun () -> Network.recover_ctrl_link net m)
   | Head_crash ->
-    sched e.at (fun () -> Network.crash_controller net);
-    sched e.heal_at (fun () -> Network.restart_controller net)
+    fault e.at (fun () -> Network.crash_controller net);
+    heal e.heal_at (fun () -> Network.restart_controller net)
 
 (* --- State digest ------------------------------------------------------- *)
 
@@ -427,6 +438,8 @@ type run_result = {
   quiesced : bool;
   violations : violation list;
   digest : string;
+  flight : string list;
+      (* causal flight-recorder dump, non-empty only when invariants fired *)
 }
 
 let config_for ~fallback =
@@ -466,7 +479,15 @@ let execute ?(fallback = true) ?(spec = default_spec ()) ~seed (schedule : sched
        [ { invariant = "quiescence"; detail = "control plane still changing after 180 s" } ])
     @ check_invariants net
   in
-  { schedule; quiesced; violations; digest = state_digest net }
+  (* A violation auto-dumps the causal flight recorder: the ring holds
+     the newest spans, i.e. the causal history leading into the bad
+     state.  Deterministic (simulated time only), so including it in
+     rendered reports keeps campaign digests seed-stable. *)
+  let flight =
+    if violations = [] then []
+    else Engine.Causal.flight_lines (Engine.Sim.causal (Network.sim net))
+  in
+  { schedule; quiesced; violations; digest = state_digest net; flight }
 
 let run_one ?fallback ?(spec = default_spec ()) ~seed index =
   let rng = Engine.Rng.create (mix seed ((2 * index) + 1)) in
@@ -509,10 +530,20 @@ let render_result r =
     r.schedule.events
     (if r.quiesced then "quiet" else "TIMEOUT")
     (List.length r.violations) r.digest
+  ^ (match r.violations with
+    | [] -> ""
+    | vs -> "\n" ^ String.concat "\n" (List.map (Fmt.str "  %a" pp_violation) vs))
   ^
-  match r.violations with
+  match r.flight with
   | [] -> ""
-  | vs -> "\n" ^ String.concat "\n" (List.map (Fmt.str "  %a" pp_violation) vs)
+  | lines ->
+    let n = List.length lines in
+    let max_lines = 40 in
+    let shown = List.filteri (fun i _ -> i >= n - max_lines) lines in
+    Fmt.str "\n  flight recorder (%d span%s, last %d shown):\n" n
+      (if n = 1 then "" else "s")
+      (List.length shown)
+    ^ String.concat "\n" (List.map (fun l -> "    " ^ l) shown)
 
 let render_report r =
   let header =

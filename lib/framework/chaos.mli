@@ -55,6 +55,9 @@ type run_result = {
   quiesced : bool;  (** control plane went quiet before the 180 s limit *)
   violations : violation list;
   digest : string;  (** {!state_digest} at the quiescent point *)
+  flight : string list;
+      (** the causal flight recorder ({!Engine.Causal.flight_lines}),
+          auto-dumped when [violations <> []]; empty on clean runs *)
 }
 
 val execute :

@@ -26,6 +26,10 @@ type t = {
   flow_hard_timeout : Engine.Time.span option;
       (* stamp proactively installed flow rules so stale forwarding state
          decays at the switch when the controller stops refreshing it *)
+  causal : Engine.Causal.mode;
+      (* causal span tracing: the default bounded ring is the always-on
+         flight recorder chaos dumps on invariant violations; [Full]
+         retains every span for export/critical-path analysis *)
 }
 
 let default =
@@ -42,6 +46,7 @@ let default =
     switch_liveness = None;
     flow_idle_timeout = None;
     flow_hard_timeout = None;
+    causal = Engine.Causal.Ring 4096;
   }
 
 let with_mrai t span = { t with bgp = Bgp.Config.with_mrai t.bgp span }

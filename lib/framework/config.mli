@@ -23,6 +23,10 @@ type t = {
   flow_idle_timeout : Engine.Time.span option;
   flow_hard_timeout : Engine.Time.span option;
       (** decay timeouts stamped on proactively installed flow rules *)
+  causal : Engine.Causal.mode;
+      (** causal span tracing mode; the default [Ring 4096] keeps a cheap
+          always-on flight recorder, [Full] retains every span for
+          critical-path analysis and Chrome/JSONL export *)
 }
 
 val default : t

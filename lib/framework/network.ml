@@ -209,7 +209,7 @@ let create ?(config = Config.default) ~seed spec =
   | [] -> ()
   | problems ->
     invalid_arg (Fmt.str "Network.create: invalid spec: %s" (String.concat "; " problems)));
-  let sim = Engine.Sim.create ~seed () in
+  let sim = Engine.Sim.create ~seed ~causal:config.Config.causal () in
   let net = Net.Netsim.create sim in
   let plan = Addressing.plan spec in
   let all_asns = Topology.Spec.asns spec in
@@ -308,6 +308,9 @@ let create ?(config = Config.default) ~seed spec =
     (fun asn router ->
       let fib = Net.Asn.Map.find asn fibs in
       Bgp.Router.subscribe_best_change router (fun prefix best ->
+          if Engine.Causal.enabled (Engine.Sim.causal sim) then
+            Engine.Sim.annotate sim ~category:"fib.write" ~node:(Net.Asn.to_string asn)
+              ~label:(Net.Ipv4.prefix_to_string prefix) ();
           match best with
           | Some route -> (
             match Bgp.Route.from_peer route with
@@ -545,7 +548,17 @@ let start t =
 
 let role t asn = Topology.Spec.role_of t.spec asn
 
+(* Root a causal span per experiment action so the whole convergence
+   fan-out (sessions, MRAI holds, recomputes, flow installs, FIB writes)
+   hangs off one tree per action. *)
+let action_span t ~category ~asn ~prefix f =
+  if Engine.Causal.enabled (Engine.Sim.causal t.sim) then
+    Engine.Sim.with_span t.sim ~category ~node:(Net.Asn.to_string asn)
+      ~label:(Net.Ipv4.prefix_to_string prefix) f
+  else f ()
+
 let originate t asn prefix =
+  action_span t ~category:"action.originate" ~asn ~prefix @@ fun () ->
   add_local_prefix t asn prefix;
   match Net.Asn.Map.find_opt asn t.routers with
   | Some router -> Bgp.Router.originate router prefix
@@ -555,6 +568,7 @@ let originate t asn prefix =
     | None -> invalid_arg (Fmt.str "Network.originate: unknown AS %a" Net.Asn.pp asn))
 
 let withdraw t asn prefix =
+  action_span t ~category:"action.withdraw" ~asn ~prefix @@ fun () ->
   remove_local_prefix t asn prefix;
   match Net.Asn.Map.find_opt asn t.routers with
   | Some router -> Bgp.Router.withdraw_origin router prefix

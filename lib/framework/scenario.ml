@@ -194,7 +194,7 @@ let run exp scenario =
   let prefix_for asn = function Some p -> p | None -> Experiment.default_prefix exp asn in
   List.iter
     (fun { at; action } ->
-      let run_action () =
+      let dispatch () =
         record action;
         match action with
         | Announce (asn, p) -> Network.originate network asn (prefix_for asn p)
@@ -216,11 +216,13 @@ let run exp scenario =
                 (Engine.Time.span_scale period (float_of_int i))
             in
             ignore
-              (Engine.Sim.schedule_at sim (Engine.Time.add base down) (fun () ->
+              (Engine.Sim.schedule_at ~category:"scenario.step" sim
+                 (Engine.Time.add base down) (fun () ->
                    Network.recover_link network a b));
             if i < n - 1 then
               ignore
-                (Engine.Sim.schedule_at sim (Engine.Time.add base period) (fun () ->
+                (Engine.Sim.schedule_at ~category:"scenario.step" sim
+                   (Engine.Time.add base period) (fun () ->
                      Network.fail_link network a b))
           done
         | Heal -> Network.heal_all_links network
@@ -231,8 +233,17 @@ let run exp scenario =
                ~dst:(plan.Addressing.host_addr dst) 0)
         | Note _ -> ()
       in
+      (* Each step runs under its own span so every scenario action roots
+         a causal tree (Announce/Withdraw add their own action.* span via
+         Network; this covers link/crash/flap steps uniformly). *)
+      let run_action () =
+        if Engine.Causal.enabled (Engine.Sim.causal sim) then
+          Engine.Sim.with_span sim ~category:"scenario.action"
+            ~label:(render_action action) dispatch
+        else dispatch ()
+      in
       if Engine.Time.(at <= Engine.Sim.now sim) then run_action ()
-      else ignore (Engine.Sim.schedule_at sim at run_action))
+      else ignore (Engine.Sim.schedule_at ~category:"scenario.step" sim at run_action))
     scenario.steps;
   ignore (Network.settle network);
   List.rev !log

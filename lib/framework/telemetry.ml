@@ -67,10 +67,10 @@ let render t =
     Engine.Metrics.csv_header
     ^ String.concat "" (List.map (Engine.Metrics.to_csv ~header:false) snaps)
 
-(* Take the final snapshot, write the file, and stop sampling.  Returns
-   the number of snapshots written.  Idempotent: later calls rewrite the
-   same content. *)
-let finish t =
+(* Stop sampling and append the final snapshot exactly once: [finished]
+   guards the append, so any number of [close]/[finish] calls after the
+   first leave the snapshot list untouched. *)
+let close t =
   if not t.finished then begin
     t.finished <- true;
     Option.iter Engine.Sampler.stop t.sampler;
@@ -79,14 +79,29 @@ let finish t =
     in
     (* Skip the duplicate when the last periodic sample already landed on
        the final instant. *)
-    (match t.snapshots with
+    match t.snapshots with
     | last :: _ when Engine.Time.equal last.Engine.Metrics.at final.Engine.Metrics.at -> ()
-    | _ -> t.snapshots <- final :: t.snapshots)
-  end;
-  let oc = open_out t.path in
-  output_string oc (render t);
-  close_out oc;
-  List.length t.snapshots
+    | _ -> t.snapshots <- final :: t.snapshots
+  end
+
+let closed t = t.finished
+
+(* [close], then write the file.  Filesystem failures (missing directory,
+   permissions, full disk) come back as [Error] instead of escaping as
+   [Sys_error]; the collected snapshots survive for a retry at another
+   path.  Idempotent on success: later calls rewrite the same content. *)
+let finish t =
+  close t;
+  match open_out t.path with
+  | exception Sys_error msg -> Error msg
+  | oc -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (render t))
+    with
+    | () -> Ok (List.length t.snapshots)
+    | exception Sys_error msg -> Error msg)
 
 (* --- Validation ----------------------------------------------------------
    Self-contained checks used by `hybridsim metrics --check` and the smoke

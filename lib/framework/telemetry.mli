@@ -24,11 +24,23 @@ val create : ?interval:Engine.Time.span -> sim:Engine.Sim.t -> path:string -> un
 val snapshots : t -> Engine.Metrics.snapshot list
 (** Collected so far, oldest first. *)
 
-val finish : t -> int
-(** Stop sampling, append a final snapshot of the settled state, write the
-    file and return the number of snapshots it holds.  Prometheus output
-    contains only the final snapshot (exposition format is point-in-time);
-    JSONL and CSV contain the whole timeline. *)
+val close : t -> unit
+(** Stop sampling and append the final settled-state snapshot.  The first
+    call wins; every later {!close}/{!finish} leaves the snapshot list
+    untouched, so double-finish can never duplicate the final snapshot. *)
+
+val closed : t -> bool
+
+val finish : t -> (int, string) result
+(** {!close}, then write the file; [Ok n] is the number of snapshots it
+    holds.  Filesystem failures are reported as [Error msg] rather than
+    raised, and the collected snapshots remain available for a retry.
+    Prometheus output contains only the final snapshot (exposition format
+    is point-in-time); JSONL and CSV contain the whole timeline. *)
+
+val json_valid : string -> bool
+(** The minimal JSON syntax check behind JSONL validation (shared by
+    `hybridsim trace --check` for Chrome trace-event output). *)
 
 val validate : format -> string -> (int, string) result
 (** Check [text] parses as [format]; [Ok n] is the number of samples

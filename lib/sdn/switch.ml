@@ -345,6 +345,15 @@ let handle_control t msg =
   | Openflow.Resync_done -> exit_fallback t
   | Openflow.Flow_mod { command; rule } -> begin
     t.stats.flow_mods <- t.stats.flow_mods + 1;
+    if Engine.Causal.enabled (Engine.Sim.causal t.sim) then
+      Engine.Sim.annotate t.sim
+        ~category:
+          (match command with
+          | Openflow.Add -> "flow.install"
+          | Openflow.Delete | Openflow.Delete_strict -> "flow.remove")
+        ~node:(Net.Asn.to_string t.asn)
+        ~label:(Net.Ipv4.prefix_to_string rule.Flow.match_prefix)
+        ();
     match command with
     | Openflow.Add ->
       Flow_table.add t.table rule;

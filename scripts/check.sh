@@ -33,6 +33,9 @@ dune build @chaos-campaign
 step "parallel smoke (multi-domain sweep == sequential differential)"
 dune build @par-smoke
 
+step "trace smoke (causal spans: valid Chrome JSON, seed-stable critical path)"
+dune build @trace-smoke
+
 step "bench smoke (quick sweep + JSON baseline validation)"
 dune build @bench-smoke
 

@@ -1,0 +1,315 @@
+(* Engine.Causal: span store modes, parent-chain telescoping, critical-path
+   attribution against measured convergence, deterministic exports (including
+   under parallel sweeps), and the chaos flight recorder. *)
+
+open Engine
+
+let asn = Topology.Artificial.asn
+
+let full_config =
+  { Framework.Config.fast_test with Framework.Config.causal = Causal.Full }
+
+(* --- Store modes --------------------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  let sim = Sim.create ~seed:1 () in
+  ignore (Sim.schedule_at sim (Time.ms 1) ignore);
+  ignore (Sim.run sim);
+  let c = Sim.causal sim in
+  Alcotest.(check bool) "disabled" false (Causal.enabled c);
+  Alcotest.(check int) "no spans opened" 0 (Causal.total c);
+  Alcotest.(check int) "on_schedule yields -1" (-1)
+    (Causal.on_schedule c ~category:"x" ~queued_at:Time.zero);
+  (* annotate / with_span degrade to plain calls *)
+  Sim.annotate sim ~category:"x" ();
+  Alcotest.(check int) "annotate is a no-op" 0 (Causal.total c);
+  Alcotest.(check int) "with_span runs the thunk" 7
+    (Sim.with_span sim ~category:"x" (fun () -> 7))
+
+let test_ring_exact () =
+  let c = Causal.create ~mode:(Causal.Ring 4) ~seed:0 () in
+  for _ = 1 to 10 do
+    let id = Causal.on_schedule c ~category:"e" ~queued_at:Time.zero in
+    Causal.on_execute c id ~fired_at:(Time.ms 1)
+  done;
+  Alcotest.(check int) "total eviction-proof" 10 (Causal.total c);
+  Alcotest.(check int) "exactly capacity retained" 4 (Causal.stored c);
+  Alcotest.(check bool) "evicted id gone" true (Causal.find c 0 = None);
+  Alcotest.(check bool) "pre-window id gone" true (Causal.find c 5 = None);
+  Alcotest.(check (list int)) "newest window, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (s : Causal.span) -> s.Causal.id) (Causal.spans c))
+
+let test_trace_id_deterministic () =
+  let id seed = Causal.trace_id (Causal.create ~mode:Causal.Full ~seed ()) in
+  Alcotest.(check int) "same seed same id" (id 42) (id 42);
+  Alcotest.(check bool) "different seeds differ" true (id 42 <> id 43)
+
+(* The trace id comes from its own stream: minting it must not perturb the
+   sim root RNG's draw order. *)
+let test_trace_id_leaves_root_rng_alone () =
+  let draws causal =
+    let sim = Sim.create ~seed:5 ~causal () in
+    List.init 8 (fun _ -> Rng.int (Sim.rng sim) 1000)
+  in
+  Alcotest.(check (list int)) "root RNG stream unchanged by tracing"
+    (draws Causal.Disabled) (draws Causal.Full)
+
+(* --- Parent chains ------------------------------------------------------- *)
+
+let test_parent_chain_telescopes () =
+  let sim = Sim.create ~seed:3 ~causal:Causal.Full () in
+  let c = Sim.causal sim in
+  ignore
+    (Sim.schedule_at ~category:"a" sim (Time.ms 10) (fun () ->
+         ignore
+           (Sim.schedule_after ~category:"b" sim (Time.ms 20) (fun () ->
+                ignore (Sim.schedule_after ~category:"c" sim (Time.ms 5) ignore)))));
+  ignore (Sim.run sim);
+  let leaf =
+    match Causal.find_last c (fun s -> s.Causal.category = "c") with
+    | Some s -> s
+    | None -> Alcotest.fail "leaf span missing"
+  in
+  let path = Causal.path_to_root c leaf in
+  Alcotest.(check (list string)) "path categories root-first" [ "a"; "b"; "c" ]
+    (List.map (fun (s : Causal.span) -> s.Causal.category) path);
+  (* Each child is queued at the instant its parent fired. *)
+  List.iteri
+    (fun i (s : Causal.span) ->
+      if i > 0 then
+        let parent = List.nth path (i - 1) in
+        Alcotest.(check int) "child queued at parent fire time"
+          (Time.to_us parent.Causal.fired_at)
+          (Time.to_us s.Causal.queued_at))
+    path;
+  let a = Causal.attribute c leaf in
+  Alcotest.(check int) "depth" 3 a.Causal.depth;
+  Alcotest.(check (float 1e-9)) "total telescopes to end-to-end" 0.035
+    a.Causal.total_seconds;
+  let sum = List.fold_left (fun acc r -> acc +. r.Causal.seconds) 0.0 a.Causal.rows in
+  Alcotest.(check (float 1e-9)) "rows sum exactly to total" a.Causal.total_seconds sum
+
+let test_annotate_and_with_span () =
+  let sim = Sim.create ~seed:4 ~causal:Causal.Full () in
+  let c = Sim.causal sim in
+  Sim.with_span sim ~category:"scenario.action" ~label:"root" (fun () ->
+      ignore
+        (Sim.schedule_at ~category:"net.deliver" sim (Time.ms 2) (fun () ->
+             Sim.annotate sim ~category:"fib.write" ~node:"AS65001" ~label:"p" ())));
+  ignore (Sim.run sim);
+  let leaf =
+    match Causal.convergence_leaf c with
+    | Some s -> s
+    | None -> Alcotest.fail "fib.write marker missing"
+  in
+  Alcotest.(check string) "marker node" "AS65001" leaf.Causal.node;
+  Alcotest.(check bool) "marker is zero-length" true
+    (Time.equal leaf.Causal.queued_at leaf.Causal.fired_at);
+  let path = Causal.path_to_root c leaf in
+  Alcotest.(check (list string)) "rooted under the action"
+    [ "scenario.action"; "net.deliver"; "fib.write" ]
+    (List.map (fun (s : Causal.span) -> s.Causal.category) path)
+
+let test_convergence_leaf_label_filter () =
+  let sim = Sim.create ~seed:4 ~causal:Causal.Full () in
+  let c = Sim.causal sim in
+  Sim.annotate sim ~category:"fib.write" ~node:"a" ~label:"10.0.0.0/24" ();
+  Sim.annotate sim ~category:"flow.install" ~node:"b" ~label:"10.0.1.0/24" ();
+  (match Causal.convergence_leaf c with
+  | Some s -> Alcotest.(check string) "newest write wins" "b" s.Causal.node
+  | None -> Alcotest.fail "no leaf");
+  match Causal.convergence_leaf ~label:"10.0.0.0/24" c with
+  | Some s -> Alcotest.(check string) "label filter" "a" s.Causal.node
+  | None -> Alcotest.fail "no labelled leaf"
+
+(* --- End-to-end: attribution vs. measured convergence -------------------- *)
+
+(* The acceptance bar: on a seeded clique withdrawal the critical-path
+   attribution table sums to the measured convergence time, because every
+   child span is queued at its parent's fire instant and the waits
+   telescope from the action root to the final FIB write. *)
+let test_clique_attribution_matches_convergence () =
+  let spec = Topology.Artificial.clique 6 in
+  let exp = Framework.Experiment.create ~config:full_config ~seed:2014 spec in
+  let m = Core.measure_withdrawal exp (asn 0) in
+  let seconds = Framework.Experiment.convergence_seconds m in
+  let c = Sim.causal (Framework.Experiment.sim exp) in
+  let label =
+    Net.Ipv4.prefix_to_string (Framework.Experiment.default_prefix exp (asn 0))
+  in
+  let leaf =
+    match Causal.convergence_leaf ~label c with
+    | Some s -> s
+    | None -> Alcotest.fail "no FIB write for the withdrawn prefix"
+  in
+  let a = Causal.attribute c leaf in
+  Alcotest.(check bool) "non-trivial path" true (a.Causal.depth > 3);
+  Alcotest.(check (float 1e-6)) "attribution sums to convergence time" seconds
+    a.Causal.total_seconds;
+  let sum = List.fold_left (fun acc r -> acc +. r.Causal.seconds) 0.0 a.Causal.rows in
+  Alcotest.(check (float 1e-9)) "rows sum to total" a.Causal.total_seconds sum;
+  (* A 6-clique withdrawal under MRAI pacing is dominated by MRAI holds. *)
+  match a.Causal.rows with
+  | top :: _ ->
+    Alcotest.(check string) "mrai dominates" "mrai_hold"
+      (Causal.bucket_to_string top.Causal.bucket)
+  | [] -> Alcotest.fail "empty attribution"
+
+(* --- Deterministic exports (sequential and under Pool) ------------------- *)
+
+let chrome_of_run seed =
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique 5) [ asn 3; asn 4 ] in
+  let exp = Framework.Experiment.create ~config:full_config ~seed spec in
+  ignore (Core.measure_withdrawal exp (asn 0));
+  Causal.to_chrome (Sim.causal (Framework.Experiment.sim exp))
+
+let test_same_seed_byte_identical () =
+  let a = chrome_of_run 7 and b = chrome_of_run 7 in
+  Alcotest.(check string) "sequential repeat" a b;
+  let parallel =
+    Pool.with_pool ~jobs:2 (fun pool -> Pool.map pool chrome_of_run [ 7; 7; 9 ])
+  in
+  (match parallel with
+  | [ x; y; z ] ->
+    Alcotest.(check string) "parallel run matches sequential" a x;
+    Alcotest.(check string) "parallel same-seed pair agrees" x y;
+    Alcotest.(check bool) "different seed differs" true (a <> z)
+  | _ -> Alcotest.fail "pool returned wrong arity")
+
+let test_exports_are_valid_json () =
+  let sim = Sim.create ~seed:11 ~causal:Causal.Full () in
+  Sim.with_span sim ~category:"action" ~label:"quote\"and\\slash" (fun () ->
+      ignore (Sim.schedule_at ~category:"net.deliver" sim (Time.ms 1) ignore));
+  ignore (Sim.run sim);
+  let c = Sim.causal sim in
+  Alcotest.(check bool) "chrome export is valid JSON" true
+    (Framework.Telemetry.json_valid (Causal.to_chrome c));
+  String.split_on_char '\n' (Causal.to_jsonl c)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.iter (fun l ->
+         Alcotest.(check bool) "jsonl line is valid JSON" true
+           (Framework.Telemetry.json_valid l))
+
+(* Cancelled events leave their spans open; exporters must skip them. *)
+let test_cancelled_events_not_exported () =
+  let sim = Sim.create ~seed:12 ~causal:Causal.Full () in
+  let h = Sim.schedule_at ~category:"doomed" sim (Time.ms 5) ignore in
+  ignore (Sim.schedule_at ~category:"kept" sim (Time.ms 1) ignore);
+  Sim.cancel h;
+  ignore (Sim.run sim);
+  let c = Sim.causal sim in
+  let chrome = Causal.to_chrome c in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "executed span exported" true (contains "kept" chrome);
+  Alcotest.(check bool) "cancelled span skipped" false (contains "doomed" chrome)
+
+(* --- Flight recorder ----------------------------------------------------- *)
+
+(* The framework default keeps a bounded ring alive on every network, so a
+   flight dump is always available without opting into Full tracing. *)
+let test_ring_always_on_in_framework () =
+  let net =
+    Framework.Network.create ~seed:3 (Topology.Artificial.clique 4)
+  in
+  Framework.Network.start net;
+  let plan = Framework.Network.plan net in
+  Framework.Network.originate net (asn 0) (plan.Framework.Addressing.origin_prefix (asn 0));
+  ignore (Framework.Network.settle net);
+  let c = Sim.causal (Framework.Network.sim net) in
+  (match Causal.mode c with
+  | Causal.Ring _ -> ()
+  | _ -> Alcotest.fail "framework default must be a flight-recorder ring");
+  Alcotest.(check bool) "flight dump non-empty" true (Causal.flight_lines c <> []);
+  Alcotest.(check bool) "ring stayed bounded" true
+    (Causal.stored c <= 4096 && Causal.total c > 0)
+
+(* A chaos violation renders its flight dump into the report. *)
+let test_chaos_violation_renders_flight () =
+  let schedule = { Framework.Chaos.index = 0; events = [] } in
+  let fabricated =
+    {
+      Framework.Chaos.schedule;
+      quiesced = true;
+      violations =
+        [ { Framework.Chaos.invariant = "no-forwarding-loop"; detail = "synthetic" } ];
+      digest = "d41d8cd98f00b204e9800998ecf8427e";
+      flight = [ "000000001000 #1<-0 chaos.fault (wait 10us)" ];
+    }
+  in
+  let rendered = Framework.Chaos.render_result fabricated in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report names the flight recorder" true
+    (contains "flight recorder" rendered);
+  Alcotest.(check bool) "report carries the spans" true
+    (contains "chaos.fault" rendered);
+  (* Clean runs carry no dump. *)
+  let clean = { fabricated with Framework.Chaos.violations = []; flight = [] } in
+  Alcotest.(check bool) "clean run has no dump" false
+    (contains "flight recorder" (Framework.Chaos.render_result clean))
+
+(* End to end through [Chaos.execute]: a link flapping every second for
+   far longer than the 180 s quiet budget forces a real "quiescence"
+   violation, which must auto-dump the flight recorder from the run's
+   own ring store. *)
+let test_chaos_execute_dumps_flight () =
+  let a = Topology.Artificial.asn 0 and b = Topology.Artificial.asn 1 in
+  let schedule =
+    {
+      Framework.Chaos.index = 0;
+      events =
+        [
+          {
+            Framework.Chaos.at = Engine.Time.sec 12;
+            heal_at = Engine.Time.sec 13;
+            fault = Framework.Chaos.Link_flap (a, b, 220);
+          };
+        ];
+    }
+  in
+  let r = Framework.Chaos.execute ~seed:2014 schedule in
+  Alcotest.(check bool) "run does not quiesce" false r.Framework.Chaos.quiesced;
+  Alcotest.(check bool) "violations reported" true (r.Framework.Chaos.violations <> []);
+  Alcotest.(check bool) "flight recorder auto-dumped" true
+    (r.Framework.Chaos.flight <> []);
+  (* The dump is the causal history into the bad state: the injected
+     fault's spans must be visible in it. *)
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dump shows the chaos fault spans" true
+    (List.exists (contains "chaos.") r.Framework.Chaos.flight)
+
+let suite =
+  [
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "ring keeps exactly n newest" `Quick test_ring_exact;
+    Alcotest.test_case "trace id deterministic" `Quick test_trace_id_deterministic;
+    Alcotest.test_case "trace id leaves root RNG alone" `Quick
+      test_trace_id_leaves_root_rng_alone;
+    Alcotest.test_case "parent chain telescopes" `Quick test_parent_chain_telescopes;
+    Alcotest.test_case "annotate and with_span" `Quick test_annotate_and_with_span;
+    Alcotest.test_case "convergence leaf label filter" `Quick
+      test_convergence_leaf_label_filter;
+    Alcotest.test_case "clique attribution = convergence" `Quick
+      test_clique_attribution_matches_convergence;
+    Alcotest.test_case "same seed byte-identical (incl. pool)" `Quick
+      test_same_seed_byte_identical;
+    Alcotest.test_case "exports are valid JSON" `Quick test_exports_are_valid_json;
+    Alcotest.test_case "cancelled events not exported" `Quick
+      test_cancelled_events_not_exported;
+    Alcotest.test_case "framework ring always on" `Quick test_ring_always_on_in_framework;
+    Alcotest.test_case "chaos violation renders flight" `Quick
+      test_chaos_violation_renders_flight;
+    Alcotest.test_case "chaos execute dumps flight (end to end)" `Slow
+      test_chaos_execute_dumps_flight;
+  ]

@@ -166,6 +166,103 @@ let test_flap_damping_tradeoff () =
     (on.Framework.Experiments.recovery_seconds > off.Framework.Experiments.recovery_seconds);
   Alcotest.(check int) "both eventually recover" 0 on.Framework.Experiments.blackholed_after_storm
 
+(* --- Telemetry validation and finish hardening --------------------------- *)
+
+module Tel = Framework.Telemetry
+
+let format_t =
+  Alcotest.testable
+    (fun ppf f -> Fmt.string ppf (Tel.format_to_string f))
+    (fun a b -> a = b)
+
+let test_format_of_path_edges () =
+  Alcotest.(check format_t) "uppercase extension" Tel.Prometheus
+    (Tel.format_of_path "metrics.PROM");
+  Alcotest.(check format_t) "mixed-case csv" Tel.Csv (Tel.format_of_path "out.CsV");
+  Alcotest.(check format_t) "txt is prometheus" Tel.Prometheus
+    (Tel.format_of_path "metrics.txt");
+  Alcotest.(check format_t) "no extension defaults to jsonl" Tel.Jsonl
+    (Tel.format_of_path "metrics");
+  Alcotest.(check format_t) "trailing dot defaults to jsonl" Tel.Jsonl
+    (Tel.format_of_path "metrics.");
+  Alcotest.(check format_t) "unknown extension defaults to jsonl" Tel.Jsonl
+    (Tel.format_of_path "metrics.data")
+
+let check_invalid what = function
+  | Ok _ -> Alcotest.fail (what ^ ": malformed input validated as Ok")
+  | Error _ -> ()
+
+let test_validate_malformed () =
+  (* Truncated CSV header. *)
+  check_invalid "truncated csv header" (Tel.validate Tel.Csv "time,na");
+  check_invalid "empty csv" (Tel.validate Tel.Csv "");
+  (* Bad JSONL lines. *)
+  check_invalid "unterminated object" (Tel.validate Tel.Jsonl "{\"a\": 1");
+  check_invalid "bare value line" (Tel.validate Tel.Jsonl "{\"a\":1}\nnot json\n");
+  check_invalid "trailing garbage" (Tel.validate Tel.Jsonl "{\"a\":1} extra");
+  check_invalid "bad escape" (Tel.validate Tel.Jsonl "{\"a\":\"\\x\"}");
+  Alcotest.(check bool) "non-object jsonl line rejected" true
+    (Result.is_error (Tel.validate Tel.Jsonl "[1,2,3]"));
+  (* Prometheus parse errors. *)
+  check_invalid "prometheus garbage" (Tel.validate Tel.Prometheus "!!!not metrics");
+  check_invalid "prometheus bad value"
+    (Tel.validate Tel.Prometheus "metric_a{label=\"x\"} notanumber");
+  (* Well-formed inputs still pass. *)
+  (match Tel.validate Tel.Jsonl "{\"a\":1}\n{\"b\":[true,null]}\n" with
+  | Ok n -> Alcotest.(check int) "jsonl lines counted" 2 n
+  | Error e -> Alcotest.fail ("valid jsonl rejected: " ^ e))
+
+let test_validate_file_malformed () =
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let dir = Filename.temp_file "telemetry_validate" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  check_invalid "csv file with truncated header"
+    (Tel.validate_file (write (Filename.concat dir "bad.csv") "time,na\n1,2\n"));
+  check_invalid "jsonl file with bad line"
+    (Tel.validate_file (write (Filename.concat dir "bad.jsonl") "{\"a\":1}\n{oops\n"));
+  check_invalid "prom file with parse error"
+    (Tel.validate_file (write (Filename.concat dir "bad.prom") "{{{\n"))
+
+(* finish reports write errors instead of raising, and double-finish can
+   never duplicate the final snapshot. *)
+let test_finish_reports_errors_and_is_idempotent () =
+  let sim = Engine.Sim.create ~seed:1 () in
+  let bad = Tel.create ~sim ~path:"/nonexistent-dir-for-test/metrics.jsonl" () in
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.sec 3) ignore);
+  ignore (Engine.Sim.run sim);
+  (match Tel.finish bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write into a missing directory must be an Error");
+  Alcotest.(check bool) "sink is closed after a failed write" true (Tel.closed bad);
+  let path = Filename.temp_file "telemetry_finish" ".jsonl" in
+  let sim2 = Engine.Sim.create ~seed:2 () in
+  let sink = Tel.create ~sim:sim2 ~path () in
+  ignore (Engine.Sim.schedule_at sim2 (Engine.Time.sec 3) ignore);
+  ignore (Engine.Sim.run sim2);
+  Tel.close sink;
+  let n1 =
+    match Tel.finish sink with
+    | Ok n -> n
+    | Error e -> Alcotest.fail ("finish failed: " ^ e)
+  in
+  let n2 =
+    match Tel.finish sink with
+    | Ok n -> n
+    | Error e -> Alcotest.fail ("second finish failed: " ^ e)
+  in
+  Alcotest.(check int) "double finish adds no snapshot" n1 n2;
+  Alcotest.(check int) "snapshot list is stable" n1 (List.length (Tel.snapshots sink));
+  (match Tel.validate_file path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("rewritten file invalid: " ^ e));
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "scenario parse" `Quick test_scenario_parse;
@@ -176,4 +273,10 @@ let suite =
     Alcotest.test_case "collector dump errors" `Quick test_dump_parse_errors;
     Alcotest.test_case "collector rate buckets" `Quick test_rate_buckets;
     Alcotest.test_case "flap damping trade-off" `Quick test_flap_damping_tradeoff;
+    Alcotest.test_case "format_of_path edge cases" `Quick test_format_of_path_edges;
+    Alcotest.test_case "validate rejects malformed inputs" `Quick test_validate_malformed;
+    Alcotest.test_case "validate_file rejects malformed files" `Quick
+      test_validate_file_malformed;
+    Alcotest.test_case "finish error reporting + idempotency" `Quick
+      test_finish_reports_errors_and_is_idempotent;
   ]

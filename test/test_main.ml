@@ -9,6 +9,7 @@ let () =
       ("engine.stats", Test_stats.suite);
       ("engine.sim", Test_sim.suite);
       ("engine.metrics", Test_metrics.suite);
+      ("engine.causal", Test_causal.suite);
       ("engine.node", Test_node_runtime.suite);
       ("engine.pool", Test_parallel.suite);
       ("net.ipv4", Test_ipv4.suite);

@@ -138,11 +138,23 @@ let test_trace_capacity () =
   for i = 1 to 25 do
     Trace.record trace ~time:(Time.ms i) ~node:"n" ~category:"c" (string_of_int i)
   done;
-  Alcotest.(check bool) "bounded" true (Trace.count trace <= 10);
-  (* the newest records survive *)
-  match List.rev (Trace.records trace) with
+  (* Exact ring: precisely the [capacity] newest records survive. *)
+  Alcotest.(check int) "exactly capacity retained" 10 (Trace.count trace);
+  Alcotest.(check int) "total is eviction-proof" 25 (Trace.total trace);
+  (match Trace.records trace with
+  | oldest :: _ -> Alcotest.(check string) "oldest is n-9" "16" oldest.Trace.message
+  | [] -> Alcotest.fail "trace empty");
+  (match List.rev (Trace.records trace) with
   | newest :: _ -> Alcotest.(check string) "newest kept" "25" newest.Trace.message
-  | [] -> Alcotest.fail "trace empty"
+  | [] -> Alcotest.fail "trace empty");
+  Alcotest.(check (list string))
+    "contiguous newest window"
+    (List.init 10 (fun i -> string_of_int (16 + i)))
+    (List.map (fun r -> r.Trace.message) (Trace.records trace));
+  Trace.clear trace;
+  Alcotest.(check int) "clear empties" 0 (Trace.count trace);
+  Trace.record trace ~time:(Time.ms 1) ~node:"n" ~category:"c" "after-clear";
+  Alcotest.(check int) "usable after clear" 1 (Trace.count trace)
 
 let test_trace_filter () =
   let trace = Trace.create () in
