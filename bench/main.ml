@@ -374,10 +374,54 @@ let check_baseline path =
     fail "sections carry speedup fields but \"meta.jobs\" is missing";
   let nmicro = List.length (nonempty_arr "micro") in
   (match field "headline" with Json.Obj _ -> () | _ -> fail "\"headline\" is not an object");
-  Fmt.pr "%s: ok (%d sections%s, %d micro benchmarks%s)@." path (List.length sections)
+  (* Optional "scale" object (PR 8+): validate the SCALE metrics and
+     guard their ratios.  Pre-PR8 baselines simply lack the field. *)
+  let scale_summary =
+    match List.assoc_opt "scale" top with
+    | None -> ""
+    | Some (Json.Obj kvs) ->
+      let num k =
+        match List.assoc_opt k kvs with
+        | Some (Json.Num v) when Float.is_finite v -> v
+        | Some _ -> fail (Fmt.str "\"scale.%s\" is not a finite number" k)
+        | None -> fail (Fmt.str "missing \"scale.%s\"" k)
+      in
+      let pos k =
+        let v = num k in
+        if v <= 0.0 then fail (Fmt.str "\"scale.%s\" must be positive" k);
+        v
+      in
+      let ases = pos "ases" in
+      let prefixes = pos "prefixes" in
+      let ups = pos "updates_per_sec" in
+      let rib = pos "rib_routes" in
+      let adj_in = pos "adj_in_routes" in
+      let peak = pos "peak_words" in
+      ignore (pos "load_updates");
+      ignore (pos "load_wall_s");
+      ignore (pos "live_words");
+      ignore (pos "distinct_attrs");
+      (match num "load_settled" with
+      | 0.0 | 1.0 -> ()
+      | _ -> fail "\"scale.load_settled\" must be 0 or 1");
+      if num "tdown_s" < 0.0 then fail "\"scale.tdown_s\" must be non-negative";
+      (* Ratio guards, deliberately generous: catch order-of-magnitude
+         regressions (a de-interning or a leak), not machine noise. *)
+      if adj_in < rib then fail "\"scale.adj_in_routes\" below \"scale.rib_routes\"";
+      let words_per_route = peak /. Float.max 1.0 (rib +. adj_in) in
+      if words_per_route > 10_000.0 then
+        fail
+          (Fmt.str "scale: %.0f peak heap words per route (> 10000): interning regression?"
+             words_per_route);
+      if ups < 100.0 then fail "scale: under 100 updates/s: propagation path regression?";
+      Fmt.str ", scale %.0f ASes x %.0f prefixes (%.0f upd/s)" ases prefixes ups
+    | Some _ -> fail "\"scale\" is not an object"
+  in
+  Fmt.pr "%s: ok (%d sections%s, %d micro benchmarks%s%s)@." path (List.length sections)
     (if nspeedup > 0 then Fmt.str ", %d with speedup" nspeedup else "")
     nmicro
-    (match meta_jobs with Some j -> Fmt.str ", jobs=%d" j | None -> ", pre-jobs baseline");
+    (match meta_jobs with Some j -> Fmt.str ", jobs=%d" j | None -> ", pre-jobs baseline")
+    scale_summary;
   exit 0
 
 let () = Option.iter check_baseline check_path
@@ -706,6 +750,53 @@ let causal_overhead () =
     secs_off n sdn reps;
   [ ("trace_overhead_ring_ratio", ring_ratio); ("trace_overhead_full_ratio", full_ratio) ]
 
+(* --- Internet-scale stress ----------------------------------------------- *)
+
+(* The PR 8 tentpole proof: a synthetic CAIDA graph at Internet-like AS
+   counts, loaded with enough origins that the RIBs hold millions of
+   routes, then one measured withdrawal.  The load phase runs under an
+   explicit event budget AND a host-clock wall deadline per phase —
+   with batching one delivery event can carry thousands of prefixes, so
+   an event count alone does not bound work; full global propagation of
+   10k prefixes across 5k ASes needs hours on one core.  The bench
+   loads to the nearer horizon and reports [load_settled] honestly.
+   The quick variant (100 ASes) settles completely. *)
+let scale () =
+  section "SCALE: CAIDA-graph load + measured withdrawal (trie RIBs, interned attrs)";
+  let tier1, tier2, stubs, prefixes, budget, wall =
+    if quick then (4, 24, 72, 200, 3_000_000, None)
+    else (10, 200, 4790, 10_000, 12_000_000, Some 150.0)
+  in
+  let r =
+    Framework.Experiments.scale_run ~tier1 ~tier2 ~stubs ~prefixes ~sdn:0
+      ~load_max_events:budget ?phase_wall_s:wall ~clock:Unix.gettimeofday ~seed:5 ~config ()
+  in
+  let open Framework.Experiments in
+  Fmt.pr "graph: %d ASes, %d links; %d prefixes loaded@." r.ases r.links r.prefixes;
+  Fmt.pr "load: %d collector updates in %.1f s host time (%.0f updates/s), settled=%b@."
+    r.load_updates r.load_seconds r.updates_per_sec r.load_settled;
+  Fmt.pr "tables: %d Loc-RIB routes, %d Adj-RIB-In routes, %d interned attr sets@."
+    r.rib_routes r.adj_in_routes r.distinct_attrs;
+  Fmt.pr "heap: %d live words, %d peak words (%.1f MB peak)@." r.live_words r.peak_words
+    (float_of_int r.peak_words *. 8.0 /. 1e6);
+  Fmt.pr "withdrawal: Tdown = %.2f s (simulated), %d control changes@."
+    r.withdrawal.seconds r.withdrawal.changes;
+  [
+    ("ases", float_of_int r.ases);
+    ("links", float_of_int r.links);
+    ("prefixes", float_of_int r.prefixes);
+    ("load_updates", float_of_int r.load_updates);
+    ("load_wall_s", r.load_seconds);
+    ("updates_per_sec", r.updates_per_sec);
+    ("load_settled", if r.load_settled then 1.0 else 0.0);
+    ("rib_routes", float_of_int r.rib_routes);
+    ("adj_in_routes", float_of_int r.adj_in_routes);
+    ("live_words", float_of_int r.live_words);
+    ("peak_words", float_of_int r.peak_words);
+    ("distinct_attrs", float_of_int r.distinct_attrs);
+    ("tdown_s", r.withdrawal.seconds);
+  ]
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -895,7 +986,7 @@ let series_medians (s : Framework.Experiments.series) =
       (p.Framework.Experiments.x, med))
     s.Framework.Experiments.points
 
-let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows =
+let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~scale_stats =
   let json =
     Json.Obj
       [
@@ -938,6 +1029,7 @@ let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows =
                  Json.Obj
                    [ ("name", Json.Str name); ("ns_per_run", Json.num ns); ("r2", Json.num r2) ])
                micro_rows) );
+        ("scale", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) scale_stats));
       ]
   in
   let dir = Filename.dirname path in
@@ -969,12 +1061,14 @@ let () =
   let telemetry_tdown, headline = timed "telemetry" telemetry in
   let overhead_rows = timed "trace_overhead" causal_overhead in
   let headline = headline @ overhead_rows in
+  let scale_stats = timed "scale" scale in
   (* Join the pool before the micro-benchmarks: idle worker domains
      still participate in stop-the-world minor collections and would
      add noise to nanosecond-scale sampling. *)
   Option.iter Engine.Pool.shutdown pool;
   let micro_rows = timed "micro" micro in
   Option.iter
-    (fun path -> write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows)
+    (fun path ->
+      write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~scale_stats)
     out_path;
   Fmt.pr "@.done.@."

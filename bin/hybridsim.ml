@@ -752,6 +752,136 @@ let chaos_cmd =
           bit-identical for a given seed.")
     Term.(const run $ seed_arg $ runs $ no_fallback $ minimize)
 
+(* --- scale ---------------------------------------------------------------- *)
+
+let scale_cmd =
+  let run tier1 tier2 stubs prefixes ks runs seed mrai jobs single budget wall csv =
+    let result =
+      let* jobs = resolve_jobs jobs in
+      if tier1 < 1 || tier2 < 1 || stubs < 1 then Error "--tier1/--tier2/--stubs must be >= 1"
+      else if prefixes < 1 then Error "--prefixes must be >= 1"
+      else if runs < 1 then Error "--runs must be >= 1"
+      else if budget < 1 then Error "--budget must be >= 1"
+      else if (match wall with Some w -> w <= 0.0 | None -> false) then
+        Error "--wall must be positive"
+      else Ok jobs
+    in
+    match result with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs ->
+      let config = config_of_mrai mrai in
+      if single then begin
+        let sdn = match ks with k :: _ -> k | [] -> 0 in
+        let r =
+          Framework.Experiments.scale_run ~tier1 ~tier2 ~stubs ~prefixes ~sdn
+            ~load_max_events:budget ?phase_wall_s:wall ~clock:Unix.gettimeofday ~seed
+            ~config ()
+        in
+        Fmt.pr "graph:           %d ASes (%d tier1, %d tier2, %d stubs), %d links@."
+          r.Framework.Experiments.ases tier1 tier2 stubs r.Framework.Experiments.links;
+        Fmt.pr "centralized:     %d top-degree members@." r.Framework.Experiments.sdn_members;
+        Fmt.pr "load:            %d prefixes, %d collector updates in %.2f s wall (%.0f upd/s)@."
+          r.Framework.Experiments.prefixes r.Framework.Experiments.load_updates
+          r.Framework.Experiments.load_seconds r.Framework.Experiments.updates_per_sec;
+        Fmt.pr "load settled:    %b (budget %d events)@." r.Framework.Experiments.load_settled
+          budget;
+        Fmt.pr "tables:          %d Loc-RIB routes, %d Adj-RIB-In routes, %d distinct attrs@."
+          r.Framework.Experiments.rib_routes r.Framework.Experiments.adj_in_routes
+          r.Framework.Experiments.distinct_attrs;
+        Fmt.pr "heap:            %d live words, %d peak words@."
+          r.Framework.Experiments.live_words r.Framework.Experiments.peak_words;
+        Fmt.pr "withdrawal:      Tdown = %.2f s, %d changes, %d collector updates@."
+          r.Framework.Experiments.withdrawal.Framework.Experiments.seconds
+          r.Framework.Experiments.withdrawal.Framework.Experiments.changes
+          r.Framework.Experiments.withdrawal.Framework.Experiments.collector_updates;
+        `Ok ()
+      end
+      else begin
+        let s =
+          with_optional_pool jobs (fun pool ->
+              Framework.Experiments.scale_sweep ?pool ~tier1 ~tier2 ~stubs ~prefixes ~ks
+                ~runs ~seed ~config ())
+        in
+        Fmt.pr "%a@.@.%s@." Framework.Experiments.pp_series s
+          (Framework.Visualize.series_to_ascii s);
+        let intercept, slope, r2 = Framework.Experiments.median_trend s in
+        Fmt.pr "linear fit of medians: y = %.2f %+.2f*x  r^2=%.3f@." intercept slope r2;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Framework.Experiments.series_to_csv s);
+            close_out oc;
+            Fmt.pr "csv written to %s@." path)
+          csv;
+        `Ok ()
+      end
+  in
+  let tier1 =
+    Arg.(value & opt int 4 & info [ "tier1" ] ~docv:"N" ~doc:"Tier-1 clique size.")
+  in
+  let tier2 = Arg.(value & opt int 24 & info [ "tier2" ] ~docv:"N" ~doc:"Transit AS count.") in
+  let stubs = Arg.(value & opt int 72 & info [ "stubs" ] ~docv:"N" ~doc:"Stub AS count.") in
+  let prefixes =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "prefixes" ] ~docv:"P"
+          ~doc:"Load prefixes, spread round-robin across the stubs before measuring.")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (list int) [ 0; 8; 16; 24 ]
+      & info [ "ks" ] ~docv:"K,K,..."
+          ~doc:"Centralized member counts to sweep (top-degree placement).")
+  in
+  let runs = Arg.(value & opt int 3 & info [ "runs" ] ~docv:"R" ~doc:"Runs per point.") in
+  let single =
+    Arg.(
+      value
+      & flag
+      & info [ "single" ]
+          ~doc:
+            "Run one detailed stress run (first value of $(b,--ks) as the member count) and \
+             report throughput, table sizes and heap figures instead of the sweep.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 20_000_000
+      & info [ "budget" ] ~docv:"EVENTS"
+          ~doc:
+            "Event budget for the load phase (and each measured phase); bounds peak memory \
+             and host time at Internet scale.")
+  in
+  let wall =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Host-clock deadline per phase (load / announce / withdrawal).  With batching \
+             one delivery event can carry thousands of prefixes, so the event budget alone \
+             does not bound wall time; a phase stopped at its deadline counts as unsettled.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the sweep as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Internet-scale stress: load a synthetic CAIDA graph with prefixes across its \
+          stubs, then sweep withdrawal convergence vs centralized member count \
+          (top-degree placement).  With $(b,--single), one detailed run reporting \
+          update throughput, RIB sizes and heap usage.")
+    Term.(
+      ret
+        (const run $ tier1 $ tier2 $ stubs $ prefixes $ ks $ runs $ seed_arg $ mrai_arg
+        $ jobs_arg $ single $ budget $ wall $ csv))
+
 let () =
   let doc = "hybrid BGP-SDN emulation framework" in
   let info = Cmd.info "hybridsim" ~version:Core.version ~doc in
@@ -770,4 +900,5 @@ let () =
             chaos_cmd;
             metrics_cmd;
             trace_cmd;
+            scale_cmd;
           ]))

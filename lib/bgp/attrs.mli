@@ -7,14 +7,24 @@ val origin_rank : origin -> int
 
 val origin_to_string : origin -> string
 
-type t = {
+type t = private {
   as_path : Net.Asn.t list;  (** leftmost = most recently traversed AS *)
   next_hop : Net.Ipv4.addr;
   local_pref : int;
   med : int;
   origin : origin;
   communities : Community.Set.t;
+  path_len : int;  (** cached [List.length as_path] *)
+  wire_id : int;  (** canonical id of the wire-visible attrs (domain-local) *)
+  id : int;  (** canonical id of the full attribute set (domain-local) *)
 }
+(** Values are hash-consed: every construction returns the canonical,
+    physically-unique value for its content, so [equal] is pointer
+    equality and [wire_equal] a single int comparison.  Canonical values
+    are immutable and must never be mutated through [Obj] tricks.  Intern
+    tables and ids are domain-local ([Engine.Pool] runs each experiment on
+    one domain); ids are only meaningful for equality within a domain and
+    must never be used for ordering. *)
 
 val default_local_pref : int
 
@@ -53,9 +63,26 @@ val add_community : t -> Community.t -> t
 
 val has_community : t -> Community.t -> bool
 
+val equal : t -> t -> bool
+(** Full structural equality — O(1) thanks to interning. *)
+
 val wire_equal : t -> t -> bool
 (** Equality of the attributes a peer sees (local-pref excluded) — used to
-    suppress duplicate advertisements. *)
+    suppress duplicate advertisements.  O(1) id comparison. *)
+
+val id : t -> int
+
+val wire_id : t -> int
+
+type intern_stats = {
+  distinct_paths : int;
+  distinct_wire : int;
+  distinct_full : int;
+}
+
+val intern_stats : unit -> intern_stats
+(** Sizes of this domain's intern tables (distinct AS-paths, wire-visible
+    sets, full sets) — for tests and memory accounting. *)
 
 val pp_path : Format.formatter -> Net.Asn.t list -> unit
 

@@ -2,9 +2,17 @@
    everything and never advertises — its timestamped update stream is the
    monitoring signal the framework's convergence detection consumes. *)
 
+module Pt = Net.Ipv4.Prefix_trie
+
 type action = Announce of Attrs.t | Withdraw
 
 type event = { time : Engine.Time.t; peer : Net.Asn.t; prefix : Net.Ipv4.prefix; action : action }
+
+(* At Internet scale the full event list (one boxed record per update ever
+   seen) dwarfs the RIBs themselves, while convergence detection only
+   needs counts and per-prefix last-update instants — [Counts_only] keeps
+   exactly those and drops the log. *)
+type retention = Full | Counts_only
 
 type t = {
   sim : Engine.Sim.t;
@@ -14,13 +22,18 @@ type t = {
   router_id : Net.Ipv4.addr;
   send_raw : dst:int -> Message.t -> bool;
   peer_of_node : (int, Net.Asn.t) Hashtbl.t;
-  mutable events : event list; (* newest first *)
+  retention : retention;
+  mutable events : event list; (* newest first; empty under Counts_only *)
   mutable event_count : int;
+  last_by_prefix : Engine.Time.t Pt.t;
+  mutable last_time : Engine.Time.t option;
 }
 
-type Engine.Node.blob += Collector_state of event list * int
+type Engine.Node.blob +=
+  | Collector_state of
+      event list * int * (Net.Ipv4.prefix * Engine.Time.t) list * Engine.Time.t option
 
-let create ~sim ~asn ~node_id ~router_id ~send =
+let create ?(retention = Full) ~sim ~asn ~node_id ~router_id ~send () =
   let node = Engine.Node.create ~kind:"collector" sim ~name:"collector" in
   let t =
     {
@@ -31,20 +44,29 @@ let create ~sim ~asn ~node_id ~router_id ~send =
       router_id;
       send_raw = send;
       peer_of_node = Hashtbl.create 16;
+      retention;
       events = [];
       event_count = 0;
+      last_by_prefix = Pt.create ();
+      last_time = None;
     }
   in
   (* A crashed collector loses its event log — the monitoring feed has a
      gap, like a real route collector outage. *)
   Engine.Node.on_crash node (fun () ->
       t.events <- [];
-      t.event_count <- 0);
-  Engine.Node.set_snapshot node (fun () -> Collector_state (t.events, t.event_count));
+      t.event_count <- 0;
+      Pt.clear t.last_by_prefix;
+      t.last_time <- None);
+  Engine.Node.set_snapshot node (fun () ->
+      Collector_state (t.events, t.event_count, Pt.entries t.last_by_prefix, t.last_time));
   Engine.Node.set_restore node (function
-    | Collector_state (events, count) ->
+    | Collector_state (events, count, last_entries, last_time) ->
       t.events <- events;
-      t.event_count <- count
+      t.event_count <- count;
+      Pt.clear t.last_by_prefix;
+      List.iter (fun (p, time) -> Pt.set p time t.last_by_prefix) last_entries;
+      t.last_time <- last_time
     | _ -> invalid_arg "Collector.restore: foreign snapshot blob");
   Engine.Node.start node;
   t
@@ -58,7 +80,12 @@ let node_id t = t.node_id
 let add_peer t ~peer_asn ~peer_node = Hashtbl.replace t.peer_of_node peer_node peer_asn
 
 let record t ~peer ~prefix action =
-  t.events <- { time = Engine.Sim.now t.sim; peer; prefix; action } :: t.events;
+  let time = Engine.Sim.now t.sim in
+  (match t.retention with
+  | Full -> t.events <- { time; peer; prefix; action } :: t.events
+  | Counts_only -> ());
+  Pt.set prefix time t.last_by_prefix;
+  t.last_time <- Some time;
   t.event_count <- t.event_count + 1
 
 let handle_message t ~from msg =
@@ -86,22 +113,20 @@ let event_count t = t.event_count
 let events_for t prefix =
   List.filter (fun e -> Net.Ipv4.equal_prefix e.prefix prefix) (events t)
 
-let last_update_time t =
-  match t.events with [] -> None | e :: _ -> Some e.time
+let last_update_time t = t.last_time
 
-let last_update_for t prefix =
-  let rec find = function
-    | [] -> None
-    | e :: rest -> if Net.Ipv4.equal_prefix e.prefix prefix then Some e.time else find rest
-  in
-  find t.events
+let last_update_for t prefix = Pt.find prefix t.last_by_prefix
+
+let last_updates t = Pt.entries t.last_by_prefix
 
 let updates_since t time =
   List.length (List.filter (fun e -> Engine.Time.(e.time >= time)) (events t))
 
 let clear t =
   t.events <- [];
-  t.event_count <- 0
+  t.event_count <- 0;
+  Pt.clear t.last_by_prefix;
+  t.last_time <- None
 
 (* --- Dump format (MRT-inspired text) ----------------------------------
 

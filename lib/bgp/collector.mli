@@ -5,15 +5,25 @@ type action = Announce of Attrs.t | Withdraw
 
 type event = { time : Engine.Time.t; peer : Net.Asn.t; prefix : Net.Ipv4.prefix; action : action }
 
+type retention = Full | Counts_only
+(** [Full] keeps the complete event log (dumps, per-prefix histories).
+    [Counts_only] retains only the total count and per-prefix last-update
+    instants — constant memory per prefix, what convergence detection
+    needs — for Internet-scale runs where the log would dominate the
+    heap. *)
+
 type t
 
 val create :
+  ?retention:retention ->
   sim:Engine.Sim.t ->
   asn:Net.Asn.t ->
   node_id:int ->
   router_id:Net.Ipv4.addr ->
   send:(dst:int -> Message.t -> bool) ->
+  unit ->
   t
+(** [retention] defaults to [Full]. *)
 
 val asn : t -> Net.Asn.t
 
@@ -29,7 +39,7 @@ val handle_message : t -> from:int -> Message.t -> unit
 (** Responds to OPENs and records updates. *)
 
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first.  Empty under [Counts_only] retention. *)
 
 val event_count : t -> int
 
@@ -38,6 +48,10 @@ val events_for : t -> Net.Ipv4.prefix -> event list
 val last_update_time : t -> Engine.Time.t option
 
 val last_update_for : t -> Net.Ipv4.prefix -> Engine.Time.t option
+
+val last_updates : t -> (Net.Ipv4.prefix * Engine.Time.t) list
+(** Per-prefix most recent update instant, ascending by prefix.
+    Maintained under every retention mode. *)
 
 val updates_since : t -> Engine.Time.t -> int
 

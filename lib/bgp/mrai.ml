@@ -10,6 +10,7 @@
    unless [mrai_on_withdrawals] is set. *)
 
 module Pm = Net.Ipv4.Prefix_map
+module Ps = Net.Ipv4.Prefix_set
 
 type pending = Announce of Attrs.t | Withdraw
 
@@ -20,29 +21,85 @@ type t = {
   send : Message.update -> unit;
   timer : Engine.Timer.t;
   mutable pending : pending Pm.t;
+  (* MRAI-exempt withdrawals awaiting the end-of-event flush: sent even
+     while the timer runs, without touching it. *)
+  mutable urgent : Ps.t;
+  (* Set once per event on the first enqueue; cleared by [flush_event].
+     The owner's [on_dirty] hook collects dirty peers so one scheduler
+     event emits one packed UPDATE per peer. *)
+  mutable dirty : bool;
+  mutable on_dirty : (unit -> unit) option;
   mutable flushes : int;
   deferrals_c : Engine.Metrics.Counter.t;
   flushes_c : Engine.Metrics.Counter.t;
 }
 
+let split_pending pending =
+  let announced, withdrawn =
+    Pm.fold
+      (fun prefix p (ann, wd) ->
+        match p with
+        | Announce attrs -> ((prefix, attrs) :: ann, wd)
+        | Withdraw -> (ann, prefix :: wd))
+      pending ([], [])
+  in
+  (List.rev announced, List.rev withdrawn)
+
 let rec flush t =
   if not (Pm.is_empty t.pending) then begin
-    let announced, withdrawn =
-      Pm.fold
-        (fun prefix p (ann, wd) ->
-          match p with
-          | Announce attrs -> ((prefix, attrs) :: ann, wd)
-          | Withdraw -> (ann, prefix :: wd))
-        t.pending ([], [])
-    in
+    let announced, withdrawn = split_pending t.pending in
     t.pending <- Pm.empty;
     t.flushes <- t.flushes + 1;
     Engine.Metrics.Counter.inc t.flushes_c;
-    t.send { Message.announced = List.rev announced; withdrawn = List.rev withdrawn };
+    t.send { Message.announced; withdrawn };
     arm t
   end
 
 and arm t = Engine.Timer.start t.timer (Config.jittered_mrai t.config t.rng)
+
+let is_throttled t = Engine.Timer.is_armed t.timer
+
+(* End-of-event flush: everything enqueued within the current scheduler
+   event leaves as one packed UPDATE.  While the MRAI timer runs only the
+   exempt withdrawals go out (the pending set stays for timer expiry);
+   otherwise pending and exempt changes share the message, and the timer
+   arms only when throttle-subject changes were flushed — an urgent-only
+   message never starts an MRAI interval (same as the old immediate
+   exempt-withdrawal path). *)
+let flush_event t =
+  t.dirty <- false;
+  if is_throttled t then begin
+    if not (Ps.is_empty t.urgent) then begin
+      let withdrawn = Ps.elements t.urgent in
+      t.urgent <- Ps.empty;
+      t.send { Message.announced = []; withdrawn }
+    end
+  end
+  else if not (Pm.is_empty t.pending && Ps.is_empty t.urgent) then begin
+    let announced, withdrawn = split_pending t.pending in
+    let withdrawn =
+      List.merge Net.Ipv4.compare_prefix withdrawn (Ps.elements t.urgent)
+    in
+    let had_pending = not (Pm.is_empty t.pending) in
+    t.pending <- Pm.empty;
+    t.urgent <- Ps.empty;
+    if had_pending then begin
+      t.flushes <- t.flushes + 1;
+      Engine.Metrics.Counter.inc t.flushes_c
+    end;
+    t.send { Message.announced; withdrawn };
+    if had_pending then arm t
+  end
+
+(* Without a registered owner the flush degenerates to per-enqueue sends —
+   the pre-batching behavior (used by direct Mrai drivers in tests). *)
+let mark_dirty t =
+  if not t.dirty then begin
+    t.dirty <- true;
+    match t.on_dirty with Some f -> f () | None -> flush_event t
+  end
+
+let set_on_dirty t f = t.on_dirty <- Some f
 
 let create sim ~rng ~config ~name ~send =
   (* The timer callback needs the record and the record needs the timer;
@@ -60,6 +117,9 @@ let create sim ~rng ~config ~name ~send =
       send;
       timer = Engine.Timer.create ~category:"bgp.mrai" sim ~name ~callback;
       pending = Pm.empty;
+      urgent = Ps.empty;
+      dirty = false;
+      on_dirty = None;
       flushes = 0;
       deferrals_c =
         Engine.Metrics.counter m ~help:"route changes deferred by a running MRAI timer"
@@ -75,28 +135,31 @@ let pending_count t = Pm.cardinal t.pending
 
 let flushes t = t.flushes
 
-let is_throttled t = Engine.Timer.is_armed t.timer
-
 let enqueue_announce t prefix attrs =
   t.pending <- Pm.add prefix (Announce attrs) t.pending;
-  if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else flush t
+  t.urgent <- Ps.remove prefix t.urgent;
+  if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else mark_dirty t
 
 let enqueue_withdraw t prefix =
   if t.config.Config.mrai_on_withdrawals then begin
     t.pending <- Pm.add prefix Withdraw t.pending;
-    if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else flush t
+    t.urgent <- Ps.remove prefix t.urgent;
+    if is_throttled t then Engine.Metrics.Counter.inc t.deferrals_c else mark_dirty t
   end
   else begin
     (* Withdrawals are exempt from MRAI: cancel any pending announcement
-       for the prefix and send the withdrawal immediately, leaving the
-       timer state untouched. *)
+       for the prefix and send the withdrawal at end of event, leaving
+       the timer state untouched. *)
     t.pending <- Pm.remove prefix t.pending;
-    t.send { Message.announced = []; withdrawn = [ prefix ] }
+    t.urgent <- Ps.add prefix t.urgent;
+    mark_dirty t
   end
 
 (* Session reset: drop pending state and stop the timer. *)
 let reset t =
   t.pending <- Pm.empty;
+  t.urgent <- Ps.empty;
+  t.dirty <- false;
   Engine.Timer.cancel t.timer
 
 (* Checkpointing.  The jitter stream position travels with the pending
@@ -117,6 +180,10 @@ let state t =
 
 let restore t st =
   Engine.Rng.assign ~from:st.s_rng t.rng;
+  (* Checkpoints are taken between scheduler events, where the urgent set
+     is always empty and no flush is outstanding. *)
+  t.urgent <- Ps.empty;
+  t.dirty <- false;
   t.pending <-
     List.fold_left (fun acc (prefix, p) -> Pm.add prefix p acc) Pm.empty st.s_pending;
   match st.s_due with

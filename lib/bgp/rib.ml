@@ -3,139 +3,215 @@
    Adj_in:  per (peer, prefix) routes as received (post-import-policy).
    Loc:     the selected best route per prefix.
    Adj_out: per (peer, prefix) attributes as advertised — consulted to
-            suppress duplicate announcements and to know what to withdraw. *)
+            suppress duplicate announcements and to know what to withdraw.
 
-module Pm = Net.Ipv4.Prefix_map
+   Storage is mutable prefix tries ([Net.Ipv4.Prefix_trie]) rather than
+   persistent [Prefix_map]s: at Internet scale a RIB holds 10k+ prefixes
+   per peer and the persistent spines dominated both allocation and live
+   heap.  Iteration order is unchanged ([compare_prefix] ascending), so
+   checkpoint dumps and decision ordering are bit-identical to the old
+   map-based representation (enforced by test/test_rib_differential.ml). *)
+
+module Pt = Net.Ipv4.Prefix_trie
 
 module Adj_in = struct
-  (* Two views of the same routes.  The peer-major view serves session
-     maintenance ([drop_peer], [prefixes_from]); the prefix-major view
-     makes [candidates] — run on every decision process — a single map
-     lookup instead of a fold over every peer's whole prefix map.  Both
-     are updated together; [count] tracks the total so [size] is O(1). *)
+  (* Two views of the same routes.  The peer-major view (one trie per
+     peer, dropped when emptied) serves session maintenance
+     ([drop_peer], [prefixes_from]); the prefix-major view makes
+     [candidates] — run on every decision process — a single trie lookup
+     yielding a compact flat array of (peer, route) cells in ascending
+     peer order.  Both are updated together; [count] tracks the total so
+     [size] is O(1). *)
   type t = {
-    mutable by_peer : Route.t Pm.t Net.Asn.Map.t;
-    mutable by_prefix : Route.t Net.Asn.Map.t Pm.t;
+    mutable by_peer : Route.t Pt.t Net.Asn.Map.t;
+    by_prefix : (int * Route.t) array Pt.t;
     mutable count : int;
   }
 
-  let create () = { by_peer = Net.Asn.Map.empty; by_prefix = Pm.empty; count = 0 }
+  let create () = { by_peer = Net.Asn.Map.empty; by_prefix = Pt.create (); count = 0 }
+
+  (* Insert or replace a cell keeping ascending peer order.  Replacement
+     mutates in place (the array is owned by the trie); insertion copies. *)
+  let array_set arr pi route =
+    let n = Array.length arr in
+    let rec pos i = if i = n || fst arr.(i) >= pi then i else pos (i + 1) in
+    let i = pos 0 in
+    if i < n && fst arr.(i) = pi then begin
+      arr.(i) <- (pi, route);
+      arr
+    end
+    else begin
+      let out = Array.make (n + 1) (pi, route) in
+      Array.blit arr 0 out 0 i;
+      Array.blit arr i out (i + 1) (n - i);
+      out
+    end
+
+  let array_remove arr pi =
+    let n = Array.length arr in
+    let rec pos i = if i = n || fst arr.(i) = pi then i else pos (i + 1) in
+    let i = pos 0 in
+    if i = n then arr
+    else begin
+      let out = Array.make (n - 1) arr.(0) in
+      Array.blit arr 0 out 0 i;
+      Array.blit arr (i + 1) out i (n - 1 - i);
+      out
+    end
 
   let set t ~peer (route : Route.t) =
     let prefix = Route.prefix route in
-    let m = Option.value (Net.Asn.Map.find_opt peer t.by_peer) ~default:Pm.empty in
-    if not (Pm.mem prefix m) then t.count <- t.count + 1;
-    t.by_peer <- Net.Asn.Map.add peer (Pm.add prefix route m) t.by_peer;
-    let pm = Option.value (Pm.find_opt prefix t.by_prefix) ~default:Net.Asn.Map.empty in
-    t.by_prefix <- Pm.add prefix (Net.Asn.Map.add peer route pm) t.by_prefix
+    let ptrie =
+      match Net.Asn.Map.find_opt peer t.by_peer with
+      | Some tr -> tr
+      | None ->
+        let tr = Pt.create () in
+        t.by_peer <- Net.Asn.Map.add peer tr t.by_peer;
+        tr
+    in
+    if not (Pt.mem prefix ptrie) then t.count <- t.count + 1;
+    Pt.set prefix route ptrie;
+    let pi = Net.Asn.to_int peer in
+    let arr = match Pt.find prefix t.by_prefix with None -> [||] | Some a -> a in
+    let arr' = array_set arr pi route in
+    if arr' != arr || Array.length arr = 0 then Pt.set prefix arr' t.by_prefix
 
   let remove_from_prefix t ~peer prefix =
-    match Pm.find_opt prefix t.by_prefix with
+    match Pt.find prefix t.by_prefix with
     | None -> ()
-    | Some pm ->
-      let pm = Net.Asn.Map.remove peer pm in
-      t.by_prefix <-
-        (if Net.Asn.Map.is_empty pm then Pm.remove prefix t.by_prefix
-         else Pm.add prefix pm t.by_prefix)
+    | Some arr ->
+      let arr' = array_remove arr (Net.Asn.to_int peer) in
+      if Array.length arr' = 0 then Pt.remove prefix t.by_prefix
+      else if arr' != arr then Pt.set prefix arr' t.by_prefix
 
   let remove t ~peer prefix =
     match Net.Asn.Map.find_opt peer t.by_peer with
     | None -> ()
-    | Some m ->
-      if Pm.mem prefix m then begin
+    | Some ptrie ->
+      if Pt.mem prefix ptrie then begin
         t.count <- t.count - 1;
-        t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer;
+        Pt.remove prefix ptrie;
+        if Pt.is_empty ptrie then t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
         remove_from_prefix t ~peer prefix
       end
 
   let find t ~peer prefix =
-    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pm.find_opt prefix)
+    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pt.find prefix)
 
   (* All routes for a prefix across peers, in ascending peer order. *)
   let candidates t prefix =
-    match Pm.find_opt prefix t.by_prefix with
+    match Pt.find prefix t.by_prefix with
     | None -> []
-    | Some pm -> Net.Asn.Map.fold (fun _ r acc -> r :: acc) pm [] |> List.rev
+    | Some arr -> Array.fold_right (fun (_, r) acc -> r :: acc) arr []
 
   let prefixes_from t ~peer =
     match Net.Asn.Map.find_opt peer t.by_peer with
     | None -> []
-    | Some m -> Pm.fold (fun p _ acc -> p :: acc) m [] |> List.rev
+    | Some ptrie -> Pt.keys ptrie
 
   let drop_peer t ~peer =
-    let dropped = prefixes_from t ~peer in
-    t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
-    List.iter (fun prefix -> remove_from_prefix t ~peer prefix) dropped;
-    t.count <- t.count - List.length dropped;
-    dropped
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> []
+    | Some ptrie ->
+      let dropped = Pt.keys ptrie in
+      t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
+      List.iter (fun prefix -> remove_from_prefix t ~peer prefix) dropped;
+      t.count <- t.count - List.length dropped;
+      dropped
 
-  let all_prefixes t = Pm.fold (fun p _ acc -> p :: acc) t.by_prefix [] |> List.rev
+  let all_prefixes t = Pt.keys t.by_prefix
 
   let size t = t.count
 
   let entries t =
     Net.Asn.Map.fold
-      (fun peer m acc -> Pm.fold (fun _ r acc -> (peer, r) :: acc) m acc)
+      (fun peer ptrie acc -> Pt.fold (fun _ r acc -> (peer, r) :: acc) ptrie acc)
       t.by_peer []
     |> List.rev
 
   let clear t =
     t.by_peer <- Net.Asn.Map.empty;
-    t.by_prefix <- Pm.empty;
+    Pt.clear t.by_prefix;
     t.count <- 0
 end
 
 module Loc = struct
-  type t = { mutable best : Route.t Pm.t }
+  type t = { best : Route.t Pt.t }
 
-  let create () = { best = Pm.empty }
+  let create () = { best = Pt.create () }
 
-  let find t prefix = Pm.find_opt prefix t.best
+  let find t prefix = Pt.find prefix t.best
 
-  let set t (route : Route.t) = t.best <- Pm.add (Route.prefix route) route t.best
+  let set t (route : Route.t) = Pt.set (Route.prefix route) route t.best
 
-  let remove t prefix = t.best <- Pm.remove prefix t.best
+  let remove t prefix = Pt.remove prefix t.best
 
-  let entries t = Pm.bindings t.best
+  let entries t = Pt.entries t.best
 
-  let prefixes t = List.map fst (entries t)
+  let prefixes t = Pt.keys t.best
 
-  let size t = Pm.cardinal t.best
+  let size t = Pt.size t.best
 
-  let clear t = t.best <- Pm.empty
+  let clear t = Pt.clear t.best
 end
 
 module Adj_out = struct
-  type t = { mutable by_peer : Attrs.t Pm.t Net.Asn.Map.t }
+  (* One trie per peer, dropped as soon as it empties (a peer whose last
+     advertisement was withdrawn leaves no residue), with a maintained
+     total count so [size] is O(1). *)
+  type t = {
+    mutable by_peer : Attrs.t Pt.t Net.Asn.Map.t;
+    mutable count : int;
+  }
 
-  let create () = { by_peer = Net.Asn.Map.empty }
+  let create () = { by_peer = Net.Asn.Map.empty; count = 0 }
 
   let set t ~peer prefix attrs =
-    let m = Option.value (Net.Asn.Map.find_opt peer t.by_peer) ~default:Pm.empty in
-    t.by_peer <- Net.Asn.Map.add peer (Pm.add prefix attrs m) t.by_peer
+    let ptrie =
+      match Net.Asn.Map.find_opt peer t.by_peer with
+      | Some tr -> tr
+      | None ->
+        let tr = Pt.create () in
+        t.by_peer <- Net.Asn.Map.add peer tr t.by_peer;
+        tr
+    in
+    if not (Pt.mem prefix ptrie) then t.count <- t.count + 1;
+    Pt.set prefix attrs ptrie
 
   let remove t ~peer prefix =
     match Net.Asn.Map.find_opt peer t.by_peer with
     | None -> ()
-    | Some m -> t.by_peer <- Net.Asn.Map.add peer (Pm.remove prefix m) t.by_peer
+    | Some ptrie ->
+      if Pt.mem prefix ptrie then begin
+        t.count <- t.count - 1;
+        Pt.remove prefix ptrie;
+        if Pt.is_empty ptrie then t.by_peer <- Net.Asn.Map.remove peer t.by_peer
+      end
 
   let find t ~peer prefix =
-    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pm.find_opt prefix)
+    Option.bind (Net.Asn.Map.find_opt peer t.by_peer) (Pt.find prefix)
 
   let advertised t ~peer =
     match Net.Asn.Map.find_opt peer t.by_peer with
     | None -> []
-    | Some m -> Pm.bindings m
+    | Some ptrie -> Pt.entries ptrie
 
   let drop_peer t ~peer =
-    let dropped = List.map fst (advertised t ~peer) in
-    t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
-    dropped
+    match Net.Asn.Map.find_opt peer t.by_peer with
+    | None -> []
+    | Some ptrie ->
+      let dropped = Pt.keys ptrie in
+      t.by_peer <- Net.Asn.Map.remove peer t.by_peer;
+      t.count <- t.count - List.length dropped;
+      dropped
 
-  let size t = Net.Asn.Map.fold (fun _ m acc -> acc + Pm.cardinal m) t.by_peer 0
+  let size t = t.count
 
   let entries t =
-    Net.Asn.Map.bindings t.by_peer |> List.map (fun (peer, m) -> (peer, Pm.bindings m))
+    Net.Asn.Map.bindings t.by_peer
+    |> List.map (fun (peer, ptrie) -> (peer, Pt.entries ptrie))
 
-  let clear t = t.by_peer <- Net.Asn.Map.empty
+  let clear t =
+    t.by_peer <- Net.Asn.Map.empty;
+    t.count <- 0
 end

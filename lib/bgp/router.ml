@@ -11,7 +11,7 @@
      its input queue, so each update's processing delay pushes a
      [busy_until] watermark and later updates queue behind it. *)
 
-module Pm = Net.Ipv4.Prefix_map
+module Pt = Net.Ipv4.Prefix_trie
 
 type stats = {
   mutable msgs_in : int;
@@ -60,7 +60,7 @@ type t = {
   adj_in : Rib.Adj_in.t;
   loc : Rib.Loc.t;
   adj_out : Rib.Adj_out.t;
-  mutable originated : Attrs.t Pm.t;
+  originated : Attrs.t Pt.t;
   mutable busy_until : Engine.Time.t;
   (* Updates accepted but not yet processed by the serialized bgpd:
      (finish instant, peer, update) in processing order.  The scheduler
@@ -71,6 +71,12 @@ type t = {
   stats : stats;
   tm : telemetry;
   mutable on_best_change : (Net.Ipv4.prefix -> Route.t option -> unit) array;
+  (* Update batching: every entry point that can enqueue outbound changes
+     runs inside a batch scope; peers whose MRAI state went dirty during
+     the scope are flushed once, in ascending ASN order, when the
+     outermost scope closes — one packed UPDATE per peer per event. *)
+  mutable batch_depth : int;
+  mutable batch_dirty : peer list;
 }
 
 let name t = Net.Asn.to_string t.asn
@@ -122,7 +128,7 @@ let create_unhooked ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
       adj_in = Rib.Adj_in.create ();
       loc = Rib.Loc.create ();
       adj_out = Rib.Adj_out.create ();
-      originated = Pm.empty;
+      originated = Pt.create ();
       busy_until = Engine.Time.zero;
       pending_updates = Queue.create ();
       stats =
@@ -136,6 +142,8 @@ let create_unhooked ?damping ~sim ~asn ~node_id ~router_id ~config ~send () =
         };
       tm;
       on_best_change = [||];
+      batch_depth = 0;
+      batch_dirty = [];
     }
   in
   let loc_gauge =
@@ -189,6 +197,22 @@ let send_message t peer msg =
   end;
   sent
 
+let flush_batch t =
+  let dirty = t.batch_dirty in
+  t.batch_dirty <- [];
+  let dirty =
+    List.sort_uniq (fun a b -> Net.Asn.compare a.peer_asn b.peer_asn) dirty
+  in
+  List.iter (fun p -> Mrai.flush_event p.mrai) dirty
+
+let with_batch t f =
+  t.batch_depth <- t.batch_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.batch_depth <- t.batch_depth - 1;
+      if t.batch_depth = 0 then flush_batch t)
+    f
+
 let add_peer t ~peer_asn ~peer_node ~policy =
   if Net.Asn.Map.mem peer_asn t.peers then
     invalid_arg (Fmt.str "Router.add_peer: duplicate %a" Net.Asn.pp peer_asn);
@@ -208,6 +232,9 @@ let add_peer t ~peer_asn ~peer_node ~policy =
     { peer_asn; peer_node; policy; established = false; open_sent = false; peer_hold = 0;
       retry_attempt = 0; mrai; keepalive = None; hold = None }
   in
+  Mrai.set_on_dirty mrai (fun () ->
+      if t.batch_depth > 0 then t.batch_dirty <- peer :: t.batch_dirty
+      else Mrai.flush_event mrai);
   t.peers <- Net.Asn.Map.add peer_asn peer t.peers;
   Hashtbl.replace t.peer_of_node peer_node peer_asn;
   (* Session-state gauge, sampled at scrape time. *)
@@ -226,7 +253,7 @@ let add_peer t ~peer_asn ~peer_node ~policy =
 (* --- Decision process and export ------------------------------------- *)
 
 let local_route t prefix =
-  match Pm.find_opt prefix t.originated with
+  match Pt.find prefix t.originated with
   | None -> None
   | Some attrs ->
     Some (Route.make ~prefix ~attrs ~source:Route.Local ~learned_at:Engine.Time.zero)
@@ -255,7 +282,7 @@ let best t prefix = Rib.Loc.find t.loc prefix
 
 let loc_entries t = Rib.Loc.entries t.loc
 
-let originated_prefixes t = List.map fst (Pm.bindings t.originated)
+let originated_prefixes t = Pt.keys t.originated
 
 let route_equal a b =
   (match (Route.source a, Route.source b) with
@@ -351,15 +378,15 @@ let originate ?(med = 0) ?(origin = Attrs.Igp) ?(communities = Community.Set.emp
   let attrs =
     Attrs.make ~as_path:[] ~med ~origin ~communities ~next_hop:t.router_id ()
   in
-  t.originated <- Pm.add prefix attrs t.originated;
+  Pt.set prefix attrs t.originated;
   log t "originate %a" Net.Ipv4.pp_prefix prefix;
-  run_decision t prefix
+  with_batch t (fun () -> run_decision t prefix)
 
 let withdraw_origin t prefix =
-  if Pm.mem prefix t.originated then begin
-    t.originated <- Pm.remove prefix t.originated;
+  if Pt.mem prefix t.originated then begin
+    Pt.remove prefix t.originated;
     log t "withdraw-origin %a" Net.Ipv4.pp_prefix prefix;
-    run_decision t prefix
+    with_batch t (fun () -> run_decision t prefix)
   end
 
 (* --- Sessions ---------------------------------------------------------- *)
@@ -405,7 +432,7 @@ let session_down t peer_asn =
       log t "session %a down" Net.Asn.pp peer_asn;
       let dropped_in = Rib.Adj_in.drop_peer t.adj_in ~peer:peer_asn in
       ignore (Rib.Adj_out.drop_peer t.adj_out ~peer:peer_asn);
-      run_decisions t dropped_in
+      with_batch t (fun () -> run_decisions t dropped_in)
     end
 
 (* KEEPALIVE emission + hold-timer supervision.  Armed only when both
@@ -540,9 +567,10 @@ let note_flap t peer_asn prefix event =
          at-or-below the threshold despite floating-point rounding *)
       let recheck = Engine.Time.add reuse_at (Engine.Time.ms 10) in
       Engine.Node.schedule_at ~category:"bgp.damping" t.node recheck (fun () ->
-          run_decision t prefix))
+          with_batch t (fun () -> run_decision t prefix)))
 
 let process_update t peer_asn (u : Message.update) =
+  with_batch t @@ fun () ->
   match find_peer t peer_asn with
   | None -> ()
   | Some peer when not peer.established -> () (* stale: session flapped *)
@@ -590,6 +618,7 @@ let process_update t peer_asn (u : Message.update) =
     run_decisions t (List.rev !affected)
 
 let handle_message t ~from msg =
+  with_batch t @@ fun () ->
   match Hashtbl.find_opt t.peer_of_node from with
   | None -> log t "message from unknown node %d dropped" from
   | Some peer_asn -> (
@@ -656,7 +685,7 @@ let snapshot t =
       ck_adj_in = Rib.Adj_in.entries t.adj_in;
       ck_loc = List.map snd (Rib.Loc.entries t.loc);
       ck_adj_out = Rib.Adj_out.entries t.adj_out;
-      ck_originated = Pm.bindings t.originated;
+      ck_originated = Pt.entries t.originated;
       ck_peers =
         List.map
           (fun (asn, p) ->
@@ -681,8 +710,8 @@ let restore t = function
       (fun (peer, entries) ->
         List.iter (fun (prefix, attrs) -> Rib.Adj_out.set t.adj_out ~peer prefix attrs) entries)
       ck.ck_adj_out;
-    t.originated <-
-      List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty ck.ck_originated;
+    Pt.clear t.originated;
+    List.iter (fun (p, a) -> Pt.set p a t.originated) ck.ck_originated;
     List.iter
       (fun (asn, established, open_sent, peer_hold, retry_attempt, mrai_state) ->
         match find_peer t asn with
@@ -729,7 +758,7 @@ let on_crashed t =
    flushes routes learned from us and stops treating the old session as
    open), so the OPEN that follows is answered like a cold start. *)
 let on_restarted t =
-  run_decisions t (List.map fst (Pm.bindings t.originated));
+  with_batch t (fun () -> run_decisions t (Pt.keys t.originated));
   Net.Asn.Map.iter
     (fun _ peer ->
       ignore (send_message t peer (Message.Notification "peer restarted"));

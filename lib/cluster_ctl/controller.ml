@@ -280,13 +280,15 @@ let flush_resyncing t =
 let recompute_batch t prefixes =
   t.stats.recompute_batches <- t.stats.recompute_batches + 1;
   Engine.Metrics.Counter.inc t.tm.recompute_c;
-  List.iter (recompute_prefix t) prefixes;
+  (* One batching scope per recompute event: the speaker packs every
+     (re)announcement of the batch into one UPDATE per session. *)
+  Speaker.with_batch t.speaker (fun () -> List.iter (recompute_prefix t) prefixes);
   flush_resyncing t
 
 let mark_dirty t prefix =
   match t.recompute with
   | Some r -> Recompute.mark_dirty r prefix
-  | None -> recompute_prefix t prefix
+  | None -> Speaker.with_batch t.speaker (fun () -> recompute_prefix t prefix)
 
 (* --- Inputs ------------------------------------------------------------- *)
 
@@ -338,9 +340,10 @@ let on_external_update t ~member ~neighbor (u : Bgp.Message.update) =
 let on_session_change t ~member ~neighbor ~up =
   if up then begin
     (* Full-table sync toward the new session from current decisions. *)
-    List.iter
-      (fun prefix -> sync_session t ~member ~neighbor prefix (decisions_for t prefix))
-      (known_prefixes t)
+    Speaker.with_batch t.speaker (fun () ->
+        List.iter
+          (fun prefix -> sync_session t ~member ~neighbor prefix (decisions_for t prefix))
+          (known_prefixes t))
   end
   else begin
     (* Flush everything learned over this peering. *)

@@ -13,6 +13,9 @@
    recomputation is the rate limiter). *)
 
 module Pm = Net.Ipv4.Prefix_map
+module Pt = Net.Ipv4.Prefix_trie
+
+type pending = Pend_announce of Bgp.Attrs.t | Pend_withdraw
 
 type session_key = Net.Asn.t * Net.Asn.t (* member, neighbor *)
 
@@ -23,8 +26,13 @@ type session = {
   mutable established : bool;
   mutable open_sent : bool;
   mutable peer_hold : int; (* hold time (s) the neighbor proposed; 0 = none *)
-  mutable adj_out : Bgp.Attrs.t Pm.t;
+  adj_out : Bgp.Attrs.t Pt.t;
   mrai : Bgp.Mrai.t option;
+  (* Non-MRAI sessions buffer changes here within a batch scope; the
+     scope close emits them as one packed UPDATE (latest state per
+     prefix).  Always empty between scheduler events. *)
+  mutable pending : pending Pm.t;
+  mutable dirty : bool;
   mutable keepalive : Engine.Timer.t option;
   mutable hold : Engine.Timer.t option;
 }
@@ -48,6 +56,10 @@ type t = {
   mutable on_session : member:Net.Asn.t -> neighbor:Net.Asn.t -> up:bool -> unit;
   stats : stats;
   hold_expirations : Engine.Metrics.Counter.t;
+  (* Update batching, mirroring Router: controller-driven announcement
+     bursts within one scheduler event leave as one UPDATE per session. *)
+  mutable batch_depth : int;
+  mutable any_dirty : bool;
 }
 
 let log t fmt = Engine.Sim.logf t.sim ~node:"speaker" ~category:"speaker" fmt
@@ -66,6 +78,8 @@ let create_unhooked ?liveness ~sim ~send_relay () =
     on_update = (fun ~member:_ ~neighbor:_ _ -> ());
     on_session = (fun ~member:_ ~neighbor:_ ~up:_ -> ());
     stats = { updates_in = 0; updates_out = 0; opens = 0 };
+    batch_depth = 0;
+    any_dirty = false;
     hold_expirations =
       Engine.Metrics.counter (Engine.Sim.metrics sim)
         ~help:"sessions torn down by hold-timer expiry"
@@ -122,11 +136,61 @@ let add_session ?(mrai_config : Bgp.Config.t option) t ~member ~neighbor ~member
   in
   let s =
     { member; neighbor; member_addr; established = false; open_sent = false; peer_hold = 0;
-      adj_out = Pm.empty; mrai; keepalive = None; hold = None }
+      adj_out = Pt.create (); mrai; pending = Pm.empty; dirty = false; keepalive = None;
+      hold = None }
   in
   self := Some s;
+  Option.iter
+    (fun m ->
+      Bgp.Mrai.set_on_dirty m (fun () ->
+          if t.batch_depth > 0 then begin
+            s.dirty <- true;
+            t.any_dirty <- true
+          end
+          else Bgp.Mrai.flush_event m))
+    mrai;
   Hashtbl.replace t.sessions key s;
   t.session_order <- t.session_order @ [ key ]
+
+(* End-of-scope flush, in deterministic [session_order]. *)
+let flush_session t (s : session) =
+  s.dirty <- false;
+  (match s.mrai with Some m -> Bgp.Mrai.flush_event m | None -> ());
+  if not (Pm.is_empty s.pending) then begin
+    let announced, withdrawn =
+      Pm.fold
+        (fun prefix p (ann, wd) ->
+          match p with
+          | Pend_announce attrs -> ((prefix, attrs) :: ann, wd)
+          | Pend_withdraw -> (ann, prefix :: wd))
+        s.pending ([], [])
+    in
+    s.pending <- Pm.empty;
+    if s.established then
+      ignore
+        (send_wire t s
+           (Bgp.Message.update ~announced:(List.rev announced)
+              ~withdrawn:(List.rev withdrawn) ()))
+  end
+
+let flush_batch t =
+  if t.any_dirty then begin
+    t.any_dirty <- false;
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.sessions key with
+        | Some s when s.dirty -> flush_session t s
+        | Some _ | None -> ())
+      t.session_order
+  end
+
+let with_batch t f =
+  t.batch_depth <- t.batch_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.batch_depth <- t.batch_depth - 1;
+      if t.batch_depth = 0 then flush_batch t)
+    f
 
 (* The hold time (whole seconds) the speaker proposes; 0 (liveness off)
    opts sessions out of keepalive supervision entirely. *)
@@ -171,7 +235,9 @@ let session_down t ~member ~neighbor =
     if s.established || s.open_sent then begin
       s.established <- false;
       s.open_sent <- false;
-      s.adj_out <- Pm.empty;
+      Pt.clear s.adj_out;
+      s.pending <- Pm.empty;
+      s.dirty <- false;
       Option.iter Bgp.Mrai.reset s.mrai;
       stop_liveness s;
       log t "session %a/%a down" Net.Asn.pp member Net.Asn.pp neighbor;
@@ -277,12 +343,16 @@ let announce t ~member ~neighbor prefix attrs =
   | None -> ()
   | Some s when not s.established -> ()
   | Some s -> (
-    match Pm.find_opt prefix s.adj_out with
+    match Pt.find prefix s.adj_out with
     | Some prev when Bgp.Attrs.wire_equal prev attrs -> ()
     | Some _ | None -> (
-      s.adj_out <- Pm.add prefix attrs s.adj_out;
+      Pt.set prefix attrs s.adj_out;
       match s.mrai with
       | Some m -> Bgp.Mrai.enqueue_announce m prefix attrs
+      | None when t.batch_depth > 0 ->
+        s.pending <- Pm.add prefix (Pend_announce attrs) s.pending;
+        s.dirty <- true;
+        t.any_dirty <- true
       | None ->
         ignore
           (send_wire t s (Bgp.Message.update ~announced:[ (prefix, attrs) ] ()))))
@@ -292,15 +362,19 @@ let withdraw t ~member ~neighbor prefix =
   | None -> ()
   | Some s when not s.established -> ()
   | Some s ->
-    if Pm.mem prefix s.adj_out then begin
-      s.adj_out <- Pm.remove prefix s.adj_out;
+    if Pt.mem prefix s.adj_out then begin
+      Pt.remove prefix s.adj_out;
       match s.mrai with
       | Some m -> Bgp.Mrai.enqueue_withdraw m prefix
+      | None when t.batch_depth > 0 ->
+        s.pending <- Pm.add prefix Pend_withdraw s.pending;
+        s.dirty <- true;
+        t.any_dirty <- true
       | None -> ignore (send_wire t s (Bgp.Message.update ~withdrawn:[ prefix ] ()))
     end
 
 let advertised t ~member ~neighbor prefix =
-  Option.bind (find t ~member ~neighbor) (fun s -> Pm.find_opt prefix s.adj_out)
+  Option.bind (find t ~member ~neighbor) (fun s -> Pt.find prefix s.adj_out)
 
 (* --- Lifecycle and checkpointing --------------------------------------- *)
 
@@ -328,7 +402,7 @@ let snapshot t =
               sk_established = s.established;
               sk_open_sent = s.open_sent;
               sk_peer_hold = s.peer_hold;
-              sk_adj_out = Pm.bindings s.adj_out;
+              sk_adj_out = Pt.entries s.adj_out;
               sk_mrai = Option.map Bgp.Mrai.state s.mrai;
             })
           (Hashtbl.find_opt t.sessions key))
@@ -347,8 +421,8 @@ let restore t = function
           s.established <- sk.sk_established;
           s.open_sent <- sk.sk_open_sent;
           s.peer_hold <- sk.sk_peer_hold;
-          s.adj_out <-
-            List.fold_left (fun acc (p, a) -> Pm.add p a acc) Pm.empty sk.sk_adj_out;
+          Pt.clear s.adj_out;
+          List.iter (fun (p, a) -> Pt.set p a s.adj_out) sk.sk_adj_out;
           (match (s.mrai, sk.sk_mrai) with
           | Some m, Some st -> Bgp.Mrai.restore m st
           | _ -> ());
@@ -367,7 +441,9 @@ let on_crashed t =
       s.established <- false;
       s.open_sent <- false;
       s.peer_hold <- 0;
-      s.adj_out <- Pm.empty;
+      Pt.clear s.adj_out;
+      s.pending <- Pm.empty;
+      s.dirty <- false;
       Option.iter Bgp.Mrai.reset s.mrai)
     t.sessions
 

@@ -61,6 +61,13 @@ val session_down : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> unit
 
 val handle_relay : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Bgp.Message.t -> unit
 
+val with_batch : t -> (unit -> 'a) -> 'a
+(** Run [f] in an update-batching scope: announcements/withdrawals issued
+    inside it coalesce per session and leave as one packed UPDATE per
+    session when the outermost scope closes (sessions flushed in
+    configuration order).  Outside any scope each change is sent
+    immediately, as before. *)
+
 val announce : t -> member:Net.Asn.t -> neighbor:Net.Asn.t -> Net.Ipv4.prefix -> Bgp.Attrs.t -> unit
 (** Advertise (deduplicated against the session's Adj-RIB-Out). *)
 

@@ -30,6 +30,10 @@ type t = {
       (* causal span tracing: the default bounded ring is the always-on
          flight recorder chaos dumps on invariant violations; [Full]
          retains every span for export/critical-path analysis *)
+  collector_retention : Bgp.Collector.retention;
+      (* [Counts_only] drops the collector's event log, keeping counts and
+         per-prefix last-update instants — required at Internet scale
+         where the log would dominate the heap *)
 }
 
 let default =
@@ -47,6 +51,7 @@ let default =
     flow_idle_timeout = None;
     flow_hard_timeout = None;
     causal = Engine.Causal.Ring 4096;
+    collector_retention = Bgp.Collector.Full;
   }
 
 let with_mrai t span = { t with bgp = Bgp.Config.with_mrai t.bgp span }

@@ -27,6 +27,10 @@ type t = {
       (** causal span tracing mode; the default [Ring 4096] keeps a cheap
           always-on flight recorder, [Full] retains every span for
           critical-path analysis and Chrome/JSONL export *)
+  collector_retention : Bgp.Collector.retention;
+      (** [Counts_only] drops the collector's event log, keeping the
+          update count and per-prefix last-update instants — constant
+          memory per prefix for Internet-scale runs *)
 }
 
 val default : t

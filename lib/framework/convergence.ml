@@ -60,21 +60,20 @@ let attach network =
   | None -> ());
   t
 
-(* Refresh collector-derived timestamps (pull, not push). *)
+(* Refresh collector-derived timestamps (pull, not push).  Reads the
+   collector's maintained per-prefix last-update instants — available
+   under every retention mode — rather than rescanning the event log. *)
 let refresh_collector t =
   let collector = Network.collector t.network in
   List.iter
-    (fun (e : Bgp.Collector.event) ->
-      let current = Pm.find_opt e.Bgp.Collector.prefix t.last_collector_update in
+    (fun (prefix, time) ->
+      let current = Pm.find_opt prefix t.last_collector_update in
       let better =
-        match current with
-        | None -> true
-        | Some c -> Engine.Time.(e.Bgp.Collector.time > c)
+        match current with None -> true | Some c -> Engine.Time.(time > c)
       in
       if better then
-        t.last_collector_update <-
-          bump_map e.Bgp.Collector.time e.Bgp.Collector.prefix t.last_collector_update)
-    (Bgp.Collector.events collector)
+        t.last_collector_update <- bump_map time prefix t.last_collector_update)
+    (Bgp.Collector.last_updates collector)
 
 let last_control_change t prefix = Pm.find_opt prefix t.last_control_change
 

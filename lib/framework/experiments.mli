@@ -141,6 +141,70 @@ val table_size_run :
 (** Negative control: withdrawal convergence with [background] unrelated
     prefixes installed everywhere — should be table-size independent. *)
 
+type scale_result = {
+  ases : int;
+  links : int;
+  prefixes : int;
+  sdn_members : int;
+  load_updates : int;  (** collector-recorded updates during the load phase *)
+  load_seconds : float;  (** host seconds spent in the load phase *)
+  updates_per_sec : float;
+  load_settled : bool;
+      (** the load phase reached quiescence within its event budget *)
+  withdrawal : run_result;  (** the measured withdrawal after the load *)
+  rib_routes : int;  (** Loc-RIB entries summed over legacy routers *)
+  adj_in_routes : int;  (** Adj-RIB-In entries summed over legacy routers *)
+  live_words : int;  (** major-heap live words at end of run *)
+  peak_words : int;  (** [Gc.top_heap_words] over the whole run *)
+  distinct_attrs : int;  (** interned attribute sets (domain-local table) *)
+}
+
+val scale_prefix : int -> Net.Ipv4.prefix
+(** The [m]-th synthetic load prefix (101.0.0.0/24 onward), disjoint from
+    the addressing plan's origin prefixes. *)
+
+val scale_run :
+  ?tier1:int ->
+  ?tier2:int ->
+  ?stubs:int ->
+  ?prefixes:int ->
+  ?sdn:int ->
+  ?load_max_events:int ->
+  ?phase_wall_s:float ->
+  ?clock:(unit -> float) ->
+  seed:int ->
+  config:Config.t ->
+  unit ->
+  scale_result
+(** Internet-scale stress: a synthetic CAIDA graph loaded with [prefixes]
+    origins spread round-robin across its stubs (event budget
+    [load_max_events]; [load_settled] reports whether propagation in fact
+    quiesced), then one measured announce + withdrawal of the origin
+    stub's own prefix.  [sdn] centralizes that many top-degree ASes.  The
+    collector runs in [Counts_only] retention.  [clock] supplies host
+    time for the throughput figures (default [Sys.time]; pass
+    [Unix.gettimeofday] for wall clock).  [phase_wall_s] adds a
+    host-clock deadline per phase (load / announce / withdrawal): at
+    Internet scale one batched delivery can carry thousands of prefixes,
+    so an event budget alone cannot bound wall time; a phase stopped at
+    its deadline counts as unsettled. *)
+
+val scale_sweep :
+  ?pool:Engine.Pool.t ->
+  ?tier1:int ->
+  ?tier2:int ->
+  ?stubs:int ->
+  ?prefixes:int ->
+  ?ks:int list ->
+  ?runs:int ->
+  ?seed:int ->
+  ?config:Config.t ->
+  unit ->
+  series
+(** The convergence-vs-centralization curve at scale: withdrawal
+    convergence on a loaded CAIDA graph vs centralized member count
+    (top-degree placement). *)
+
 type flap_result = {
   collector_updates_total : int;
   recovery_seconds : float;

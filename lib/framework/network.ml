@@ -40,6 +40,8 @@ type t = {
   mutable auto_reply : bool;
   (* relationships of peerings added at runtime, keyed (me, neighbor) *)
   rel_overrides : (Net.Asn.t * Net.Asn.t, Bgp.Policy.relationship) Hashtbl.t;
+  (* (me, neighbor) -> spec link, both directions; see [index_links] *)
+  link_index : (Net.Asn.t * Net.Asn.t, Topology.Spec.link_spec) Hashtbl.t;
 }
 
 let sim t = t.sim
@@ -172,17 +174,22 @@ and inject t ~src (packet : Net.Packet.t) =
 
 (* --- Construction ------------------------------------------------------- *)
 
-let spec_relationship spec ~me ~neighbor =
+(* (me, neighbor) -> spec link, both directions.  Built once per network:
+   the naive per-peering List.find_opt over the full link list made
+   construction O(E^2), which dominates setup on Internet-scale graphs. *)
+let index_links spec =
+  let idx = Hashtbl.create 1024 in
+  List.iter
+    (fun (l : Topology.Spec.link_spec) ->
+      Hashtbl.replace idx (l.Topology.Spec.a, l.Topology.Spec.b) l;
+      Hashtbl.replace idx (l.Topology.Spec.b, l.Topology.Spec.a) l)
+    (Topology.Spec.links spec);
+  idx
+
+let indexed_relationship link_index ~me ~neighbor =
   if Net.Asn.equal neighbor collector_asn then Bgp.Policy.Customer
   else begin
-    let link =
-      List.find_opt
-        (fun (l : Topology.Spec.link_spec) ->
-          (Net.Asn.equal l.Topology.Spec.a me && Net.Asn.equal l.Topology.Spec.b neighbor)
-          || (Net.Asn.equal l.Topology.Spec.b me && Net.Asn.equal l.Topology.Spec.a neighbor))
-        (Topology.Spec.links spec)
-    in
-    match link with
+    match Hashtbl.find_opt link_index (me, neighbor) with
     | None -> Bgp.Policy.Unrestricted
     | Some l -> (
       match Topology.Spec.neighbor_role_of_link ~me l with
@@ -193,14 +200,12 @@ let spec_relationship spec ~me ~neighbor =
       | Topology.Spec.Unrestricted -> Bgp.Policy.Unrestricted)
   end
 
-let policy_toward spec ~me ~neighbor = Bgp.Policy.make (spec_relationship spec ~me ~neighbor)
-
 (* Runtime-aware relationship lookup: peerings added after construction
    take precedence over (absence in) the spec. *)
 let relationship_for t ~me ~neighbor =
   match Hashtbl.find_opt t.rel_overrides (me, neighbor) with
   | Some rel -> rel
-  | None -> spec_relationship t.spec ~me ~neighbor
+  | None -> indexed_relationship t.link_index ~me ~neighbor
 
 let policy_for t ~me ~neighbor = Bgp.Policy.make (relationship_for t ~me ~neighbor)
 
@@ -212,6 +217,7 @@ let create ?(config = Config.default) ~seed spec =
   let sim = Engine.Sim.create ~seed ~causal:config.Config.causal () in
   let net = Net.Netsim.create sim in
   let plan = Addressing.plan spec in
+  let link_index = index_links spec in
   let all_asns = Topology.Spec.asns spec in
   let sdn = Topology.Spec.sdn_asns spec in
   let sdn_set = Net.Asn.Set.of_list sdn in
@@ -265,9 +271,11 @@ let create ?(config = Config.default) ~seed spec =
   in
   (* Collector. *)
   let collector =
-    Bgp.Collector.create ~sim ~asn:collector_asn ~node_id:collector_node
+    Bgp.Collector.create ~retention:config.Config.collector_retention ~sim
+      ~asn:collector_asn ~node_id:collector_node
       ~router_id:(Net.Ipv4.addr_of_octets 10 255 255 1)
       ~send:(fun ~dst msg -> send_bgp_via ~src:collector_node ~dst msg)
+      ()
   in
   (* Legacy routers. *)
   let routers =
@@ -292,7 +300,7 @@ let create ?(config = Config.default) ~seed spec =
       List.iter
         (fun neighbor ->
           Bgp.Router.add_peer router ~peer_asn:neighbor ~peer_node:(Net.Asn.to_int neighbor)
-            ~policy:(policy_toward spec ~me:asn ~neighbor))
+            ~policy:(Bgp.Policy.make (indexed_relationship link_index ~me:asn ~neighbor)))
         (Topology.Spec.neighbors spec asn);
       Bgp.Router.add_peer router ~peer_asn:collector_asn ~peer_node:collector_node
         ~policy:(Bgp.Policy.make Bgp.Policy.Customer);
@@ -434,6 +442,7 @@ let create ?(config = Config.default) ~seed spec =
       on_deliver = [];
       auto_reply = true;
       rel_overrides = Hashtbl.create 8;
+      link_index;
     }
   in
   t_ref := Some t;

@@ -1,103 +1,25 @@
 (* Longest-prefix-match forwarding table, as a binary trie on address bits.
    Generic in the entry type: legacy routers store next-hop AS decisions,
-   SDN switches store flow actions. *)
+   SDN switches store flow actions.  Backed by [Ipv4.Prefix_trie]. *)
 
-type 'a node = {
-  mutable value : 'a option;
-  mutable zero : 'a node option;
-  mutable one : 'a node option;
-}
+type 'a t = 'a Ipv4.Prefix_trie.t
 
-type 'a t = { root : 'a node; mutable size : int }
+let create () = Ipv4.Prefix_trie.create ()
 
-let make_node () = { value = None; zero = None; one = None }
+let size = Ipv4.Prefix_trie.size
 
-let create () = { root = make_node (); size = 0 }
+let insert t prefix value = Ipv4.Prefix_trie.set prefix value t
 
-let size t = t.size
+let find t prefix = Ipv4.Prefix_trie.find prefix t
 
-(* Bit [i] (0 = most significant) of an address. *)
-let bit addr i =
-  Int32.logand (Int32.shift_right_logical (Ipv4.addr_to_int32 addr) (31 - i)) 1l <> 0l
+let remove t prefix = Ipv4.Prefix_trie.remove prefix t
 
-let rec locate_rec node addr len i ~create_missing =
-  if i = len then Some node
-  else begin
-    let child = if bit addr i then node.one else node.zero in
-    match child with
-    | Some c -> locate_rec c addr len (i + 1) ~create_missing
-    | None ->
-      if not create_missing then None
-      else begin
-        let c = make_node () in
-        if bit addr i then node.one <- Some c else node.zero <- Some c;
-        locate_rec c addr len (i + 1) ~create_missing
-      end
-  end
+let lookup t addr = Ipv4.Prefix_trie.lookup addr t
 
-let insert t prefix value =
-  let addr = Ipv4.prefix_network prefix in
-  let len = Ipv4.prefix_len prefix in
-  match locate_rec t.root addr len 0 ~create_missing:true with
-  | None -> assert false
-  | Some node ->
-    if Option.is_none node.value then t.size <- t.size + 1;
-    node.value <- Some value
+let lookup_value t addr = Ipv4.Prefix_trie.lookup_value addr t
 
-let find t prefix =
-  let addr = Ipv4.prefix_network prefix in
-  let len = Ipv4.prefix_len prefix in
-  match locate_rec t.root addr len 0 ~create_missing:false with
-  | None -> None
-  | Some node -> node.value
+let entries t = Ipv4.Prefix_trie.entries t
 
-let remove t prefix =
-  let addr = Ipv4.prefix_network prefix in
-  let len = Ipv4.prefix_len prefix in
-  match locate_rec t.root addr len 0 ~create_missing:false with
-  | None -> ()
-  | Some node ->
-    if Option.is_some node.value then t.size <- t.size - 1;
-    node.value <- None
+let clear = Ipv4.Prefix_trie.clear
 
-(* Walk toward the address, remembering the deepest populated node. *)
-let lookup t addr =
-  let rec walk node i best =
-    let best =
-      match node.value with
-      | Some v -> Some (Ipv4.prefix addr i, v)
-      | None -> best
-    in
-    if i = 32 then best
-    else
-      match (if bit addr i then node.one else node.zero) with
-      | None -> best
-      | Some c -> walk c (i + 1) best
-  in
-  walk t.root 0 None
-
-let lookup_value t addr = Option.map snd (lookup t addr)
-
-let entries t =
-  let rec walk node addr i acc =
-    let acc =
-      match node.value with
-      | Some v -> (Ipv4.prefix (Ipv4.addr_of_int32 addr) i, v) :: acc
-      | None -> acc
-    in
-    let acc =
-      match node.zero with Some c -> walk c addr (i + 1) acc | None -> acc
-    in
-    match node.one with
-    | Some c -> walk c (Int32.logor addr (Int32.shift_left 1l (31 - i))) (i + 1) acc
-    | None -> acc
-  in
-  walk t.root 0l 0 [] |> List.sort (fun (p, _) (q, _) -> Ipv4.compare_prefix p q)
-
-let clear t =
-  t.root.value <- None;
-  t.root.zero <- None;
-  t.root.one <- None;
-  t.size <- 0
-
-let iter t f = List.iter (fun (p, v) -> f p v) (entries t)
+let iter t f = Ipv4.Prefix_trie.iter f t

@@ -123,6 +123,153 @@ module Allocator = struct
     { network; len = t.len }
 end
 
+(* Mutable binary trie keyed on prefix bits.  One node per distinct bit
+   path; a populated node at depth [i] holds the value for the /i prefix
+   spelled by the path.  Pre-order traversal (value, zero subtree, one
+   subtree) visits prefixes in exactly [compare_prefix] ascending order
+   (unsigned network, then length), so iteration is a drop-in
+   deterministic replacement for [Prefix_map] folds.  Empty branches are
+   pruned on removal so long-lived tables don't accrete dead spines. *)
+module Prefix_trie = struct
+  type 'a node = {
+    mutable value : 'a option;
+    mutable zero : 'a node option;
+    mutable one : 'a node option;
+  }
+
+  type 'a t = { root : 'a node; mutable size : int }
+
+  let make_node () = { value = None; zero = None; one = None }
+
+  let create () = { root = make_node (); size = 0 }
+
+  let size t = t.size
+
+  let is_empty t = t.size = 0
+
+  (* Address bits as a non-negative int so the walk avoids Int32 boxing. *)
+  let bits_of_network (n : int32) = Int32.to_int n land 0xffff_ffff
+
+  let bit bits i = (bits lsr (31 - i)) land 1
+
+  let find p t =
+    let bits = bits_of_network p.network in
+    let len = p.len in
+    let rec go node i =
+      if i = len then node.value
+      else
+        match (if bit bits i = 0 then node.zero else node.one) with
+        | None -> None
+        | Some c -> go c (i + 1)
+    in
+    go t.root 0
+
+  let mem p t = Option.is_some (find p t)
+
+  let set p v t =
+    let bits = bits_of_network p.network in
+    let len = p.len in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_none node.value then t.size <- t.size + 1;
+        node.value <- Some v
+      end
+      else begin
+        let child = if bit bits i = 0 then node.zero else node.one in
+        match child with
+        | Some c -> go c (i + 1)
+        | None ->
+          let c = make_node () in
+          if bit bits i = 0 then node.zero <- Some c else node.one <- Some c;
+          go c (i + 1)
+      end
+    in
+    go t.root 0
+
+  (* Returns [true] when the subtree below (and including) [node] became
+     empty, letting the parent drop its link. *)
+  let remove p t =
+    let bits = bits_of_network p.network in
+    let len = p.len in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_some node.value then begin
+          t.size <- t.size - 1;
+          node.value <- None
+        end
+      end
+      else begin
+        let on_zero = bit bits i = 0 in
+        match (if on_zero then node.zero else node.one) with
+        | None -> ()
+        | Some c ->
+          go c (i + 1);
+          if Option.is_none c.value && Option.is_none c.zero && Option.is_none c.one
+          then if on_zero then node.zero <- None else node.one <- None
+      end
+    in
+    go t.root 0
+
+  let lookup addr t =
+    let bits = bits_of_network addr in
+    let rec walk node i best =
+      let best =
+        match node.value with
+        | Some v -> Some ({ network = apply_mask addr i; len = i }, v)
+        | None -> best
+      in
+      if i = 32 then best
+      else
+        match (if bit bits i = 0 then node.zero else node.one) with
+        | None -> best
+        | Some c -> walk c (i + 1) best
+    in
+    walk t.root 0 None
+
+  let lookup_value addr t = Option.map snd (lookup addr t)
+
+  (* Pre-order: a node's own value (shorter length) before its zero
+     subtree (same network, longer lengths) before its one subtree
+     (larger networks) — i.e. [compare_prefix] ascending. *)
+  let fold f t init =
+    let rec walk node bits i acc =
+      let acc =
+        match node.value with
+        | Some v -> f { network = Int32.of_int bits; len = i } v acc
+        | None -> acc
+      in
+      let acc =
+        match node.zero with Some c -> walk c bits (i + 1) acc | None -> acc
+      in
+      match node.one with
+      | Some c -> walk c (bits lor (1 lsl (31 - i))) (i + 1) acc
+      | None -> acc
+    in
+    walk t.root 0 0 init
+
+  let iter f t =
+    let rec walk node bits i =
+      (match node.value with
+      | Some v -> f { network = Int32.of_int bits; len = i } v
+      | None -> ());
+      (match node.zero with Some c -> walk c bits (i + 1) | None -> ());
+      match node.one with
+      | Some c -> walk c (bits lor (1 lsl (31 - i))) (i + 1)
+      | None -> ()
+    in
+    walk t.root 0 0
+
+  let entries t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+  let keys t = List.rev (fold (fun p _ acc -> p :: acc) t [])
+
+  let clear t =
+    t.root.value <- None;
+    t.root.zero <- None;
+    t.root.one <- None;
+    t.size <- 0
+end
+
 module Prefix_map = Map.Make (struct
   type t = prefix
 

@@ -73,6 +73,50 @@ module Allocator : sig
   val capacity : t -> int
 end
 
+(** Mutable binary trie keyed on prefix bits, with longest-prefix match.
+    Iteration order is deterministic: exactly [compare_prefix] ascending,
+    matching [Prefix_map] folds.  Not domain-safe; each trie is owned by
+    one router/component. *)
+module Prefix_trie : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val size : 'a t -> int
+  (** O(1). *)
+
+  val is_empty : 'a t -> bool
+
+  val find : prefix -> 'a t -> 'a option
+  (** Exact-prefix lookup. *)
+
+  val mem : prefix -> 'a t -> bool
+
+  val set : prefix -> 'a -> 'a t -> unit
+  (** Insert or replace the entry for exactly this prefix. *)
+
+  val remove : prefix -> 'a t -> unit
+  (** No-op when absent; prunes emptied branches. *)
+
+  val lookup : addr -> 'a t -> (prefix * 'a) option
+  (** Longest-prefix match for an address. *)
+
+  val lookup_value : addr -> 'a t -> 'a option
+
+  val fold : (prefix -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  (** Ascending [compare_prefix] order, like [Prefix_map.fold]. *)
+
+  val iter : (prefix -> 'a -> unit) -> 'a t -> unit
+  (** Ascending [compare_prefix] order. *)
+
+  val entries : 'a t -> (prefix * 'a) list
+  (** Ascending [compare_prefix] order. *)
+
+  val keys : 'a t -> prefix list
+
+  val clear : 'a t -> unit
+end
+
 module Prefix_map : Map.S with type key = prefix
 
 module Prefix_set : Set.S with type elt = prefix

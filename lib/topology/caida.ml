@@ -36,33 +36,45 @@ let parse_line lineno line =
 
 let parse_string ?(title = "caida") text =
   let lines = String.split_on_char '\n' text in
+  (* Malformed structure is rejected, not repaired: a self-loop or a
+     repeated AS pair (even with the same relationship) means the file is
+     not a function from unordered pairs to relationships, and silently
+     merging has historically hidden generator bugs. *)
+  let seen = Hashtbl.create 64 in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
       match parse_line lineno line with
       | Ok None -> go (lineno + 1) acc rest
-      | Ok (Some l) -> go (lineno + 1) (l :: acc) rest
+      | Ok (Some (l : Spec.link_spec)) ->
+        if Net.Asn.equal l.a l.b then
+          Error
+            {
+              line = lineno;
+              content = String.trim line;
+              reason = Fmt.str "self-loop on AS%a" Net.Asn.pp l.a;
+            }
+        else begin
+          let key = if Net.Asn.compare l.a l.b <= 0 then (l.a, l.b) else (l.b, l.a) in
+          match Hashtbl.find_opt seen key with
+          | Some first_line ->
+            Error
+              {
+                line = lineno;
+                content = String.trim line;
+                reason =
+                  Fmt.str "duplicate AS pair %a|%a (first related at line %d)" Net.Asn.pp l.a
+                    Net.Asn.pp l.b first_line;
+              }
+          | None ->
+            Hashtbl.replace seen key lineno;
+            go (lineno + 1) (l :: acc) rest
+        end
       | Error e -> Error e)
   in
   match go 1 [] lines with
   | Error e -> Error e
   | Ok links ->
-    (* Deduplicate links (datasets occasionally repeat pairs) and collect
-       the AS set. *)
-    let seen = Hashtbl.create 64 in
-    let links =
-      List.filter
-        (fun (l : Spec.link_spec) ->
-          let key =
-            if Net.Asn.compare l.a l.b <= 0 then (l.a, l.b) else (l.b, l.a)
-          in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.replace seen key ();
-            true
-          end)
-        links
-    in
     let asns = Hashtbl.create 64 in
     List.iter
       (fun (l : Spec.link_spec) ->

@@ -7,7 +7,10 @@ val pp_parse_error : Format.formatter -> parse_error -> unit
 
 val parse_string : ?title:string -> string -> (Spec.t, parse_error) result
 (** Parse serial-1 text ([provider|customer|-1], [peer|peer|0],
-    [sibling|sibling|2], ['#'] comments).  Duplicate pairs are dropped. *)
+    [sibling|sibling|2], ['#'] comments).  Self-loops and duplicate AS pairs (whatever their
+    relationships) are rejected with the offending line — real datasets
+    relate each unordered pair exactly once, so repetition means a broken
+    file or generator. *)
 
 val parse_file : string -> (Spec.t, parse_error) result
 

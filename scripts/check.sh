@@ -39,4 +39,7 @@ dune build @trace-smoke
 step "bench smoke (quick sweep + JSON baseline validation)"
 dune build @bench-smoke
 
+step "scale smoke (reduced 500-AS run + PR 8 baseline ratio guards)"
+dune build @scale-smoke
+
 printf '\nall checks passed\n'

@@ -49,6 +49,79 @@ let test_origin_rank () =
   Alcotest.(check bool) "egp < incomplete" true
     (Bgp.Attrs.origin_rank Bgp.Attrs.Egp < Bgp.Attrs.origin_rank Bgp.Attrs.Incomplete)
 
+(* --- Interning properties -------------------------------------------- *)
+
+let test_intern_physical_equality () =
+  let a =
+    Bgp.Attrs.make ~as_path:[ asn 65001; asn 65002 ] ~local_pref:120 ~med:7 ~next_hop:nh ()
+  in
+  let b =
+    Bgp.Attrs.make ~as_path:[ asn 65001; asn 65002 ] ~local_pref:120 ~med:7 ~next_hop:nh ()
+  in
+  Alcotest.(check bool) "same content is the same value" true (a == b);
+  (* different construction route, same content *)
+  let c =
+    Bgp.Attrs.prepend
+      (Bgp.Attrs.with_med
+         (Bgp.Attrs.with_local_pref (Bgp.Attrs.make ~as_path:[ asn 65002 ] ~next_hop:nh ()) 120)
+         7)
+      (asn 65001)
+  in
+  Alcotest.(check bool) "construction route irrelevant" true (a == c);
+  Alcotest.(check int) "ids agree" (Bgp.Attrs.id a) (Bgp.Attrs.id c);
+  Alcotest.(check int) "wire ids agree" (Bgp.Attrs.wire_id a) (Bgp.Attrs.wire_id c)
+
+(* QCheck: any two logically-equal random attrs are physically equal, and
+   the intern tables grow by at most the number of distinct inputs. *)
+let attrs_spec_gen =
+  QCheck.Gen.(
+    let path = list_size (int_range 0 4) (int_range 65001 65006) in
+    let lp = int_range 50 150 in
+    let med = int_range 0 3 in
+    triple path lp med)
+
+let build (path, lp, med) =
+  Bgp.Attrs.make ~as_path:(List.map asn path) ~local_pref:lp ~med ~next_hop:nh ()
+
+let prop_same_spec_physically_equal =
+  QCheck.Test.make ~name:"equal specs intern to one value" ~count:500
+    (QCheck.make
+       ~print:(fun (p, lp, med) ->
+         Fmt.str "path=%a lp=%d med=%d" Fmt.(Dump.list int) p lp med)
+       attrs_spec_gen)
+    (fun spec ->
+      let a = build spec and b = build spec in
+      a == b && Bgp.Attrs.equal a b
+      && Bgp.Attrs.id a = Bgp.Attrs.id b
+      && Bgp.Attrs.wire_id a = Bgp.Attrs.wire_id b)
+
+let prop_table_growth_bounded =
+  QCheck.Test.make ~name:"intern table growth bounded by distinct specs" ~count:20
+    (QCheck.make
+       ~print:(fun l -> string_of_int (List.length l))
+       QCheck.Gen.(list_size (int_range 1 60) attrs_spec_gen))
+    (fun specs ->
+      let before = (Bgp.Attrs.intern_stats ()).Bgp.Attrs.distinct_full in
+      List.iter (fun s -> ignore (build s)) specs;
+      (* interning many copies of the same specs again must add nothing *)
+      List.iter (fun s -> ignore (build s)) specs;
+      let after = (Bgp.Attrs.intern_stats ()).Bgp.Attrs.distinct_full in
+      let distinct = List.length (List.sort_uniq compare specs) in
+      after - before <= distinct)
+
+let test_intern_stats_monotone () =
+  let s0 = Bgp.Attrs.intern_stats () in
+  let a = Bgp.Attrs.make ~as_path:[ asn 64999 ] ~next_hop:nh () in
+  ignore (Bgp.Attrs.with_local_pref a 77);
+  let s1 = Bgp.Attrs.intern_stats () in
+  Alcotest.(check bool) "paths monotone" true
+    (s1.Bgp.Attrs.distinct_paths >= s0.Bgp.Attrs.distinct_paths);
+  Alcotest.(check bool) "wire monotone" true
+    (s1.Bgp.Attrs.distinct_wire >= s0.Bgp.Attrs.distinct_wire);
+  (* same wire attrs under two local-prefs: one wire entry, two full *)
+  Alcotest.(check bool) "full >= wire" true
+    (s1.Bgp.Attrs.distinct_full >= s1.Bgp.Attrs.distinct_wire)
+
 let suite =
   [
     Alcotest.test_case "prepend" `Quick test_prepend;
@@ -56,4 +129,8 @@ let suite =
     Alcotest.test_case "wire equality" `Quick test_wire_equal_ignores_local_pref;
     Alcotest.test_case "communities" `Quick test_communities;
     Alcotest.test_case "origin rank" `Quick test_origin_rank;
+    Alcotest.test_case "intern physical equality" `Quick test_intern_physical_equality;
+    QCheck_alcotest.to_alcotest prop_same_spec_physically_equal;
+    QCheck_alcotest.to_alcotest prop_table_growth_bounded;
+    Alcotest.test_case "intern stats monotone" `Quick test_intern_stats_monotone;
   ]

@@ -14,6 +14,7 @@ let setup () =
       ~send:(fun ~dst msg ->
         sent := (dst, msg) :: !sent;
         true)
+      ()
   in
   Bgp.Collector.add_peer collector ~peer_asn:(Net.Asn.of_int 65001) ~peer_node:1;
   (sim, collector, sent)

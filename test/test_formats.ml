@@ -91,6 +91,7 @@ let make_collector_with_events () =
     Bgp.Collector.create ~sim ~asn:(Net.Asn.of_int 64000) ~node_id:99
       ~router_id:(Net.Ipv4.addr_of_octets 10 9 9 9)
       ~send:(fun ~dst:_ _ -> true)
+      ()
   in
   Bgp.Collector.add_peer collector ~peer_asn:(Net.Asn.of_int 65001) ~peer_node:1;
   let attrs path =

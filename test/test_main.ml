@@ -22,6 +22,7 @@ let () =
       ("bgp.decision", Test_decision.suite);
       ("bgp.policy", Test_policy.suite);
       ("bgp.rib", Test_rib.suite);
+      ("bgp.rib_differential", Test_rib_differential.suite);
       ("bgp.mrai", Test_mrai.suite);
       ("bgp.router", Test_router.suite);
       ("bgp.wire", Test_wire.suite);

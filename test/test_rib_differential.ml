@@ -1,0 +1,355 @@
+(* Differential suite: the scale-path structures (prefix-trie RIBs,
+   hash-consed attrs) against plain map-based reference implementations —
+   the pre-scale design kept here as an executable specification.  Every
+   random sequence is seeded from [Engine.Rng] so a failure reproduces
+   exactly. *)
+
+module Pm = Net.Ipv4.Prefix_map
+module Pt = Net.Ipv4.Prefix_trie
+module Am = Net.Asn.Map
+
+let nh = Net.Ipv4.addr_of_octets 10 0 0 1
+
+let asn = Net.Asn.of_int
+
+(* A small pool of overlapping prefixes (different lengths, shared
+   spines) so removes hit, LPM has real longest-vs-shorter choices, and
+   trie paths share internal nodes. *)
+let random_prefix rng =
+  let len = 8 + Engine.Rng.int rng 21 (* /8 .. /28 *) in
+  let a = 10 + Engine.Rng.int rng 4 in
+  let b = Engine.Rng.int rng 8 in
+  let c = Engine.Rng.int rng 8 in
+  let d = Engine.Rng.int rng 256 in
+  Net.Ipv4.prefix (Net.Ipv4.addr_of_octets a b c d) len
+
+let random_addr rng =
+  Net.Ipv4.addr_of_octets
+    (10 + Engine.Rng.int rng 4)
+    (Engine.Rng.int rng 8) (Engine.Rng.int rng 8) (Engine.Rng.int rng 256)
+
+let route ~peer ~prefix ~tag =
+  Bgp.Route.make ~prefix
+    ~attrs:(Bgp.Attrs.make ~as_path:[ asn peer; asn (65100 + tag) ] ~next_hop:nh ())
+    ~source:(Bgp.Route.Ebgp (asn peer)) ~learned_at:Engine.Time.zero
+
+let check_entries name expected got =
+  Alcotest.(check int) (name ^ ": cardinal") (List.length expected) (List.length got);
+  List.iter2
+    (fun (pe, _) (pg, _) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: key %a vs %a" name Net.Ipv4.pp_prefix pe Net.Ipv4.pp_prefix pg)
+        true
+        (Net.Ipv4.equal_prefix pe pg))
+    expected got
+
+(* --- Prefix_trie vs Prefix_map: insert / remove / exact / LPM -------- *)
+
+let reference_lpm addr m =
+  Pm.fold
+    (fun p v best ->
+      if Net.Ipv4.mem addr p then
+        match best with
+        | Some (bp, _) when Net.Ipv4.prefix_len bp >= Net.Ipv4.prefix_len p -> best
+        | _ -> Some (p, v)
+      else best)
+    m None
+
+let test_trie_vs_map () =
+  let rng = Engine.Rng.create 42 in
+  let trie = Pt.create () in
+  let reference = ref Pm.empty in
+  for step = 1 to 3000 do
+    let p = random_prefix rng in
+    (match Engine.Rng.int rng 5 with
+    | 0 | 1 ->
+      let v = step in
+      Pt.set p v trie;
+      reference := Pm.add p v !reference
+    | 2 ->
+      Pt.remove p trie;
+      reference := Pm.remove p !reference
+    | 3 ->
+      let addr = random_addr rng in
+      let got = Pt.lookup addr trie in
+      let want = reference_lpm addr !reference in
+      Alcotest.(check bool)
+        (Fmt.str "step %d: LPM for %a" step Net.Ipv4.pp_addr addr)
+        true
+        (match (got, want) with
+        | None, None -> true
+        | Some (gp, gv), Some (wp, wv) -> Net.Ipv4.equal_prefix gp wp && gv = wv
+        | _ -> false)
+    | _ ->
+      let got = Pt.find p trie in
+      Alcotest.(check (option int))
+        (Fmt.str "step %d: find %a" step Net.Ipv4.pp_prefix p)
+        (Pm.find_opt p !reference) got);
+    Alcotest.(check int) (Fmt.str "step %d: size" step) (Pm.cardinal !reference)
+      (Pt.size trie);
+    if step mod 250 = 0 then begin
+      let expected = Pm.bindings !reference in
+      check_entries (Fmt.str "step %d: entries" step) expected (Pt.entries trie);
+      List.iter2
+        (fun (_, ve) (_, vg) -> Alcotest.(check int) "entry value" ve vg)
+        expected (Pt.entries trie)
+    end
+  done;
+  Pt.clear trie;
+  Alcotest.(check int) "clear empties" 0 (Pt.size trie);
+  Alcotest.(check bool) "clear is_empty" true (Pt.is_empty trie)
+
+(* --- Adj-RIB-In: trie-backed vs per-peer Prefix_map ------------------ *)
+
+type ref_adj_in = { mutable tables : Bgp.Route.t Pm.t Am.t }
+
+let ref_adj_in_set t ~peer r =
+  let m = Option.value (Am.find_opt peer t.tables) ~default:Pm.empty in
+  t.tables <- Am.add peer (Pm.add (Bgp.Route.prefix r) r m) t.tables
+
+let ref_adj_in_remove t ~peer prefix =
+  match Am.find_opt peer t.tables with
+  | None -> ()
+  | Some m ->
+    let m = Pm.remove prefix m in
+    t.tables <- (if Pm.is_empty m then Am.remove peer t.tables else Am.add peer m t.tables)
+
+let ref_adj_in_drop_peer t ~peer =
+  let dropped =
+    match Am.find_opt peer t.tables with
+    | None -> []
+    | Some m -> List.map fst (Pm.bindings m)
+  in
+  t.tables <- Am.remove peer t.tables;
+  dropped
+
+let ref_adj_in_candidates t prefix =
+  Am.fold
+    (fun _ m acc -> match Pm.find_opt prefix m with Some r -> r :: acc | None -> acc)
+    t.tables []
+  |> List.rev
+
+let ref_adj_in_size t = Am.fold (fun _ m acc -> acc + Pm.cardinal m) t.tables 0
+
+let same_route a b =
+  Net.Ipv4.equal_prefix (Bgp.Route.prefix a) (Bgp.Route.prefix b)
+  && Bgp.Route.attrs a == Bgp.Route.attrs b
+  && Bgp.Route.source a = Bgp.Route.source b
+
+let test_adj_in_differential () =
+  let rng = Engine.Rng.create 1001 in
+  let rib = Bgp.Rib.Adj_in.create () in
+  let reference = { tables = Am.empty } in
+  let peers = [ 65001; 65002; 65003; 65004; 65005 ] in
+  for step = 1 to 2000 do
+    let peer = asn (Engine.Rng.pick rng peers) in
+    let prefix = random_prefix rng in
+    (match Engine.Rng.int rng 8 with
+    | 0 | 1 | 2 | 3 ->
+      let r = route ~peer:(Net.Asn.to_int peer) ~prefix ~tag:(Engine.Rng.int rng 4) in
+      Bgp.Rib.Adj_in.set rib ~peer r;
+      ref_adj_in_set reference ~peer r
+    | 4 | 5 ->
+      Bgp.Rib.Adj_in.remove rib ~peer prefix;
+      ref_adj_in_remove reference ~peer prefix
+    | 6 ->
+      let got = Bgp.Rib.Adj_in.drop_peer rib ~peer in
+      let want = ref_adj_in_drop_peer reference ~peer in
+      Alcotest.(check int)
+        (Fmt.str "step %d: drop_peer count" step)
+        (List.length want) (List.length got);
+      List.iter2
+        (fun w g ->
+          Alcotest.(check bool) "dropped prefix" true (Net.Ipv4.equal_prefix w g))
+        (List.sort Net.Ipv4.compare_prefix want)
+        (List.sort Net.Ipv4.compare_prefix got)
+    | _ ->
+      let got = Bgp.Rib.Adj_in.candidates rib prefix in
+      let want = ref_adj_in_candidates reference prefix in
+      Alcotest.(check int)
+        (Fmt.str "step %d: candidate count" step)
+        (List.length want) (List.length got);
+      List.iter2
+        (fun w g ->
+          Alcotest.(check bool) "candidate route" true (same_route w g))
+        want got);
+    Alcotest.(check int)
+      (Fmt.str "step %d: size" step)
+      (ref_adj_in_size reference)
+      (Bgp.Rib.Adj_in.size rib);
+    (* exact-match spot check with a prefix likely present *)
+    let probe = random_prefix rng in
+    let got = Bgp.Rib.Adj_in.find rib ~peer probe in
+    let want =
+      Option.bind (Am.find_opt peer reference.tables) (Pm.find_opt probe)
+    in
+    Alcotest.(check bool)
+      (Fmt.str "step %d: find agrees" step)
+      true
+      (match (got, want) with
+      | None, None -> true
+      | Some g, Some w -> same_route g w
+      | _ -> false)
+  done;
+  (* final full-state comparison, peer by peer *)
+  List.iter
+    (fun p ->
+      let peer = asn p in
+      let want =
+        match Am.find_opt peer reference.tables with
+        | None -> []
+        | Some m -> List.map fst (Pm.bindings m)
+      in
+      let got = Bgp.Rib.Adj_in.prefixes_from rib ~peer in
+      Alcotest.(check int) (Fmt.str "final: AS%d prefixes" p) (List.length want)
+        (List.length got);
+      List.iter2
+        (fun w g -> Alcotest.(check bool) "prefix" true (Net.Ipv4.equal_prefix w g))
+        want
+        (List.sort Net.Ipv4.compare_prefix got))
+    peers
+
+(* --- Loc-RIB: trie-backed vs Prefix_map ------------------------------ *)
+
+let test_loc_differential () =
+  let rng = Engine.Rng.create 2002 in
+  let rib = Bgp.Rib.Loc.create () in
+  let reference = ref Pm.empty in
+  for step = 1 to 2000 do
+    let prefix = random_prefix rng in
+    (match Engine.Rng.int rng 3 with
+    | 0 | 1 ->
+      let r = route ~peer:65001 ~prefix ~tag:(Engine.Rng.int rng 4) in
+      Bgp.Rib.Loc.set rib r;
+      reference := Pm.add prefix r !reference
+    | _ ->
+      Bgp.Rib.Loc.remove rib prefix;
+      reference := Pm.remove prefix !reference);
+    Alcotest.(check int)
+      (Fmt.str "step %d: size" step)
+      (Pm.cardinal !reference) (Bgp.Rib.Loc.size rib);
+    let probe = random_prefix rng in
+    Alcotest.(check bool)
+      (Fmt.str "step %d: find agrees" step)
+      true
+      (match (Bgp.Rib.Loc.find rib probe, Pm.find_opt probe !reference) with
+      | None, None -> true
+      | Some g, Some w -> same_route g w
+      | _ -> false)
+  done;
+  check_entries "final entries" (Pm.bindings !reference) (Bgp.Rib.Loc.entries rib)
+
+(* --- Adj-RIB-Out: trie-backed vs per-peer Prefix_map ----------------- *)
+
+let test_adj_out_differential () =
+  let rng = Engine.Rng.create 3003 in
+  let rib = Bgp.Rib.Adj_out.create () in
+  let peers = [ 65001; 65002; 65003 ] in
+  let attrs tag = Bgp.Attrs.make ~as_path:[ asn (65200 + tag) ] ~next_hop:nh () in
+  let ref_tables = ref Am.empty in
+  for step = 1 to 2000 do
+    let peer = asn (Engine.Rng.pick rng peers) in
+    let prefix = random_prefix rng in
+    (match Engine.Rng.int rng 6 with
+    | 0 | 1 | 2 ->
+      let a = attrs (Engine.Rng.int rng 4) in
+      Bgp.Rib.Adj_out.set rib ~peer prefix a;
+      let m = Option.value (Am.find_opt peer !ref_tables) ~default:Pm.empty in
+      ref_tables := Am.add peer (Pm.add prefix a m) !ref_tables
+    | 3 | 4 ->
+      Bgp.Rib.Adj_out.remove rib ~peer prefix;
+      (match Am.find_opt peer !ref_tables with
+      | None -> ()
+      | Some m ->
+        let m = Pm.remove prefix m in
+        ref_tables :=
+          (if Pm.is_empty m then Am.remove peer !ref_tables
+           else Am.add peer m !ref_tables))
+    | _ ->
+      let got = Bgp.Rib.Adj_out.drop_peer rib ~peer in
+      let want =
+        match Am.find_opt peer !ref_tables with
+        | None -> []
+        | Some m -> List.map fst (Pm.bindings m)
+      in
+      ref_tables := Am.remove peer !ref_tables;
+      Alcotest.(check int)
+        (Fmt.str "step %d: drop_peer count" step)
+        (List.length want) (List.length got));
+    let ref_size = Am.fold (fun _ m acc -> acc + Pm.cardinal m) !ref_tables 0 in
+    Alcotest.(check int) (Fmt.str "step %d: size" step) ref_size
+      (Bgp.Rib.Adj_out.size rib);
+    let probe = random_prefix rng in
+    let got = Bgp.Rib.Adj_out.find rib ~peer probe in
+    let want = Option.bind (Am.find_opt peer !ref_tables) (Pm.find_opt probe) in
+    Alcotest.(check bool)
+      (Fmt.str "step %d: find agrees" step)
+      true
+      (match (got, want) with
+      | None, None -> true
+      | Some g, Some w -> g == w
+      | _ -> false)
+  done;
+  (* the satellite fix: no peer with an empty advertised set may linger *)
+  let entries = Bgp.Rib.Adj_out.entries rib in
+  List.iter
+    (fun (peer, advertised) ->
+      Alcotest.(check bool)
+        (Fmt.str "no empty per-peer map for AS%d" (Net.Asn.to_int peer))
+        true
+        (advertised <> []))
+    entries;
+  Alcotest.(check int) "entries peer count" (Am.cardinal !ref_tables)
+    (List.length entries);
+  List.iter
+    (fun (peer, advertised) ->
+      let want = Pm.bindings (Am.find_opt peer !ref_tables |> Option.get) in
+      check_entries
+        (Fmt.str "final advertised AS%d" (Net.Asn.to_int peer))
+        want advertised)
+    entries
+
+(* --- Small-topology end-to-end: trie-backed Loc-RIBs vs a map mirror
+   rebuilt from the best-route change stream of a real run -------------- *)
+
+let test_small_topology_mirror () =
+  let a = Topology.Artificial.asn in
+  let spec = Topology.Spec.with_sdn (Topology.Artificial.clique 5) [ a 1 ] in
+  let exp = Framework.Experiment.create ~config:Framework.Config.fast_test ~seed:7 spec in
+  let routers = Framework.Network.routers (Framework.Experiment.network exp) in
+  let mirrors = Hashtbl.create 8 in
+  Am.iter
+    (fun asn router ->
+      let mirror = ref Pm.empty in
+      Hashtbl.replace mirrors asn mirror;
+      Bgp.Router.subscribe_best_change router (fun prefix r ->
+          match r with
+          | Some r -> mirror := Pm.add prefix r !mirror
+          | None -> mirror := Pm.remove prefix !mirror))
+    routers;
+  ignore (Framework.Experiment.announce exp (a 0));
+  ignore (Framework.Experiment.settle exp);
+  ignore (Framework.Experiment.announce exp (a 2));
+  ignore (Framework.Experiment.announce exp (a 3));
+  ignore (Framework.Experiment.settle exp);
+  ignore (Framework.Experiment.withdraw exp (a 0));
+  ignore (Framework.Experiment.settle exp);
+  Am.iter
+    (fun asn router ->
+      let name = Fmt.str "AS%d Loc-RIB" (Net.Asn.to_int asn) in
+      let want = Pm.bindings !(Hashtbl.find mirrors asn) in
+      let got = Bgp.Router.loc_entries router in
+      check_entries name want got;
+      List.iter2
+        (fun (_, w) (_, g) -> Alcotest.(check bool) (name ^ " route") true (same_route w g))
+        want got)
+    routers
+
+let suite =
+  [
+    Alcotest.test_case "trie vs map (insert/remove/LPM)" `Quick test_trie_vs_map;
+    Alcotest.test_case "adj-in vs map reference" `Quick test_adj_in_differential;
+    Alcotest.test_case "loc vs map reference" `Quick test_loc_differential;
+    Alcotest.test_case "adj-out vs map reference" `Quick test_adj_out_differential;
+    Alcotest.test_case "small topology loc mirror" `Quick test_small_topology_mirror;
+  ]

@@ -95,6 +95,29 @@ let test_caida_parse_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage must fail"
 
+let test_caida_parse_malformed () =
+  (* self-loops are structural corruption, not a droppable line *)
+  (match Topology.Caida.parse_string "65001|65002|-1\n65003|65003|0\n" with
+  | Error { Topology.Caida.line = 2; reason; _ } ->
+    Alcotest.(check bool)
+      "self-loop named" true
+      (Astring_like.contains reason "self-loop")
+  | Error e -> Alcotest.failf "wrong error: %a" Topology.Caida.pp_parse_error e
+  | Ok _ -> Alcotest.fail "self-loop must fail");
+  (* a repeated pair must be rejected even when the relationship agrees *)
+  (match Topology.Caida.parse_string "65001|65002|-1\n65003|65004|0\n65001|65002|-1\n" with
+  | Error { Topology.Caida.line = 3; reason; _ } ->
+    Alcotest.(check bool)
+      "duplicate cites first line" true
+      (Astring_like.contains reason "line 1")
+  | Error e -> Alcotest.failf "wrong error: %a" Topology.Caida.pp_parse_error e
+  | Ok _ -> Alcotest.fail "duplicate pair must fail");
+  (* ... and when it conflicts, and regardless of orientation *)
+  match Topology.Caida.parse_string "65001|65002|-1\n65002|65001|0\n" with
+  | Error { Topology.Caida.line = 2; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Topology.Caida.pp_parse_error e
+  | Ok _ -> Alcotest.fail "conflicting reversed pair must fail"
+
 let test_caida_roundtrip () =
   let rng = Engine.Rng.create 5 in
   let spec = Topology.Caida.generate ~tier1:3 ~tier2:5 ~stubs:8 rng in
@@ -194,6 +217,7 @@ let suite =
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "caida parse" `Quick test_caida_parse;
     Alcotest.test_case "caida parse errors" `Quick test_caida_parse_errors;
+    Alcotest.test_case "caida malformed input" `Quick test_caida_parse_malformed;
     Alcotest.test_case "caida generate/render roundtrip" `Quick test_caida_roundtrip;
     Alcotest.test_case "iplane parse" `Quick test_iplane_parse;
     Alcotest.test_case "iplane generate" `Quick test_iplane_generate;
