@@ -29,7 +29,18 @@ type t = {
 
 let jobs t = t.jobs
 
-let recommended_jobs ?(cap = 8) () =
+(* The default cap is overridable via HYBRIDSIM_JOBS_CAP so -j 0 can use
+   more than 8 cores on big hosts without a code change.  Unset, empty,
+   non-numeric, or non-positive values fall back to the built-in cap. *)
+let env_cap ~default =
+  match Sys.getenv_opt "HYBRIDSIM_JOBS_CAP" with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> default)
+
+let recommended_jobs ?cap () =
+  let cap = match cap with Some c -> c | None -> env_cap ~default:8 in
   let cap = max 1 cap in
   min cap (max 1 (Domain.recommended_domain_count ()))
 
@@ -136,3 +147,38 @@ let map t f xs =
     Array.to_list (Array.map Option.get results)
 
 let map_reduce t ~map:f ~reduce ~init xs = List.fold_left reduce init (map t f xs)
+
+(* Pinned execution: index [i] runs on its own dedicated domain for its
+   whole lifetime (index 0 on the caller).  This is NOT what [map] gives
+   you — the FIFO hands tasks to whichever worker wakes first — and the
+   pinning matters for workloads that (a) build Domain.DLS state (e.g.
+   hash-consed attribute tables) that must stay on one domain, and
+   (b) synchronize with each other through barriers, where queue-based
+   scheduling could park two phases of the same task on one worker and
+   deadlock.  Standalone by design: it spawns its own domains and does
+   not touch a pool's queue. *)
+let run_each ~n f =
+  if n < 1 then invalid_arg "Pool.run_each: n must be >= 1";
+  if n = 1 then [| f 0 |]
+  else begin
+    let spawned = Array.init (n - 1) (fun k -> Domain.spawn (fun () -> f (k + 1))) in
+    let r0 =
+      match f 0 with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    let rest =
+      Array.map
+        (fun d ->
+          match Domain.join d with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        spawned
+    in
+    let all = Array.append [| r0 |] rest in
+    (* lowest index wins, matching [map]'s deterministic error rule *)
+    Array.iter
+      (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+      all;
+    Array.map (function Ok v -> v | Error _ -> assert false) all
+  end

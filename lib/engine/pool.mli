@@ -26,8 +26,10 @@ val jobs : t -> int
 (** Configured parallelism (1 means the pool is a no-op wrapper). *)
 
 val recommended_jobs : ?cap:int -> unit -> int
-(** [Domain.recommended_domain_count ()] clamped to [\[1, cap\]]
-    ([cap] defaults to 8) — the default for [-j]/[--jobs] flags. *)
+(** [Domain.recommended_domain_count ()] clamped to [\[1, cap\]] — the
+    default for [-j]/[--jobs] flags.  When [cap] is not passed it is the
+    [HYBRIDSIM_JOBS_CAP] environment variable if that holds a positive
+    integer, 8 otherwise (unset/empty/invalid values fall back to 8). *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] applies [f] to every element, possibly in parallel,
@@ -42,6 +44,18 @@ val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a
 (** [map_reduce t ~map ~reduce ~init xs] maps in parallel, then folds
     the results sequentially in input order on the submitting domain —
     deterministic whatever [reduce] is. *)
+
+val run_each : n:int -> (int -> 'a) -> 'a array
+(** [run_each ~n f] runs [f 0 .. f (n-1)] concurrently with each index
+    PINNED to its own domain for the call's whole duration ([f 0] on the
+    calling domain, each other index on a freshly spawned domain), and
+    returns the results in index order after all have finished.  Unlike
+    {!map}, tasks may synchronize with each other (e.g. via a barrier)
+    and may rely on staying on one domain (Domain.DLS state); the
+    trade-off is that all [n] run at once regardless of core count.
+    If several raise, the lowest-indexed exception is re-raised.
+    [n = 1] spawns nothing and runs [f 0] inline.
+    @raise Invalid_argument if [n < 1]. *)
 
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; the pool must not be used

@@ -1,0 +1,223 @@
+(* Lockstep-epoch coordinator for sharded single-run execution.
+
+   N shards each own a full Sim instance (plus everything hanging off it
+   — RNG, metrics, trace — respecting the one-domain ownership rule) and
+   advance in conservative epochs: every shard executes all events
+   strictly before the shared horizon
+
+       horizon = (global min next event time) + lookahead,
+
+   buffers the cross-shard messages it produced, and meets the others at
+   a barrier where outboxes are exchanged and injected.  Because every
+   cross-shard message sent during an epoch travels over a link whose
+   delay is at least [lookahead], it arrives at or after the horizon —
+   so no injection is ever late, and with canonically keyed events
+   ({!Sim.Canonical}) the merged event order is independent of both the
+   partitioning and domain scheduling.
+
+   Shards are PINNED to domains ({!Pool.run_each}): hash-consed state
+   lives in Domain.DLS, so a shard must never migrate.  The barrier is
+   poisoned when any shard raises, so a failure tears the whole run down
+   instead of deadlocking the survivors. *)
+
+type 'msg ops = {
+  sim : Sim.t;
+  real_executed : unit -> int;
+  flush : unit -> (int * 'msg) list;
+  inject : src:int -> 'msg list -> unit;
+  on_quiescent : max_now:Time.t -> bool;
+}
+
+type stats = {
+  shards : int;
+  epochs : int;
+  lookahead : Time.span;
+  executed : int array;
+  injected : int array;
+  stall_s : float array;
+  settled : bool;
+}
+
+exception Poisoned
+
+type barrier = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable generation : int;
+  mutable poisoned : bool;
+  (* lowest-index failure wins, matching Pool's error rule *)
+  mutable error : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let barrier_make parties =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    parties;
+    waiting = 0;
+    generation = 0;
+    poisoned = false;
+    error = None;
+  }
+
+let barrier_await b =
+  Mutex.lock b.m;
+  if b.poisoned then begin
+    Mutex.unlock b.m;
+    raise Poisoned
+  end;
+  let gen = b.generation in
+  b.waiting <- b.waiting + 1;
+  if b.waiting = b.parties then begin
+    b.waiting <- 0;
+    b.generation <- gen + 1;
+    Condition.broadcast b.cv;
+    Mutex.unlock b.m
+  end
+  else begin
+    while b.generation = gen && not b.poisoned do
+      Condition.wait b.cv b.m
+    done;
+    let p = b.poisoned in
+    Mutex.unlock b.m;
+    if p then raise Poisoned
+  end
+
+let barrier_poison b ~index e bt =
+  Mutex.lock b.m;
+  (match b.error with
+  | Some (j, _, _) when j < index -> ()
+  | Some _ | None -> b.error <- Some (index, e, bt));
+  b.poisoned <- true;
+  Condition.broadcast b.cv;
+  Mutex.unlock b.m
+
+let min_next_time next_times =
+  Array.fold_left
+    (fun acc nt ->
+      match (acc, nt) with
+      | None, x | x, None -> x
+      | Some a, Some b -> Some (Time.min a b))
+    None next_times
+
+let run ~shards ~lookahead ?(clock = fun () -> 0.) ?budget make =
+  if shards < 1 then invalid_arg "Shard.run: shards must be >= 1";
+  if Time.(lookahead <= Time.span_zero) then
+    invalid_arg "Shard.run: lookahead must be positive";
+  let b = barrier_make shards in
+  (* Shared epoch state: each slot is written only by its own shard, and
+     every read happens on the far side of a barrier from the write, so
+     the barrier mutex provides the needed happens-before edges. *)
+  let next_times = Array.make shards None in
+  let nows = Array.make shards Time.zero in
+  let reals = Array.make shards 0 in
+  let outboxes = Array.make shards [] in
+  let executed_stats = Array.make shards 0 in
+  let injected_stats = Array.make shards 0 in
+  let stall_stats = Array.make shards 0.0 in
+  let epochs_cell = ref 0 in
+  let settled_cell = ref false in
+  let body i =
+    let ops, finish = make i in
+    let sim = ops.sim in
+    let stall = ref 0.0 in
+    let injected = ref 0 in
+    let epochs = ref 0 in
+    let await () =
+      let t0 = clock () in
+      barrier_await b;
+      stall := !stall +. (clock () -. t0)
+    in
+    let publish () =
+      next_times.(i) <- Sim.next_event_time sim;
+      nows.(i) <- Sim.now sim;
+      reals.(i) <- ops.real_executed ()
+    in
+    publish ();
+    await ();
+    (* Invariant at the top of each iteration: all shards have published
+       and passed a barrier, so everyone computes the same decision from
+       identical shared state. *)
+    let rec epoch_loop () =
+      let total_real = Array.fold_left ( + ) 0 reals in
+      if match budget with Some n -> total_real >= n | None -> false then false
+      else
+        match min_next_time next_times with
+        | None ->
+          let max_now = Array.fold_left Time.max Time.zero nows in
+          if ops.on_quiescent ~max_now then begin
+            (* First barrier: every shard must finish READING the shared
+               decision state before anyone re-publishes — without it a
+               slow shard could observe a peer's fresh publish at its own
+               decision point, take the other branch, and desynchronize
+               the barrier pairing.  (Same two-barrier shape as the
+               execute branch, so branch choice never skews the count.) *)
+            await ();
+            publish ();
+            await ();
+            epoch_loop ()
+          end
+          else true
+        | Some tmin ->
+          let horizon = Time.add tmin lookahead in
+          ignore (Sim.run_before sim ~horizon);
+          outboxes.(i) <- ops.flush ();
+          incr epochs;
+          await ();
+          (* exchange: deterministic source order, 0 .. N-1 *)
+          for src = 0 to shards - 1 do
+            let mine =
+              List.filter_map
+                (fun (dst, msg) -> if dst = i then Some msg else None)
+                outboxes.(src)
+            in
+            match mine with
+            | [] -> ()
+            | msgs ->
+              injected := !injected + List.length msgs;
+              ops.inject ~src msgs
+          done;
+          publish ();
+          await ();
+          epoch_loop ()
+    in
+    let settled = epoch_loop () in
+    executed_stats.(i) <- Sim.executed sim;
+    injected_stats.(i) <- !injected;
+    stall_stats.(i) <- !stall;
+    if i = 0 then begin
+      epochs_cell := !epochs;
+      settled_cell := settled
+    end;
+    finish ()
+  in
+  let results =
+    Pool.run_each ~n:shards (fun i ->
+        match body i with
+        | v -> Some v
+        | exception Poisoned -> None
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          barrier_poison b ~index:i e bt;
+          None)
+  in
+  (match b.error with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  let results =
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Shard.run: shard vanished")
+      results
+  in
+  ( results,
+    {
+      shards;
+      epochs = !epochs_cell;
+      lookahead;
+      executed = executed_stats;
+      injected = injected_stats;
+      stall_s = stall_stats;
+      settled = !settled_cell;
+    } )

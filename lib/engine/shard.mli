@@ -1,0 +1,77 @@
+(** Lockstep-epoch coordinator: partition one simulation across N
+    domains while keeping the merged event order bit-identical to the
+    single-shard run.
+
+    Each shard owns a full {!Sim} (and its RNG/metrics/trace — the usual
+    one-domain ownership rule) and is pinned to one domain for the whole
+    run ({!Pool.run_each}), because hash-consed state lives in
+    Domain.DLS.  All shards advance in conservative epochs bounded by
+
+    [horizon = (global min next event time) + lookahead]
+
+    where [lookahead] must be a lower bound on the delay of every link a
+    message can travel — then any message sent during an epoch arrives
+    at or after the horizon, so barrier-time injection is never late.
+    Determinism additionally requires the shards' sims to run in
+    {!Sim.Canonical} order with partition-independent keys on
+    cross-shard-visible events (see {!Sim.key}). *)
+
+type 'msg ops = {
+  sim : Sim.t;  (** this shard's scheduler *)
+  real_executed : unit -> int;
+      (** events executed so far EXCLUDING infrastructure replicated in
+          every shard (pre-scheduled driver commands) — the quantity the
+          global [budget] is measured in, so budget decisions are
+          partition-independent *)
+  flush : unit -> (int * 'msg) list;
+      (** drain this epoch's outbound cross-shard messages as
+          [(destination shard, message)] pairs in send order *)
+  inject : src:int -> 'msg list -> unit;
+      (** accept messages from shard [src]; called in ascending [src]
+          order at the barrier.  Implementations must re-intern any
+          domain-local hash-consed payload state *)
+  on_quiescent : max_now:Time.t -> bool;
+      (** called on EVERY shard when all queues drain ([max_now] is the
+          latest shard clock): schedule the next phase's work and return
+          [true], or return [false] to finish.  Must make the same
+          decision on every shard. *)
+}
+
+type stats = {
+  shards : int;
+  epochs : int;  (** executed epochs (quiescence checks excluded) *)
+  lookahead : Time.span;
+  executed : int array;  (** per-shard total events executed *)
+  injected : int array;  (** per-shard cross-shard messages received *)
+  stall_s : float array;
+      (** per-shard wall seconds blocked at barriers (0 without [clock]) *)
+  settled : bool;
+      (** [true] when the run ended by [on_quiescent] returning [false]
+          on a fully drained system, [false] when the budget stopped it *)
+}
+
+val run :
+  shards:int ->
+  lookahead:Time.span ->
+  ?clock:(unit -> float) ->
+  ?budget:int ->
+  (int -> 'msg ops * (unit -> 'r)) ->
+  'r array * stats
+(** [run ~shards ~lookahead make] calls [make i] on shard [i]'s pinned
+    domain to build its ops and a finish thunk, drives the epoch loop to
+    completion, then calls each finish thunk (still on the shard's
+    domain) and returns the results in shard order plus run statistics.
+
+    [clock] (e.g. [Unix.gettimeofday]) feeds barrier-stall accounting
+    and defaults to a constant so the engine keeps no unix dependency.
+    [budget] bounds the total "real" event count (summed
+    [real_executed]) across all shards, checked at epoch boundaries —
+    runs may overshoot by up to one epoch, deterministically.
+
+    [shards = 1] degenerates to a sequential run on the calling domain
+    with the exact same epoch/budget structure, which is what makes
+    shards=N-vs-1 differentials meaningful.
+
+    If any shard raises, the barrier is poisoned (tearing down the other
+    shards) and the lowest-indexed exception is re-raised here.
+    @raise Invalid_argument if [shards < 1] or [lookahead <= 0]. *)

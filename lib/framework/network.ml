@@ -42,6 +42,11 @@ type t = {
   rel_overrides : (Net.Asn.t * Net.Asn.t, Bgp.Policy.relationship) Hashtbl.t;
   (* (me, neighbor) -> spec link, both directions; see [index_links] *)
   link_index : (Net.Asn.t * Net.Asn.t, Topology.Spec.link_spec) Hashtbl.t;
+  (* sharded execution: which fabric nodes this instance executes.  The
+     full network is always CONSTRUCTED (replicated construction keeps
+     every per-component RNG stream identical across shards); ownership
+     only gates what runs — [start] and link watchers. *)
+  owned : int -> bool;
 }
 
 let sim t = t.sim
@@ -209,12 +214,13 @@ let relationship_for t ~me ~neighbor =
 
 let policy_for t ~me ~neighbor = Bgp.Policy.make (relationship_for t ~me ~neighbor)
 
-let create ?(config = Config.default) ~seed spec =
+let create ?(config = Config.default) ?(order = Engine.Sim.Seq) ?(owned = fun _ -> true)
+    ~seed spec =
   (match Topology.Spec.validate spec with
   | [] -> ()
   | problems ->
     invalid_arg (Fmt.str "Network.create: invalid spec: %s" (String.concat "; " problems)));
-  let sim = Engine.Sim.create ~seed ~causal:config.Config.causal () in
+  let sim = Engine.Sim.create ~order ~seed ~causal:config.Config.causal () in
   let net = Net.Netsim.create sim in
   let plan = Addressing.plan spec in
   let link_index = index_links spec in
@@ -443,6 +449,7 @@ let create ?(config = Config.default) ~seed spec =
       auto_reply = true;
       rel_overrides = Hashtbl.create 8;
       link_index;
+      owned;
     }
   in
   t_ref := Some t;
@@ -521,9 +528,12 @@ let create ?(config = Config.default) ~seed spec =
       Engine.Node.on_crash (Bgp.Router.node router) (fun () -> Net.Fib.clear fib))
     routers;
   (* Link watchers: session lifecycle for legacy routers, PORT_STATUS for
-     switches. *)
+     switches.  Only installed on OWNED nodes: a non-owned replica must
+     stay inert when a replicated link-state command flips a link, or it
+     would run detection timers the owning shard also runs. *)
   Net.Asn.Map.iter
     (fun asn router ->
+      if owned (Net.Asn.to_int asn) then
       (* Detection delays run on the router's node: if it crashes while
          the timer is pending, the epoch guard discards the stale event. *)
       let node = Bgp.Router.node router in
@@ -542,16 +552,23 @@ let create ?(config = Config.default) ~seed spec =
     routers;
   Net.Asn.Map.iter
     (fun _ sw ->
-      Net.Netsim.set_link_watcher net (Sdn.Switch.node_id sw) (fun ~link:_ ~peer ~up ->
-          if peer <> ctrl_node && Engine.Node.is_up (Sdn.Switch.node sw) then
-            Sdn.Switch.port_change sw ~peer ~up))
+      if owned (Sdn.Switch.node_id sw) then
+        Net.Netsim.set_link_watcher net (Sdn.Switch.node_id sw) (fun ~link:_ ~peer ~up ->
+            if peer <> ctrl_node && Engine.Node.is_up (Sdn.Switch.node sw) then
+              Sdn.Switch.port_change sw ~peer ~up))
     switches;
   t
 
-(* Open all BGP sessions (idempotent). *)
+let owned t node = t.owned node
+
+(* Open all BGP sessions (idempotent).  In a sharded run only owned
+   components come alive; the rest are inert replicas that exist so the
+   construction-order RNG splits match the single-shard run. *)
 let start t =
-  Net.Asn.Map.iter (fun _ r -> Bgp.Router.start r) t.routers;
-  Option.iter Cluster_ctl.Speaker.open_all t.speaker
+  Net.Asn.Map.iter
+    (fun asn r -> if t.owned (Net.Asn.to_int asn) then Bgp.Router.start r)
+    t.routers;
+  if t.owned ctrl_node then Option.iter Cluster_ctl.Speaker.open_all t.speaker
 
 (* --- Experiment-facing operations -------------------------------------- *)
 

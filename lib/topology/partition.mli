@@ -1,0 +1,30 @@
+(** Deterministic, seed-stable topology partitioner for sharded
+    execution.
+
+    Produces the same assignment for the same (spec, shards, seed) on
+    every host — no RNG is drawn; the seed only rotates the candidate
+    order.  All SDN members land on shard 0 (the speaker/controller
+    shard), regions grow by BFS from high-degree seeds so neighboring
+    ASes tend to share a shard, and the smallest region grows next for
+    rough balance.  Empty shards are legal (e.g. more shards than
+    non-SDN ASes); they simply idle at the barrier. *)
+
+type t
+
+val compute : ?seed:int -> shards:int -> Spec.t -> t
+(** @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+
+val shard_of : t -> Net.Asn.t -> int
+(** @raise Invalid_argument for an ASN not in the spec. *)
+
+val sizes : t -> int array
+(** ASes per shard (fresh copy). *)
+
+val assignment : t -> (Net.Asn.t * int) list
+(** Sorted by ASN. *)
+
+val cut_links : t -> Spec.t -> int
+(** Spec links whose endpoints live on different shards — each one is a
+    channel that must cross the epoch barrier. *)

@@ -42,4 +42,7 @@ dune build @bench-smoke
 step "scale smoke (reduced 500-AS run + PR 8 baseline ratio guards)"
 dune build @scale-smoke
 
+step "shard smoke (500-AS sharded run == sequential differential + PR 9 baseline guards)"
+dune build @shard-smoke
+
 printf '\nall checks passed\n'
