@@ -454,11 +454,43 @@ let check_baseline path =
       Fmt.str ", shard differential ok at %.0f shards (%.2fx)" shards speedup
     | Some _ -> fail "\"shard\" is not an object"
   in
-  Fmt.pr "%s: ok (%d sections%s, %d micro benchmarks%s%s%s)@." path (List.length sections)
+  (* Optional "loss" object (PR 10+): the data-plane fast path's
+     throughput and allocation guards, plus the probe-vs-verifier sweep
+     health.  Missing = an older baseline, still valid. *)
+  let loss_summary =
+    match List.assoc_opt "loss" top with
+    | None -> ""
+    | Some (Json.Obj kvs) ->
+      let num k =
+        match List.assoc_opt k kvs with
+        | Some (Json.Num v) when Float.is_finite v -> v
+        | Some _ -> fail (Fmt.str "\"loss.%s\" is not a finite number" k)
+        | None -> fail (Fmt.str "missing \"loss.%s\"" k)
+      in
+      let pps = num "probes_per_sec" in
+      if num "probes" <= 0.0 then fail "\"loss.probes\" must be positive";
+      if pps < 1_000_000.0 then
+        fail
+          (Fmt.str "loss: %.0f probes/s (under 1M): fast-path throughput regression?" pps);
+      let alloc = num "alloc_words_per_probe" in
+      if alloc < 0.0 then fail "\"loss.alloc_words_per_probe\" must be non-negative";
+      if alloc > 8.0 then
+        fail
+          (Fmt.str "loss: %.1f minor words per probe: fast-path boxing regression?" alloc);
+      if num "identical" <> 1.0 then
+        fail "loss: differential FAILED: parallel sweep was not identical to sequential";
+      if num "residual_issues_total" <> 0.0 then
+        fail "loss: verifier found residual non-delivered pairs after recovery";
+      if num "loss_s_sdn0" < 0.0 || num "loss_s_sdnmax" < 0.0 then
+        fail "loss: negative loss duration";
+      Fmt.str ", loss %.1fM probes/s (%.2f w/probe)" (pps /. 1e6) alloc
+    | Some _ -> fail "\"loss\" is not an object"
+  in
+  Fmt.pr "%s: ok (%d sections%s, %d micro benchmarks%s%s%s%s)@." path (List.length sections)
     (if nspeedup > 0 then Fmt.str ", %d with speedup" nspeedup else "")
     nmicro
     (match meta_jobs with Some j -> Fmt.str ", jobs=%d" j | None -> ", pre-jobs baseline")
-    scale_summary shard_summary;
+    scale_summary shard_summary loss_summary;
   exit 0
 
 let () = Option.iter check_baseline check_path
@@ -890,6 +922,124 @@ let shard () =
     ("identical", 1.0);
   ]
 
+(* --- Data-plane loss + fast-path throughput ------------------------------ *)
+
+(* The PR 10 tentpole proof, two halves.  (1) The loss sweep: seeded
+   probe bursts against the forwarding snapshot measure how long the
+   data plane black-holes/loops packets after a link failure, per SDN
+   membership level — run sequentially and on the pool, requiring
+   bit-identical results.  (2) The fast path itself: a tight forward
+   loop over the settled network's snapshot must clear 1M probes/s with
+   near-zero per-probe minor allocation — guarded here and re-checked by
+   `--check` against the recorded baseline. *)
+let loss () =
+  section "LOSS: data-plane loss vs centralization (probe bursts on the fast path)";
+  let nn = if quick then 8 else 16 in
+  let lruns = if quick then 2 else 5 in
+  let s =
+    timed_speedup "loss"
+      ~seq:(fun () -> Framework.Experiments.loss_sweep ~n:nn ~runs:lruns ~config ())
+      ~par:(fun () -> Framework.Experiments.loss_sweep ?pool ~n:nn ~runs:lruns ~config ())
+      ~equal:Framework.Experiments.equal_loss_series
+  in
+  Fmt.pr "%a@." Framework.Experiments.pp_loss_series s;
+  let dir = "bench_results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Fmt.str "%s.csv" s.Framework.Experiments.ls_label) in
+  let oc = open_out path in
+  output_string oc (Framework.Experiments.loss_series_to_csv s);
+  close_out oc;
+  let mean f rs = Engine.Stats.mean (List.map f rs) in
+  let point_loss (p : Framework.Experiments.loss_point) =
+    mean (fun (r : Framework.Experiments.loss_result) -> r.Framework.Experiments.loss_seconds)
+      p.Framework.Experiments.lp_results
+  in
+  let first_point = List.hd s.Framework.Experiments.ls_points in
+  let last_point = List.nth s.Framework.Experiments.ls_points
+      (List.length s.Framework.Experiments.ls_points - 1)
+  in
+  let residual_total =
+    List.fold_left
+      (fun acc (p : Framework.Experiments.loss_point) ->
+        List.fold_left
+          (fun acc (r : Framework.Experiments.loss_result) ->
+            acc + r.Framework.Experiments.residual_issues)
+          acc p.Framework.Experiments.lp_results)
+      0 s.Framework.Experiments.ls_points
+  in
+  (* Fast-path throughput: every AS fires at the stub's host address
+     against one frozen snapshot of the settled (pre-failure) state. *)
+  let throughput_stats =
+    timed "loss_throughput" (fun () ->
+        let spec = Topology.Artificial.failover_backup_chain ~clique_size:nn ~chain_len:2 () in
+        let exp = Framework.Experiment.create ~config ~seed:73 spec in
+        let stub = Topology.Artificial.stub_asn spec in
+        let prefix = Framework.Experiment.default_prefix exp stub in
+        ignore
+          (Framework.Experiment.measure exp ~prefix (fun () ->
+               ignore (Framework.Experiment.announce exp stub)));
+        let network = Framework.Experiment.network exp in
+        let dp = Framework.Network.dataplane_snapshot network in
+        let plan = Framework.Network.plan network in
+        let dst_bits = Net.Ipv4.addr_to_bits (plan.Framework.Addressing.host_addr stub) in
+        let srcs =
+          Array.of_list
+            (List.map
+               (fun a -> Net.Dataplane.index_of dp (Net.Asn.to_int a))
+               (Topology.Spec.asns spec))
+        in
+        let nsrc = Array.length srcs in
+        (* correctness first: the settled network delivers from everywhere *)
+        Array.iter
+          (fun si ->
+            let r = Net.Dataplane.forward dp ~src:si ~dst_bits ~ttl:64 in
+            if Net.Dataplane.result_fate r <> Net.Dataplane.Delivered then begin
+              Fmt.epr "FATAL: fast path failed to deliver from index %d@." si;
+              exit 1
+            end)
+          srcs;
+        let probes = if quick then 1_000_000 else 5_000_000 in
+        let sink = ref 0 in
+        let before = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to probes - 1 do
+          let si = Array.unsafe_get srcs (i mod nsrc) in
+          sink := !sink + Net.Dataplane.forward dp ~src:si ~dst_bits ~ttl:64
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        let allocd = Gc.minor_words () -. before in
+        ignore !sink;
+        let probes_per_sec = float_of_int probes /. wall in
+        let alloc_per_probe = allocd /. float_of_int probes in
+        Fmt.pr "throughput: %.2fM probes/s (%d probes in %.3f s), %.3f minor words/probe@."
+          (probes_per_sec /. 1e6) probes wall alloc_per_probe;
+        if probes_per_sec < 1e6 then begin
+          Fmt.epr "FATAL: fast path under 1M probes/s@.";
+          exit 1
+        end;
+        if alloc_per_probe > 8.0 then begin
+          Fmt.epr "FATAL: fast path allocates %.1f minor words/probe@." alloc_per_probe;
+          exit 1
+        end;
+        [
+          ("probes", float_of_int probes);
+          ("probes_per_sec", probes_per_sec);
+          ("alloc_words_per_probe", alloc_per_probe);
+        ])
+  in
+  if residual_total <> 0 then begin
+    Fmt.epr "FATAL: verifier found %d residual non-delivered pairs after recovery@."
+      residual_total;
+    exit 1
+  end;
+  throughput_stats
+  @ [
+      ("loss_s_sdn0", point_loss first_point);
+      ("loss_s_sdnmax", point_loss last_point);
+      ("residual_issues_total", float_of_int residual_total);
+      ("identical", 1.0);
+    ]
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -1080,7 +1230,7 @@ let series_medians (s : Framework.Experiments.series) =
     s.Framework.Experiments.points
 
 let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~scale_stats
-    ~shard_stats =
+    ~shard_stats ~loss_stats =
   let json =
     Json.Obj
       [
@@ -1125,6 +1275,7 @@ let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~sca
                micro_rows) );
         ("scale", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) scale_stats));
         ("shard", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) shard_stats));
+        ("loss", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) loss_stats));
       ]
   in
   let dir = Filename.dirname path in
@@ -1138,6 +1289,20 @@ let write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~sca
 let () =
   Fmt.pr "hybridsdn bench harness (n=%d, runs=%d, jobs=%d%s)@." n runs jobs
     (if quick then ", quick" else "");
+  (* Micro-benchmarks run FIRST, on a pristine heap.  Bechamel
+     unconditionally compacts the heap until the live-word count settles
+     before every test (and, with [stabilize], before every sample) —
+     and after the macro sections the major heap holds tens of millions
+     of words laced with the attribute interner's weak tables, whose
+     entries keep dropping across compactions, so every stabilization
+     ran the full 10-compaction cycle at seconds per compaction: the
+     section cost ~17 minutes at the tail of the run and its
+     nanosecond-scale fits absorbed the inflated cache pressure.  At
+     process start the same stabilization is milliseconds.  (The worker
+     domains of a --jobs run exist already and add stop-the-world minor
+     collections to the sampling noise; the committed baselines run at
+     jobs=1, where no worker domains exist.) *)
+  let micro_rows = timed "micro" micro in
   let fig2_series = fig2 () in
   timed "rounds" rounds;
   ignore (timed "announce" announce);
@@ -1158,14 +1323,11 @@ let () =
   let headline = headline @ overhead_rows in
   let scale_stats = timed "scale" scale in
   let shard_stats = timed "shard" shard in
-  (* Join the pool before the micro-benchmarks: idle worker domains
-     still participate in stop-the-world minor collections and would
-     add noise to nanosecond-scale sampling. *)
+  let loss_stats = loss () in
   Option.iter Engine.Pool.shutdown pool;
-  let micro_rows = timed "micro" micro in
   Option.iter
     (fun path ->
       write_baseline path ~fig2_series ~telemetry_tdown ~headline ~micro_rows ~scale_stats
-        ~shard_stats)
+        ~shard_stats ~loss_stats)
     out_path;
   Fmt.pr "@.done.@."

@@ -1024,6 +1024,105 @@ let scale_cmd =
         (const run $ tier1 $ tier2 $ stubs $ prefixes $ ks $ runs $ seed_arg $ mrai_arg
         $ jobs_arg $ single $ shards $ verify $ budget $ wall $ csv))
 
+(* --- loss ----------------------------------------------------------------- *)
+
+let loss_cmd =
+  let run topo n runs seed mrai per_prefix interval_ms jobs verify csv =
+    let result =
+      let* jobs = resolve_jobs jobs in
+      let* build =
+        match String.lowercase_ascii (String.trim topo) with
+        | "clique" | "failover" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.loss_sweep ?pool ~n ~runs ~seed ~per_prefix ~interval_ms
+                ~config:(config_of_mrai mrai) ())
+        | "caida" ->
+          Ok (fun ?pool () ->
+              Framework.Experiments.loss_sweep_caida ?pool ~runs ~seed ~per_prefix
+                ~interval_ms ~config:(config_of_mrai mrai) ())
+        | k -> Error (Fmt.str "unknown loss topology %S (clique|caida)" k)
+      in
+      let t0 = Unix.gettimeofday () in
+      let s = with_optional_pool jobs (fun pool -> build ?pool ()) in
+      let wall = Unix.gettimeofday () -. t0 in
+      Fmt.pr "%a@." Framework.Experiments.pp_loss_series s;
+      Fmt.pr "jobs: %d  wall: %.2f s@." jobs wall;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Framework.Experiments.loss_series_to_csv s);
+          close_out oc;
+          Fmt.pr "csv written to %s@." path)
+        csv;
+      if verify then begin
+        (* the parallel-vs-sequential differential: rerun on jobs=1 and
+           require deep structural equality *)
+        let vjobs = max 2 jobs in
+        let seq = build () in
+        let par =
+          if jobs > 1 then s
+          else Engine.Pool.with_pool ~jobs:vjobs (fun pool -> build ~pool ())
+        in
+        if Framework.Experiments.equal_loss_series seq par then begin
+          Fmt.pr "deterministic: jobs=%d result identical to sequential@." vjobs;
+          Ok ()
+        end
+        else Error (Fmt.str "parallel (jobs=%d) result differs from sequential run" vjobs)
+      end
+      else Ok ()
+    in
+    match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
+  in
+  let topo =
+    Arg.(
+      value
+      & opt string "clique"
+      & info [ "topo" ] ~docv:"KIND"
+          ~doc:
+            "clique (the Fig. 2 fail-over clique with a backup chain) or caida (a generated \
+             Internet-like graph, failing a multi-homed stub's provider link).")
+  in
+  let n =
+    Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc:"Clique size (clique mode).")
+  in
+  let runs = Arg.(value & opt int 5 & info [ "runs" ] ~docv:"R" ~doc:"Runs per point.") in
+  let per_prefix =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "per-prefix" ] ~docv:"K" ~doc:"Seeded probe sources per destination prefix.")
+  in
+  let interval_ms =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Simulated milliseconds between probe bursts after the failure.")
+  in
+  let verify =
+    Arg.(
+      value
+      & flag
+      & info [ "verify" ]
+          ~doc:
+            "Differential mode: also run the sweep sequentially and fail unless the \
+             parallel result is structurally identical.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Write per-run results as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "loss"
+       ~doc:
+         "Data-plane loss vs centralization: after a link failure, seeded probe bursts \
+          against the allocation-free forwarding snapshot measure how long packets are \
+          lost, black-holed or looped while BGP re-converges, per SDN membership level.")
+    Term.(
+      ret
+        (const run $ topo $ n $ runs $ seed_arg $ mrai_arg $ per_prefix $ interval_ms
+        $ jobs_arg $ verify $ csv))
+
 let () =
   let doc = "hybrid BGP-SDN emulation framework" in
   let info = Cmd.info "hybridsim" ~version:Core.version ~doc in
@@ -1043,4 +1142,5 @@ let () =
             metrics_cmd;
             trace_cmd;
             scale_cmd;
+            loss_cmd;
           ]))

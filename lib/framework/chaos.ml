@@ -426,8 +426,31 @@ let check_checkpoint_idempotent net acc =
     }
     :: acc
 
+(* I5: the static forwarding verifier holds.  The compiled data-plane
+   snapshot must (a) report no forwarding cycles and (b) classify every
+   (src, dst) pair exactly as the event-driven reference walker does —
+   the fast path summarizing the network must forward like it. *)
+let check_fwd_verify net acc =
+  let acc =
+    List.fold_left
+      (fun acc issue ->
+        { invariant = "fwd-verify-loop"; detail = Fmt.str "%a" Fwd_verify.pp_issue issue }
+        :: acc)
+      acc
+      (Fwd_verify.loops (Fwd_verify.verify net))
+  in
+  List.fold_left
+    (fun acc d ->
+      {
+        invariant = "fwd-verify-agreement";
+        detail = Fmt.str "%a" Fwd_verify.pp_disagreement d;
+      }
+      :: acc)
+    acc (Fwd_verify.differential net)
+
 let check_invariants net =
   [] |> check_no_loops net |> check_flow_targets net |> check_session_rib net
+  |> check_fwd_verify net
   |> check_checkpoint_idempotent net
   |> List.rev
 

@@ -830,3 +830,209 @@ let median_trend s =
   let intercept, slope = Engine.Stats.linear_fit pts in
   let r2 = Engine.Stats.r_squared pts in
   (intercept, slope, r2)
+
+(* --- Data-plane loss under convergence -----------------------------------
+
+   The paper's user-visible symptom (the "video interruption") measured
+   directly: seeded probe bursts fired against the fast-path snapshot
+   every [interval_ms] after a link failure, classifying every scheduled
+   (src, prefix) pair as delivered / black-holed / looped until the data
+   plane carries everything again.  Bursts are pure snapshot walks —
+   they inject nothing into the emulation, so the measured control-plane
+   convergence is exactly what it would be without probing. *)
+
+type loss_result = {
+  converge_seconds : float; (* control-plane convergence of the event *)
+  loss_seconds : float; (* event -> first loss-free burst *)
+  blackhole_seconds : float; (* event -> last burst with a black-holed probe *)
+  loop_seconds : float; (* event -> last burst with a looping probe *)
+  probes : int; (* post-event probes injected *)
+  lost : int; (* post-event probes not delivered *)
+  max_loss_ratio : float; (* worst single-burst loss fraction *)
+  residual_issues : int; (* verifier census of non-delivered pairs at run end *)
+  loss_epochs : Trafficgen.epoch list; (* post-event bursts, oldest first *)
+}
+
+let rec drop k xs = if k <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+(* The shared measured core: announce [origin]'s prefix, settle, then
+   fail the [origin]-[peer] link and sample probe bursts every
+   [interval_ms] until a burst comes back loss-free (or [cap_s] of
+   simulated time passes — a censored run, e.g. a single-homed origin
+   that can never recover). *)
+let loss_run_core ~spec ~origin ~peer ~per_prefix ~interval_ms ~cap_s ~seed ~config () =
+  let exp = Experiment.create ~config ~seed spec in
+  let prefix = Experiment.default_prefix exp origin in
+  ignore (Experiment.measure exp ~prefix (fun () -> ignore (Experiment.announce exp origin)));
+  let network = Experiment.network exp in
+  let sim = Experiment.sim exp in
+  (* only [origin]'s prefix is announced, so probe that one: the loss
+     curve is the affected prefix's, not diluted by never-routable
+     destinations *)
+  let tg = Trafficgen.create ~seed ~dsts:[ origin ] network (Trafficgen.Per_prefix per_prefix) in
+  (* pre-event baseline burst: the settled network should carry everything *)
+  ignore (Trafficgen.burst tg);
+  let baseline_epochs = List.length (Trafficgen.epochs tg) in
+  let interval = Engine.Time.ms interval_ms in
+  let cap = Engine.Time.of_sec_f cap_s in
+  let event_time = ref Engine.Time.zero in
+  let rec sample () =
+    let e = Trafficgen.burst tg in
+    let elapsed = Engine.Time.diff (Engine.Sim.now sim) !event_time in
+    if Trafficgen.epoch_lost e > 0 && Engine.Time.(elapsed < cap) then
+      ignore (Engine.Sim.schedule_after sim interval sample)
+  in
+  let measured =
+    Experiment.measure exp ~prefix (fun () ->
+        event_time := Engine.Sim.now sim;
+        Experiment.fail_link exp origin peer;
+        sample ())
+  in
+  let post = drop baseline_epochs (Trafficgen.epochs tg) in
+  let rel (e : Trafficgen.epoch) =
+    Engine.Time.to_sec_f (Engine.Time.diff e.Trafficgen.at !event_time)
+  in
+  let loss_seconds =
+    match List.find_opt (fun e -> Trafficgen.epoch_lost e = 0) post with
+    | Some e -> rel e
+    | None -> ( (* censored: loss never cleared within the cap *)
+      match List.rev post with e :: _ -> rel e | [] -> 0.0)
+  in
+  let last_with f =
+    List.fold_left (fun acc e -> if f e then rel e else acc) 0.0 post
+  in
+  let blackhole_seconds = last_with (fun e -> e.Trafficgen.blackholed > 0) in
+  let loop_seconds = last_with (fun e -> e.Trafficgen.looped > 0) in
+  let probes = List.fold_left (fun a e -> a + e.Trafficgen.injected) 0 post in
+  let lost = List.fold_left (fun a e -> a + Trafficgen.epoch_lost e) 0 post in
+  let max_loss_ratio = List.fold_left (fun a e -> Float.max a (Trafficgen.loss_ratio e)) 0.0 post in
+  let residual_issues =
+    List.length (Fwd_verify.verify ~dsts:[ origin ] network).Fwd_verify.issues
+  in
+  {
+    converge_seconds = Experiment.convergence_seconds measured;
+    loss_seconds;
+    blackhole_seconds;
+    loop_seconds;
+    probes;
+    lost;
+    max_loss_ratio;
+    residual_issues;
+    loss_epochs = post;
+  }
+
+(* Loss on the fail-over topology: the stub's primary path dies and the
+   network must shift onto the strictly longer backup chain; [sdn] clique
+   members (never the primary/backup anchors) are centralized. *)
+let loss_run ?(per_prefix = 2) ?(interval_ms = 100) ?(cap_s = 600.0) ~n ~sdn ~seed ~config () =
+  if sdn > n - 2 then invalid_arg "Experiments.loss_run: too many SDN members";
+  let spec = Topology.Artificial.failover_backup_chain ~clique_size:n ~chain_len:2 () in
+  let members = List.init sdn (fun i -> Topology.Artificial.asn (n - 1 - i)) in
+  let spec = Topology.Spec.with_sdn spec members in
+  let stub = Topology.Artificial.stub_asn spec in
+  let primary = Topology.Artificial.asn 0 in
+  loss_run_core ~spec ~origin:stub ~peer:primary ~per_prefix ~interval_ms ~cap_s ~seed ~config
+    ()
+
+type loss_point = { lp_x : float; lp_results : loss_result list }
+
+type loss_series = { ls_label : string; ls_points : loss_point list }
+
+(* The loss analogue of [sweep_points]: same flattened (x, trial) grid,
+   same submission-order [Engine.Pool.map], so the parallel sweep is
+   bit-identical to the sequential one. *)
+let loss_sweep_points ?pool ~runs ~seed ~run_at xs =
+  let tasks = List.concat_map (fun x -> List.init runs (fun i -> (x, seed + (1000 * i)))) xs in
+  let eval (x, seed) = run_at ~x ~seed in
+  let results =
+    match pool with
+    | Some pool -> Engine.Pool.map pool eval tasks
+    | None -> List.map eval tasks
+  in
+  let rec regroup xs results =
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      let mine, others = take_drop runs results in
+      { lp_x = x; lp_results = mine } :: regroup rest others
+  in
+  regroup xs results
+
+(* Fig. 2's companion curve: data-plane loss duration vs SDN membership
+   on the fail-over clique. *)
+let loss_sweep ?pool ?(n = 16) ?(runs = 5) ?(seed = 43) ?(per_prefix = 2) ?(interval_ms = 100)
+    ?(config = Config.default) () =
+  let points =
+    loss_sweep_points ?pool ~runs ~seed
+      ~run_at:(fun ~x ~seed ->
+        loss_run ~per_prefix ~interval_ms ~n ~sdn:(int_of_float x) ~seed ~config ())
+      (List.map float_of_int (default_fractions n))
+  in
+  { ls_label = Fmt.str "loss-failover-clique%d" n; ls_points = points }
+
+(* The same curve on an Internet-like CAIDA graph: the origin is a
+   multi-homed stub (so the failure is survivable), the failed link its
+   first provider, members placed top-degree.  The spec is generated
+   once from the base seed and shared read-only across runs. *)
+let loss_sweep_caida ?pool ?(tier1 = 3) ?(tier2 = 8) ?(stubs = 20) ?(ks = [ 0; 2; 4; 6; 8 ])
+    ?(runs = 3) ?(seed = 61) ?(per_prefix = 2) ?(interval_ms = 100) ?(config = Config.default)
+    () =
+  let spec0 = Topology.Caida.generate ~tier1 ~tier2 ~stubs (Engine.Rng.create seed) in
+  let stub_list = Topology.Caida.stub_asns ~tier1 ~tier2 ~stubs in
+  let origin =
+    match
+      List.find_opt (fun a -> List.length (Topology.Spec.neighbors spec0 a) >= 2) stub_list
+    with
+    | Some a -> a
+    | None -> List.hd stub_list
+  in
+  let peer = List.hd (Topology.Spec.neighbors spec0 origin) in
+  let points =
+    loss_sweep_points ?pool ~runs ~seed:(seed + 1)
+      ~run_at:(fun ~x ~seed ->
+        let members =
+          choose_members ~spec:spec0 ~k:(int_of_float x) ~placement:Top_degree ~origin ~seed
+        in
+        let spec = Topology.Spec.with_sdn spec0 members in
+        loss_run_core ~spec ~origin ~peer ~per_prefix ~interval_ms ~cap_s:600.0 ~seed ~config
+          ())
+      (List.map float_of_int ks)
+  in
+  { ls_label = Fmt.str "loss-caida%d" (tier1 + tier2 + stubs); ls_points = points }
+
+let equal_loss_series (a : loss_series) (b : loss_series) = Stdlib.compare a b = 0
+
+let pp_loss_series ppf s =
+  Fmt.pf ppf "@[<v># %s@,%8s %10s %10s %10s %10s %10s@," s.ls_label "x" "loss_s" "bh_s"
+    "loop_s" "maxloss" "converge";
+  List.iter
+    (fun p ->
+      let mean f =
+        match p.lp_results with
+        | [] -> nan
+        | rs -> List.fold_left (fun a r -> a +. f r) 0.0 rs /. float_of_int (List.length rs)
+      in
+      Fmt.pf ppf "%8.1f %10.2f %10.2f %10.2f %10.4f %10.2f@," p.lp_x
+        (mean (fun r -> r.loss_seconds))
+        (mean (fun r -> r.blackhole_seconds))
+        (mean (fun r -> r.loop_seconds))
+        (mean (fun r -> r.max_loss_ratio))
+        (mean (fun r -> r.converge_seconds)))
+    s.ls_points;
+  Fmt.pf ppf "@]"
+
+let loss_series_to_csv s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "label,x,run,converge_seconds,loss_seconds,blackhole_seconds,loop_seconds,probes,lost,max_loss_ratio,residual_issues\n";
+  List.iter
+    (fun p ->
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf
+            (Fmt.str "%s,%g,%d,%.6f,%.6f,%.6f,%.6f,%d,%d,%.6f,%d\n" s.ls_label p.lp_x i
+               r.converge_seconds r.loss_seconds r.blackhole_seconds r.loop_seconds r.probes
+               r.lost r.max_loss_ratio r.residual_issues))
+        p.lp_results)
+    s.ls_points;
+  Buffer.contents buf

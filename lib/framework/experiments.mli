@@ -279,3 +279,75 @@ val series_to_csv : series -> string
 val median_trend : series -> float * float * float
 (** (intercept, slope, r²) of the least-squares line through the medians
     — the Fig. 2 "linear reduction" check. *)
+
+(* --- Data-plane loss under convergence ---------------------------------- *)
+
+type loss_result = {
+  converge_seconds : float;  (** control-plane convergence of the event *)
+  loss_seconds : float;  (** event to first loss-free probe burst *)
+  blackhole_seconds : float;  (** event to last burst with a black-holed probe *)
+  loop_seconds : float;  (** event to last burst with a looping probe *)
+  probes : int;  (** post-event probes injected *)
+  lost : int;  (** post-event probes not delivered *)
+  max_loss_ratio : float;  (** worst single-burst loss fraction *)
+  residual_issues : int;  (** {!Fwd_verify} non-delivered pairs at run end *)
+  loss_epochs : Trafficgen.epoch list;  (** post-event bursts, oldest first *)
+}
+
+val loss_run :
+  ?per_prefix:int ->
+  ?interval_ms:int ->
+  ?cap_s:float ->
+  n:int ->
+  sdn:int ->
+  seed:int ->
+  config:Config.t ->
+  unit ->
+  loss_result
+(** One measured loss run on the fail-over topology: the stub's primary
+    path dies, probe bursts ([per_prefix] seeded sources per prefix,
+    every [interval_ms] of simulated time) classify the data plane until
+    a burst comes back loss-free or [cap_s] passes (censored). *)
+
+type loss_point = { lp_x : float; lp_results : loss_result list }
+
+type loss_series = { ls_label : string; ls_points : loss_point list }
+
+val loss_sweep :
+  ?pool:Engine.Pool.t ->
+  ?n:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?per_prefix:int ->
+  ?interval_ms:int ->
+  ?config:Config.t ->
+  unit ->
+  loss_series
+(** Fig. 2's companion curve: loss / black-hole / loop duration vs SDN
+    membership on the fail-over clique.  Runs dispatch through [pool]
+    when given; output is bit-identical to the sequential sweep. *)
+
+val loss_sweep_caida :
+  ?pool:Engine.Pool.t ->
+  ?tier1:int ->
+  ?tier2:int ->
+  ?stubs:int ->
+  ?ks:int list ->
+  ?runs:int ->
+  ?seed:int ->
+  ?per_prefix:int ->
+  ?interval_ms:int ->
+  ?config:Config.t ->
+  unit ->
+  loss_series
+(** The same curve on a generated CAIDA graph: the origin is a
+    multi-homed stub, the failed link its first provider, members placed
+    top-degree. *)
+
+val equal_loss_series : loss_series -> loss_series -> bool
+(** Structural equality — the parallel-vs-sequential differential. *)
+
+val pp_loss_series : Format.formatter -> loss_series -> unit
+
+val loss_series_to_csv : loss_series -> string
+(** One row per (point, run) for external plotting. *)

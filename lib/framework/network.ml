@@ -775,6 +775,80 @@ let forwarding_at t asn (addr : Net.Ipv4.addr) =
         | None -> No_route)
       | None -> No_route)
 
+(* Compile the composed forwarding state — FIBs, flow tables, local
+   delivery sets, link liveness — into a frozen [Net.Dataplane] snapshot
+   over dense node indices.  The snapshot mirrors [forwarding_at] plus
+   the [link_up] check of the connectivity walker, but reads tables
+   through the non-mutating lookups, so probing it perturbs neither flow
+   packet counters nor miss metrics.  Legacy FIB values (next fabric
+   node ids) are recompiled into dense indices so the hot path never
+   maps ids per hop. *)
+let dataplane_snapshot t =
+  let as_list = Topology.Spec.asns t.spec in
+  let asns = Array.of_list (List.map Net.Asn.to_int as_list) in
+  let dp = Net.Dataplane.create ~asns in
+  let idx asn = Net.Dataplane.index_of dp (Net.Asn.to_int asn) in
+  let code_of_node node =
+    match asn_of_node t node with
+    | Some next_asn ->
+      let j = idx next_asn in
+      if j >= 0 then j else Net.Dataplane.drop
+    | None -> Net.Dataplane.drop
+  in
+  List.iter
+    (fun asn ->
+      let i = idx asn in
+      Net.Dataplane.add_local_addr dp i (t.plan.Addressing.router_addr asn);
+      Net.Ipv4.Prefix_set.iter (fun p -> Net.Dataplane.add_local dp i p) !(local_set t asn))
+    as_list;
+  Net.Asn.Map.iter
+    (fun asn fib ->
+      let i = idx asn in
+      let compiled = Net.Fib.create () in
+      Net.Fib.iter fib (fun p next -> Net.Fib.insert compiled p (code_of_node next));
+      Net.Dataplane.set_fib dp i compiled)
+    t.fibs;
+  Net.Asn.Map.iter
+    (fun asn sw ->
+      let i = idx asn in
+      let rules = Array.of_list (Sdn.Flow_table.entries_sorted (Sdn.Switch.table sw)) in
+      let nets =
+        Array.map
+          (fun (r : Sdn.Flow.rule) ->
+            Net.Ipv4.addr_to_bits (Net.Ipv4.prefix_network r.Sdn.Flow.match_prefix))
+          rules
+      in
+      let masks =
+        Array.map
+          (fun (r : Sdn.Flow.rule) ->
+            Net.Ipv4.mask_bits (Net.Ipv4.prefix_len r.Sdn.Flow.match_prefix))
+          rules
+      in
+      let acts =
+        Array.map
+          (fun (r : Sdn.Flow.rule) ->
+            match r.Sdn.Flow.action with
+            | Sdn.Flow.Output port -> code_of_node port
+            | Sdn.Flow.Drop | Sdn.Flow.To_controller -> Net.Dataplane.drop)
+          rules
+      in
+      Net.Dataplane.set_rules dp i ~nets ~masks ~acts)
+    t.switches;
+  List.iter
+    (fun link ->
+      if Net.Link.is_up link then begin
+        let a, b = Net.Link.endpoints link in
+        if is_as_node t a && is_as_node t b then begin
+          let i = Net.Dataplane.index_of dp a and j = Net.Dataplane.index_of dp b in
+          if i >= 0 && j >= 0 then begin
+            Net.Dataplane.set_link dp i j true;
+            Net.Dataplane.set_link dp j i true
+          end
+        end
+      end)
+    (Net.Netsim.links t.net);
+  dp
+
 (* --- Whole-network checkpointing ---------------------------------------- *)
 
 (* A checkpoint is the construction recipe (seed + spec + config) plus

@@ -178,6 +178,14 @@ val forwarding_at : t -> Net.Asn.t -> Net.Ipv4.addr -> forwarding
 (** The AS's current forwarding decision for an address (FIB for legacy,
     flow table for SDN members). *)
 
+val dataplane_snapshot : t -> Net.Dataplane.t
+(** Compile the composed forwarding state (FIBs + flow tables + local
+    delivery sets + link liveness) into a frozen allocation-free
+    fast-path snapshot over dense node indices.  Reads tables through
+    the non-mutating lookups, so probing the snapshot perturbs neither
+    flow packet counters nor miss metrics.  Recompile after the control
+    plane changes. *)
+
 (* --- Whole-network checkpointing --- *)
 
 type checkpoint

@@ -20,6 +20,14 @@ val lookup : 'a t -> Ipv4.addr -> (Ipv4.prefix * 'a) option
 
 val lookup_value : 'a t -> Ipv4.addr -> 'a option
 
+val lookup_exn : 'a t -> Ipv4.addr -> 'a
+(** {!lookup_value} without the per-lookup [option] boxing: a hit
+    allocates nothing.  @raise Not_found when no prefix covers [addr]. *)
+
+val lookup_bits : 'a t -> default:'a -> int -> 'a
+(** Allocation- and exception-free longest-prefix match on
+    {!Ipv4.addr_to_bits} int bits; [default] on a miss. *)
+
 val entries : 'a t -> (Ipv4.prefix * 'a) list
 (** Sorted by prefix. *)
 

@@ -50,6 +50,15 @@ let addr_of_string s =
 let mask_of_len len =
   if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
 
+(* Address bits as a non-negative OCaml int.  [Int32.to_int] returns an
+   immediate value, so both directions of the hot-path int encoding are
+   allocation-free reads; only [addr_of_bits] boxes (build time only). *)
+let addr_to_bits (a : addr) = Int32.to_int a land 0xffff_ffff
+
+let addr_of_bits b = Int32.of_int b
+
+let mask_bits len = if len = 0 then 0 else 0xffff_ffff lsl (32 - len) land 0xffff_ffff
+
 let apply_mask addr len = Int32.logand addr (mask_of_len len)
 
 let prefix addr len =
@@ -227,6 +236,29 @@ module Prefix_trie = struct
     walk t.root 0 None
 
   let lookup_value addr t = Option.map snd (lookup addr t)
+
+  (* Allocation-free longest-prefix match on pre-extracted address bits
+     (see [addr_to_bits]).  The walk carries the best candidate by
+     ALIASING the populated node's own [value] cell — no fresh [Some] is
+     built per hop — and unwraps once at the end. *)
+  (* The hot-path walk is a module-level recursion (not a local [let rec]
+     capturing [bits]) so calls allocate no closure; [best] only aliases
+     option cells already in the trie. *)
+  let rec lookup_walk bits node i best =
+    let best = match node.value with Some _ as s -> s | None -> best in
+    if i = 32 then best
+    else
+      match (if bit bits i = 0 then node.zero else node.one) with
+      | None -> best
+      | Some c -> lookup_walk bits c (i + 1) best
+
+  let lookup_bits ~default bits t =
+    match lookup_walk bits t.root 0 None with Some v -> v | None -> default
+
+  let lookup_value_exn addr t =
+    match lookup_walk (bits_of_network addr) t.root 0 None with
+    | Some v -> v
+    | None -> raise Not_found
 
   (* Pre-order: a node's own value (shorter length) before its zero
      subtree (same network, longer lengths) before its one subtree

@@ -24,6 +24,20 @@ val addr_to_string : addr -> string
 
 val addr_of_string : string -> addr option
 
+val addr_to_bits : addr -> int
+(** The address's 32 bits as a non-negative int (allocation-free: the
+    underlying [Int32.to_int] returns an immediate).  The int encoding
+    the data-plane fast path forwards instead of boxed addresses. *)
+
+val addr_of_bits : int -> addr
+(** Inverse of {!addr_to_bits} (boxes; build/edge use only). *)
+
+val mask_bits : int -> int
+(** [mask_bits len] is the network mask of a /len prefix in the
+    {!addr_to_bits} int encoding — so prefix membership on the fast path
+    is [bits land mask_bits len = addr_to_bits network], with no Int32
+    boxing. *)
+
 val prefix : addr -> int -> prefix
 (** [prefix a len] normalizes [a] to its network address.
     @raise Invalid_argument if [len] is outside [0..32]. *)
@@ -102,6 +116,16 @@ module Prefix_trie : sig
   (** Longest-prefix match for an address. *)
 
   val lookup_value : addr -> 'a t -> 'a option
+
+  val lookup_value_exn : addr -> 'a t -> 'a
+  (** Longest-prefix match without the [option]/pair boxing of {!lookup}:
+      the walk aliases populated nodes' own value cells, so a hit
+      allocates nothing.  @raise Not_found on a miss. *)
+
+  val lookup_bits : default:'a -> int -> 'a t -> 'a
+  (** Allocation- and exception-free longest-prefix match on
+      {!Ipv4.addr_to_bits} int bits; [default] on a miss.  The data-plane
+      fast path's lookup. *)
 
   val fold : (prefix -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
   (** Ascending [compare_prefix] order, like [Prefix_map.fold]. *)

@@ -120,6 +120,28 @@ let lookup t addr =
     best.Flow.packets <- best.Flow.packets + 1;
     Some best
 
+(* Index of the winning rule for an address, [-1] on a miss.  Unlike
+   [lookup] this neither boxes the result nor mutates anything (no
+   [packets]/[misses] bump, no metric), so verifiers and the data-plane
+   fast path can interrogate a table without perturbing its counters.
+   Matching is pure int arithmetic on the prefix bits: [Int32.to_int] is
+   an immediate read, so the scan allocates nothing. *)
+let lookup_idx t addr_bits =
+  let rules = t.rules in
+  let n = Array.length rules in
+  let rec scan i =
+    if i >= n then -1
+    else begin
+      let p = rules.(i).Flow.match_prefix in
+      let net = Net.Ipv4.addr_to_bits (Net.Ipv4.prefix_network p) in
+      let mask = Net.Ipv4.mask_bits (Net.Ipv4.prefix_len p) in
+      if addr_bits land mask = net then i else scan (i + 1)
+    end
+  in
+  scan 0
+
+let nth_rule t i = t.rules.(i)
+
 let find t ~match_prefix =
   let rec scan i =
     if i >= Array.length t.rules then None

@@ -34,6 +34,19 @@ val clear : t -> unit
 val lookup : t -> Net.Ipv4.addr -> Flow.rule option
 (** Winning rule for the address; bumps its packet counter. *)
 
+val lookup_idx : t -> int -> int
+(** [lookup_idx t bits] is the index (into the sorted rule array, see
+    {!nth_rule}) of the winning rule for an address given as
+    {!Net.Ipv4.addr_to_bits} int bits, or [-1] on a miss.  Unlike
+    {!lookup} it allocates nothing and mutates nothing — no [option]
+    boxing, no packet/miss counters — so read-only consumers (the static
+    forwarding verifier, the data-plane fast path) can use it without
+    perturbing table state. *)
+
+val nth_rule : t -> int -> Flow.rule
+(** The rule at a {!lookup_idx} index.  @raise Invalid_argument when out
+    of bounds (including [-1]). *)
+
 val find : t -> match_prefix:Net.Ipv4.prefix -> Flow.rule option
 
 val entries_sorted : t -> Flow.rule list

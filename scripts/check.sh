@@ -45,4 +45,7 @@ dune build @scale-smoke
 step "shard smoke (500-AS sharded run == sequential differential + PR 9 baseline guards)"
 dune build @shard-smoke
 
+step "loss smoke (data-plane loss sweep differential + PR 10 baseline guards)"
+dune build @loss-smoke
+
 printf '\nall checks passed\n'

@@ -44,6 +44,7 @@ let () =
       ("framework.network", Test_network.suite);
       ("framework.convergence", Test_convergence.suite);
       ("framework.monitor", Test_monitor.suite);
+      ("net.dataplane", Test_dataplane.suite);
       ("framework.logparse", Test_logparse.suite);
       ("framework.visualize", Test_visualize.suite);
       ("framework.scenario", Test_scenario.suite);
